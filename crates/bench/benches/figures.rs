@@ -1,0 +1,34 @@
+//! Criterion smoke pass over the figure harnesses.
+//!
+//! `cargo bench` runs each figure at a reduced physical scale and sweep so the
+//! whole suite completes quickly; the full sweeps used for EXPERIMENTS.md are
+//! produced by the `fig4` … `fig8` binaries.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use hetex_bench::figures;
+
+fn bench_figures(c: &mut Criterion) {
+    let mut group = c.benchmark_group("figures");
+    group.sample_size(10);
+
+    group.bench_function("figure4_ssb_sf100", |b| {
+        b.iter(|| figures::figure4(0.002).unwrap())
+    });
+    group.bench_function("figure5_ssb_sf1000", |b| {
+        b.iter(|| figures::figure5(0.002).unwrap())
+    });
+    group.bench_function("figure6_scalability", |b| {
+        b.iter(|| figures::figure6(0.002, &[1, 8, 24]).unwrap())
+    });
+    group.bench_function("figure7_microbench_scaleup", |b| {
+        b.iter(|| figures::figure7(30_000, &[1, 8, 24]).unwrap())
+    });
+    group.bench_function("figure8_microbench_sizeup", |b| {
+        b.iter(|| figures::figure8(20_000, &[0.125, 1.0, 16.0]).unwrap())
+    });
+    group.bench_function("table1_device_providers", |b| b.iter(figures::table1));
+    group.finish();
+}
+
+criterion_group!(figures_group, bench_figures);
+criterion_main!(figures_group);

@@ -1,0 +1,168 @@
+//! Criterion micro-benchmarks of the HetExchange building blocks.
+//!
+//! These measure the *wall-clock* performance of the reproduction's own
+//! components (routing throughput, pack/unpack, hash join pipelines, DMA
+//! scheduling, the simulated GPU), complementing the figure harnesses, which
+//! report *simulated* times on the modeled server.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use hetex_common::{Block, BlockHandle, BlockId, BlockMeta, ColumnData, MemoryNodeId, PipelineId};
+use hetex_core::pack::{Packer, Unpacker};
+use hetex_core::plan::RouterPolicy;
+use hetex_core::router::{ConsumerSlot, Router};
+use hetex_gpu_sim::device::standalone_gpu;
+use hetex_gpu_sim::LaunchConfig;
+use hetex_jit::{
+    AggSpec, CompiledPipeline, ExecCtx, Expr, SharedState, Step, TerminalStep,
+};
+use hetex_topology::{Affinity, DeviceId, DeviceKind, DmaEngine, ServerTopology, SimTime};
+use std::sync::Arc;
+
+fn block_of(rows: usize) -> BlockHandle {
+    let a: Vec<i64> = (0..rows as i64).map(|i| i % 1000).collect();
+    let b: Vec<i64> = (0..rows as i64).collect();
+    let block = Block::new(vec![ColumnData::Int64(a), ColumnData::Int64(b)], rows).unwrap();
+    BlockHandle::new(block, BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0)))
+}
+
+fn bench_router(c: &mut Criterion) {
+    let slots: Vec<ConsumerSlot> = (0..26)
+        .map(|i| ConsumerSlot {
+            kind: DeviceKind::CpuCore,
+            affinity: Affinity::cpu(DeviceId::new(i)),
+        })
+        .collect();
+    let router = Router::new(RouterPolicy::LeastLoaded, slots).unwrap();
+    let meta = BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0));
+    let loads: Vec<u64> = (0..26).map(|i| (i as u64) * 1000).collect();
+    let mut group = c.benchmark_group("router");
+    group.throughput(Throughput::Elements(1));
+    group.bench_function("least_loaded_route", |b| {
+        b.iter(|| router.route(std::hint::black_box(&meta), std::hint::black_box(&loads)))
+    });
+    group.finish();
+}
+
+fn bench_pack_unpack(c: &mut Criterion) {
+    let rows: Vec<Vec<i64>> = (0..10_000).map(|i| vec![i, i * 2, i * 3]).collect();
+    let mut group = c.benchmark_group("pack");
+    group.throughput(Throughput::Elements(rows.len() as u64));
+    group.bench_function("pack_10k_tuples", |b| {
+        b.iter_batched(
+            || rows.clone(),
+            |rows| {
+                let mut packer = Packer::new(1024, MemoryNodeId::new(0));
+                let mut blocks = Vec::new();
+                for row in rows {
+                    if let Some(b) = packer.push(row).unwrap() {
+                        blocks.push(b);
+                    }
+                }
+                blocks.extend(packer.flush().unwrap());
+                blocks
+            },
+            BatchSize::SmallInput,
+        )
+    });
+    let handle = block_of(10_000);
+    group.bench_function("unpack_10k_tuples", |b| {
+        b.iter(|| Unpacker::rows(std::hint::black_box(&handle)).map(|r| r[0]).sum::<i64>())
+    });
+    group.finish();
+}
+
+fn bench_pipelines(c: &mut Criterion) {
+    let mut state = SharedState::new();
+    let ht = state.add_hash_table(1);
+    for k in 0..1_000 {
+        state.hash_table(ht).unwrap().insert(k, vec![k * 10]);
+    }
+    let acc = state.add_accumulators(&[AggSpec::sum(Expr::col(2)), AggSpec::count()]);
+
+    let cpu_pipeline = CompiledPipeline::new(
+        PipelineId::new(1),
+        DeviceKind::CpuCore,
+        2,
+        vec![
+            Step::Filter { predicate: Expr::col(0).gt_lit(10) },
+            Step::HashJoinProbe { key: Expr::col(0), slot: ht, payload_width: 1 },
+        ],
+        TerminalStep::Reduce {
+            aggs: vec![AggSpec::sum(Expr::col(2)), AggSpec::count()],
+            slot: acc,
+        },
+    )
+    .unwrap();
+    let gpu_pipeline = CompiledPipeline::new(
+        PipelineId::new(2),
+        DeviceKind::Gpu,
+        2,
+        cpu_pipeline.steps().to_vec(),
+        cpu_pipeline.terminal().clone(),
+    )
+    .unwrap();
+
+    let handle = block_of(64 * 1024);
+    let mut group = c.benchmark_group("compiled_pipeline");
+    group.throughput(Throughput::Elements(handle.rows() as u64));
+    group.bench_function("cpu_filter_probe_reduce_64k", |b| {
+        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 1024);
+        b.iter(|| cpu_pipeline.process_block(&handle, &state, &mut ctx).unwrap())
+    });
+    group.bench_function("gpu_filter_probe_reduce_64k", |b| {
+        let gpu = Arc::new(standalone_gpu());
+        let mut ctx = ExecCtx::gpu(gpu, 1024);
+        ctx.launch_config = LaunchConfig::new(16, 128);
+        b.iter(|| gpu_pipeline.process_block(&handle, &state, &mut ctx).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_dma(c: &mut Criterion) {
+    let topology = ServerTopology::paper_server();
+    let dma = DmaEngine::new(topology);
+    let mut group = c.benchmark_group("dma");
+    group.bench_function("schedule_pcie_transfer", |b| {
+        b.iter(|| {
+            dma.schedule(
+                std::hint::black_box(1 << 20) as f64,
+                MemoryNodeId::new(0),
+                MemoryNodeId::new(2),
+                SimTime::ZERO,
+            )
+            .unwrap()
+        })
+    });
+    group.finish();
+}
+
+fn bench_gpu_sim(c: &mut Criterion) {
+    let gpu = standalone_gpu();
+    let data: Vec<i64> = (0..256 * 1024).collect();
+    let mut group = c.benchmark_group("gpu_sim");
+    group.throughput(Throughput::Elements(data.len() as u64));
+    group.bench_function("grid_stride_sum_256k", |b| {
+        b.iter(|| {
+            let acc = hetex_gpu_sim::DeviceAtomicI64::new(0);
+            gpu.launch(LaunchConfig::new(16, 128), |t| {
+                let mut local = 0;
+                for i in t.grid_stride(data.len()) {
+                    local += data[i];
+                }
+                acc.fetch_add(local);
+            });
+            acc.load()
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_router,
+    bench_pack_unpack,
+    bench_pipelines,
+    bench_dma,
+    bench_gpu_sim
+);
+criterion_main!(benches);

@@ -1,0 +1,191 @@
+//! The microbenchmark workload of §6.4.
+//!
+//! Two queries over purpose-built tables:
+//!
+//! * **sum** — `SELECT SUM(a) FROM t`, bandwidth-bound and therefore
+//!   CPU-friendly (the GPU sits behind the much-slower-than-DRAM PCIe link);
+//! * **join** — the count of a non-partitioned 1:N join whose probe side is a
+//!   single large column and whose build side is a 7.7 MB column,
+//!   random-access bound and therefore GPU-friendly.
+//!
+//! The paper uses a 23 GB probe column; the physical tables here are small and
+//! the `scale_weight` models the nominal size, exactly like the SSB workload.
+
+use hetex_common::{EngineConfig, Result};
+use hetex_common::{ColumnData, DataType};
+use hetex_core::RelNode;
+use hetex_engine::Proteus;
+use hetex_jit::{AggSpec, Expr};
+use hetex_storage::TableBuilder;
+use hetex_topology::ServerTopology;
+use std::sync::Arc;
+
+/// The paper's probe-side column size (23 GB) and build-side size (7.7 MB).
+pub const PAPER_PROBE_BYTES: f64 = 23.0e9;
+/// Build-side column size used in §6.4.
+pub const PAPER_BUILD_BYTES: f64 = 7.7e6;
+
+/// The two microbenchmark queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MicroQuery {
+    /// `SELECT SUM(a) FROM probe`.
+    Sum,
+    /// `SELECT COUNT(*) FROM probe JOIN build ON probe.key = build.key`.
+    Join,
+}
+
+impl MicroQuery {
+    /// Label used in figure output.
+    pub fn label(self) -> &'static str {
+        match self {
+            MicroQuery::Sum => "sum",
+            MicroQuery::Join => "join",
+        }
+    }
+}
+
+/// The constructed microbenchmark workload.
+pub struct MicroWorkload {
+    /// The engine holding the probe and build tables (CPU-resident).
+    pub engine: Proteus,
+    /// Physical bytes of the probe column.
+    pub physical_probe_bytes: f64,
+    /// Physical rows of the probe table.
+    pub probe_rows: usize,
+    /// Rows of the build table.
+    pub build_rows: usize,
+    /// Block capacity used for runs.
+    pub block_capacity: usize,
+}
+
+impl MicroWorkload {
+    /// Build the workload with `probe_rows` physical probe tuples and a build
+    /// side sized like the paper's (7.7 MB ≈ one million 8-byte keys, scaled
+    /// down proportionally to the probe side).
+    pub fn build(probe_rows: usize) -> Result<MicroWorkload> {
+        let topology = ServerTopology::paper_server();
+        let engine = Proteus::new(Arc::clone(&topology));
+        let nodes = topology.cpu_memory_nodes();
+        let build_rows = ((PAPER_BUILD_BYTES / 8.0) as usize)
+            .min(probe_rows.max(1))
+            .max(1_000);
+
+        // Probe table: a measure column and a key column referencing the build
+        // side (every probe row matches exactly one build row).
+        let values: Vec<i64> = (0..probe_rows as i64).map(|i| i % 1_000).collect();
+        let keys: Vec<i64> = (0..probe_rows as i64)
+            .map(|i| (i.wrapping_mul(2_654_435_761) % build_rows as i64).abs())
+            .collect();
+        let segment_rows = (probe_rows / 8).max(1_024);
+        let probe = TableBuilder::new("probe")
+            .column("a", DataType::Int64, ColumnData::Int64(values))
+            .column("key", DataType::Int64, ColumnData::Int64(keys))
+            .build(&nodes, segment_rows)?;
+        let build = TableBuilder::new("build")
+            .column(
+                "key",
+                DataType::Int64,
+                ColumnData::Int64((0..build_rows as i64).collect()),
+            )
+            .build(&nodes, segment_rows)?;
+        engine.register_table(probe);
+        engine.register_table(build);
+
+        Ok(MicroWorkload {
+            engine,
+            physical_probe_bytes: probe_rows as f64 * 8.0,
+            probe_rows,
+            build_rows,
+            block_capacity: (probe_rows / 256).clamp(128, 64 * 1024),
+        })
+    }
+
+    /// The plan of a microbenchmark query. The sum query scans only the
+    /// measure column; the join query scans only the key column — both model
+    /// the paper's single-column inputs.
+    pub fn plan(&self, query: MicroQuery) -> RelNode {
+        match query {
+            MicroQuery::Sum => RelNode::scan("probe", &["a"])
+                .reduce(vec![AggSpec::sum(Expr::col(0))], &["sum_a"]),
+            MicroQuery::Join => {
+                let build = RelNode::scan("build", &["key"]);
+                RelNode::scan("probe", &["key"])
+                    .hash_join(build, 0, 0, &[])
+                    .reduce(vec![AggSpec::count()], &["matches"])
+            }
+        }
+    }
+
+    /// Engine configuration modeling `nominal_probe_bytes` of input. The
+    /// build side keeps its paper size (7.7 MB) regardless of the probe-side
+    /// sweep, so it gets its own weight.
+    pub fn config(&self, mut base: EngineConfig, nominal_probe_bytes: f64) -> EngineConfig {
+        let probe_weight = (nominal_probe_bytes / self.physical_probe_bytes).max(1e-6);
+        let build_weight = (PAPER_BUILD_BYTES / (self.build_rows as f64 * 8.0)).max(1.0);
+        base.scale_weight = probe_weight;
+        base.table_weights = vec![
+            ("probe".to_string(), probe_weight),
+            ("build".to_string(), build_weight),
+        ];
+        base.block_capacity = self.block_capacity;
+        base
+    }
+
+    /// Run one query and return the simulated seconds.
+    pub fn run(
+        &self,
+        query: MicroQuery,
+        base: EngineConfig,
+        nominal_probe_bytes: f64,
+    ) -> Result<f64> {
+        let config = self.config(base, nominal_probe_bytes);
+        Ok(self.engine.execute(&self.plan(query), &config)?.seconds())
+    }
+
+    /// Exact expected result of a query on the physical data (for validation).
+    pub fn expected(&self, query: MicroQuery) -> i64 {
+        match query {
+            MicroQuery::Sum => (0..self.probe_rows as i64).map(|i| i % 1_000).sum(),
+            MicroQuery::Join => self.probe_rows as i64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_and_join_results_are_exact() {
+        let w = MicroWorkload::build(20_000).unwrap();
+        for query in [MicroQuery::Sum, MicroQuery::Join] {
+            let outcome = w
+                .engine
+                .execute(&w.plan(query), &w.config(EngineConfig::cpu_only(2), 1e9))
+                .unwrap();
+            assert_eq!(outcome.rows[0][0], w.expected(query), "{}", query.label());
+        }
+    }
+
+    #[test]
+    fn sum_is_cpu_friendly_and_join_is_gpu_friendly() {
+        // §6.4: the sum query is bandwidth-bound (PCIe hurts the GPU); the
+        // join query is random-access bound (the CPU suffers more).
+        let w = MicroWorkload::build(50_000).unwrap();
+        let nominal = 23.0e9;
+        let cpu_sum = w.run(MicroQuery::Sum, EngineConfig::cpu_only(24), nominal).unwrap();
+        let gpu_sum = w.run(MicroQuery::Sum, EngineConfig::gpu_only(2), nominal).unwrap();
+        let cpu_join = w.run(MicroQuery::Join, EngineConfig::cpu_only(24), nominal).unwrap();
+        let gpu_join = w.run(MicroQuery::Join, EngineConfig::gpu_only(2), nominal).unwrap();
+        assert!(cpu_sum < gpu_sum, "sum: cpu {cpu_sum} should beat gpu {gpu_sum}");
+        assert!(gpu_join < cpu_join, "join: gpu {gpu_join} should beat cpu {cpu_join}");
+    }
+
+    #[test]
+    fn scale_weight_follows_nominal_bytes() {
+        let w = MicroWorkload::build(10_000).unwrap();
+        let cfg = w.config(EngineConfig::cpu_only(1), 8.0e9);
+        assert!((cfg.scale_weight - 8.0e9 / (10_000.0 * 8.0)).abs() < 1e-9);
+        assert_eq!(MicroQuery::Sum.label(), "sum");
+    }
+}

@@ -1,0 +1,139 @@
+//! Result records and plain-text rendering of the figures.
+//!
+//! The figure binaries print aligned text tables — one row per SSB query (or
+//! sweep point), one column per system/series — which is the textual
+//! equivalent of the paper's bar charts and line plots.
+
+/// One (query, system) measurement.
+#[derive(Debug, Clone)]
+pub struct QueryTimeRow {
+    /// Query name ("Q1.1" … "Q4.3") or sweep label.
+    pub query: String,
+    /// System / series label.
+    pub system: String,
+    /// Execution time in seconds, `None` if the system failed the query.
+    pub seconds: Option<f64>,
+    /// Failure note (e.g. DBMS G on Q2.2).
+    pub note: Option<String>,
+}
+
+impl QueryTimeRow {
+    /// Render the time or the failure marker.
+    pub fn rendered(&self) -> String {
+        match self.seconds {
+            Some(s) => format!("{s:.3}"),
+            None => "FAIL".to_string(),
+        }
+    }
+}
+
+/// Pivot a list of rows into a query × system matrix and render it.
+pub fn print_matrix(title: &str, rows: &[QueryTimeRow]) -> String {
+    let mut queries: Vec<String> = Vec::new();
+    let mut systems: Vec<String> = Vec::new();
+    for row in rows {
+        if !queries.contains(&row.query) {
+            queries.push(row.query.clone());
+        }
+        if !systems.contains(&row.system) {
+            systems.push(row.system.clone());
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("== {title} ==\n"));
+    out.push_str(&format!("{:<10}", "query"));
+    for system in &systems {
+        out.push_str(&format!("{system:>18}"));
+    }
+    out.push('\n');
+    for query in &queries {
+        out.push_str(&format!("{query:<10}"));
+        for system in &systems {
+            let cell = rows
+                .iter()
+                .find(|r| &r.query == query && &r.system == system)
+                .map(QueryTimeRow::rendered)
+                .unwrap_or_else(|| "-".to_string());
+            out.push_str(&format!("{cell:>18}"));
+        }
+        out.push('\n');
+    }
+    let failures: Vec<&QueryTimeRow> = rows.iter().filter(|r| r.seconds.is_none()).collect();
+    if !failures.is_empty() {
+        out.push_str("failures:\n");
+        for f in failures {
+            out.push_str(&format!(
+                "  {} on {}: {}\n",
+                f.system,
+                f.query,
+                f.note.clone().unwrap_or_default()
+            ));
+        }
+    }
+    println!("{out}");
+    out
+}
+
+/// Geometric-mean speed-up of `faster` over `slower` across the queries both
+/// systems completed (the "up to X×" style summary statements of §6).
+pub fn speedup_summary(rows: &[QueryTimeRow], slower: &str, faster: &str) -> Option<(f64, f64)> {
+    let mut ratios = Vec::new();
+    for row in rows.iter().filter(|r| r.system == faster) {
+        let Some(fast) = row.seconds else { continue };
+        let Some(slow) = rows
+            .iter()
+            .find(|r| r.system == slower && r.query == row.query)
+            .and_then(|r| r.seconds)
+        else {
+            continue;
+        };
+        if fast > 0.0 {
+            ratios.push(slow / fast);
+        }
+    }
+    if ratios.is_empty() {
+        return None;
+    }
+    let max = ratios.iter().cloned().fold(f64::MIN, f64::max);
+    let geo = (ratios.iter().map(|r| r.ln()).sum::<f64>() / ratios.len() as f64).exp();
+    Some((geo, max))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<QueryTimeRow> {
+        vec![
+            QueryTimeRow { query: "Q1.1".into(), system: "A".into(), seconds: Some(2.0), note: None },
+            QueryTimeRow { query: "Q1.1".into(), system: "B".into(), seconds: Some(1.0), note: None },
+            QueryTimeRow { query: "Q1.2".into(), system: "A".into(), seconds: Some(8.0), note: None },
+            QueryTimeRow { query: "Q1.2".into(), system: "B".into(), seconds: Some(2.0), note: None },
+            QueryTimeRow {
+                query: "Q2.2".into(),
+                system: "B".into(),
+                seconds: None,
+                note: Some("unsupported".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn matrix_contains_all_cells_and_failures() {
+        let text = print_matrix("test", &rows());
+        assert!(text.contains("Q1.1"));
+        assert!(text.contains("FAIL"));
+        assert!(text.contains("unsupported"));
+        assert!(text.contains("2.000"));
+        // Missing (query, system) combinations render as '-'.
+        assert!(text.contains('-'));
+    }
+
+    #[test]
+    fn speedup_summary_computes_geo_and_max() {
+        let (geo, max) = speedup_summary(&rows(), "A", "B").unwrap();
+        assert!((max - 4.0).abs() < 1e-9);
+        assert!((geo - (2.0f64 * 4.0).sqrt()).abs() < 1e-9);
+        assert!(speedup_summary(&rows(), "A", "missing").is_none());
+    }
+}

@@ -1,0 +1,215 @@
+//! The systems under comparison and how to run one query on each.
+//!
+//! Mirrors the legend of Figures 4 and 5: DBMS C, Proteus CPUs, Proteus
+//! Hybrid, Proteus GPUs, DBMS G. Proteus configurations run through the real
+//! HetExchange engine; the baselines run through their cost-modeled stand-ins.
+//! All five see exactly the same data and the same logical plans.
+
+use crate::report::QueryTimeRow;
+use crate::workload::SsbWorkload;
+use hetex_baselines::{DbmsC, DbmsG};
+use hetex_common::config::DataPlacement;
+use hetex_common::{EngineConfig, HetError, Result};
+use hetex_ssb::SsbQuery;
+use std::sync::Arc;
+
+/// A system under test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum System {
+    /// The commercial vectorized CPU DBMS stand-in.
+    DbmsC { cores: usize },
+    /// Proteus restricted to CPU cores.
+    ProteusCpu { cores: usize },
+    /// Proteus restricted to GPUs.
+    ProteusGpu { gpus: usize },
+    /// Proteus using CPUs and GPUs together.
+    ProteusHybrid { cores: usize, gpus: usize },
+    /// The commercial GPU DBMS stand-in.
+    DbmsG { gpus: usize },
+}
+
+impl System {
+    /// Label used in figure output (matches the paper's legends).
+    pub fn label(&self) -> String {
+        match self {
+            System::DbmsC { .. } => "DBMS C".to_string(),
+            System::ProteusCpu { .. } => "Proteus CPUs".to_string(),
+            System::ProteusGpu { .. } => "Proteus GPUs".to_string(),
+            System::ProteusHybrid { .. } => "Proteus Hybrid".to_string(),
+            System::DbmsG { .. } => "DBMS G".to_string(),
+        }
+    }
+
+    /// The default line-up of Figure 4 (GPU-fitting working sets).
+    pub fn figure4_lineup() -> Vec<System> {
+        vec![
+            System::DbmsC { cores: 24 },
+            System::ProteusCpu { cores: 24 },
+            System::ProteusGpu { gpus: 2 },
+            System::DbmsG { gpus: 2 },
+        ]
+    }
+
+    /// The default line-up of Figure 5 (non-GPU-fitting working sets).
+    pub fn figure5_lineup() -> Vec<System> {
+        vec![
+            System::DbmsC { cores: 24 },
+            System::ProteusCpu { cores: 24 },
+            System::ProteusHybrid { cores: 24, gpus: 2 },
+            System::ProteusGpu { gpus: 2 },
+            System::DbmsG { gpus: 2 },
+        ]
+    }
+}
+
+/// Run one SSB query on one system. `gpu_resident` selects the SF100-style
+/// data placement (working set pre-loaded in device memory) for the GPU
+/// systems.
+pub fn run_query(
+    workload: &SsbWorkload,
+    system: System,
+    query: &SsbQuery,
+    gpu_resident: bool,
+) -> QueryTimeRow {
+    let result = execute(workload, system, query, gpu_resident);
+    match result {
+        Ok(seconds) => QueryTimeRow {
+            query: query.name.clone(),
+            system: system.label(),
+            seconds: Some(seconds),
+            note: None,
+        },
+        Err(e) => QueryTimeRow {
+            query: query.name.clone(),
+            system: system.label(),
+            seconds: None,
+            note: Some(format!("{} ({})", e.category(), e)),
+        },
+    }
+}
+
+fn execute(
+    workload: &SsbWorkload,
+    system: System,
+    query: &SsbQuery,
+    gpu_resident: bool,
+) -> Result<f64> {
+    match system {
+        System::DbmsC { cores } => {
+            let dbms = DbmsC::new(Arc::clone(&workload.topology), cores);
+            let weights = workload.config(EngineConfig::cpu_only(cores.max(1)));
+            Ok(dbms
+                .execute(&query.plan, &workload.catalog_cpu, &weights)?
+                .seconds())
+        }
+        System::DbmsG { gpus } => {
+            let (catalog, placement) = if gpu_resident {
+                (
+                    workload.catalog_gpu.as_ref().ok_or_else(|| {
+                        HetError::Config("workload has no GPU-resident dataset".into())
+                    })?,
+                    DataPlacement::GpuResident,
+                )
+            } else {
+                (&workload.catalog_cpu, DataPlacement::CpuResident)
+            };
+            let dbms = DbmsG::new(Arc::clone(&workload.topology), gpus, placement);
+            let weights = workload.config(EngineConfig::gpu_only(gpus.max(1)));
+            Ok(dbms.execute(&query.plan, catalog, &weights)?.seconds())
+        }
+        System::ProteusCpu { cores } => {
+            let config = workload.config(EngineConfig::cpu_only(cores));
+            Ok(workload
+                .engine_cpu_data
+                .execute(&query.plan, &config)?
+                .seconds())
+        }
+        System::ProteusGpu { gpus } => {
+            let mut config = workload.config(EngineConfig::gpu_only(gpus));
+            config.placement = if gpu_resident {
+                DataPlacement::GpuResident
+            } else {
+                DataPlacement::CpuResident
+            };
+            let engine = if gpu_resident {
+                workload.engine_gpu_data.as_ref().ok_or_else(|| {
+                    HetError::Config("workload has no GPU-resident dataset".into())
+                })?
+            } else {
+                &workload.engine_cpu_data
+            };
+            Ok(engine.execute(&query.plan, &config)?.seconds())
+        }
+        System::ProteusHybrid { cores, gpus } => {
+            let config = workload.config(EngineConfig::hybrid(cores, gpus));
+            Ok(workload
+                .engine_cpu_data
+                .execute(&query.plan, &config)?
+                .seconds())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_workload(gpu_resident: bool) -> SsbWorkload {
+        SsbWorkload::build(0.002, 10.0, gpu_resident).unwrap()
+    }
+
+    #[test]
+    fn all_systems_run_q1_1() {
+        let w = tiny_workload(true);
+        let q = w.query("Q1.1").unwrap().clone();
+        for system in System::figure4_lineup() {
+            let row = run_query(&w, system, &q, true);
+            assert!(
+                row.seconds.is_some(),
+                "{} failed: {:?}",
+                row.system,
+                row.note
+            );
+            assert!(row.seconds.unwrap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn proteus_results_agree_across_systems() {
+        let w = tiny_workload(true);
+        let q = w.query("Q2.1").unwrap().clone();
+        let cpu = w
+            .engine_cpu_data
+            .execute(&q.plan, &w.config(EngineConfig::cpu_only(4)))
+            .unwrap();
+        let hybrid = w
+            .engine_cpu_data
+            .execute(&q.plan, &w.config(EngineConfig::hybrid(4, 2)))
+            .unwrap();
+        assert_eq!(cpu.rows, hybrid.rows);
+        let gpu = w
+            .engine_gpu_data
+            .as_ref()
+            .unwrap()
+            .execute(&q.plan, &w.config(EngineConfig::gpu_only(2)))
+            .unwrap();
+        assert_eq!(cpu.rows, gpu.rows);
+    }
+
+    #[test]
+    fn dbms_g_reports_q2_2_failure_as_a_note() {
+        let w = tiny_workload(true);
+        let q = w.query("Q2.2").unwrap().clone();
+        let row = run_query(&w, System::DbmsG { gpus: 2 }, &q, true);
+        assert!(row.seconds.is_none());
+        assert!(row.note.unwrap().contains("unsupported"));
+    }
+
+    #[test]
+    fn labels_match_paper_legends() {
+        assert_eq!(System::DbmsC { cores: 24 }.label(), "DBMS C");
+        assert_eq!(System::ProteusHybrid { cores: 24, gpus: 2 }.label(), "Proteus Hybrid");
+        assert_eq!(System::figure4_lineup().len(), 4);
+        assert_eq!(System::figure5_lineup().len(), 5);
+    }
+}

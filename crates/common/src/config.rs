@@ -1,0 +1,206 @@
+//! Engine-wide configuration.
+//!
+//! The configuration gathers the knobs that the paper's evaluation varies
+//! (degree of parallelism per device type, block size, which devices
+//! participate) plus the knobs our reproduction adds (scale-extrapolation
+//! weight used when a physically small dataset models a nominally larger one).
+
+use serde::{Deserialize, Serialize};
+
+/// Where the engine is allowed to run the main part of a query plan.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExecutionTarget {
+    /// All relational work on CPU cores only (paper: "Proteus CPUs").
+    CpuOnly,
+    /// All relational work on GPUs only (paper: "Proteus GPUs").
+    GpuOnly,
+    /// Work parallelized across both CPUs and GPUs (paper: "Proteus Hybrid").
+    Hybrid,
+}
+
+impl ExecutionTarget {
+    /// Human-readable label matching the paper's figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecutionTarget::CpuOnly => "Proteus CPUs",
+            ExecutionTarget::GpuOnly => "Proteus GPUs",
+            ExecutionTarget::Hybrid => "Proteus Hybrid",
+        }
+    }
+}
+
+/// Initial placement of base-table data.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DataPlacement {
+    /// Columns reside in CPU (socket-interleaved) memory — the SF1000 setup.
+    CpuResident,
+    /// Columns are partitioned across the GPUs' device memories — the SF100 setup.
+    GpuResident,
+}
+
+/// Engine configuration. `Default` reproduces the paper's server with all
+/// devices enabled and CPU-resident data.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EngineConfig {
+    /// Which device classes execute the relational part of the plan.
+    pub target: ExecutionTarget,
+    /// Number of CPU worker threads used for relational pipelines.
+    pub cpu_dop: usize,
+    /// Number of GPUs used for relational pipelines.
+    pub gpu_dop: usize,
+    /// Tuples per block produced by pack/segmenter operators.
+    pub block_capacity: usize,
+    /// Where base tables start out.
+    pub placement: DataPlacement,
+    /// Whether HetExchange operators are inserted at all. Disabling them
+    /// reproduces the paper's "without HetExchange" single-device baselines
+    /// used in Figures 7 and 8.
+    pub hetexchange_enabled: bool,
+    /// Byte multiplier applied by the benchmark harness when the physical data
+    /// is a scaled-down stand-in for a larger nominal scale factor.
+    pub scale_weight: f64,
+    /// Per-table overrides of `scale_weight`. SSB tables scale differently
+    /// with the scale factor (the `date` dimension has a fixed size, `part`
+    /// grows logarithmically), so the harness sets one weight per table.
+    pub table_weights: Vec<(String, f64)>,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            target: ExecutionTarget::Hybrid,
+            cpu_dop: 24,
+            gpu_dop: 2,
+            block_capacity: crate::block::DEFAULT_BLOCK_CAPACITY,
+            placement: DataPlacement::CpuResident,
+            hetexchange_enabled: true,
+            scale_weight: 1.0,
+            table_weights: Vec::new(),
+        }
+    }
+}
+
+impl EngineConfig {
+    /// CPU-only configuration with the given degree of parallelism.
+    pub fn cpu_only(cpu_dop: usize) -> Self {
+        Self {
+            target: ExecutionTarget::CpuOnly,
+            cpu_dop,
+            gpu_dop: 0,
+            ..Self::default()
+        }
+    }
+
+    /// GPU-only configuration with the given number of GPUs.
+    pub fn gpu_only(gpu_dop: usize) -> Self {
+        Self {
+            target: ExecutionTarget::GpuOnly,
+            cpu_dop: 0,
+            gpu_dop,
+            ..Self::default()
+        }
+    }
+
+    /// Hybrid configuration using `cpu_dop` cores and `gpu_dop` GPUs.
+    pub fn hybrid(cpu_dop: usize, gpu_dop: usize) -> Self {
+        Self {
+            target: ExecutionTarget::Hybrid,
+            cpu_dop,
+            gpu_dop,
+            ..Self::default()
+        }
+    }
+
+    /// Total degree of parallelism of the main (relational) part of the plan.
+    pub fn total_dop(&self) -> usize {
+        self.cpu_dop + self.gpu_dop
+    }
+
+    /// The scale weight applied to scans of `table`: the per-table override if
+    /// one was configured, otherwise the global `scale_weight`.
+    pub fn weight_for(&self, table: &str) -> f64 {
+        self.table_weights
+            .iter()
+            .find(|(name, _)| name == table)
+            .map(|(_, w)| *w)
+            .unwrap_or(self.scale_weight)
+    }
+
+    /// Set a per-table weight override.
+    pub fn with_table_weight(mut self, table: impl Into<String>, weight: f64) -> Self {
+        self.table_weights.push((table.into(), weight));
+        self
+    }
+
+    /// Validate that the configuration is internally consistent.
+    pub fn validate(&self) -> crate::error::Result<()> {
+        use crate::error::HetError;
+        match self.target {
+            ExecutionTarget::CpuOnly if self.cpu_dop == 0 => {
+                Err(HetError::Config("CpuOnly target requires cpu_dop > 0".into()))
+            }
+            ExecutionTarget::GpuOnly if self.gpu_dop == 0 => {
+                Err(HetError::Config("GpuOnly target requires gpu_dop > 0".into()))
+            }
+            ExecutionTarget::Hybrid if self.total_dop() == 0 => {
+                Err(HetError::Config("Hybrid target requires at least one device".into()))
+            }
+            _ if self.block_capacity == 0 => {
+                Err(HetError::Config("block_capacity must be positive".into()))
+            }
+            _ if self.scale_weight <= 0.0 => {
+                Err(HetError::Config("scale_weight must be positive".into()))
+            }
+            _ => Ok(()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_valid_hybrid() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.target, ExecutionTarget::Hybrid);
+        cfg.validate().unwrap();
+        assert_eq!(cfg.total_dop(), 26);
+    }
+
+    #[test]
+    fn constructors_set_targets() {
+        assert_eq!(EngineConfig::cpu_only(8).target, ExecutionTarget::CpuOnly);
+        assert_eq!(EngineConfig::gpu_only(2).gpu_dop, 2);
+        assert_eq!(EngineConfig::hybrid(4, 1).total_dop(), 5);
+    }
+
+    #[test]
+    fn validation_rejects_inconsistent_configs() {
+        assert!(EngineConfig::cpu_only(0).validate().is_err());
+        assert!(EngineConfig::gpu_only(0).validate().is_err());
+        let mut cfg = EngineConfig::default();
+        cfg.block_capacity = 0;
+        assert!(cfg.validate().is_err());
+        let mut cfg = EngineConfig::default();
+        cfg.scale_weight = 0.0;
+        assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn per_table_weights_override_the_global_weight() {
+        let mut cfg = EngineConfig::default();
+        cfg.scale_weight = 100.0;
+        let cfg = cfg.with_table_weight("date", 1.0).with_table_weight("part", 7.5);
+        assert_eq!(cfg.weight_for("lineorder"), 100.0);
+        assert_eq!(cfg.weight_for("date"), 1.0);
+        assert_eq!(cfg.weight_for("part"), 7.5);
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn labels_match_paper_naming() {
+        assert_eq!(ExecutionTarget::CpuOnly.label(), "Proteus CPUs");
+        assert_eq!(ExecutionTarget::Hybrid.label(), "Proteus Hybrid");
+    }
+}

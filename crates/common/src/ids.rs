@@ -1,0 +1,101 @@
+//! Strongly-typed identifiers used throughout the workspace.
+//!
+//! Keeping the identifiers as distinct newtypes (instead of bare `usize`s)
+//! prevents the classic bug family where a memory-node index is passed where a
+//! table index was expected — a mistake that is very easy to make in a system
+//! that juggles devices, memory nodes, pipelines and blocks at the same time.
+
+use std::fmt;
+
+macro_rules! id_type {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+        pub struct $name(pub usize);
+
+        impl $name {
+            /// Construct an identifier from its raw index.
+            pub const fn new(raw: usize) -> Self {
+                Self(raw)
+            }
+
+            /// The raw index wrapped by the identifier.
+            pub const fn index(self) -> usize {
+                self.0
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl From<usize> for $name {
+            fn from(raw: usize) -> Self {
+                Self(raw)
+            }
+        }
+    };
+}
+
+id_type!(
+    /// Identifier of a memory node: a CPU socket's DRAM or one GPU's device memory.
+    MemoryNodeId,
+    "mem"
+);
+id_type!(
+    /// Identifier of a table registered in the catalog.
+    TableId,
+    "table"
+);
+id_type!(
+    /// Identifier of a column within a table.
+    ColumnId,
+    "col"
+);
+id_type!(
+    /// Identifier of a data block leased from a block manager.
+    BlockId,
+    "block"
+);
+id_type!(
+    /// Identifier of a generated pipeline (the unit of JIT compilation).
+    PipelineId,
+    "pipeline"
+);
+id_type!(
+    /// Identifier of a query submitted to the engine.
+    QueryId,
+    "query"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn ids_round_trip_raw_index() {
+        let id = BlockId::new(42);
+        assert_eq!(id.index(), 42);
+        assert_eq!(BlockId::from(42), id);
+    }
+
+    #[test]
+    fn ids_display_with_prefix() {
+        assert_eq!(MemoryNodeId::new(3).to_string(), "mem3");
+        assert_eq!(PipelineId::new(9).to_string(), "pipeline9");
+        assert_eq!(QueryId::new(0).to_string(), "query0");
+    }
+
+    #[test]
+    fn ids_are_hashable_and_ordered() {
+        let mut set = HashSet::new();
+        set.insert(TableId::new(1));
+        set.insert(TableId::new(1));
+        set.insert(TableId::new(2));
+        assert_eq!(set.len(), 2);
+        assert!(ColumnId::new(1) < ColumnId::new(2));
+    }
+}

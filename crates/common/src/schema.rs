@@ -1,0 +1,188 @@
+//! Relational schemas.
+//!
+//! A [`Schema`] is an ordered list of named, typed [`Field`]s. Pipelines carry
+//! schemas for their intermediate tuples so that pack/unpack operators and the
+//! cost model know how wide a tuple is.
+
+use crate::error::{HetError, Result};
+use crate::types::DataType;
+use std::fmt;
+use std::sync::Arc;
+
+/// One column of a schema.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Field {
+    /// Column name, unique within the schema.
+    pub name: String,
+    /// Physical data type.
+    pub data_type: DataType,
+}
+
+impl Field {
+    /// Create a new field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Self { name: name.into(), data_type }
+    }
+}
+
+/// An ordered collection of fields describing a tuple layout.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+/// Shared, immutable schema reference as passed between pipelines.
+pub type SchemaRef = Arc<Schema>;
+
+impl Schema {
+    /// Create a schema from fields. Field names must be unique.
+    pub fn new(fields: Vec<Field>) -> Self {
+        debug_assert!(
+            {
+                let mut names: Vec<&str> = fields.iter().map(|f| f.name.as_str()).collect();
+                names.sort_unstable();
+                names.windows(2).all(|w| w[0] != w[1])
+            },
+            "duplicate field names in schema"
+        );
+        Self { fields }
+    }
+
+    /// Empty schema (used by leaf control pipelines that carry no tuples).
+    pub fn empty() -> Self {
+        Self { fields: Vec::new() }
+    }
+
+    /// The fields of the schema in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of columns.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the schema has no columns.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Position of a field by name.
+    pub fn index_of(&self, name: &str) -> Result<usize> {
+        self.fields
+            .iter()
+            .position(|f| f.name == name)
+            .ok_or_else(|| HetError::Schema(format!("unknown column `{name}`")))
+    }
+
+    /// Field by name.
+    pub fn field(&self, name: &str) -> Result<&Field> {
+        self.index_of(name).map(|i| &self.fields[i])
+    }
+
+    /// Field by position.
+    pub fn field_at(&self, idx: usize) -> Result<&Field> {
+        self.fields
+            .get(idx)
+            .ok_or_else(|| HetError::Schema(format!("column index {idx} out of range")))
+    }
+
+    /// Width of one tuple in bytes when fully materialized in a block.
+    pub fn tuple_width(&self) -> usize {
+        self.fields.iter().map(|f| f.data_type.byte_width()).sum()
+    }
+
+    /// Concatenate two schemas (used by joins). Duplicate names on the probe
+    /// side are suffixed with `_r`.
+    pub fn join(&self, right: &Schema) -> Schema {
+        let mut fields = self.fields.clone();
+        for f in &right.fields {
+            let name = if self.index_of(&f.name).is_ok() {
+                format!("{}_r", f.name)
+            } else {
+                f.name.clone()
+            };
+            fields.push(Field::new(name, f.data_type));
+        }
+        Schema::new(fields)
+    }
+
+    /// Project a subset of columns by name, preserving the requested order.
+    pub fn project(&self, names: &[&str]) -> Result<Schema> {
+        let mut fields = Vec::with_capacity(names.len());
+        for name in names {
+            fields.push(self.field(name)?.clone());
+        }
+        Ok(Schema::new(fields))
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Schema {
+        Schema::new(vec![
+            Field::new("lo_orderdate", DataType::Int32),
+            Field::new("lo_revenue", DataType::Int64),
+            Field::new("p_brand", DataType::Dictionary),
+        ])
+    }
+
+    #[test]
+    fn lookup_by_name_and_index() {
+        let s = schema();
+        assert_eq!(s.index_of("lo_revenue").unwrap(), 1);
+        assert_eq!(s.field("p_brand").unwrap().data_type, DataType::Dictionary);
+        assert!(s.index_of("nope").is_err());
+        assert!(s.field_at(5).is_err());
+    }
+
+    #[test]
+    fn tuple_width_sums_field_widths() {
+        assert_eq!(schema().tuple_width(), 4 + 8 + 4);
+        assert_eq!(Schema::empty().tuple_width(), 0);
+    }
+
+    #[test]
+    fn join_renames_duplicates() {
+        let left = schema();
+        let right = Schema::new(vec![
+            Field::new("d_datekey", DataType::Int32),
+            Field::new("lo_revenue", DataType::Int64),
+        ]);
+        let joined = left.join(&right);
+        assert_eq!(joined.len(), 5);
+        assert!(joined.index_of("lo_revenue_r").is_ok());
+    }
+
+    #[test]
+    fn project_preserves_order() {
+        let s = schema();
+        let p = s.project(&["p_brand", "lo_orderdate"]).unwrap();
+        assert_eq!(p.fields()[0].name, "p_brand");
+        assert_eq!(p.fields()[1].name, "lo_orderdate");
+        assert!(s.project(&["missing"]).is_err());
+    }
+
+    #[test]
+    fn display_lists_fields() {
+        let text = schema().to_string();
+        assert!(text.contains("lo_orderdate: INT32"));
+        assert!(text.contains("p_brand: DICT"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Device-crossing operators: cpu2gpu and gpu2cpu.
+//!
+//! §3.1: "Cpu2gpu copies the CPU context to the GPU and transfers control flow
+//! by launching a GPU kernel, while gpu2cpu transfers the GPU context to the
+//! CPU and starts a CPU task. … GPU programming frameworks do not support
+//! launching CPU tasks in the middle of the execution … HetExchange implements
+//! this functionality by breaking the gpu2cpu operator into two parts, one
+//! that runs on each device. These parts communicate using an asynchronous
+//! queue."
+//!
+//! In this reproduction the two operators also mark the *compilation-target
+//! switch*: the pipeline above a cpu2gpu is generated with the GPU provider
+//! and vice versa. The runtime structures below carry the queues and the
+//! per-crossing accounting (number of launches / tasks spawned) that the cost
+//! model charges as fixed overheads.
+
+use crate::queue::BlockQueue;
+use hetex_common::{BlockHandle, Result};
+use hetex_gpu_sim::GpuDevice;
+use hetex_topology::DeviceKind;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// The CPU → GPU crossing: the CPU side launches kernels on a specific GPU.
+#[derive(Debug, Clone)]
+pub struct Cpu2Gpu {
+    device: Arc<GpuDevice>,
+    launches: Arc<AtomicU64>,
+}
+
+impl Cpu2Gpu {
+    /// A crossing into `device`.
+    pub fn new(device: Arc<GpuDevice>) -> Self {
+        Self { device, launches: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// The GPU this crossing launches kernels on.
+    pub fn device(&self) -> &Arc<GpuDevice> {
+        &self.device
+    }
+
+    /// The compilation target on the far side of the crossing.
+    pub fn target_kind(&self) -> DeviceKind {
+        DeviceKind::Gpu
+    }
+
+    /// Record that a kernel consuming `handle` was launched; returns the
+    /// handle unchanged (the crossing is control flow only — mem-move already
+    /// made the data local).
+    pub fn forward(&self, handle: BlockHandle) -> BlockHandle {
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        handle
+    }
+
+    /// Number of kernel launches performed through this crossing.
+    pub fn launches(&self) -> u64 {
+        self.launches.load(Ordering::Relaxed)
+    }
+}
+
+/// The GPU → CPU crossing, split into a GPU-side producer half and a CPU-side
+/// consumer half around an asynchronous queue.
+#[derive(Debug, Clone)]
+pub struct Gpu2Cpu {
+    queue: BlockQueue,
+    tasks: Arc<AtomicU64>,
+}
+
+impl Gpu2Cpu {
+    /// A crossing fed by `producers` GPU-side pipeline instances.
+    pub fn new(producers: usize) -> Self {
+        Self { queue: BlockQueue::new(producers), tasks: Arc::new(AtomicU64::new(0)) }
+    }
+
+    /// The compilation target on the far side of the crossing.
+    pub fn target_kind(&self) -> DeviceKind {
+        DeviceKind::CpuCore
+    }
+
+    /// GPU-side half: enqueue a task (block handle) for the CPU side.
+    pub fn send_to_cpu(&self, handle: BlockHandle) -> Result<()> {
+        self.tasks.fetch_add(1, Ordering::Relaxed);
+        self.queue.push(handle)
+    }
+
+    /// GPU-side half: signal that one producer instance finished.
+    pub fn producer_done(&self) -> Result<()> {
+        self.queue.producer_done()
+    }
+
+    /// CPU-side half: receive the next task, or `None` when all producers are
+    /// done and the queue is drained.
+    pub fn receive_on_cpu(&self) -> Option<BlockHandle> {
+        self.queue.pop()
+    }
+
+    /// CPU-side half: drain every pending task.
+    pub fn drain_on_cpu(&self) -> Vec<BlockHandle> {
+        self.queue.drain()
+    }
+
+    /// Number of tasks sent from the GPU side so far.
+    pub fn tasks_sent(&self) -> u64 {
+        self.tasks.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetex_common::{Block, BlockId, BlockMeta, ColumnData, MemoryNodeId};
+    use hetex_gpu_sim::device::standalone_gpu;
+    use std::thread;
+
+    fn handle(id: usize) -> BlockHandle {
+        let block = Block::new(vec![ColumnData::Int64(vec![id as i64])], 1).unwrap();
+        BlockHandle::new(block, BlockMeta::new(BlockId::new(id), MemoryNodeId::new(0)))
+    }
+
+    #[test]
+    fn cpu2gpu_counts_launches_and_preserves_handles() {
+        let crossing = Cpu2Gpu::new(Arc::new(standalone_gpu()));
+        assert_eq!(crossing.target_kind(), DeviceKind::Gpu);
+        let h = crossing.forward(handle(3));
+        assert_eq!(h.meta().id, BlockId::new(3));
+        crossing.forward(handle(4));
+        assert_eq!(crossing.launches(), 2);
+        assert_eq!(crossing.device().memory().capacity(), 8 * (1 << 30));
+    }
+
+    #[test]
+    fn gpu2cpu_is_an_async_queue_between_the_two_halves() {
+        let crossing = Gpu2Cpu::new(1);
+        assert_eq!(crossing.target_kind(), DeviceKind::CpuCore);
+        crossing.send_to_cpu(handle(1)).unwrap();
+        crossing.send_to_cpu(handle(2)).unwrap();
+        crossing.producer_done().unwrap();
+        let received = crossing.drain_on_cpu();
+        assert_eq!(received.len(), 2);
+        assert_eq!(crossing.tasks_sent(), 2);
+    }
+
+    #[test]
+    fn gpu2cpu_supports_concurrent_gpu_producers() {
+        let crossing = Gpu2Cpu::new(2);
+        let producers: Vec<_> = (0..2)
+            .map(|p| {
+                let crossing = crossing.clone();
+                thread::spawn(move || {
+                    for i in 0..50 {
+                        crossing.send_to_cpu(handle(p * 100 + i)).unwrap();
+                    }
+                    crossing.producer_done().unwrap();
+                })
+            })
+            .collect();
+        let consumer = {
+            let crossing = crossing.clone();
+            thread::spawn(move || {
+                let mut count = 0;
+                while crossing.receive_on_cpu().is_some() {
+                    count += 1;
+                }
+                count
+            })
+        };
+        for p in producers {
+            p.join().unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), 100);
+    }
+}

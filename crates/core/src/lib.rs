@@ -1,0 +1,44 @@
+//! # hetex-core
+//!
+//! The paper's primary contribution: the **HetExchange** operator family and
+//! the machinery around it.
+//!
+//! * [`plan`] — the device-agnostic physical plan ([`plan::RelNode`]) and the
+//!   heterogeneity-aware plan ([`plan::HetNode`]) it is rewritten into, with
+//!   the four HetExchange operators as explicit plan nodes.
+//! * [`traits`] — the four physical traits of §3.3 (target device, degree of
+//!   parallelism, data locality, packing) and their derivation over a plan;
+//!   each HetExchange operator is a *converter* that changes exactly one trait.
+//! * [`parallelizer`] — the plan rewriter that inserts routers, device
+//!   crossings, mem-moves and pack/unpack operators into a sequential plan,
+//!   reproducing the step-by-step construction of Figure 1 for CPU-only,
+//!   GPU-only and hybrid configurations.
+//! * [`router`] — the control-flow router: policies (round-robin,
+//!   least-loaded, hash, union, broadcast-target), degree-of-parallelism
+//!   control and affinity assignment. Routes block *handles*, never data.
+//! * [`device_crossing`] — cpu2gpu and gpu2cpu, including gpu2cpu's two-part
+//!   implementation around an asynchronous queue.
+//! * [`mem_move`] — the data-flow operator that schedules asynchronous DMA
+//!   transfers (and broadcasts) so consumers only ever see local data.
+//! * [`pack`] — pack/unpack/hash-pack utilities that convert between
+//!   block-at-a-time movement and tuple-at-a-time execution.
+//! * [`queue`] — the asynchronous block-handle queues used by routers and by
+//!   gpu2cpu.
+
+pub mod device_crossing;
+pub mod mem_move;
+pub mod pack;
+pub mod parallelizer;
+pub mod plan;
+pub mod queue;
+pub mod router;
+pub mod traits;
+
+pub use device_crossing::{Cpu2Gpu, Gpu2Cpu};
+pub use mem_move::MemMove;
+pub use pack::{Packer, Unpacker};
+pub use parallelizer::parallelize;
+pub use plan::{DeviceTarget, HetNode, RelNode, RouterPolicy};
+pub use queue::BlockQueue;
+pub use router::Router;
+pub use traits::PlanTraits;

@@ -1,0 +1,185 @@
+//! The mem-move operator: data-flow between memory nodes.
+//!
+//! §3.2: mem-move "is responsible for moving data between node-local memory of
+//! producers and consumers … In case the data are already local to the
+//! consumer, it only forwards the block handle, without doing any data
+//! transfers." Its producer half schedules asynchronous DMA transfers and
+//! returns immediately; its consumer half waits for the transfer to finish.
+//! In this reproduction the asynchrony is expressed on the simulated timeline:
+//! the relocated handle carries the transfer's completion time in
+//! `ready_at_ns`, and whichever worker consumes it cannot start earlier — the
+//! same "wait for the transfer you were told about" contract as the paper's
+//! generated pipelines 10/11 (Listing 1).
+//!
+//! Mem-move also owns broadcasting (multicast): one copy of the block is
+//! produced per target, each tagged with its broadcast target id so that a
+//! `Target` router can fan the copies out without understanding broadcasts.
+
+use hetex_common::{BlockHandle, MemoryNodeId, Result};
+use hetex_topology::{DmaEngine, SimTime};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Counters describing a mem-move's activity over a query.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct MemMoveStats {
+    /// Handles forwarded without a transfer (data already local).
+    pub forwarded: u64,
+    /// Handles whose data was moved by DMA.
+    pub transferred: u64,
+    /// Broadcast copies produced.
+    pub broadcast_copies: u64,
+}
+
+/// The runtime mem-move operator.
+#[derive(Debug)]
+pub struct MemMove {
+    dma: DmaEngine,
+    forwarded: AtomicU64,
+    transferred: AtomicU64,
+    broadcast_copies: AtomicU64,
+}
+
+impl MemMove {
+    /// A mem-move scheduling transfers on the given DMA engine.
+    pub fn new(dma: DmaEngine) -> Self {
+        Self {
+            dma,
+            forwarded: AtomicU64::new(0),
+            transferred: AtomicU64::new(0),
+            broadcast_copies: AtomicU64::new(0),
+        }
+    }
+
+    /// The DMA engine used by this operator.
+    pub fn dma(&self) -> &DmaEngine {
+        &self.dma
+    }
+
+    /// Make `handle`'s data available on `target`.
+    ///
+    /// If the block already lives there, the handle is forwarded untouched
+    /// (apart from its location being confirmed). Otherwise an asynchronous
+    /// DMA transfer is scheduled, and the returned handle's `ready_at_ns` is
+    /// the transfer's completion time.
+    pub fn relocate(&self, handle: &BlockHandle, target: MemoryNodeId) -> Result<BlockHandle> {
+        let meta = handle.meta();
+        if meta.location == target {
+            self.forwarded.fetch_add(1, Ordering::Relaxed);
+            return Ok(handle.clone());
+        }
+        let ticket = self.dma.schedule(
+            handle.weighted_bytes(),
+            meta.location,
+            target,
+            SimTime::from_nanos(meta.ready_at_ns),
+        )?;
+        self.transferred.fetch_add(1, Ordering::Relaxed);
+        Ok(handle.relocated(target, ticket.completes_at.as_nanos()))
+    }
+
+    /// Broadcast `handle` to every node in `targets`, producing one tagged
+    /// copy per target (tag = index into `targets`). Targets that already hold
+    /// the data get a forwarded handle with no transfer.
+    pub fn broadcast(
+        &self,
+        handle: &BlockHandle,
+        targets: &[MemoryNodeId],
+    ) -> Result<Vec<BlockHandle>> {
+        let mut out = Vec::with_capacity(targets.len());
+        for (idx, &target) in targets.iter().enumerate() {
+            let mut copy = self.relocate(handle, target)?;
+            copy.meta_mut().broadcast_target = Some(idx);
+            self.broadcast_copies.fetch_add(1, Ordering::Relaxed);
+            out.push(copy);
+        }
+        Ok(out)
+    }
+
+    /// Activity counters.
+    pub fn stats(&self) -> MemMoveStats {
+        MemMoveStats {
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            transferred: self.transferred.load(Ordering::Relaxed),
+            broadcast_copies: self.broadcast_copies.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetex_common::{Block, BlockId, BlockMeta, ColumnData};
+    use hetex_topology::ServerTopology;
+    use std::sync::Arc;
+
+    fn mem_move() -> MemMove {
+        MemMove::new(DmaEngine::new(ServerTopology::paper_server()))
+    }
+
+    fn handle_on(node: usize, rows: usize) -> BlockHandle {
+        let block = Block::new(vec![ColumnData::Int64(vec![7; rows])], rows).unwrap();
+        BlockHandle::new(block, BlockMeta::new(BlockId::new(0), MemoryNodeId::new(node)))
+    }
+
+    #[test]
+    fn local_blocks_are_forwarded_without_transfer() {
+        let mm = mem_move();
+        let h = handle_on(0, 100);
+        let out = mm.relocate(&h, MemoryNodeId::new(0)).unwrap();
+        assert_eq!(out.meta().location, MemoryNodeId::new(0));
+        assert_eq!(out.meta().ready_at_ns, 0);
+        assert_eq!(mm.stats().forwarded, 1);
+        assert_eq!(mm.stats().transferred, 0);
+        assert_eq!(mm.dma().stats().transfers, 0);
+    }
+
+    #[test]
+    fn remote_blocks_get_a_completion_time() {
+        let mm = mem_move();
+        let h = handle_on(0, 1 << 20); // 8 MiB of i64s
+        let out = mm.relocate(&h, MemoryNodeId::new(2)).unwrap();
+        assert_eq!(out.meta().location, MemoryNodeId::new(2));
+        assert!(out.meta().ready_at_ns > 0, "DMA must take simulated time");
+        assert_eq!(mm.stats().transferred, 1);
+        // Underlying data is shared, not copied.
+        assert!(Arc::ptr_eq(&h.shared(), &out.shared()));
+    }
+
+    #[test]
+    fn transfers_respect_input_readiness() {
+        let mm = mem_move();
+        let mut h = handle_on(0, 1000);
+        h.meta_mut().ready_at_ns = 5_000_000;
+        let out = mm.relocate(&h, MemoryNodeId::new(2)).unwrap();
+        assert!(out.meta().ready_at_ns > 5_000_000);
+    }
+
+    #[test]
+    fn weighted_blocks_take_proportionally_longer() {
+        let mm = mem_move();
+        let light = mm.relocate(&handle_on(0, 100_000), MemoryNodeId::new(2)).unwrap();
+        mm.dma().topology().reset_clocks();
+        let mut heavy_handle = handle_on(0, 100_000);
+        heavy_handle.meta_mut().weight = 10.0;
+        let heavy = mm.relocate(&heavy_handle, MemoryNodeId::new(2)).unwrap();
+        assert!(heavy.meta().ready_at_ns > 5 * light.meta().ready_at_ns);
+    }
+
+    #[test]
+    fn broadcast_tags_each_copy_with_its_target() {
+        let mm = mem_move();
+        let h = handle_on(0, 1000);
+        let targets = [MemoryNodeId::new(2), MemoryNodeId::new(3), MemoryNodeId::new(0)];
+        let copies = mm.broadcast(&h, &targets).unwrap();
+        assert_eq!(copies.len(), 3);
+        for (i, copy) in copies.iter().enumerate() {
+            assert_eq!(copy.meta().broadcast_target, Some(i));
+            assert_eq!(copy.meta().location, targets[i]);
+        }
+        // The copy staying on the source node needed no transfer.
+        assert_eq!(copies[2].meta().ready_at_ns, 0);
+        assert_eq!(mm.stats().broadcast_copies, 3);
+        assert_eq!(mm.stats().transferred, 2);
+        assert_eq!(mm.stats().forwarded, 1);
+    }
+}

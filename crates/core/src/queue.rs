@@ -1,0 +1,189 @@
+//! Asynchronous block-handle queues.
+//!
+//! Routers and the gpu2cpu operator connect producer and consumer pipeline
+//! instances through asynchronous queues of block *handles* (§3.1). The queue
+//! is unbounded (the paper's staging memory is pre-allocated by the block
+//! managers; back-pressure is handled there, not in the queue), supports many
+//! producers, and terminates the consumer cleanly once every registered
+//! producer has finished.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use hetex_common::{BlockHandle, HetError, Result};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+
+enum Message {
+    Block(BlockHandle),
+    ProducerDone,
+}
+
+/// A multi-producer, single-consumer queue of block handles.
+#[derive(Clone)]
+pub struct BlockQueue {
+    sender: Sender<Message>,
+    receiver: Receiver<Message>,
+    producers: Arc<AtomicUsize>,
+    finished: Arc<AtomicUsize>,
+}
+
+impl std::fmt::Debug for BlockQueue {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockQueue")
+            .field("producers", &self.producers.load(Ordering::Relaxed))
+            .field("finished", &self.finished.load(Ordering::Relaxed))
+            .field("pending", &self.receiver.len())
+            .finish()
+    }
+}
+
+impl BlockQueue {
+    /// A queue expecting `producers` producers.
+    pub fn new(producers: usize) -> Self {
+        let (sender, receiver) = unbounded();
+        Self {
+            sender,
+            receiver,
+            producers: Arc::new(AtomicUsize::new(producers)),
+            finished: Arc::new(AtomicUsize::new(0)),
+        }
+    }
+
+    /// Register one more producer (used when a router instantiates additional
+    /// pipeline instances after the queue was created).
+    pub fn add_producer(&self) {
+        self.producers.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Push a block handle into the queue.
+    pub fn push(&self, handle: BlockHandle) -> Result<()> {
+        self.sender
+            .send(Message::Block(handle))
+            .map_err(|_| HetError::Cancelled("block queue closed".into()))
+    }
+
+    /// Signal that one producer has no more blocks to push.
+    pub fn producer_done(&self) -> Result<()> {
+        self.sender
+            .send(Message::ProducerDone)
+            .map_err(|_| HetError::Cancelled("block queue closed".into()))
+    }
+
+    /// Pop the next block handle, or `None` once every producer finished and
+    /// the queue drained.
+    pub fn pop(&self) -> Option<BlockHandle> {
+        loop {
+            if self.finished.load(Ordering::SeqCst) >= self.producers.load(Ordering::SeqCst)
+                && self.receiver.is_empty()
+            {
+                return None;
+            }
+            match self.receiver.recv() {
+                Ok(Message::Block(handle)) => return Some(handle),
+                Ok(Message::ProducerDone) => {
+                    self.finished.fetch_add(1, Ordering::SeqCst);
+                }
+                Err(_) => return None,
+            }
+        }
+    }
+
+    /// Drain everything currently reachable into a vector (used by the
+    /// stage-at-a-time executor, which runs producers to completion before
+    /// consumers start pulling).
+    pub fn drain(&self) -> Vec<BlockHandle> {
+        let mut out = Vec::new();
+        while let Some(handle) = self.pop() {
+            out.push(handle);
+        }
+        out
+    }
+
+    /// Number of messages currently buffered (blocks plus completion markers).
+    pub fn len(&self) -> usize {
+        self.receiver.len()
+    }
+
+    /// True if no messages are buffered.
+    pub fn is_empty(&self) -> bool {
+        self.receiver.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetex_common::{Block, BlockId, BlockMeta, ColumnData, MemoryNodeId};
+    use std::thread;
+
+    fn handle(id: usize) -> BlockHandle {
+        let block = Block::new(vec![ColumnData::Int64(vec![id as i64])], 1).unwrap();
+        BlockHandle::new(block, BlockMeta::new(BlockId::new(id), MemoryNodeId::new(0)))
+    }
+
+    #[test]
+    fn push_pop_round_trip() {
+        let q = BlockQueue::new(1);
+        q.push(handle(1)).unwrap();
+        q.push(handle(2)).unwrap();
+        q.producer_done().unwrap();
+        assert_eq!(q.pop().unwrap().meta().id, BlockId::new(1));
+        assert_eq!(q.pop().unwrap().meta().id, BlockId::new(2));
+        assert!(q.pop().is_none());
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn consumer_terminates_after_all_producers_finish() {
+        let q = BlockQueue::new(2);
+        q.push(handle(1)).unwrap();
+        q.producer_done().unwrap();
+        // Only one of two producers is done: a block is still delivered.
+        assert!(q.pop().is_some());
+        q.producer_done().unwrap();
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn multiple_producer_threads_deliver_everything() {
+        let q = BlockQueue::new(4);
+        let mut handles = Vec::new();
+        for t in 0..4 {
+            let q = q.clone();
+            handles.push(thread::spawn(move || {
+                for i in 0..100 {
+                    q.push(handle(t * 1000 + i)).unwrap();
+                }
+                q.producer_done().unwrap();
+            }));
+        }
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || q.drain().len())
+        };
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(consumer.join().unwrap(), 400);
+    }
+
+    #[test]
+    fn drain_collects_all_pending_blocks() {
+        let q = BlockQueue::new(1);
+        for i in 0..10 {
+            q.push(handle(i)).unwrap();
+        }
+        q.producer_done().unwrap();
+        assert_eq!(q.drain().len(), 10);
+        assert_eq!(q.len(), 0);
+    }
+
+    #[test]
+    fn add_producer_extends_termination_condition() {
+        let q = BlockQueue::new(0);
+        q.add_producer();
+        q.push(handle(1)).unwrap();
+        q.producer_done().unwrap();
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+}

@@ -1,0 +1,289 @@
+//! The router operator: parallelism encapsulation on the control plane.
+//!
+//! §3.1: the router "only operates on the control plane. A task refers to the
+//! target input data via a block handle. The router transfers the block handle
+//! from the producer to the consumer but not the actual data." It decides the
+//! degree of parallelism, instantiates its consumers, pins them to devices
+//! (affinity), and routes handles according to a pluggable policy. Policies
+//! never look at tuples: hash routing uses the hash tag the hash-pack operator
+//! stamped on the handle, and broadcast routing uses the target tag stamped by
+//! a multicasting mem-move.
+
+use crate::plan::{DeviceTarget, RouterPolicy};
+use hetex_common::{BlockMeta, HetError, Result};
+use hetex_topology::{Affinity, DeviceId, DeviceKind, ServerTopology};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// One consumer instance the router fans out to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ConsumerSlot {
+    /// Device type of the instance.
+    pub kind: DeviceKind,
+    /// CPU-core / GPU affinity pair assigned by the router (§4.2).
+    pub affinity: Affinity,
+}
+
+/// The runtime router.
+#[derive(Debug)]
+pub struct Router {
+    policy: RouterPolicy,
+    consumers: Vec<ConsumerSlot>,
+    cursor: AtomicUsize,
+}
+
+impl Router {
+    /// A router with the given policy and consumer instances.
+    pub fn new(policy: RouterPolicy, consumers: Vec<ConsumerSlot>) -> Result<Self> {
+        if consumers.is_empty() {
+            return Err(HetError::Plan("router needs at least one consumer".into()));
+        }
+        if policy == RouterPolicy::Union && consumers.len() != 1 {
+            return Err(HetError::Plan(
+                "a union router merges producers into exactly one consumer".into(),
+            ));
+        }
+        Ok(Self { policy, consumers, cursor: AtomicUsize::new(0) })
+    }
+
+    /// Instantiate consumer slots for the given targets on a topology,
+    /// pinning CPU instances to interleaved cores and GPU instances to GPUs —
+    /// the affinity assignment of §4.2. Every slot gets *both* a CPU and a GPU
+    /// affinity (inherited by the pipelines it instantiates); only the one
+    /// matching the slot's device kind is used by the slot itself.
+    pub fn plan_consumers(
+        targets: &[DeviceTarget],
+        topology: &ServerTopology,
+    ) -> Result<Vec<ConsumerSlot>> {
+        let cores = topology.cpu_cores_interleaved();
+        let gpus = topology.gpus();
+        let mut slots = Vec::new();
+        for target in targets {
+            match target.kind {
+                DeviceKind::CpuCore => {
+                    if target.dop > cores.len() {
+                        return Err(HetError::Config(format!(
+                            "requested {} CPU instances, topology has {} cores",
+                            target.dop,
+                            cores.len()
+                        )));
+                    }
+                    for i in 0..target.dop {
+                        let core = cores[i % cores.len()];
+                        let gpu = gpus.get(i % gpus.len().max(1)).copied();
+                        slots.push(ConsumerSlot {
+                            kind: DeviceKind::CpuCore,
+                            affinity: Affinity::new(Some(core), gpu),
+                        });
+                    }
+                }
+                DeviceKind::Gpu => {
+                    if target.dop > gpus.len() {
+                        return Err(HetError::Config(format!(
+                            "requested {} GPU instances, topology has {} GPUs",
+                            target.dop,
+                            gpus.len()
+                        )));
+                    }
+                    for i in 0..target.dop {
+                        let gpu = gpus[i % gpus.len()];
+                        // The CPU half of the affinity hosts the instance's
+                        // CPU-side work (kernel launches, transfers).
+                        let core = cores.get(i % cores.len().max(1)).copied();
+                        slots.push(ConsumerSlot {
+                            kind: DeviceKind::Gpu,
+                            affinity: Affinity::new(core, Some(gpu)),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(slots)
+    }
+
+    /// The routing policy.
+    pub fn policy(&self) -> RouterPolicy {
+        self.policy
+    }
+
+    /// The consumer instances.
+    pub fn consumers(&self) -> &[ConsumerSlot] {
+        &self.consumers
+    }
+
+    /// Degree of parallelism this router establishes.
+    pub fn dop(&self) -> usize {
+        self.consumers.len()
+    }
+
+    /// Route one block handle (by its metadata) to a consumer index.
+    ///
+    /// `loads` is the current load of each consumer (e.g. its simulated clock
+    /// in nanoseconds); it is only consulted by the least-loaded policy and
+    /// may be empty for the others.
+    pub fn route(&self, meta: &BlockMeta, loads: &[u64]) -> Result<usize> {
+        let n = self.consumers.len();
+        match self.policy {
+            RouterPolicy::Union => Ok(0),
+            RouterPolicy::RoundRobin => Ok(self.cursor.fetch_add(1, Ordering::Relaxed) % n),
+            RouterPolicy::LeastLoaded => {
+                if loads.len() == n {
+                    let best = loads
+                        .iter()
+                        .enumerate()
+                        .min_by_key(|(_, l)| **l)
+                        .map(|(i, _)| i)
+                        .unwrap_or(0);
+                    Ok(best)
+                } else {
+                    // Without load information fall back to round-robin.
+                    Ok(self.cursor.fetch_add(1, Ordering::Relaxed) % n)
+                }
+            }
+            RouterPolicy::Hash => {
+                let tag = meta.hash_partition.ok_or_else(|| {
+                    HetError::Plan(
+                        "hash routing requires hash-pack to tag blocks with a partition".into(),
+                    )
+                })?;
+                Ok((tag % n as u64) as usize)
+            }
+            RouterPolicy::Target => {
+                let target = meta.broadcast_target.ok_or_else(|| {
+                    HetError::Plan(
+                        "target routing requires mem-move to tag blocks with a broadcast target"
+                            .into(),
+                    )
+                })?;
+                if target >= n {
+                    return Err(HetError::Plan(format!(
+                        "broadcast target {target} out of range for {n} consumers"
+                    )));
+                }
+                Ok(target)
+            }
+        }
+    }
+
+    /// Devices (by id) that the consumers of this router execute on, in slot
+    /// order — the executor uses this to create one worker per slot.
+    pub fn consumer_devices(&self) -> Vec<Option<DeviceId>> {
+        self.consumers
+            .iter()
+            .map(|slot| slot.affinity.for_kind(slot.kind))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetex_common::{BlockId, MemoryNodeId};
+
+    fn meta() -> BlockMeta {
+        BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0))
+    }
+
+    fn slots(n: usize) -> Vec<ConsumerSlot> {
+        (0..n)
+            .map(|i| ConsumerSlot {
+                kind: DeviceKind::CpuCore,
+                affinity: Affinity::cpu(DeviceId::new(i)),
+            })
+            .collect()
+    }
+
+    #[test]
+    fn round_robin_cycles_through_consumers() {
+        let router = Router::new(RouterPolicy::RoundRobin, slots(3)).unwrap();
+        let picks: Vec<usize> = (0..6).map(|_| router.route(&meta(), &[]).unwrap()).collect();
+        assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
+        assert_eq!(router.dop(), 3);
+    }
+
+    #[test]
+    fn least_loaded_picks_the_idle_consumer() {
+        let router = Router::new(RouterPolicy::LeastLoaded, slots(3)).unwrap();
+        assert_eq!(router.route(&meta(), &[500, 100, 900]).unwrap(), 1);
+        assert_eq!(router.route(&meta(), &[100, 100, 50]).unwrap(), 2);
+        // Missing load information degrades to round-robin rather than failing.
+        let a = router.route(&meta(), &[]).unwrap();
+        let b = router.route(&meta(), &[]).unwrap();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn hash_routing_uses_the_handle_tag_only() {
+        let router = Router::new(RouterPolicy::Hash, slots(4)).unwrap();
+        let mut m = meta();
+        m.hash_partition = Some(11);
+        assert_eq!(router.route(&m, &[]).unwrap(), 11 % 4);
+        // Untagged blocks are a planning bug.
+        assert!(router.route(&meta(), &[]).is_err());
+    }
+
+    #[test]
+    fn target_routing_follows_broadcast_tags() {
+        let router = Router::new(RouterPolicy::Target, slots(2)).unwrap();
+        let mut m = meta();
+        m.broadcast_target = Some(1);
+        assert_eq!(router.route(&m, &[]).unwrap(), 1);
+        m.broadcast_target = Some(5);
+        assert!(router.route(&m, &[]).is_err());
+        assert!(router.route(&meta(), &[]).is_err());
+    }
+
+    #[test]
+    fn union_router_requires_single_consumer() {
+        assert!(Router::new(RouterPolicy::Union, slots(2)).is_err());
+        let router = Router::new(RouterPolicy::Union, slots(1)).unwrap();
+        assert_eq!(router.route(&meta(), &[]).unwrap(), 0);
+        assert!(Router::new(RouterPolicy::RoundRobin, Vec::new()).is_err());
+    }
+
+    #[test]
+    fn plan_consumers_assigns_both_affinities() {
+        let topology = ServerTopology::paper_server();
+        let slots = Router::plan_consumers(
+            &[DeviceTarget::cpu(4), DeviceTarget::gpu(2)],
+            &topology,
+        )
+        .unwrap();
+        assert_eq!(slots.len(), 6);
+        let cpu_slots: Vec<_> = slots.iter().filter(|s| s.kind == DeviceKind::CpuCore).collect();
+        let gpu_slots: Vec<_> = slots.iter().filter(|s| s.kind == DeviceKind::Gpu).collect();
+        assert_eq!(cpu_slots.len(), 4);
+        assert_eq!(gpu_slots.len(), 2);
+        // Every slot carries both affinities (§4.2) …
+        assert!(slots.iter().all(|s| s.affinity.cpu_core.is_some()));
+        assert!(slots.iter().all(|s| s.affinity.gpu.is_some()));
+        // … and GPU slots are pinned to distinct GPUs.
+        assert_ne!(gpu_slots[0].affinity.gpu, gpu_slots[1].affinity.gpu);
+        // CPU instances are interleaved across sockets.
+        let c0 = cpu_slots[0].affinity.cpu_core.unwrap();
+        let c1 = cpu_slots[1].affinity.cpu_core.unwrap();
+        assert_ne!(
+            topology.device(c0).unwrap().socket,
+            topology.device(c1).unwrap().socket
+        );
+    }
+
+    #[test]
+    fn plan_consumers_rejects_oversubscription() {
+        let topology = ServerTopology::paper_server();
+        assert!(Router::plan_consumers(&[DeviceTarget::gpu(3)], &topology).is_err());
+        assert!(Router::plan_consumers(&[DeviceTarget::cpu(25)], &topology).is_err());
+    }
+
+    #[test]
+    fn consumer_devices_match_slot_kinds() {
+        let topology = ServerTopology::paper_server();
+        let slots =
+            Router::plan_consumers(&[DeviceTarget::cpu(2), DeviceTarget::gpu(1)], &topology).unwrap();
+        let router = Router::new(RouterPolicy::LeastLoaded, slots).unwrap();
+        let devices = router.consumer_devices();
+        assert_eq!(devices.len(), 3);
+        assert!(devices.iter().all(Option::is_some));
+        let gpu_dev = devices[2].unwrap();
+        assert!(topology.device(gpu_dev).unwrap().is_gpu());
+    }
+}

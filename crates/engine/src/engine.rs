@@ -1,0 +1,254 @@
+//! The Proteus-like engine session.
+//!
+//! [`Proteus`] owns the server topology, the catalog of loaded tables, the
+//! memory subsystems (block managers and memory managers of §4.3) and an
+//! executor. Submitting a query follows the lifetime of Figure 2: a
+//! sequential physical plan is parallelized by HetExchange, compiled into
+//! pipelines, and executed; the caller gets back the result rows, the
+//! simulated execution time, and execution statistics.
+
+use crate::codegen::compile;
+use crate::executor::{DeviceKindStats, Executor};
+use hetex_common::{EngineConfig, Result};
+use hetex_core::{parallelize, HetNode, RelNode};
+use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
+use hetex_topology::{DeviceKind, ServerTopology, SimTime};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Execution statistics of one query.
+#[derive(Debug, Clone, Default)]
+pub struct QueryStats {
+    /// Blocks processed and busy time per device kind.
+    pub per_kind: HashMap<DeviceKind, DeviceKindStats>,
+    /// Bytes moved over interconnects (weighted by scale extrapolation).
+    pub bytes_transferred: f64,
+    /// Number of pipeline stages executed.
+    pub stages: usize,
+    /// Wall-clock time of the functional execution.
+    pub wall_time: std::time::Duration,
+}
+
+/// The outcome of a query: exact rows plus modeled execution time.
+#[derive(Debug, Clone)]
+pub struct QueryOutcome {
+    /// Result rows (group keys followed by aggregate values; a single row for
+    /// ungrouped aggregations).
+    pub rows: Vec<Vec<i64>>,
+    /// Simulated end-to-end execution time on the modeled server.
+    pub sim_time: SimTime,
+    /// Statistics gathered during execution.
+    pub stats: QueryStats,
+}
+
+impl QueryOutcome {
+    /// Simulated execution time in seconds (the unit of Figures 4 and 5).
+    pub fn seconds(&self) -> f64 {
+        self.sim_time.as_secs_f64()
+    }
+
+    /// Modeled throughput in GB/s given the working-set size in bytes —
+    /// the metric §6.2 and §6.4 quote.
+    pub fn throughput_gbps(&self, working_set_bytes: f64) -> f64 {
+        if self.sim_time == SimTime::ZERO {
+            return 0.0;
+        }
+        working_set_bytes / self.sim_time.as_secs_f64() / 1e9
+    }
+}
+
+/// A Proteus-like engine instance bound to one (simulated) server.
+pub struct Proteus {
+    topology: Arc<ServerTopology>,
+    catalog: Catalog,
+    executor: Executor,
+    block_managers: BlockManagerSet,
+    memory_managers: MemoryManagerSet,
+}
+
+impl Proteus {
+    /// An engine on the paper's two-socket, two-GPU server.
+    pub fn on_paper_server() -> Self {
+        Self::new(ServerTopology::paper_server())
+    }
+
+    /// An engine on an arbitrary topology.
+    pub fn new(topology: Arc<ServerTopology>) -> Self {
+        let nodes: Vec<_> = topology.memory_nodes().iter().map(|m| m.id).collect();
+        let capacities: Vec<_> = topology
+            .memory_nodes()
+            .iter()
+            .map(|m| (m.id, m.capacity))
+            .collect();
+        let executor = Executor::new(Arc::clone(&topology));
+        Self {
+            topology,
+            catalog: Catalog::new(),
+            executor,
+            block_managers: BlockManagerSet::new(&nodes, 4096),
+            memory_managers: MemoryManagerSet::new(&capacities),
+        }
+    }
+
+    /// The server topology.
+    pub fn topology(&self) -> &Arc<ServerTopology> {
+        &self.topology
+    }
+
+    /// The table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// The per-node block managers (staging memory).
+    pub fn block_managers(&self) -> &BlockManagerSet {
+        &self.block_managers
+    }
+
+    /// The per-node memory managers (state memory).
+    pub fn memory_managers(&self) -> &MemoryManagerSet {
+        &self.memory_managers
+    }
+
+    /// Register a loaded table.
+    pub fn register_table(&self, table: StoredTable) {
+        self.catalog.register(table);
+    }
+
+    /// The heterogeneity-aware plan a query would execute with, rendered as
+    /// text (the EXPLAIN of Figure 1e / 2b).
+    pub fn explain(&self, plan: &RelNode, config: &EngineConfig) -> Result<String> {
+        Ok(self.parallel_plan(plan, config)?.explain())
+    }
+
+    /// The heterogeneity-aware plan itself.
+    pub fn parallel_plan(&self, plan: &RelNode, config: &EngineConfig) -> Result<HetNode> {
+        parallelize(plan, config)
+    }
+
+    /// Execute a sequential physical plan under the given configuration.
+    pub fn execute(&self, plan: &RelNode, config: &EngineConfig) -> Result<QueryOutcome> {
+        config.validate()?;
+        let het = parallelize(plan, config)?;
+        hetex_core::traits::check_relational_requirements(&het)?;
+        let graph = compile(&het, config, &self.topology)?;
+        let result = self.executor.execute(&graph, &self.catalog, config)?;
+        Ok(QueryOutcome {
+            rows: result.rows,
+            sim_time: result.sim_time,
+            stats: QueryStats {
+                per_kind: result.per_kind,
+                bytes_transferred: result.bytes_transferred,
+                stages: graph.stages.len(),
+                wall_time: result.wall_time,
+            },
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetex_common::{ColumnData, DataType};
+    use hetex_jit::{AggSpec, Expr};
+    use hetex_storage::TableBuilder;
+
+    fn engine_with_table(rows: usize) -> Proteus {
+        let engine = Proteus::on_paper_server();
+        let nodes = engine.topology().cpu_memory_nodes();
+        let table = TableBuilder::new("t")
+            .column(
+                "a",
+                DataType::Int32,
+                ColumnData::Int32((0..rows as i32).map(|i| i % 1000).collect()),
+            )
+            .column(
+                "b",
+                DataType::Int64,
+                ColumnData::Int64((0..rows as i64).map(|i| i * 2).collect()),
+            )
+            .build(&nodes, 8192)
+            .unwrap();
+        engine.register_table(table);
+        engine
+    }
+
+    fn sum_where_plan() -> RelNode {
+        // SELECT SUM(b) FROM t WHERE a > 42 — the paper's running example.
+        RelNode::scan("t", &["a", "b"])
+            .filter(Expr::col(0).gt_lit(42))
+            .reduce(vec![AggSpec::sum(Expr::col(1))], &["sum_b"])
+    }
+
+    fn expected_sum(rows: usize) -> i64 {
+        (0..rows as i64).filter(|i| i % 1000 > 42).map(|i| i * 2).sum()
+    }
+
+    #[test]
+    fn running_example_on_all_targets() {
+        let engine = engine_with_table(100_000);
+        let expected = expected_sum(100_000);
+        for config in [
+            EngineConfig::cpu_only(4),
+            EngineConfig::gpu_only(2),
+            EngineConfig::hybrid(8, 2),
+        ] {
+            let outcome = engine.execute(&sum_where_plan(), &config).unwrap();
+            assert_eq!(outcome.rows, vec![vec![expected]], "target {:?}", config.target);
+            assert!(outcome.sim_time > SimTime::ZERO);
+            assert!(outcome.seconds() > 0.0);
+            assert!(outcome.stats.stages >= 1);
+        }
+    }
+
+    #[test]
+    fn group_by_returns_sorted_groups() {
+        let engine = engine_with_table(10_000);
+        let plan = RelNode::scan("t", &["a", "b"]).group_by(
+            &[0],
+            vec![AggSpec::count()],
+            &["a", "cnt"],
+        );
+        let outcome = engine.execute(&plan, &EngineConfig::cpu_only(2)).unwrap();
+        assert_eq!(outcome.rows.len(), 1000);
+        // Sorted by key and each key appears 10 times.
+        assert!(outcome.rows.windows(2).all(|w| w[0][0] < w[1][0]));
+        assert!(outcome.rows.iter().all(|r| r[1] == 10));
+    }
+
+    #[test]
+    fn explain_shows_hetexchange_operators() {
+        let engine = engine_with_table(1000);
+        let text = engine
+            .explain(&sum_where_plan(), &EngineConfig::hybrid(24, 2))
+            .unwrap();
+        assert!(text.contains("router"));
+        assert!(text.contains("cpu2gpu"));
+        assert!(text.contains("segmenter t"));
+    }
+
+    #[test]
+    fn missing_table_is_a_catalog_error() {
+        let engine = Proteus::on_paper_server();
+        let err = engine
+            .execute(&sum_where_plan(), &EngineConfig::cpu_only(1))
+            .unwrap_err();
+        assert_eq!(err.category(), "catalog");
+    }
+
+    #[test]
+    fn invalid_config_is_rejected_before_execution() {
+        let engine = engine_with_table(100);
+        assert!(engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(0)).is_err());
+    }
+
+    #[test]
+    fn throughput_helper_uses_simulated_time() {
+        let engine = engine_with_table(100_000);
+        let outcome = engine
+            .execute(&sum_where_plan(), &EngineConfig::cpu_only(8))
+            .unwrap();
+        let bytes = (100_000 * (4 + 8)) as f64;
+        assert!(outcome.throughput_gbps(bytes) > 0.0);
+    }
+}

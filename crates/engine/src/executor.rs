@@ -1,0 +1,627 @@
+//! The stage executor.
+//!
+//! Executes a [`StageGraph`] on the (simulated) server. Functional execution
+//! is real — every pipeline instance is a host thread processing real blocks,
+//! so results are exact and device-shared state is genuinely updated
+//! concurrently — while *performance* is accounted on the simulated resource
+//! clocks: each device (CPU core or GPU) owns a clock, each DRAM node and each
+//! PCIe link owns a clock, and the reported query time is the largest
+//! completion timestamp observed. Pipelining, transfer/compute overlap, PCIe
+//! saturation and DRAM saturation all emerge from those clocks (see
+//! `DESIGN.md` §4).
+
+use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
+use hetex_common::{BlockHandle, EngineConfig, HetError, Result};
+use hetex_core::mem_move::MemMove;
+use hetex_core::router::Router;
+use hetex_gpu_sim::GpuDevice;
+use hetex_jit::{ExecCtx, SharedState, TerminalStep};
+use hetex_storage::{Catalog, Segmenter};
+use hetex_topology::{
+    CostModel, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime,
+    WorkProfile,
+};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Router initialization and thread pinning overhead (§6.4: ~10 ms, visible
+/// only for very small inputs).
+pub const ROUTER_INIT_OVERHEAD: SimTime = SimTime::from_millis(10);
+
+/// Per-device-kind execution statistics of one query.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeviceKindStats {
+    /// Blocks processed by instances of this device kind.
+    pub blocks: u64,
+    /// Simulated busy nanoseconds accumulated by this device kind.
+    pub busy_ns: u64,
+    /// Modeled bytes scanned by this device kind.
+    pub bytes_scanned: f64,
+}
+
+/// The raw outcome of running a stage graph.
+#[derive(Debug)]
+pub struct ExecutionResult {
+    /// Result rows (keys then aggregates, sorted by key for group-bys).
+    pub rows: Vec<Vec<i64>>,
+    /// Simulated end-to-end execution time.
+    pub sim_time: SimTime,
+    /// Wall-clock time of the functional execution (not the reported metric).
+    pub wall_time: std::time::Duration,
+    /// Per device kind statistics.
+    pub per_kind: HashMap<DeviceKind, DeviceKindStats>,
+    /// Bytes moved over interconnects (weighted).
+    pub bytes_transferred: f64,
+}
+
+/// Executes stage graphs on a topology.
+pub struct Executor {
+    topology: Arc<ServerTopology>,
+    gpus: HashMap<DeviceId, Arc<GpuDevice>>,
+    cost: CostModel,
+}
+
+impl Executor {
+    /// An executor for the given topology, creating one simulated GPU per GPU
+    /// device in the topology.
+    pub fn new(topology: Arc<ServerTopology>) -> Self {
+        let gpus = topology
+            .gpus()
+            .into_iter()
+            .map(|id| {
+                let profile = topology.device(id).expect("gpu device exists").clone();
+                (id, Arc::new(GpuDevice::new(id, profile)))
+            })
+            .collect();
+        Self { topology, gpus, cost: CostModel::new() }
+    }
+
+    /// The simulated GPUs, keyed by device id.
+    pub fn gpus(&self) -> &HashMap<DeviceId, Arc<GpuDevice>> {
+        &self.gpus
+    }
+
+    /// Execute a stage graph.
+    pub fn execute(
+        &self,
+        graph: &StageGraph,
+        catalog: &Catalog,
+        config: &EngineConfig,
+    ) -> Result<ExecutionResult> {
+        let wall_start = std::time::Instant::now();
+        self.topology.reset_clocks();
+        let dma = DmaEngine::new(Arc::clone(&self.topology));
+        let mem_move = MemMove::new(dma);
+
+        // One persistent clock per device: a core used by several stages
+        // cannot do their work at the same simulated time.
+        let mut device_clocks: HashMap<DeviceId, ResourceClock> = HashMap::new();
+        for (idx, _) in self.topology.devices().iter().enumerate() {
+            device_clocks.insert(DeviceId::new(idx), ResourceClock::new(format!("dev{idx}")));
+        }
+
+        let any_router = graph.stages.iter().any(|s| s.has_router);
+        let mut stage_outputs: Vec<Vec<BlockHandle>> = Vec::with_capacity(graph.stages.len());
+        let mut stage_completion: Vec<SimTime> = Vec::with_capacity(graph.stages.len());
+        let mut per_kind: HashMap<DeviceKind, DeviceKindStats> = HashMap::new();
+        let mut result_rows: Vec<Vec<i64>> = Vec::new();
+
+        for (stage_idx, stage) in graph.stages.iter().enumerate() {
+            // Gather the stage's input blocks.
+            let inputs: Vec<BlockHandle> = match &stage.source {
+                StageSource::Table { table, projection } => {
+                    let weight = config.weight_for(table);
+                    let table = catalog.get(table)?;
+                    let projection: Vec<&str> = projection.iter().map(String::as_str).collect();
+                    Segmenter::new(table, &projection, config.block_capacity)
+                        .with_weight(weight)
+                        .segments()?
+                }
+                StageSource::Stage(idx) => stage_outputs
+                    .get(*idx)
+                    .cloned()
+                    .ok_or_else(|| HetError::Execution(format!("stage {idx} has no outputs yet")))?,
+            };
+
+            // A probe stage cannot start before the hash tables it reads are
+            // fully built.
+            let floor = stage
+                .depends_on
+                .iter()
+                .map(|&d| stage_completion.get(d).copied().unwrap_or(SimTime::ZERO))
+                .fold(SimTime::ZERO, SimTime::max);
+
+            let outcome = self.run_stage(
+                stage,
+                stage_idx,
+                inputs,
+                floor,
+                &graph.state,
+                &mem_move,
+                &device_clocks,
+                config,
+            )?;
+
+            for (kind, s) in outcome.per_kind {
+                let entry = per_kind.entry(kind).or_default();
+                entry.blocks += s.blocks;
+                entry.busy_ns += s.busy_ns;
+                entry.bytes_scanned += s.bytes_scanned;
+            }
+            if stage.is_result {
+                result_rows = outcome.result_rows;
+            }
+            stage_completion.push(outcome.completion);
+            stage_outputs.push(outcome.outputs);
+        }
+
+        let mut sim_time = stage_completion
+            .iter()
+            .copied()
+            .fold(SimTime::ZERO, SimTime::max);
+        if any_router {
+            sim_time = sim_time.add_nanos(ROUTER_INIT_OVERHEAD.as_nanos());
+        }
+
+        Ok(ExecutionResult {
+            rows: result_rows,
+            sim_time,
+            wall_time: wall_start.elapsed(),
+            per_kind,
+            bytes_transferred: mem_move.dma().stats().bytes_moved,
+        })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn run_stage(
+        &self,
+        stage: &Stage,
+        stage_idx: usize,
+        inputs: Vec<BlockHandle>,
+        floor: SimTime,
+        state: &SharedState,
+        mem_move: &MemMove,
+        device_clocks: &HashMap<DeviceId, ResourceClock>,
+        config: &EngineConfig,
+    ) -> Result<StageOutcome> {
+        let router = Router::new(stage.policy, stage.consumers.clone())?;
+        let gpu_nodes = self.topology.gpu_memory_nodes();
+
+        // Per-instance routing state: the memory node outputs/relocations
+        // target, and an estimated load used by the least-loaded policy.
+        let mut instance_inputs: Vec<Vec<BlockHandle>> = vec![Vec::new(); stage.consumers.len()];
+        let mut est_load_ns: Vec<u64> = vec![0; stage.consumers.len()];
+        let instance_devices: Vec<DeviceId> = stage
+            .consumers
+            .iter()
+            .map(|slot| {
+                slot.affinity.for_kind(slot.kind).ok_or_else(|| {
+                    HetError::Execution("consumer slot without a device affinity".into())
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let instance_nodes: Vec<_> = instance_devices
+            .iter()
+            .map(|&d| self.topology.local_memory_of(d))
+            .collect::<Result<Vec<_>>>()?;
+
+        // Routing pass: distribute block handles (control plane only), then
+        // let mem-move localize the data for the chosen instance.
+        //
+        // The least-loaded policy is given, for each consumer, the projected
+        // completion time *if this block were assigned to it*: its accumulated
+        // load plus the block's estimated cost on that consumer (throttled to
+        // PCIe speed when the data would have to move, and accounting for the
+        // random accesses of the pipeline's hash probes). This is the greedy
+        // feedback-driven balancing the paper's router performs, and it also
+        // makes routing locality-aware for GPU-resident data.
+        // Per-block cost estimate used for balancing: the same work/cost model
+        // the executor charges, evaluated with an assumed filter selectivity
+        // (the router cannot know real selectivities up front).
+        const ASSUMED_SELECTIVITY: f64 = 0.3;
+        let estimate_template = stage.template(DeviceKind::CpuCore);
+        let estimate_counters = |rows: u64, bytes: u64| hetex_jit::BlockCounters {
+            rows_in: rows,
+            rows_terminal: (rows as f64 * ASSUMED_SELECTIVITY) as u64,
+            probes: (rows as f64 * ASSUMED_SELECTIVITY) as u64,
+            probe_matches: (rows as f64 * ASSUMED_SELECTIVITY) as u64,
+            bytes_in: bytes,
+            ..Default::default()
+        };
+        // A DMA copy is only required when the consumer cannot address the
+        // block directly: GPU consumers need device-resident data, and no CPU
+        // core can address GPU device memory. CPU consumers read remote NUMA
+        // DRAM directly (at a penalty already captured by the socket DRAM
+        // clocks), so no transfer is scheduled for them.
+        let requires_dma = |instance: usize, location: hetex_common::MemoryNodeId| -> bool {
+            if location == instance_nodes[instance] {
+                return false;
+            }
+            let consumer_is_gpu = stage.consumers[instance].kind == DeviceKind::Gpu;
+            let block_on_gpu = self
+                .topology
+                .memory_node(location)
+                .map(|m| m.is_gpu_memory())
+                .unwrap_or(false);
+            consumer_is_gpu || block_on_gpu
+        };
+
+        for handle in inputs {
+            let counters = estimate_counters(handle.rows() as u64, handle.byte_size() as u64);
+            let est_work = estimate_template.work_profile(&counters, handle.meta().weight);
+            let projected: Vec<u64> = (0..stage.consumers.len())
+                .map(|i| {
+                    let device = match self.topology.device(instance_devices[i]) {
+                        Ok(d) => d,
+                        Err(_) => return u64::MAX,
+                    };
+                    let mut block_ns = self.cost.time_ns(&est_work, device) as f64;
+                    if requires_dma(i, handle.meta().location) && stage.mem_move != MemMoveMode::None
+                    {
+                        let transfer_ns = handle.weighted_bytes() / 12.0;
+                        block_ns = block_ns.max(transfer_ns);
+                    }
+                    est_load_ns[i].saturating_add(block_ns as u64)
+                })
+                .collect();
+            let pick = router.route(handle.meta(), &projected)?;
+            est_load_ns[pick] = projected[pick];
+
+            let localized = match stage.mem_move {
+                MemMoveMode::None => handle,
+                MemMoveMode::ToInstance => {
+                    if requires_dma(pick, handle.meta().location) {
+                        mem_move.relocate(&handle, instance_nodes[pick])?
+                    } else {
+                        handle
+                    }
+                }
+                MemMoveMode::Broadcast => {
+                    // Broadcast the dimension data to every GPU memory node
+                    // (so probes on GPUs read local data), and hand the local
+                    // copy to the building instance.
+                    if !gpu_nodes.is_empty() {
+                        mem_move.broadcast(&handle, &gpu_nodes)?;
+                    }
+                    if requires_dma(pick, handle.meta().location) {
+                        mem_move.relocate(&handle, instance_nodes[pick])?
+                    } else {
+                        handle
+                    }
+                }
+            };
+            instance_inputs[pick].push(localized);
+        }
+
+        // Processing pass: one host thread per instance.
+        let outputs: Mutex<Vec<BlockHandle>> = Mutex::new(Vec::new());
+        let per_kind: Mutex<HashMap<DeviceKind, DeviceKindStats>> = Mutex::new(HashMap::new());
+        let completion: Mutex<SimTime> = Mutex::new(floor);
+        let first_error: Mutex<Option<HetError>> = Mutex::new(None);
+
+        std::thread::scope(|scope| {
+            for (slot_idx, slot) in stage.consumers.iter().enumerate() {
+                let my_blocks = std::mem::take(&mut instance_inputs[slot_idx]);
+                if my_blocks.is_empty() {
+                    continue;
+                }
+                let device_id = instance_devices[slot_idx];
+                let device_profile = match self.topology.device(device_id) {
+                    Ok(p) => p.clone(),
+                    Err(e) => {
+                        *first_error.lock() = Some(e);
+                        continue;
+                    }
+                };
+                let clock = device_clocks
+                    .get(&device_id)
+                    .expect("device clock exists")
+                    .clone();
+                let pipeline = stage.template(slot.kind).clone();
+                let gpu = self.gpus.get(&device_id).cloned();
+                let outputs = &outputs;
+                let per_kind = &per_kind;
+                let completion = &completion;
+                let first_error = &first_error;
+                let topology = Arc::clone(&self.topology);
+                let cost = self.cost;
+                let kind = slot.kind;
+                let out_node = instance_nodes[slot_idx];
+                let block_capacity = config.block_capacity;
+
+                scope.spawn(move || {
+                    let mut ctx = match kind {
+                        DeviceKind::Gpu => match gpu {
+                            Some(gpu) => ExecCtx::gpu(gpu, block_capacity),
+                            None => {
+                                *first_error.lock() = Some(HetError::Execution(format!(
+                                    "stage {stage_idx}: GPU instance without a device"
+                                )));
+                                return;
+                            }
+                        },
+                        DeviceKind::CpuCore => ExecCtx::cpu(out_node, block_capacity),
+                    };
+
+                    let mut local_stats = DeviceKindStats::default();
+                    let mut local_outputs: Vec<BlockHandle> = Vec::new();
+                    let mut last_end = floor;
+
+                    // Charge the modeled work to the instance's device clock
+                    // and to the shared bandwidth of its local memory node.
+                    // The memory-node clock is a *utilization accumulator*:
+                    // every block advances it by bytes / node_bandwidth, and a
+                    // block cannot complete before the node has had enough
+                    // cumulative capacity to serve it. This is what makes a
+                    // socket's cores stop scaling once they saturate its DRAM
+                    // (§6.4: the sum query plateaus at ~16 cores / 89.7 GB/s).
+                    let charge = |work: &WorkProfile, not_before: SimTime| -> (SimTime, u64) {
+                        let busy = cost.time_ns(work, &device_profile);
+                        let (_, end) = clock.reserve(not_before, busy);
+                        let mut final_end = end;
+                        if work.memory_node_bytes() > 0.0 {
+                            if let (Ok(node), Ok(mem_clock)) = (
+                                topology.memory_node(device_profile.local_memory),
+                                topology.memory_clock(device_profile.local_memory),
+                            ) {
+                                let mem_ns = (work.memory_node_bytes()
+                                    / (node.bandwidth_gbps * 1e9)
+                                    * 1e9) as u64;
+                                let (_, mem_end) = mem_clock.reserve(SimTime::ZERO, mem_ns);
+                                final_end = end.max(mem_end);
+                                clock.advance_to(final_end);
+                            }
+                        }
+                        (final_end, busy)
+                    };
+
+                    for block in my_blocks {
+                        let ready = SimTime::from_nanos(block.meta().ready_at_ns).max(floor);
+                        match pipeline.process_block(&block, state, &mut ctx) {
+                            Ok(out) => {
+                                let (end, busy) = charge(&out.work, ready);
+                                last_end = last_end.max(end);
+                                local_stats.busy_ns += busy;
+                                local_stats.blocks += 1;
+                                local_stats.bytes_scanned += out.work.bytes_scanned;
+                                for mut produced in out.blocks {
+                                    produced.meta_mut().ready_at_ns = end.as_nanos();
+                                    local_outputs.push(produced);
+                                }
+                            }
+                            Err(e) => {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                                return;
+                            }
+                        }
+                    }
+
+                    // Flush partially filled packed outputs.
+                    match pipeline.finalize_instance(&mut ctx) {
+                        Ok(out) => {
+                            if !out.work.is_empty() {
+                                let (end, busy) = charge(&out.work, last_end);
+                                last_end = last_end.max(end);
+                                local_stats.busy_ns += busy;
+                            }
+                            for mut produced in out.blocks {
+                                produced.meta_mut().ready_at_ns = last_end.as_nanos();
+                                local_outputs.push(produced);
+                            }
+                        }
+                        Err(e) => {
+                            let mut slot = first_error.lock();
+                            if slot.is_none() {
+                                *slot = Some(e);
+                            }
+                            return;
+                        }
+                    }
+
+                    if std::env::var("HETEX_TRACE_EXEC").is_ok() {
+                        eprintln!(
+                            "[trace] stage {stage_idx} dev {device_id:?} blocks {} busy {:.1}ms last_end {} clock {}",
+                            local_stats.blocks,
+                            local_stats.busy_ns as f64 / 1e6,
+                            last_end,
+                            clock.now()
+                        );
+                    }
+                    outputs.lock().extend(local_outputs);
+                    {
+                        let mut kinds = per_kind.lock();
+                        let entry = kinds.entry(kind).or_default();
+                        entry.blocks += local_stats.blocks;
+                        entry.busy_ns += local_stats.busy_ns;
+                        entry.bytes_scanned += local_stats.bytes_scanned;
+                    }
+                    let mut done = completion.lock();
+                    *done = done.max(last_end).max(clock.now());
+                });
+            }
+        });
+
+        if let Some(err) = first_error.lock().take() {
+            return Err(err);
+        }
+
+        let completion = *completion.lock();
+        let mut outputs = outputs.into_inner();
+        let mut result_rows = Vec::new();
+
+        // Emit reduce / group-by results exactly once per stage, on a CPU
+        // context (the paper's final single-instance gather pipeline).
+        if matches!(
+            stage.template(DeviceKind::CpuCore).terminal(),
+            TerminalStep::Reduce { .. } | TerminalStep::GroupBy { .. }
+        ) {
+            let node = self.topology.cpu_memory_nodes()[0];
+            let mut ctx = ExecCtx::cpu(node, config.block_capacity);
+            let emitted = stage
+                .template(DeviceKind::CpuCore)
+                .emit_state_results(state, &mut ctx)?;
+            for handle in &emitted.blocks {
+                let block = handle.block();
+                for row in 0..block.rows() {
+                    result_rows.push(
+                        block
+                            .columns()
+                            .iter()
+                            .map(|c| c.get_i64(row).unwrap_or(0))
+                            .collect(),
+                    );
+                }
+            }
+            let mut emitted_blocks = emitted.blocks;
+            for b in &mut emitted_blocks {
+                b.meta_mut().ready_at_ns = completion.as_nanos();
+            }
+            outputs.extend(emitted_blocks);
+        }
+
+        Ok(StageOutcome {
+            outputs,
+            completion,
+            per_kind: per_kind.into_inner(),
+            result_rows,
+        })
+    }
+}
+
+struct StageOutcome {
+    outputs: Vec<BlockHandle>,
+    completion: SimTime,
+    per_kind: HashMap<DeviceKind, DeviceKindStats>,
+    result_rows: Vec<Vec<i64>>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::codegen::compile;
+    use hetex_common::{ColumnData, DataType};
+    use hetex_core::{parallelize, RelNode};
+    use hetex_jit::{AggSpec, Expr};
+    use hetex_storage::TableBuilder;
+
+    fn catalog_with_data(topology: &ServerTopology, rows: usize) -> Catalog {
+        let catalog = Catalog::new();
+        let nodes = topology.cpu_memory_nodes();
+        let fact = TableBuilder::new("fact")
+            .column(
+                "key",
+                DataType::Int32,
+                ColumnData::Int32((0..rows as i32).map(|i| i % 100).collect()),
+            )
+            .column(
+                "value",
+                DataType::Int64,
+                ColumnData::Int64((0..rows as i64).collect()),
+            )
+            .build(&nodes, 4096)
+            .unwrap();
+        let dim = TableBuilder::new("dim")
+            .column("k", DataType::Int32, ColumnData::Int32((0..100).collect()))
+            .column(
+                "attr",
+                DataType::Int32,
+                ColumnData::Int32((0..100).map(|i| i % 7).collect()),
+            )
+            .build(&nodes, 4096)
+            .unwrap();
+        catalog.register(fact);
+        catalog.register(dim);
+        catalog
+    }
+
+    fn join_sum_plan() -> RelNode {
+        // SELECT SUM(value) FROM fact JOIN dim ON key = k WHERE attr < 3
+        let dim = RelNode::scan("dim", &["k", "attr"]).filter(Expr::col(1).lt_lit(3));
+        RelNode::scan("fact", &["key", "value"])
+            .hash_join(dim, 0, 0, &[1])
+            .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"])
+    }
+
+    fn expected(rows: usize) -> (i64, i64) {
+        let mut sum = 0i64;
+        let mut cnt = 0i64;
+        for i in 0..rows as i64 {
+            let key = i % 100;
+            if key % 7 < 3 {
+                sum += i;
+                cnt += 1;
+            }
+        }
+        (sum, cnt)
+    }
+
+    fn run(config: &EngineConfig, rows: usize) -> ExecutionResult {
+        let topology = ServerTopology::paper_server();
+        let catalog = catalog_with_data(&topology, rows);
+        let het = parallelize(&join_sum_plan(), config).unwrap();
+        let graph = compile(&het, config, &topology).unwrap();
+        let executor = Executor::new(topology);
+        executor.execute(&graph, &catalog, config).unwrap()
+    }
+
+    #[test]
+    fn cpu_only_execution_is_correct() {
+        let result = run(&EngineConfig::cpu_only(4), 50_000);
+        let (sum, cnt) = expected(50_000);
+        assert_eq!(result.rows, vec![vec![sum, cnt]]);
+        assert!(result.sim_time > SimTime::ZERO);
+        assert!(result.per_kind.contains_key(&DeviceKind::CpuCore));
+        assert!(!result.per_kind.contains_key(&DeviceKind::Gpu));
+    }
+
+    #[test]
+    fn gpu_only_execution_matches_cpu_results() {
+        let gpu = run(&EngineConfig::gpu_only(2), 50_000);
+        let cpu = run(&EngineConfig::cpu_only(4), 50_000);
+        assert_eq!(gpu.rows, cpu.rows);
+        assert!(gpu.per_kind.contains_key(&DeviceKind::Gpu));
+        // Data started CPU-resident, so bytes had to cross PCIe.
+        assert!(gpu.bytes_transferred > 0.0);
+    }
+
+    #[test]
+    fn hybrid_execution_uses_both_device_kinds() {
+        let result = run(&EngineConfig::hybrid(8, 2), 200_000);
+        let (sum, cnt) = expected(200_000);
+        assert_eq!(result.rows, vec![vec![sum, cnt]]);
+        let cpu_blocks = result.per_kind.get(&DeviceKind::CpuCore).map_or(0, |s| s.blocks);
+        let gpu_blocks = result.per_kind.get(&DeviceKind::Gpu).map_or(0, |s| s.blocks);
+        assert!(cpu_blocks > 0, "CPU should receive some blocks");
+        assert!(gpu_blocks > 0, "GPUs should receive some blocks");
+    }
+
+    #[test]
+    fn more_cpu_cores_reduce_simulated_time() {
+        let one = run(&EngineConfig::cpu_only(1), 200_000);
+        let eight = run(&EngineConfig::cpu_only(8), 200_000);
+        assert!(
+            eight.sim_time < one.sim_time,
+            "8 cores ({}) should beat 1 core ({})",
+            eight.sim_time,
+            one.sim_time
+        );
+    }
+
+    #[test]
+    fn router_overhead_is_charged_once() {
+        let mut without = EngineConfig::cpu_only(1);
+        without.hetexchange_enabled = false;
+        let seq = run(&without, 20_000);
+        let with = run(&EngineConfig::cpu_only(1), 20_000);
+        let diff = with.sim_time.as_nanos() as i64 - seq.sim_time.as_nanos() as i64;
+        assert!(
+            diff >= ROUTER_INIT_OVERHEAD.as_nanos() as i64 / 2,
+            "router overhead missing: {diff}"
+        );
+        assert_eq!(seq.rows, with.rows);
+    }
+}

@@ -1,0 +1,231 @@
+//! The simulated GPU device.
+//!
+//! [`GpuDevice`] is what the cpu2gpu operator launches kernels on. A kernel is
+//! an ordinary Rust closure invoked once per virtual SIMT thread with its
+//! [`ThreadCtx`]; the device executes the grid on a small pool of host threads
+//! (so device-scoped atomics and the neighborhood reducer are genuinely
+//! exercised under concurrency) and reports [`LaunchStats`] that the cost
+//! model prices.
+
+use crate::memory::DeviceMemory;
+use crate::simt::{LaunchConfig, ThreadCtx};
+use hetex_common::MemoryNodeId;
+use hetex_topology::{DeviceId, DeviceProfile};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Statistics of the kernels launched on a device (functional counters, not
+/// timings — timing comes from the cost model in `hetex-topology`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LaunchStats {
+    /// Number of kernels launched.
+    pub launches: u64,
+    /// Total virtual threads executed.
+    pub threads: u64,
+    /// Total warps executed.
+    pub warps: u64,
+}
+
+/// A software GPU: SIMT execution over host threads plus device memory.
+#[derive(Debug, Clone)]
+pub struct GpuDevice {
+    id: DeviceId,
+    profile: DeviceProfile,
+    memory: DeviceMemory,
+    host_parallelism: usize,
+    launches: Arc<AtomicU64>,
+    threads: Arc<AtomicU64>,
+    warps: Arc<AtomicU64>,
+}
+
+impl GpuDevice {
+    /// Create a device from its topology profile.
+    pub fn new(id: DeviceId, profile: DeviceProfile) -> Self {
+        let memory = DeviceMemory::new(profile.local_memory, profile.memory_capacity);
+        let host_parallelism = std::thread::available_parallelism()
+            .map(|n| n.get().min(4))
+            .unwrap_or(2);
+        Self {
+            id,
+            profile,
+            memory,
+            host_parallelism,
+            launches: Arc::new(AtomicU64::new(0)),
+            threads: Arc::new(AtomicU64::new(0)),
+            warps: Arc::new(AtomicU64::new(0)),
+        }
+    }
+
+    /// The device id in the server topology.
+    pub fn id(&self) -> DeviceId {
+        self.id
+    }
+
+    /// The device's performance profile.
+    pub fn profile(&self) -> &DeviceProfile {
+        &self.profile
+    }
+
+    /// The device-memory pool.
+    pub fn memory(&self) -> &DeviceMemory {
+        &self.memory
+    }
+
+    /// The memory node holding this device's memory.
+    pub fn memory_node(&self) -> MemoryNodeId {
+        self.profile.local_memory
+    }
+
+    /// Launch a kernel: `body` is invoked once per virtual thread of the grid.
+    ///
+    /// The virtual threads are partitioned across a handful of host threads;
+    /// within one host thread they run sequentially, across host threads they
+    /// run concurrently, so all device-visible state must use device atomics —
+    /// the same discipline real kernels need.
+    pub fn launch<F>(&self, config: LaunchConfig, body: F) -> LaunchStats
+    where
+        F: Fn(&ThreadCtx) + Send + Sync,
+    {
+        let total_threads = config.total_threads();
+        let chunk = total_threads.div_ceil(self.host_parallelism.max(1));
+        std::thread::scope(|scope| {
+            let body = &body;
+            let mut handles = Vec::new();
+            for worker in 0..self.host_parallelism {
+                let start = worker * chunk;
+                if start >= total_threads {
+                    break;
+                }
+                let end = (start + chunk).min(total_threads);
+                handles.push(scope.spawn(move || {
+                    for flat in start..end {
+                        let ctx = ThreadCtx {
+                            block_idx: flat / config.block_dim,
+                            thread_idx: flat % config.block_dim,
+                            config,
+                        };
+                        body(&ctx);
+                    }
+                }));
+            }
+            for h in handles {
+                h.join().expect("simulated GPU worker panicked");
+            }
+        });
+        self.launches.fetch_add(1, Ordering::Relaxed);
+        self.threads.fetch_add(total_threads as u64, Ordering::Relaxed);
+        self.warps.fetch_add(config.total_warps() as u64, Ordering::Relaxed);
+        LaunchStats {
+            launches: 1,
+            threads: total_threads as u64,
+            warps: config.total_warps() as u64,
+        }
+    }
+
+    /// Cumulative statistics over the device's lifetime.
+    pub fn stats(&self) -> LaunchStats {
+        LaunchStats {
+            launches: self.launches.load(Ordering::Relaxed),
+            threads: self.threads.load(Ordering::Relaxed),
+            warps: self.warps.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A convenience constructor used by tests and examples: a standalone GTX
+/// 1080-like device that is not part of a larger topology.
+pub fn standalone_gpu() -> GpuDevice {
+    let profile = DeviceProfile::paper_gpu(0, MemoryNodeId::new(0));
+    GpuDevice::new(DeviceId::new(0), profile)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::atomic::DeviceAtomicI64;
+    use crate::reduce::NeighborhoodReducer;
+    use crate::simt::WARP_SIZE;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn launch_runs_every_thread_exactly_once() {
+        let gpu = standalone_gpu();
+        let counter = AtomicUsize::new(0);
+        let cfg = LaunchConfig::new(8, 64);
+        let stats = gpu.launch(cfg, |_ctx| {
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 512);
+        assert_eq!(stats.threads, 512);
+        assert_eq!(stats.launches, 1);
+        assert_eq!(gpu.stats().launches, 1);
+    }
+
+    #[test]
+    fn grid_stride_sum_kernel_matches_sequential_sum() {
+        let gpu = standalone_gpu();
+        let data: Vec<i64> = (0..100_000).map(|i| i % 97).collect();
+        let expected: i64 = data.iter().sum();
+        let acc = DeviceAtomicI64::new(0);
+        let cfg = LaunchConfig::new(16, 128);
+        gpu.launch(cfg, |ctx| {
+            let mut local = 0i64;
+            for i in ctx.grid_stride(data.len()) {
+                local += data[i];
+            }
+            acc.fetch_add(local);
+        });
+        assert_eq!(acc.load(), expected);
+    }
+
+    #[test]
+    fn filtered_sum_with_neighborhood_reduce_matches_listing_one() {
+        // This mirrors pipeline 9 of Listing 1: scan, filter (t.a > 42),
+        // thread-local accumulate, neighborhood reduce, leader atomic.
+        let gpu = standalone_gpu();
+        let a: Vec<i64> = (0..50_000).map(|i| i % 100).collect();
+        let b: Vec<i64> = (0..50_000).map(|i| i * 3).collect();
+        let expected: i64 = a
+            .iter()
+            .zip(&b)
+            .filter(|(av, _)| **av > 42)
+            .map(|(_, bv)| *bv)
+            .sum();
+
+        let cfg = LaunchConfig::new(8, 64);
+        let reducer = NeighborhoodReducer::new(cfg.total_warps(), WARP_SIZE);
+        let acc = DeviceAtomicI64::new(0);
+        gpu.launch(cfg, |ctx| {
+            let mut local = 0i64;
+            for i in ctx.grid_stride(a.len()) {
+                if a[i] > 42 {
+                    local += b[i];
+                }
+            }
+            reducer.contribute(ctx.warp_id(), local, &acc);
+        });
+        assert_eq!(acc.load(), expected);
+        // One global atomic per warp, not per thread.
+        assert_eq!(reducer.global_atomics(), cfg.total_warps());
+    }
+
+    #[test]
+    fn device_memory_capacity_matches_profile() {
+        let gpu = standalone_gpu();
+        assert_eq!(gpu.memory().capacity(), 8 * (1 << 30));
+        assert_eq!(gpu.memory_node(), MemoryNodeId::new(0));
+        assert!(gpu.memory().alloc(9 * (1 << 30)).is_err());
+    }
+
+    #[test]
+    fn stats_accumulate_across_launches() {
+        let gpu = standalone_gpu();
+        let cfg = LaunchConfig::new(2, 32);
+        gpu.launch(cfg, |_| {});
+        gpu.launch(cfg, |_| {});
+        let stats = gpu.stats();
+        assert_eq!(stats.launches, 2);
+        assert_eq!(stats.threads, 128);
+        assert_eq!(stats.warps, 4);
+    }
+}

@@ -1,0 +1,199 @@
+//! Device memory accounting.
+//!
+//! The simulated GPU has the same hard memory capacity as the paper's
+//! GTX 1080 (8 GB). [`DeviceMemory`] tracks allocations against that capacity
+//! so that callers experience the same failure modes the paper reports:
+//! a working set that does not fit must be streamed over PCIe (Figure 5), and
+//! an engine that insists on materializing oversized state on the device gets
+//! an out-of-memory error (DBMS G's Q4.3 failure at SF1000).
+//!
+//! The actual bytes live in ordinary host memory (the data structures of the
+//! engine); this type only does the accounting.
+
+use hetex_common::{HetError, MemoryNodeId, Result};
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// One tracked allocation; freeing it returns the bytes to the pool.
+#[derive(Debug)]
+pub struct DeviceAllocation {
+    bytes: u64,
+    pool: Arc<PoolInner>,
+    released: bool,
+}
+
+#[derive(Debug)]
+struct PoolInner {
+    node: MemoryNodeId,
+    capacity: u64,
+    used: AtomicU64,
+    high_water: Mutex<u64>,
+}
+
+impl DeviceAllocation {
+    /// Size of the allocation in bytes.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// Explicitly release the allocation (also happens on drop).
+    pub fn release(mut self) {
+        self.release_inner();
+    }
+
+    fn release_inner(&mut self) {
+        if !self.released {
+            self.pool.used.fetch_sub(self.bytes, Ordering::Relaxed);
+            self.released = true;
+        }
+    }
+}
+
+impl Drop for DeviceAllocation {
+    fn drop(&mut self) {
+        self.release_inner();
+    }
+}
+
+/// Capacity-limited allocator for one GPU's device memory.
+#[derive(Debug, Clone)]
+pub struct DeviceMemory {
+    inner: Arc<PoolInner>,
+}
+
+impl DeviceMemory {
+    /// A device-memory pool of `capacity` bytes living on memory node `node`.
+    pub fn new(node: MemoryNodeId, capacity: u64) -> Self {
+        Self {
+            inner: Arc::new(PoolInner {
+                node,
+                capacity,
+                used: AtomicU64::new(0),
+                high_water: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// The memory node this pool represents.
+    pub fn node(&self) -> MemoryNodeId {
+        self.inner.node
+    }
+
+    /// Total capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.inner.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        self.inner.used.load(Ordering::Relaxed)
+    }
+
+    /// Bytes still available.
+    pub fn available(&self) -> u64 {
+        self.capacity().saturating_sub(self.used())
+    }
+
+    /// Largest observed usage (diagnostics for EXPERIMENTS.md).
+    pub fn high_water(&self) -> u64 {
+        *self.inner.high_water.lock()
+    }
+
+    /// Allocate `bytes`, failing if the device does not have room.
+    pub fn alloc(&self, bytes: u64) -> Result<DeviceAllocation> {
+        // Optimistically reserve, then back out on overflow. This keeps the
+        // fast path a single atomic, matching how little work a real device
+        // allocator amortizes per allocation.
+        let prev = self.inner.used.fetch_add(bytes, Ordering::Relaxed);
+        let new_used = prev + bytes;
+        if new_used > self.inner.capacity {
+            self.inner.used.fetch_sub(bytes, Ordering::Relaxed);
+            return Err(HetError::Memory(format!(
+                "device memory {} exhausted: requested {bytes} B, {} B of {} B in use",
+                self.inner.node, prev, self.inner.capacity
+            )));
+        }
+        let mut hw = self.inner.high_water.lock();
+        if new_used > *hw {
+            *hw = new_used;
+        }
+        Ok(DeviceAllocation { bytes, pool: Arc::clone(&self.inner), released: false })
+    }
+
+    /// True if an allocation of `bytes` could currently succeed.
+    pub fn fits(&self, bytes: u64) -> bool {
+        bytes <= self.available()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool() -> DeviceMemory {
+        DeviceMemory::new(MemoryNodeId::new(2), 1000)
+    }
+
+    #[test]
+    fn alloc_and_release_round_trip() {
+        let mem = pool();
+        assert_eq!(mem.capacity(), 1000);
+        let a = mem.alloc(400).unwrap();
+        assert_eq!(mem.used(), 400);
+        assert_eq!(mem.available(), 600);
+        assert!(mem.fits(600));
+        assert!(!mem.fits(601));
+        a.release();
+        assert_eq!(mem.used(), 0);
+        assert_eq!(mem.high_water(), 400);
+    }
+
+    #[test]
+    fn drop_releases_automatically() {
+        let mem = pool();
+        {
+            let _a = mem.alloc(999).unwrap();
+            assert_eq!(mem.used(), 999);
+        }
+        assert_eq!(mem.used(), 0);
+    }
+
+    #[test]
+    fn over_allocation_fails_and_leaves_state_consistent() {
+        let mem = pool();
+        let _a = mem.alloc(800).unwrap();
+        let err = mem.alloc(300).unwrap_err();
+        assert_eq!(err.category(), "memory");
+        assert_eq!(mem.used(), 800);
+        // A smaller allocation still succeeds.
+        let _b = mem.alloc(200).unwrap();
+        assert_eq!(mem.available(), 0);
+    }
+
+    #[test]
+    fn concurrent_allocations_never_exceed_capacity() {
+        use std::thread;
+        let mem = DeviceMemory::new(MemoryNodeId::new(3), 10_000);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let mem = mem.clone();
+                thread::spawn(move || {
+                    let mut ok = 0;
+                    for _ in 0..1000 {
+                        if let Ok(a) = mem.alloc(7) {
+                            ok += 1;
+                            drop(a);
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(mem.used(), 0);
+        assert!(mem.high_water() <= 10_000);
+    }
+}

@@ -1,0 +1,313 @@
+//! Scalar expressions evaluated inside compiled pipelines.
+//!
+//! Expressions operate over the pipeline's *registers*: the values of the
+//! current tuple, kept in a small array exactly like the register-pipelined
+//! values a compiled engine keeps in CPU registers. Column references are
+//! resolved to register indexes at plan time (this is the "specialization"
+//! part of our JIT substitute), so evaluation is a tight match on an enum with
+//! no name lookups or type dispatch.
+//!
+//! All SSB columns are integers after dictionary encoding, so expressions are
+//! evaluated in `i64`; booleans are represented as 0/1.
+
+use hetex_common::{HetError, Result};
+
+/// A scalar expression over the current tuple's registers.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// The value of register `i` (a column of the pipeline's input layout).
+    Col(usize),
+    /// A literal.
+    Lit(i64),
+    /// Arithmetic.
+    Add(Box<Expr>, Box<Expr>),
+    Sub(Box<Expr>, Box<Expr>),
+    Mul(Box<Expr>, Box<Expr>),
+    /// Integer division (used by derived SSB expressions such as year from
+    /// a yyyymmdd date key).
+    Div(Box<Expr>, Box<Expr>),
+    /// Comparisons, producing 0/1.
+    Eq(Box<Expr>, Box<Expr>),
+    Ne(Box<Expr>, Box<Expr>),
+    Lt(Box<Expr>, Box<Expr>),
+    Le(Box<Expr>, Box<Expr>),
+    Gt(Box<Expr>, Box<Expr>),
+    Ge(Box<Expr>, Box<Expr>),
+    /// Boolean connectives over 0/1 operands.
+    And(Box<Expr>, Box<Expr>),
+    Or(Box<Expr>, Box<Expr>),
+    Not(Box<Expr>),
+    /// Inclusive range check, the shape of most SSB predicates.
+    Between(Box<Expr>, i64, i64),
+    /// Membership in a small literal list (e.g. `d_yearmonthnum IN (...)`).
+    InList(Box<Expr>, Vec<i64>),
+    /// A multiplicative hash of the operand, used by hash-pack and
+    /// hash-based routing.
+    Hash(Box<Expr>),
+}
+
+impl Expr {
+    /// Shorthand for a column reference.
+    pub fn col(i: usize) -> Expr {
+        Expr::Col(i)
+    }
+
+    /// Shorthand for a literal.
+    pub fn lit(v: i64) -> Expr {
+        Expr::Lit(v)
+    }
+
+    /// `self == other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::Eq(Box::new(self), Box::new(other))
+    }
+
+    /// `self > v`.
+    pub fn gt_lit(self, v: i64) -> Expr {
+        Expr::Gt(Box::new(self), Box::new(Expr::Lit(v)))
+    }
+
+    /// `self < v`.
+    pub fn lt_lit(self, v: i64) -> Expr {
+        Expr::Lt(Box::new(self), Box::new(Expr::Lit(v)))
+    }
+
+    /// `lo <= self <= hi`.
+    pub fn between(self, lo: i64, hi: i64) -> Expr {
+        Expr::Between(Box::new(self), lo, hi)
+    }
+
+    /// `self IN (list)`.
+    pub fn in_list(self, list: Vec<i64>) -> Expr {
+        Expr::InList(Box::new(self), list)
+    }
+
+    /// `self AND other`.
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::And(Box::new(self), Box::new(other))
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::Or(Box::new(self), Box::new(other))
+    }
+
+    /// `self * other`.
+    pub fn mul(self, other: Expr) -> Expr {
+        Expr::Mul(Box::new(self), Box::new(other))
+    }
+
+    /// `self - other`.
+    pub fn sub(self, other: Expr) -> Expr {
+        Expr::Sub(Box::new(self), Box::new(other))
+    }
+
+    /// Evaluate over the given registers.
+    #[inline]
+    pub fn eval(&self, regs: &[i64]) -> i64 {
+        match self {
+            Expr::Col(i) => regs[*i],
+            Expr::Lit(v) => *v,
+            Expr::Add(a, b) => a.eval(regs) + b.eval(regs),
+            Expr::Sub(a, b) => a.eval(regs) - b.eval(regs),
+            Expr::Mul(a, b) => a.eval(regs) * b.eval(regs),
+            Expr::Div(a, b) => {
+                let d = b.eval(regs);
+                if d == 0 {
+                    0
+                } else {
+                    a.eval(regs) / d
+                }
+            }
+            Expr::Eq(a, b) => (a.eval(regs) == b.eval(regs)) as i64,
+            Expr::Ne(a, b) => (a.eval(regs) != b.eval(regs)) as i64,
+            Expr::Lt(a, b) => (a.eval(regs) < b.eval(regs)) as i64,
+            Expr::Le(a, b) => (a.eval(regs) <= b.eval(regs)) as i64,
+            Expr::Gt(a, b) => (a.eval(regs) > b.eval(regs)) as i64,
+            Expr::Ge(a, b) => (a.eval(regs) >= b.eval(regs)) as i64,
+            Expr::And(a, b) => ((a.eval(regs) != 0) && (b.eval(regs) != 0)) as i64,
+            Expr::Or(a, b) => ((a.eval(regs) != 0) || (b.eval(regs) != 0)) as i64,
+            Expr::Not(a) => (a.eval(regs) == 0) as i64,
+            Expr::Between(a, lo, hi) => {
+                let v = a.eval(regs);
+                (v >= *lo && v <= *hi) as i64
+            }
+            Expr::InList(a, list) => {
+                let v = a.eval(regs);
+                list.contains(&v) as i64
+            }
+            Expr::Hash(a) => hash_i64(a.eval(regs)),
+        }
+    }
+
+    /// Evaluate as a boolean predicate.
+    #[inline]
+    pub fn eval_bool(&self, regs: &[i64]) -> bool {
+        self.eval(regs) != 0
+    }
+
+    /// The highest register index referenced, if any — used to validate that
+    /// an expression fits a pipeline's input layout.
+    pub fn max_register(&self) -> Option<usize> {
+        match self {
+            Expr::Col(i) => Some(*i),
+            Expr::Lit(_) => None,
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => match (a.max_register(), b.max_register()) {
+                (Some(x), Some(y)) => Some(x.max(y)),
+                (x, y) => x.or(y),
+            },
+            Expr::Not(a) | Expr::Between(a, _, _) | Expr::InList(a, _) | Expr::Hash(a) => {
+                a.max_register()
+            }
+        }
+    }
+
+    /// Validate that every referenced register exists in a layout of `width`
+    /// registers.
+    pub fn check_width(&self, width: usize) -> Result<()> {
+        match self.max_register() {
+            Some(max) if max >= width => Err(HetError::Codegen(format!(
+                "expression references register {max}, pipeline input has {width}"
+            ))),
+            _ => Ok(()),
+        }
+    }
+
+    /// Rough number of simple operations one evaluation performs; feeds the
+    /// cost model's `ops` counter.
+    pub fn op_count(&self) -> f64 {
+        match self {
+            Expr::Col(_) | Expr::Lit(_) => 0.25,
+            Expr::Not(a) | Expr::Hash(a) => 1.0 + a.op_count(),
+            Expr::Between(a, _, _) => 2.0 + a.op_count(),
+            Expr::InList(a, list) => list.len() as f64 * 0.5 + a.op_count(),
+            Expr::Add(a, b)
+            | Expr::Sub(a, b)
+            | Expr::Mul(a, b)
+            | Expr::Div(a, b)
+            | Expr::Eq(a, b)
+            | Expr::Ne(a, b)
+            | Expr::Lt(a, b)
+            | Expr::Le(a, b)
+            | Expr::Gt(a, b)
+            | Expr::Ge(a, b)
+            | Expr::And(a, b)
+            | Expr::Or(a, b) => 1.0 + a.op_count() + b.op_count(),
+        }
+    }
+}
+
+/// Multiplicative (Fibonacci) hash over an i64, also used by hash-pack and
+/// the hash routing policy so that partition assignment is consistent across
+/// operators.
+#[inline]
+pub fn hash_i64(v: i64) -> i64 {
+    let x = (v as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    (x >> 1) as i64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic_and_comparisons() {
+        let regs = [10, 3, -5];
+        assert_eq!(Expr::col(0).eval(&regs), 10);
+        assert_eq!(Expr::lit(7).eval(&regs), 7);
+        assert_eq!(Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1))).eval(&regs), 13);
+        assert_eq!(Expr::col(0).sub(Expr::col(2)).eval(&regs), 15);
+        assert_eq!(Expr::col(0).mul(Expr::col(1)).eval(&regs), 30);
+        assert_eq!(
+            Expr::Div(Box::new(Expr::col(0)), Box::new(Expr::lit(3))).eval(&regs),
+            3
+        );
+        assert_eq!(
+            Expr::Div(Box::new(Expr::col(0)), Box::new(Expr::lit(0))).eval(&regs),
+            0
+        );
+        assert_eq!(Expr::col(0).gt_lit(9).eval(&regs), 1);
+        assert_eq!(Expr::col(0).lt_lit(9).eval(&regs), 0);
+        assert_eq!(Expr::col(1).eq(Expr::lit(3)).eval(&regs), 1);
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let regs = [50, 1993];
+        let pred = Expr::col(0)
+            .between(26, 35)
+            .or(Expr::col(1).eq(Expr::lit(1993)));
+        assert!(pred.eval_bool(&regs));
+        let both = Expr::col(0).gt_lit(40).and(Expr::col(1).gt_lit(2000));
+        assert!(!both.eval_bool(&regs));
+        assert_eq!(Expr::Not(Box::new(Expr::lit(0))).eval(&regs), 1);
+        assert_eq!(
+            Expr::Ne(Box::new(Expr::col(0)), Box::new(Expr::lit(50))).eval(&regs),
+            0
+        );
+        assert_eq!(
+            Expr::Le(Box::new(Expr::col(0)), Box::new(Expr::lit(50))).eval(&regs),
+            1
+        );
+        assert_eq!(
+            Expr::Ge(Box::new(Expr::col(0)), Box::new(Expr::lit(51))).eval(&regs),
+            0
+        );
+    }
+
+    #[test]
+    fn between_and_in_list_match_ssb_predicates() {
+        // Q1.1: d_year = 1993 AND lo_discount BETWEEN 1 AND 3 AND lo_quantity < 25
+        let regs = [1993, 2, 20];
+        let pred = Expr::col(0)
+            .eq(Expr::lit(1993))
+            .and(Expr::col(1).between(1, 3))
+            .and(Expr::col(2).lt_lit(25));
+        assert!(pred.eval_bool(&regs));
+        let q = Expr::col(1).in_list(vec![2, 4, 6]);
+        assert!(q.eval_bool(&regs));
+        assert!(!Expr::col(1).in_list(vec![5, 7]).eval_bool(&regs));
+    }
+
+    #[test]
+    fn hash_is_deterministic_and_spreads() {
+        let a = hash_i64(1);
+        let b = hash_i64(2);
+        assert_ne!(a, b);
+        assert_eq!(a, hash_i64(1));
+        assert!(a >= 0 && b >= 0, "hash must be non-negative for modulo routing");
+        let h = Expr::Hash(Box::new(Expr::col(0)));
+        assert_eq!(h.eval(&[1]), a);
+    }
+
+    #[test]
+    fn max_register_and_width_check() {
+        let e = Expr::col(3).eq(Expr::col(1)).and(Expr::lit(1));
+        assert_eq!(e.max_register(), Some(3));
+        assert!(e.check_width(4).is_ok());
+        assert!(e.check_width(3).is_err());
+        assert_eq!(Expr::lit(5).max_register(), None);
+        assert!(Expr::lit(5).check_width(0).is_ok());
+    }
+
+    #[test]
+    fn op_count_grows_with_complexity() {
+        let simple = Expr::col(0).gt_lit(5);
+        let complex = Expr::col(0)
+            .between(1, 3)
+            .and(Expr::col(1).in_list(vec![1, 2, 3, 4, 5, 6, 7, 8]))
+            .and(Expr::col(2).eq(Expr::lit(9)));
+        assert!(complex.op_count() > simple.op_count());
+    }
+}

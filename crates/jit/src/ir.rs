@@ -1,0 +1,337 @@
+//! The pipeline IR: the fused steps a compiled pipeline executes per tuple.
+//!
+//! A pipeline is a sequence of *transform* steps (filter, map, hash-join
+//! probe) terminated by exactly one *terminal* step (pack an output block,
+//! build a hash table, update an aggregate). HetExchange operators are
+//! pipeline breakers, so this IR never contains them — they sit *between*
+//! pipelines, which is exactly the paper's decomposition (Figure 2c).
+//!
+//! The IR is device-agnostic. The CPU and GPU lowerings interpret the same
+//! steps; only how rows are distributed over workers and how terminal state is
+//! updated differs (Figure 3).
+
+use crate::expr::Expr;
+use hetex_common::{HetError, Result};
+
+/// Index of a shared state object (hash table, accumulator set, group-by
+/// table) created for the query; see [`crate::state::SharedState`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StateSlot(pub usize);
+
+impl StateSlot {
+    /// The raw slot index.
+    pub fn index(self) -> usize {
+        self.0
+    }
+}
+
+/// Aggregate functions supported by reduce / group-by steps. All of them are
+/// decomposable, so partial aggregates computed per device can be merged by a
+/// final aggregation pipeline (the paper's union router into pipeline 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AggFunc {
+    Sum,
+    Count,
+    Min,
+    Max,
+}
+
+impl AggFunc {
+    /// Neutral element of the aggregate.
+    pub fn identity(self) -> i64 {
+        match self {
+            AggFunc::Sum | AggFunc::Count => 0,
+            AggFunc::Min => i64::MAX,
+            AggFunc::Max => i64::MIN,
+        }
+    }
+
+    /// Combine an accumulator with a new input value.
+    #[inline]
+    pub fn accumulate(self, acc: i64, value: i64) -> i64 {
+        match self {
+            AggFunc::Sum => acc + value,
+            AggFunc::Count => acc + 1,
+            AggFunc::Min => acc.min(value),
+            AggFunc::Max => acc.max(value),
+        }
+    }
+
+    /// Merge two partial accumulators.
+    #[inline]
+    pub fn merge(self, a: i64, b: i64) -> i64 {
+        match self {
+            AggFunc::Sum | AggFunc::Count => a + b,
+            AggFunc::Min => a.min(b),
+            AggFunc::Max => a.max(b),
+        }
+    }
+}
+
+/// One aggregate: a function applied to an expression over the input tuple.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggSpec {
+    /// The aggregated expression (ignored for `Count`).
+    pub expr: Expr,
+    /// The aggregate function.
+    pub func: AggFunc,
+}
+
+impl AggSpec {
+    /// `SUM(expr)`.
+    pub fn sum(expr: Expr) -> Self {
+        Self { expr, func: AggFunc::Sum }
+    }
+
+    /// `COUNT(*)`.
+    pub fn count() -> Self {
+        Self { expr: Expr::Lit(1), func: AggFunc::Count }
+    }
+
+    /// `MIN(expr)`.
+    pub fn min(expr: Expr) -> Self {
+        Self { expr, func: AggFunc::Min }
+    }
+
+    /// `MAX(expr)`.
+    pub fn max(expr: Expr) -> Self {
+        Self { expr, func: AggFunc::Max }
+    }
+}
+
+/// A non-terminal, fused step of a pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Step {
+    /// Drop tuples for which the predicate evaluates to false.
+    Filter { predicate: Expr },
+    /// Replace the register file with the given expressions (projection /
+    /// derived columns).
+    Map { exprs: Vec<Expr> },
+    /// Probe the hash table in `slot` with `key`; matching build payloads are
+    /// appended to the registers. Tuples without a match are dropped
+    /// (equi-join semantics); a key matching several build tuples fans out.
+    HashJoinProbe {
+        key: Expr,
+        slot: StateSlot,
+        /// Number of payload columns the build side stored (the probe's
+        /// output width is input width + payload width).
+        payload_width: usize,
+    },
+}
+
+impl Step {
+    /// Number of registers after this step, given the width before it.
+    pub fn output_width(&self, input_width: usize) -> usize {
+        match self {
+            Step::Filter { .. } => input_width,
+            Step::Map { exprs } => exprs.len(),
+            Step::HashJoinProbe { payload_width, .. } => input_width + payload_width,
+        }
+    }
+
+    /// Approximate simple-operation count per tuple reaching this step.
+    pub fn ops_per_tuple(&self) -> f64 {
+        match self {
+            Step::Filter { predicate } => predicate.op_count(),
+            Step::Map { exprs } => exprs.iter().map(Expr::op_count).sum(),
+            Step::HashJoinProbe { key, .. } => key.op_count() + 4.0,
+        }
+    }
+
+    /// Validate register references against the width flowing into this step.
+    pub fn check_width(&self, input_width: usize) -> Result<()> {
+        match self {
+            Step::Filter { predicate } => predicate.check_width(input_width),
+            Step::Map { exprs } => exprs.iter().try_for_each(|e| e.check_width(input_width)),
+            Step::HashJoinProbe { key, .. } => key.check_width(input_width),
+        }
+    }
+}
+
+/// The terminal step of a pipeline — the materialization point that makes the
+/// pipeline a pipeline (HetExchange operators and blocking relational
+/// operators are pipeline breakers).
+#[derive(Debug, Clone, PartialEq)]
+pub enum TerminalStep {
+    /// Pack surviving tuples into output blocks of the pipeline's output
+    /// layout; this is the generated-code half of the pack / hash-pack
+    /// operator.
+    Pack {
+        /// Expressions defining the output columns.
+        exprs: Vec<Expr>,
+        /// For hash-pack: partition every tuple by this expression so each
+        /// output block is hash-homogeneous, and tag the block handle with the
+        /// partition id. `None` produces plain packed blocks.
+        partition_by: Option<Expr>,
+        /// Number of partitions when `partition_by` is set.
+        partitions: usize,
+    },
+    /// Build the hash table in `slot` keyed by `key` with the given payload
+    /// columns (the blocking side of a hash join).
+    HashJoinBuild { key: Expr, payload: Vec<Expr>, slot: StateSlot },
+    /// Update ungrouped aggregate accumulators in `slot`.
+    Reduce { aggs: Vec<AggSpec>, slot: StateSlot },
+    /// Update a grouped aggregation table in `slot`.
+    GroupBy { keys: Vec<Expr>, aggs: Vec<AggSpec>, slot: StateSlot },
+}
+
+impl TerminalStep {
+    /// Approximate simple-operation count per tuple reaching the terminal.
+    pub fn ops_per_tuple(&self) -> f64 {
+        match self {
+            TerminalStep::Pack { exprs, partition_by, .. } => {
+                exprs.iter().map(Expr::op_count).sum::<f64>()
+                    + partition_by.as_ref().map_or(0.0, Expr::op_count)
+            }
+            TerminalStep::HashJoinBuild { key, payload, .. } => {
+                key.op_count() + payload.iter().map(Expr::op_count).sum::<f64>() + 4.0
+            }
+            TerminalStep::Reduce { aggs, .. } => {
+                aggs.iter().map(|a| a.expr.op_count() + 1.0).sum()
+            }
+            TerminalStep::GroupBy { keys, aggs, .. } => {
+                keys.iter().map(Expr::op_count).sum::<f64>()
+                    + aggs.iter().map(|a| a.expr.op_count() + 1.0).sum::<f64>()
+                    + 4.0
+            }
+        }
+    }
+
+    /// Bytes of random state access per tuple reaching the terminal (hash
+    /// inserts and group-by updates are random; packing and plain reduces are
+    /// not).
+    pub fn random_bytes_per_tuple(&self) -> f64 {
+        match self {
+            TerminalStep::Pack { .. } => 0.0,
+            TerminalStep::HashJoinBuild { payload, .. } => 16.0 + payload.len() as f64 * 8.0,
+            TerminalStep::Reduce { .. } => 0.0,
+            TerminalStep::GroupBy { keys, aggs, .. } => {
+                16.0 + (keys.len() + aggs.len()) as f64 * 8.0
+            }
+        }
+    }
+
+    /// Validate register references against the width reaching the terminal.
+    pub fn check_width(&self, input_width: usize) -> Result<()> {
+        let check_all = |exprs: &[Expr]| -> Result<()> {
+            exprs.iter().try_for_each(|e| e.check_width(input_width))
+        };
+        match self {
+            TerminalStep::Pack { exprs, partition_by, partitions } => {
+                check_all(exprs)?;
+                if let Some(p) = partition_by {
+                    p.check_width(input_width)?;
+                    if *partitions == 0 {
+                        return Err(HetError::Codegen(
+                            "hash-pack needs at least one partition".into(),
+                        ));
+                    }
+                }
+                Ok(())
+            }
+            TerminalStep::HashJoinBuild { key, payload, .. } => {
+                key.check_width(input_width)?;
+                check_all(payload)
+            }
+            TerminalStep::Reduce { aggs, .. } => {
+                aggs.iter().try_for_each(|a| a.expr.check_width(input_width))
+            }
+            TerminalStep::GroupBy { keys, aggs, .. } => {
+                check_all(keys)?;
+                aggs.iter().try_for_each(|a| a.expr.check_width(input_width))
+            }
+        }
+    }
+
+    /// Number of output columns the terminal produces when it emits blocks
+    /// (pack: its layout; reduce/group-by: keys + aggregates when finalized;
+    /// build: nothing).
+    pub fn output_width(&self) -> usize {
+        match self {
+            TerminalStep::Pack { exprs, .. } => exprs.len(),
+            TerminalStep::HashJoinBuild { .. } => 0,
+            TerminalStep::Reduce { aggs, .. } => aggs.len(),
+            TerminalStep::GroupBy { keys, aggs, .. } => keys.len() + aggs.len(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn agg_func_identities_and_accumulation() {
+        assert_eq!(AggFunc::Sum.identity(), 0);
+        assert_eq!(AggFunc::Min.identity(), i64::MAX);
+        assert_eq!(AggFunc::Max.identity(), i64::MIN);
+        assert_eq!(AggFunc::Sum.accumulate(10, 5), 15);
+        assert_eq!(AggFunc::Count.accumulate(10, 999), 11);
+        assert_eq!(AggFunc::Min.accumulate(10, 5), 5);
+        assert_eq!(AggFunc::Max.accumulate(10, 5), 10);
+        assert_eq!(AggFunc::Sum.merge(3, 4), 7);
+        assert_eq!(AggFunc::Min.merge(3, 4), 3);
+        assert_eq!(AggFunc::Max.merge(3, 4), 4);
+        assert_eq!(AggFunc::Count.merge(3, 4), 7);
+    }
+
+    #[test]
+    fn step_output_widths() {
+        assert_eq!(Step::Filter { predicate: Expr::lit(1) }.output_width(5), 5);
+        assert_eq!(Step::Map { exprs: vec![Expr::col(0), Expr::col(2)] }.output_width(5), 2);
+        let probe = Step::HashJoinProbe { key: Expr::col(0), slot: StateSlot(0), payload_width: 3 };
+        assert_eq!(probe.output_width(2), 5);
+    }
+
+    #[test]
+    fn width_checks_catch_bad_registers() {
+        let bad_filter = Step::Filter { predicate: Expr::col(4).gt_lit(0) };
+        assert!(bad_filter.check_width(3).is_err());
+        assert!(bad_filter.check_width(5).is_ok());
+        let bad_pack = TerminalStep::Pack {
+            exprs: vec![Expr::col(9)],
+            partition_by: None,
+            partitions: 1,
+        };
+        assert!(bad_pack.check_width(2).is_err());
+        let empty_partition = TerminalStep::Pack {
+            exprs: vec![Expr::col(0)],
+            partition_by: Some(Expr::col(0)),
+            partitions: 0,
+        };
+        assert!(empty_partition.check_width(2).is_err());
+    }
+
+    #[test]
+    fn terminal_metadata() {
+        let reduce = TerminalStep::Reduce {
+            aggs: vec![AggSpec::sum(Expr::col(0)), AggSpec::count()],
+            slot: StateSlot(1),
+        };
+        assert_eq!(reduce.output_width(), 2);
+        assert!(reduce.random_bytes_per_tuple() == 0.0);
+        let groupby = TerminalStep::GroupBy {
+            keys: vec![Expr::col(0), Expr::col(1)],
+            aggs: vec![AggSpec::sum(Expr::col(2))],
+            slot: StateSlot(0),
+        };
+        assert_eq!(groupby.output_width(), 3);
+        assert!(groupby.random_bytes_per_tuple() > 0.0);
+        let build = TerminalStep::HashJoinBuild {
+            key: Expr::col(0),
+            payload: vec![Expr::col(1)],
+            slot: StateSlot(0),
+        };
+        assert_eq!(build.output_width(), 0);
+        assert!(build.ops_per_tuple() > 0.0);
+    }
+
+    #[test]
+    fn agg_spec_constructors() {
+        assert_eq!(AggSpec::count().func, AggFunc::Count);
+        assert_eq!(AggSpec::sum(Expr::col(1)).func, AggFunc::Sum);
+        assert_eq!(AggSpec::min(Expr::col(1)).func, AggFunc::Min);
+        assert_eq!(AggSpec::max(Expr::col(1)).func, AggFunc::Max);
+        assert_eq!(StateSlot(3).index(), 3);
+    }
+}

@@ -1,0 +1,41 @@
+//! # hetex-jit
+//!
+//! The "JIT compilation" layer of the reproduction.
+//!
+//! The paper generates LLVM IR per pipeline and lowers it to x86 or PTX
+//! depending on the *device provider* the pipeline was instantiated with
+//! (Table 1, Figure 3). LLVM and CUDA are not available here, so this crate
+//! substitutes machine-code generation with **plan-time specialization**: a
+//! pipeline is described by a small IR of fused steps ([`ir::Step`]) built via
+//! the classic produce()/consume() traversal ([`codegen`]), and "compilation"
+//! resolves column offsets, constants and state slots up front and selects a
+//! device-specific *lowering*:
+//!
+//! * [`lower_cpu`] — a single-threaded, tuple-at-a-time loop with thread-local
+//!   accumulators, the shape of Figure 3's CPU specialization;
+//! * [`lower_gpu`] — a SIMT kernel on the simulated GPU (`hetex-gpu-sim`) with
+//!   a grid-stride loop, thread-local accumulators, warp-level "neighborhood"
+//!   reduction and one device atomic per warp — the shape of Listing 1's
+//!   pipeline 9.
+//!
+//! Both lowerings interpret the *same* step IR, which is exactly the paper's
+//! "one operator blueprint, two specializations" property: relational
+//! operators never contain device-specific code; the [`provider::DeviceProvider`]
+//! supplies `threadIdInWorker`, `#threadsInWorker`, state allocation and
+//! worker-scoped atomics.
+
+pub mod codegen;
+pub mod expr;
+pub mod ir;
+pub mod lower_cpu;
+pub mod lower_gpu;
+pub mod pipeline;
+pub mod provider;
+pub mod state;
+
+pub use codegen::CodegenContext;
+pub use expr::Expr;
+pub use ir::{AggFunc, AggSpec, Step, StateSlot, TerminalStep};
+pub use pipeline::{BlockCounters, CompiledPipeline, ExecCtx, PipelineOutput};
+pub use provider::{CpuProvider, DeviceProvider, GpuProvider};
+pub use state::{SharedState, StateObject};

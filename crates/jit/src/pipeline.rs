@@ -1,0 +1,445 @@
+//! Compiled pipelines and their execution context.
+//!
+//! A [`CompiledPipeline`] is the product of "JIT compilation": the fused,
+//! specialized form of the operators between two pipeline breakers. Its
+//! behaviour is identical on every device; *how* it is executed differs per
+//! device and is implemented by the lowerings (`lower_cpu`, `lower_gpu`),
+//! selected by the pipeline's device kind.
+//!
+//! Processing a block returns the produced output blocks plus
+//! [`BlockCounters`] describing what actually happened (rows, probes,
+//! matches, emitted rows). The counters are converted into a
+//! [`WorkProfile`](hetex_topology::WorkProfile) — scaled by the block's
+//! weight — which the executor prices with the cost model and charges to the
+//! worker's resource clock.
+
+use crate::ir::{Step, TerminalStep};
+use crate::lower_cpu;
+use crate::lower_gpu;
+use crate::state::SharedState;
+use hetex_common::{
+    Block, BlockHandle, BlockId, BlockMeta, ColumnData, HetError, MemoryNodeId, PipelineId, Result,
+};
+use hetex_gpu_sim::{GpuDevice, LaunchConfig};
+use hetex_topology::{DeviceKind, WorkProfile};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// Functional counters for one processed block (or one finalize call).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BlockCounters {
+    /// Tuples read from the input block.
+    pub rows_in: u64,
+    /// Tuples that reached the terminal step.
+    pub rows_terminal: u64,
+    /// Tuples emitted into output blocks.
+    pub rows_emitted: u64,
+    /// Hash-table probes performed.
+    pub probes: u64,
+    /// Probe matches found.
+    pub probe_matches: u64,
+    /// Device-scoped atomic updates performed.
+    pub atomics: u64,
+    /// Kernel launches performed (GPU lowering only).
+    pub launches: u64,
+    /// Physical input bytes.
+    pub bytes_in: u64,
+    /// Physical output bytes.
+    pub bytes_out: u64,
+}
+
+impl BlockCounters {
+    /// Merge another counter set into this one.
+    pub fn merge(&mut self, other: &BlockCounters) {
+        self.rows_in += other.rows_in;
+        self.rows_terminal += other.rows_terminal;
+        self.rows_emitted += other.rows_emitted;
+        self.probes += other.probes;
+        self.probe_matches += other.probe_matches;
+        self.atomics += other.atomics;
+        self.launches += other.launches;
+        self.bytes_in += other.bytes_in;
+        self.bytes_out += other.bytes_out;
+    }
+}
+
+/// The result of processing one block (or finalizing an instance).
+#[derive(Debug, Default)]
+pub struct PipelineOutput {
+    /// Output block handles produced.
+    pub blocks: Vec<BlockHandle>,
+    /// Counters describing the work done.
+    pub counters: BlockCounters,
+    /// The modeled work, already scaled by the input block's weight.
+    pub work: WorkProfile,
+}
+
+/// Per-instance execution context: which device the instance runs on, where
+/// its outputs live, and the partially filled output blocks of the pack
+/// terminal (flushed by `finalize_instance`).
+#[derive(Debug)]
+pub struct ExecCtx {
+    /// The device kind this instance runs on.
+    pub device: DeviceKind,
+    /// The simulated GPU, for GPU instances.
+    pub gpu: Option<Arc<GpuDevice>>,
+    /// Kernel launch configuration used by the GPU lowering.
+    pub launch_config: LaunchConfig,
+    /// Capacity (tuples) of produced output blocks.
+    pub out_capacity: usize,
+    /// Memory node output blocks are produced on (local to this instance).
+    pub out_node: MemoryNodeId,
+    /// Partially filled pack outputs, keyed by partition.
+    pub(crate) open_partitions: HashMap<usize, Vec<Vec<i64>>>,
+    /// Weight inherited by produced blocks (set from the last input block).
+    pub(crate) current_weight: f64,
+    next_block_id: usize,
+}
+
+impl ExecCtx {
+    /// A CPU execution context producing blocks on `out_node`.
+    pub fn cpu(out_node: MemoryNodeId, out_capacity: usize) -> Self {
+        Self {
+            device: DeviceKind::CpuCore,
+            gpu: None,
+            launch_config: LaunchConfig::new(1, 1),
+            out_capacity,
+            out_node,
+            open_partitions: HashMap::new(),
+            current_weight: 1.0,
+            next_block_id: 0,
+        }
+    }
+
+    /// A GPU execution context bound to a simulated device.
+    pub fn gpu(device: Arc<GpuDevice>, out_capacity: usize) -> Self {
+        let out_node = device.memory_node();
+        Self {
+            device: DeviceKind::Gpu,
+            gpu: Some(device),
+            launch_config: LaunchConfig::default_for_device(),
+            out_capacity,
+            out_node,
+            open_partitions: HashMap::new(),
+            current_weight: 1.0,
+            next_block_id: 0,
+        }
+    }
+
+    /// Allocate the next output block id for this instance.
+    pub(crate) fn next_block_id(&mut self) -> BlockId {
+        let id = BlockId::new(self.next_block_id);
+        self.next_block_id += 1;
+        id
+    }
+
+    /// Build an output block handle from row-major tuples.
+    pub(crate) fn build_block(
+        &mut self,
+        rows: &[Vec<i64>],
+        partition: Option<usize>,
+    ) -> Result<BlockHandle> {
+        let width = rows.first().map(Vec::len).unwrap_or(0);
+        let mut columns: Vec<Vec<i64>> = vec![Vec::with_capacity(rows.len()); width];
+        for row in rows {
+            if row.len() != width {
+                return Err(HetError::Execution("ragged packed output".into()));
+            }
+            for (c, v) in row.iter().enumerate() {
+                columns[c].push(*v);
+            }
+        }
+        let block = Block::new(columns.into_iter().map(ColumnData::Int64).collect(), rows.len())?;
+        let mut meta = BlockMeta::new(self.next_block_id(), self.out_node);
+        meta.weight = self.current_weight;
+        meta.hash_partition = partition.map(|p| p as u64);
+        Ok(BlockHandle::new(block, meta))
+    }
+}
+
+/// A device-specialized, fused pipeline.
+#[derive(Debug, Clone)]
+pub struct CompiledPipeline {
+    id: PipelineId,
+    device: DeviceKind,
+    input_width: usize,
+    steps: Vec<Step>,
+    terminal: TerminalStep,
+}
+
+impl CompiledPipeline {
+    /// Compile a pipeline, validating that register references are within the
+    /// width flowing through each step.
+    pub fn new(
+        id: PipelineId,
+        device: DeviceKind,
+        input_width: usize,
+        steps: Vec<Step>,
+        terminal: TerminalStep,
+    ) -> Result<Self> {
+        let mut width = input_width;
+        for step in &steps {
+            step.check_width(width)?;
+            width = step.output_width(width);
+        }
+        terminal.check_width(width)?;
+        Ok(Self { id, device, input_width, steps, terminal })
+    }
+
+    /// The pipeline's identifier.
+    pub fn id(&self) -> PipelineId {
+        self.id
+    }
+
+    /// The device kind the pipeline was compiled for.
+    pub fn device(&self) -> DeviceKind {
+        self.device
+    }
+
+    /// Number of registers of the input layout.
+    pub fn input_width(&self) -> usize {
+        self.input_width
+    }
+
+    /// The transform steps.
+    pub fn steps(&self) -> &[Step] {
+        &self.steps
+    }
+
+    /// The terminal step.
+    pub fn terminal(&self) -> &TerminalStep {
+        &self.terminal
+    }
+
+    /// Number of registers flowing into the terminal step.
+    pub fn terminal_width(&self) -> usize {
+        self.steps
+            .iter()
+            .fold(self.input_width, |w, s| s.output_width(w))
+    }
+
+    /// Process one input block on this instance.
+    pub fn process_block(
+        &self,
+        block: &BlockHandle,
+        state: &SharedState,
+        ctx: &mut ExecCtx,
+    ) -> Result<PipelineOutput> {
+        if block.block().width() != self.input_width {
+            return Err(HetError::Execution(format!(
+                "pipeline {} expects {} input columns, block has {}",
+                self.id,
+                self.input_width,
+                block.block().width()
+            )));
+        }
+        ctx.current_weight = block.meta().weight;
+        let (blocks, counters) = match self.device {
+            DeviceKind::CpuCore => lower_cpu::process_block(self, block, state, ctx)?,
+            DeviceKind::Gpu => lower_gpu::process_block(self, block, state, ctx)?,
+        };
+        let work = self.work_profile(&counters, ctx.current_weight);
+        Ok(PipelineOutput { blocks, counters, work })
+    }
+
+    /// Flush this instance's partially filled pack outputs.
+    pub fn finalize_instance(&self, ctx: &mut ExecCtx) -> Result<PipelineOutput> {
+        let mut blocks = Vec::new();
+        let mut counters = BlockCounters::default();
+        let partitions: Vec<usize> = ctx.open_partitions.keys().copied().collect();
+        for p in partitions {
+            let rows = ctx.open_partitions.remove(&p).unwrap_or_default();
+            if rows.is_empty() {
+                continue;
+            }
+            counters.rows_emitted += rows.len() as u64;
+            counters.bytes_out += (rows.len() * rows[0].len() * 8) as u64;
+            let partition = match &self.terminal {
+                TerminalStep::Pack { partition_by: Some(_), .. } => Some(p),
+                _ => None,
+            };
+            blocks.push(ctx.build_block(&rows, partition)?);
+        }
+        let work = self.work_profile(&counters, ctx.current_weight);
+        Ok(PipelineOutput { blocks, counters, work })
+    }
+
+    /// Emit the results held in shared state (reduce / group-by terminals).
+    /// Must be called exactly once per pipeline, after every instance has
+    /// finished, by the executor.
+    pub fn emit_state_results(&self, state: &SharedState, ctx: &mut ExecCtx) -> Result<PipelineOutput> {
+        let mut rows: Vec<Vec<i64>> = Vec::new();
+        match &self.terminal {
+            TerminalStep::Reduce { slot, .. } => {
+                rows.push(state.accumulators(*slot)?.values());
+            }
+            TerminalStep::GroupBy { slot, .. } => {
+                for (key, values) in state.group_by(*slot)?.snapshot() {
+                    let mut row = key;
+                    row.extend(values);
+                    rows.push(row);
+                }
+            }
+            TerminalStep::Pack { .. } | TerminalStep::HashJoinBuild { .. } => {}
+        }
+        let mut counters = BlockCounters::default();
+        let mut blocks = Vec::new();
+        if !rows.is_empty() {
+            counters.rows_emitted = rows.len() as u64;
+            counters.bytes_out = (rows.len() * rows[0].len() * 8) as u64;
+            blocks.push(ctx.build_block(&rows, None)?);
+        }
+        let work = self.work_profile(&counters, 1.0);
+        Ok(PipelineOutput { blocks, counters, work })
+    }
+
+    /// Convert functional counters into modeled work, scaled by `weight`.
+    pub fn work_profile(&self, counters: &BlockCounters, weight: f64) -> WorkProfile {
+        let transform_ops: f64 = self.steps.iter().map(Step::ops_per_tuple).sum();
+        let terminal_ops = self.terminal.ops_per_tuple();
+        let probe_random_bytes: f64 = self
+            .steps
+            .iter()
+            .map(|s| match s {
+                Step::HashJoinProbe { payload_width, .. } => 16.0 + 8.0 * *payload_width as f64,
+                _ => 0.0,
+            })
+            .sum::<f64>()
+            / self
+                .steps
+                .iter()
+                .filter(|s| matches!(s, Step::HashJoinProbe { .. }))
+                .count()
+                .max(1) as f64;
+
+        let rows_in = counters.rows_in as f64;
+        let rows_terminal = counters.rows_terminal as f64;
+        let ops = rows_in * (1.0 + transform_ops) + rows_terminal * terminal_ops;
+        let random = counters.probes as f64 * probe_random_bytes
+            + rows_terminal * self.terminal.random_bytes_per_tuple();
+
+        let mut work = WorkProfile::new()
+            .scan(counters.bytes_in as f64)
+            .write(counters.bytes_out as f64)
+            .random(random)
+            .compute(rows_in, if rows_in > 0.0 { ops / rows_in } else { 0.0 })
+            .atomic(counters.atomics as f64);
+        work.kernel_launches = counters.launches;
+        work.scaled(weight.max(0.0)).with_launches(counters.launches)
+    }
+}
+
+/// Helper trait so `scaled` keeps the launch count (launches are fixed
+/// overheads — a physically smaller block standing in for a larger one is
+/// still launched once).
+trait WithLaunches {
+    fn with_launches(self, launches: u64) -> WorkProfile;
+}
+
+impl WithLaunches for WorkProfile {
+    fn with_launches(mut self, launches: u64) -> WorkProfile {
+        self.kernel_launches = launches;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ir::{AggSpec, StateSlot};
+
+    fn input_block(rows: usize) -> BlockHandle {
+        let a: Vec<i64> = (0..rows as i64).collect();
+        let b: Vec<i64> = (0..rows as i64).map(|i| i * 2).collect();
+        let block = Block::new(vec![ColumnData::Int64(a), ColumnData::Int64(b)], rows).unwrap();
+        BlockHandle::new(block, BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0)))
+    }
+
+    #[test]
+    fn pipeline_validates_register_widths() {
+        let bad = CompiledPipeline::new(
+            PipelineId::new(1),
+            DeviceKind::CpuCore,
+            2,
+            vec![Step::Filter { predicate: Expr::col(5).gt_lit(0) }],
+            TerminalStep::Pack { exprs: vec![Expr::col(0)], partition_by: None, partitions: 1 },
+        );
+        assert!(bad.is_err());
+
+        // A probe widens the register file, so later steps may reference the
+        // appended payload registers.
+        let ok = CompiledPipeline::new(
+            PipelineId::new(2),
+            DeviceKind::CpuCore,
+            2,
+            vec![
+                Step::HashJoinProbe { key: Expr::col(0), slot: StateSlot(0), payload_width: 1 },
+                Step::Filter { predicate: Expr::col(2).gt_lit(0) },
+            ],
+            TerminalStep::Reduce { aggs: vec![AggSpec::count()], slot: StateSlot(1) },
+        );
+        assert!(ok.is_ok());
+        assert_eq!(ok.unwrap().terminal_width(), 3);
+    }
+
+    #[test]
+    fn rejects_blocks_of_wrong_width() {
+        let p = CompiledPipeline::new(
+            PipelineId::new(3),
+            DeviceKind::CpuCore,
+            3,
+            vec![],
+            TerminalStep::Reduce { aggs: vec![AggSpec::count()], slot: StateSlot(0) },
+        )
+        .unwrap();
+        let mut state = SharedState::new();
+        state.add_accumulators(&[AggSpec::count()]);
+        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 16);
+        let err = p.process_block(&input_block(10), &state, &mut ctx);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn work_profile_scales_with_weight_but_not_launches() {
+        let p = CompiledPipeline::new(
+            PipelineId::new(4),
+            DeviceKind::Gpu,
+            2,
+            vec![Step::Filter { predicate: Expr::col(0).gt_lit(10) }],
+            TerminalStep::Reduce { aggs: vec![AggSpec::sum(Expr::col(1))], slot: StateSlot(0) },
+        )
+        .unwrap();
+        let counters = BlockCounters {
+            rows_in: 1000,
+            rows_terminal: 500,
+            bytes_in: 16_000,
+            atomics: 4,
+            launches: 1,
+            ..Default::default()
+        };
+        let w1 = p.work_profile(&counters, 1.0);
+        let w10 = p.work_profile(&counters, 10.0);
+        assert!((w10.bytes_scanned - 10.0 * w1.bytes_scanned).abs() < 1e-6);
+        assert!((w10.ops - 10.0 * w1.ops).abs() < 1e-6);
+        assert_eq!(w1.kernel_launches, 1);
+        assert_eq!(w10.kernel_launches, 1);
+    }
+
+    #[test]
+    fn exec_ctx_builds_tagged_blocks() {
+        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(1), 8);
+        ctx.current_weight = 2.0;
+        let rows = vec![vec![1, 2], vec![3, 4]];
+        let h = ctx.build_block(&rows, Some(5)).unwrap();
+        assert_eq!(h.rows(), 2);
+        assert_eq!(h.meta().location, MemoryNodeId::new(1));
+        assert_eq!(h.meta().hash_partition, Some(5));
+        assert!((h.meta().weight - 2.0).abs() < f64::EPSILON);
+        // ids increment per instance
+        let h2 = ctx.build_block(&rows, None).unwrap();
+        assert_ne!(h.meta().id, h2.meta().id);
+        // ragged rows error
+        assert!(ctx.build_block(&[vec![1, 2], vec![3]], None).is_err());
+    }
+}

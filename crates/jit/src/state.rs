@@ -1,0 +1,377 @@
+//! Shared query state: hash tables, aggregate accumulators, group-by tables.
+//!
+//! State objects are what the paper's *memory managers* serve (§4.3). They are
+//! shared between every instance of the pipelines that reference them —
+//! regardless of the device the instance runs on — because they are the one
+//! place where the lack of global cache coherence matters. We keep state in
+//! host memory protected by device-scoped atomics / short critical sections;
+//! the *cost* of those synchronizations is what the cost model charges (one
+//! atomic per CPU block, one per GPU warp), mirroring how the paper minimizes
+//! global atomics with neighborhood reductions.
+
+use crate::ir::{AggFunc, AggSpec, StateSlot};
+use hetex_common::{HetError, Result};
+use hetex_gpu_sim::DeviceAtomicI64;
+use parking_lot::{Mutex, RwLock};
+use std::collections::HashMap;
+
+/// A hash table built by the build side of an equi-join.
+#[derive(Debug, Default)]
+pub struct JoinHashTable {
+    map: RwLock<HashMap<i64, Vec<Vec<i64>>>>,
+    rows: DeviceAtomicI64,
+}
+
+impl JoinHashTable {
+    /// An empty hash table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one build tuple.
+    pub fn insert(&self, key: i64, payload: Vec<i64>) {
+        self.map.write().entry(key).or_default().push(payload);
+        self.rows.fetch_add(1);
+    }
+
+    /// Visit the payloads matching `key`.
+    pub fn probe<F: FnMut(&[i64])>(&self, key: i64, mut visit: F) -> usize {
+        let guard = self.map.read();
+        match guard.get(&key) {
+            Some(rows) => {
+                for row in rows {
+                    visit(row);
+                }
+                rows.len()
+            }
+            None => 0,
+        }
+    }
+
+    /// Number of build tuples inserted.
+    pub fn len(&self) -> usize {
+        self.rows.load() as usize
+    }
+
+    /// True if nothing has been inserted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of distinct keys.
+    pub fn distinct_keys(&self) -> usize {
+        self.map.read().len()
+    }
+
+    /// Approximate size of the table in bytes (for state-memory accounting).
+    pub fn approx_bytes(&self, payload_width: usize) -> u64 {
+        (self.len() as u64) * (16 + 8 * payload_width as u64)
+    }
+}
+
+/// Ungrouped aggregate accumulators, updated with device-scoped atomics.
+#[derive(Debug)]
+pub struct Accumulators {
+    funcs: Vec<AggFunc>,
+    values: Vec<DeviceAtomicI64>,
+}
+
+impl Accumulators {
+    /// Accumulators matching `aggs`.
+    pub fn new(aggs: &[AggSpec]) -> Self {
+        Self {
+            funcs: aggs.iter().map(|a| a.func).collect(),
+            values: aggs
+                .iter()
+                .map(|a| DeviceAtomicI64::new(a.func.identity()))
+                .collect(),
+        }
+    }
+
+    /// Number of accumulators.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// True if there are no accumulators.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Merge a vector of partial values (one per aggregate) with one atomic
+    /// update each — this is what the worker-scoped atomic of Listing 1 does.
+    pub fn merge_partials(&self, partials: &[i64]) {
+        debug_assert_eq!(partials.len(), self.values.len());
+        for ((func, acc), partial) in self.funcs.iter().zip(&self.values).zip(partials) {
+            match func {
+                AggFunc::Sum | AggFunc::Count => {
+                    acc.fetch_add(*partial);
+                }
+                AggFunc::Min => {
+                    acc.fetch_min(*partial);
+                }
+                AggFunc::Max => {
+                    acc.fetch_max(*partial);
+                }
+            }
+        }
+    }
+
+    /// Snapshot of the accumulator values.
+    pub fn values(&self) -> Vec<i64> {
+        self.values.iter().map(DeviceAtomicI64::load).collect()
+    }
+
+    /// The aggregate functions.
+    pub fn funcs(&self) -> &[AggFunc] {
+        &self.funcs
+    }
+}
+
+/// A grouped aggregation table.
+#[derive(Debug)]
+pub struct GroupByTable {
+    funcs: Vec<AggFunc>,
+    groups: Mutex<HashMap<Vec<i64>, Vec<i64>>>,
+}
+
+impl GroupByTable {
+    /// A table whose values follow `aggs`.
+    pub fn new(aggs: &[AggSpec]) -> Self {
+        Self {
+            funcs: aggs.iter().map(|a| a.func).collect(),
+            groups: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// Merge a batch of partial `(key, values)` pairs. Batching keeps the
+    /// critical section per block/warp rather than per tuple, matching the
+    /// granularity at which the generated code synchronizes.
+    pub fn merge_batch(&self, partials: impl IntoIterator<Item = (Vec<i64>, Vec<i64>)>) {
+        let mut groups = self.groups.lock();
+        for (key, values) in partials {
+            match groups.get_mut(&key) {
+                Some(acc) => {
+                    for ((func, a), v) in self.funcs.iter().zip(acc.iter_mut()).zip(&values) {
+                        *a = func.merge(*a, *v);
+                    }
+                }
+                None => {
+                    groups.insert(key, values);
+                }
+            }
+        }
+    }
+
+    /// Number of groups.
+    pub fn len(&self) -> usize {
+        self.groups.lock().len()
+    }
+
+    /// True if no groups exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of all `(key, values)` pairs, sorted by key for determinism.
+    pub fn snapshot(&self) -> Vec<(Vec<i64>, Vec<i64>)> {
+        let mut rows: Vec<(Vec<i64>, Vec<i64>)> = self
+            .groups
+            .lock()
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
+        rows.sort();
+        rows
+    }
+
+    /// The aggregate functions.
+    pub fn funcs(&self) -> &[AggFunc] {
+        &self.funcs
+    }
+}
+
+/// One shared state object referenced by a [`StateSlot`].
+#[derive(Debug)]
+pub enum StateObject {
+    /// A join hash table (with the payload width the probe side expects).
+    HashTable { table: JoinHashTable, payload_width: usize },
+    /// Ungrouped aggregate accumulators.
+    Accumulators(Accumulators),
+    /// A grouped aggregation table.
+    GroupBy(GroupByTable),
+}
+
+/// All state objects of one query.
+#[derive(Debug, Default)]
+pub struct SharedState {
+    slots: Vec<StateObject>,
+}
+
+impl SharedState {
+    /// An empty state set.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add a state object, returning its slot.
+    pub fn push(&mut self, object: StateObject) -> StateSlot {
+        self.slots.push(object);
+        StateSlot(self.slots.len() - 1)
+    }
+
+    /// Add a join hash table whose payloads have `payload_width` columns.
+    pub fn add_hash_table(&mut self, payload_width: usize) -> StateSlot {
+        self.push(StateObject::HashTable { table: JoinHashTable::new(), payload_width })
+    }
+
+    /// Add accumulators for `aggs`.
+    pub fn add_accumulators(&mut self, aggs: &[AggSpec]) -> StateSlot {
+        self.push(StateObject::Accumulators(Accumulators::new(aggs)))
+    }
+
+    /// Add a group-by table for `aggs`.
+    pub fn add_group_by(&mut self, aggs: &[AggSpec]) -> StateSlot {
+        self.push(StateObject::GroupBy(GroupByTable::new(aggs)))
+    }
+
+    /// Number of slots.
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True if no state has been registered.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The hash table in `slot`.
+    pub fn hash_table(&self, slot: StateSlot) -> Result<&JoinHashTable> {
+        match self.slots.get(slot.index()) {
+            Some(StateObject::HashTable { table, .. }) => Ok(table),
+            Some(_) => Err(HetError::Execution(format!(
+                "state slot {} is not a hash table",
+                slot.index()
+            ))),
+            None => Err(HetError::Execution(format!("unknown state slot {}", slot.index()))),
+        }
+    }
+
+    /// The accumulators in `slot`.
+    pub fn accumulators(&self, slot: StateSlot) -> Result<&Accumulators> {
+        match self.slots.get(slot.index()) {
+            Some(StateObject::Accumulators(acc)) => Ok(acc),
+            Some(_) => Err(HetError::Execution(format!(
+                "state slot {} is not an accumulator set",
+                slot.index()
+            ))),
+            None => Err(HetError::Execution(format!("unknown state slot {}", slot.index()))),
+        }
+    }
+
+    /// The group-by table in `slot`.
+    pub fn group_by(&self, slot: StateSlot) -> Result<&GroupByTable> {
+        match self.slots.get(slot.index()) {
+            Some(StateObject::GroupBy(g)) => Ok(g),
+            Some(_) => Err(HetError::Execution(format!(
+                "state slot {} is not a group-by table",
+                slot.index()
+            ))),
+            None => Err(HetError::Execution(format!("unknown state slot {}", slot.index()))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+
+    #[test]
+    fn hash_table_insert_and_probe() {
+        let t = JoinHashTable::new();
+        assert!(t.is_empty());
+        t.insert(10, vec![1, 100]);
+        t.insert(10, vec![2, 200]);
+        t.insert(20, vec![3, 300]);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.distinct_keys(), 2);
+        let mut seen = Vec::new();
+        let matches = t.probe(10, |row| seen.push(row.to_vec()));
+        assert_eq!(matches, 2);
+        assert_eq!(seen.len(), 2);
+        assert_eq!(t.probe(99, |_| panic!("no match expected")), 0);
+        assert!(t.approx_bytes(2) > 0);
+    }
+
+    #[test]
+    fn accumulators_merge_partials_atomically() {
+        let aggs = vec![
+            AggSpec::sum(Expr::col(0)),
+            AggSpec::count(),
+            AggSpec::min(Expr::col(0)),
+            AggSpec::max(Expr::col(0)),
+        ];
+        let acc = Accumulators::new(&aggs);
+        assert_eq!(acc.len(), 4);
+        acc.merge_partials(&[100, 3, 5, 50]);
+        acc.merge_partials(&[50, 2, 1, 99]);
+        assert_eq!(acc.values(), vec![150, 5, 1, 99]);
+        assert_eq!(acc.funcs()[1], AggFunc::Count);
+    }
+
+    #[test]
+    fn concurrent_accumulator_merges() {
+        use std::sync::Arc;
+        use std::thread;
+        let acc = Arc::new(Accumulators::new(&[AggSpec::sum(Expr::col(0)), AggSpec::count()]));
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let acc = Arc::clone(&acc);
+                thread::spawn(move || {
+                    for _ in 0..1000 {
+                        acc.merge_partials(&[2, 1]);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(acc.values(), vec![16_000, 8_000]);
+    }
+
+    #[test]
+    fn group_by_merges_partials_per_key() {
+        let aggs = vec![AggSpec::sum(Expr::col(0)), AggSpec::max(Expr::col(0))];
+        let g = GroupByTable::new(&aggs);
+        assert!(g.is_empty());
+        g.merge_batch(vec![
+            (vec![1997, 1], vec![100, 10]),
+            (vec![1998, 1], vec![50, 5]),
+        ]);
+        g.merge_batch(vec![(vec![1997, 1], vec![25, 99])]);
+        assert_eq!(g.len(), 2);
+        let rows = g.snapshot();
+        assert_eq!(rows[0], (vec![1997, 1], vec![125, 99]));
+        assert_eq!(rows[1], (vec![1998, 1], vec![50, 5]));
+    }
+
+    #[test]
+    fn shared_state_slot_dispatch() {
+        let mut state = SharedState::new();
+        assert!(state.is_empty());
+        let ht = state.add_hash_table(2);
+        let acc = state.add_accumulators(&[AggSpec::count()]);
+        let gb = state.add_group_by(&[AggSpec::sum(Expr::col(0))]);
+        assert_eq!(state.len(), 3);
+        assert!(state.hash_table(ht).is_ok());
+        assert!(state.accumulators(acc).is_ok());
+        assert!(state.group_by(gb).is_ok());
+        // Wrong-type and out-of-range accesses fail loudly.
+        assert!(state.hash_table(acc).is_err());
+        assert!(state.accumulators(gb).is_err());
+        assert!(state.group_by(ht).is_err());
+        assert!(state.hash_table(StateSlot(99)).is_err());
+    }
+}

@@ -1,0 +1,524 @@
+//! The thirteen SSB queries as relational plans.
+//!
+//! Every query is expressed as a [`RelNode`] plan over the generated schema:
+//! the `lineorder` fact scan is the probe spine, each referenced dimension is
+//! a filtered build side, and the root is a reduce (query flight 1) or a
+//! group-by (flights 2–4). String literals are encoded through the dataset's
+//! order-preserving dictionaries, so `p_brand1 BETWEEN 'MFGR#2221' AND
+//! 'MFGR#2228'` (Q2.2) becomes a range predicate over dictionary codes.
+//!
+//! One deviation from the original SQL: Q3.4's `d_yearmonth = 'Dec1997'`
+//! filter is expressed as `d_yearmonthnum = 199712`, which selects exactly the
+//! same dates (documented in EXPERIMENTS.md).
+
+use crate::gen::SsbDataset;
+use hetex_common::{HetError, Result};
+use hetex_core::RelNode;
+use hetex_jit::{AggSpec, Expr};
+use hetex_storage::StoredTable;
+
+/// One SSB query: its name, query group/flight, plan, and the fact-table
+/// columns it touches (used to size the working set for throughput numbers).
+#[derive(Debug, Clone)]
+pub struct SsbQuery {
+    /// Paper-style name, e.g. `"Q2.1"`.
+    pub name: String,
+    /// Query flight (1–4).
+    pub group: usize,
+    /// The sequential physical plan.
+    pub plan: RelNode,
+    /// Lineorder columns read by the query.
+    pub lineorder_columns: Vec<&'static str>,
+}
+
+/// Query flight of a query name ("Q3.2" → 3).
+pub fn query_group(name: &str) -> usize {
+    name.trim_start_matches('Q')
+        .split('.')
+        .next()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0)
+}
+
+fn dict_code(table: &StoredTable, column: &str, value: &str) -> Result<i64> {
+    let dict = table
+        .dictionary(column)
+        .ok_or_else(|| HetError::Schema(format!("column {column} has no dictionary")))?;
+    dict.encode(value)
+        .map(|c| c as i64)
+        .ok_or_else(|| HetError::Schema(format!("value `{value}` not in dictionary of {column}")))
+}
+
+fn dict_range(table: &StoredTable, column: &str, lo: &str, hi: &str) -> Result<(i64, i64)> {
+    let dict = table
+        .dictionary(column)
+        .ok_or_else(|| HetError::Schema(format!("column {column} has no dictionary")))?;
+    Ok((dict.lower_bound(lo) as i64, dict.upper_bound(hi) as i64))
+}
+
+/// All thirteen queries, in paper order.
+pub fn all_queries(data: &SsbDataset) -> Result<Vec<SsbQuery>> {
+    Ok(vec![
+        q1_1(data)?,
+        q1_2(data)?,
+        q1_3(data)?,
+        q2_1(data)?,
+        q2_2(data)?,
+        q2_3(data)?,
+        q3_1(data)?,
+        q3_2(data)?,
+        q3_3(data)?,
+        q3_4(data)?,
+        q4_1(data)?,
+        q4_2(data)?,
+        q4_3(data)?,
+    ])
+}
+
+/// Look up a query by its paper name.
+pub fn query_by_name(data: &SsbDataset, name: &str) -> Result<SsbQuery> {
+    all_queries(data)?
+        .into_iter()
+        .find(|q| q.name == name)
+        .ok_or_else(|| HetError::Config(format!("unknown SSB query `{name}`")))
+}
+
+// ---------------------------------------------------------------- flight 1
+
+/// Q1.x share the same shape: one join with `date`, predicates on discount,
+/// quantity and a date attribute, revenue = SUM(extendedprice * discount).
+fn flight1(
+    data: &SsbDataset,
+    name: &str,
+    date_filter: Expr,
+    discount_lo: i64,
+    discount_hi: i64,
+    quantity_pred: Expr,
+) -> Result<SsbQuery> {
+    let _ = data;
+    // date projection: [d_datekey, d_year, d_yearmonthnum, d_weeknuminyear]
+    let dates = RelNode::scan(
+        "date",
+        &["d_datekey", "d_year", "d_yearmonthnum", "d_weeknuminyear"],
+    )
+    .filter(date_filter);
+    // lineorder projection: [lo_orderdate, lo_discount, lo_quantity, lo_extendedprice]
+    let plan = RelNode::scan(
+        "lineorder",
+        &["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"],
+    )
+    .filter(Expr::col(1).between(discount_lo, discount_hi).and(quantity_pred))
+    .hash_join(dates, 0, 0, &[])
+    .reduce(
+        vec![AggSpec::sum(Expr::col(3).mul(Expr::col(1)))],
+        &["revenue"],
+    );
+    Ok(SsbQuery {
+        name: name.to_string(),
+        group: 1,
+        plan,
+        lineorder_columns: vec!["lo_orderdate", "lo_discount", "lo_quantity", "lo_extendedprice"],
+    })
+}
+
+fn q1_1(data: &SsbDataset) -> Result<SsbQuery> {
+    flight1(
+        data,
+        "Q1.1",
+        Expr::col(1).eq(Expr::lit(1993)),
+        1,
+        3,
+        Expr::col(2).lt_lit(25),
+    )
+}
+
+fn q1_2(data: &SsbDataset) -> Result<SsbQuery> {
+    flight1(
+        data,
+        "Q1.2",
+        Expr::col(2).eq(Expr::lit(199_401)),
+        4,
+        6,
+        Expr::col(2).between(26, 35),
+    )
+}
+
+fn q1_3(data: &SsbDataset) -> Result<SsbQuery> {
+    flight1(
+        data,
+        "Q1.3",
+        Expr::col(3).eq(Expr::lit(6)).and(Expr::col(1).eq(Expr::lit(1994))),
+        5,
+        7,
+        Expr::col(2).between(26, 35),
+    )
+}
+
+// ---------------------------------------------------------------- flight 2
+
+/// Q2.x: joins with part (filtered), supplier (region filter) and date;
+/// group by (d_year, p_brand1); SUM(lo_revenue).
+fn flight2(data: &SsbDataset, name: &str, part_filter: Expr, s_region: &str) -> Result<SsbQuery> {
+    let part = RelNode::scan("part", &["p_partkey", "p_category", "p_brand1"]).filter(part_filter);
+    let supplier = RelNode::scan("supplier", &["s_suppkey", "s_region"])
+        .filter(Expr::col(1).eq(Expr::lit(dict_code(&data.supplier, "s_region", s_region)?)));
+    let dates = RelNode::scan("date", &["d_datekey", "d_year"]);
+    // lineorder projection: [lo_orderdate, lo_partkey, lo_suppkey, lo_revenue]
+    let plan = RelNode::scan("lineorder", &["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"])
+        .hash_join(part, 1, 0, &[2]) // + p_brand1 @4
+        .hash_join(supplier, 2, 0, &[]) // width 5
+        .hash_join(dates, 0, 0, &[1]) // + d_year @5
+        .group_by(
+            &[5, 4],
+            vec![AggSpec::sum(Expr::col(3))],
+            &["d_year", "p_brand1", "revenue"],
+        );
+    Ok(SsbQuery {
+        name: name.to_string(),
+        group: 2,
+        plan,
+        lineorder_columns: vec!["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"],
+    })
+}
+
+fn q2_1(data: &SsbDataset) -> Result<SsbQuery> {
+    let category = dict_code(&data.part, "p_category", "MFGR#12")?;
+    flight2(data, "Q2.1", Expr::col(1).eq(Expr::lit(category)), "AMERICA")
+}
+
+fn q2_2(data: &SsbDataset) -> Result<SsbQuery> {
+    // The string inequality that DBMS G cannot execute (§6.1): a range over
+    // p_brand1, which order-preserving dictionary codes turn into a BETWEEN.
+    let (lo, hi) = dict_range(&data.part, "p_brand1", "MFGR#2221", "MFGR#2228")?;
+    flight2(data, "Q2.2", Expr::col(2).between(lo, hi), "ASIA")
+}
+
+fn q2_3(data: &SsbDataset) -> Result<SsbQuery> {
+    let brand = dict_code(&data.part, "p_brand1", "MFGR#2221")?;
+    flight2(data, "Q2.3", Expr::col(2).eq(Expr::lit(brand)), "EUROPE")
+}
+
+// ---------------------------------------------------------------- flight 3
+
+/// Q3.x: joins with customer, supplier and date; group by a geographic
+/// attribute pair plus d_year; SUM(lo_revenue).
+fn flight3(
+    data: &SsbDataset,
+    name: &str,
+    customer_filter: Expr,
+    supplier_filter: Expr,
+    date_filter: Option<Expr>,
+    geo_payload: &str,
+) -> Result<SsbQuery> {
+    let _ = data;
+    let customer = RelNode::scan("customer", &["c_custkey", "c_city", "c_nation", "c_region"])
+        .filter(customer_filter);
+    let supplier = RelNode::scan("supplier", &["s_suppkey", "s_city", "s_nation", "s_region"])
+        .filter(supplier_filter);
+    let mut dates = RelNode::scan("date", &["d_datekey", "d_year", "d_yearmonthnum"]);
+    if let Some(f) = date_filter {
+        dates = dates.filter(f);
+    }
+    // Payload column index within the dimension projections: city = 1, nation = 2.
+    let geo_idx = match geo_payload {
+        "city" => 1,
+        _ => 2,
+    };
+    // lineorder projection: [lo_orderdate, lo_custkey, lo_suppkey, lo_revenue]
+    let plan = RelNode::scan("lineorder", &["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_revenue"])
+        .hash_join(customer, 1, 0, &[geo_idx]) // + c_geo @4
+        .hash_join(supplier, 2, 0, &[geo_idx]) // + s_geo @5
+        .hash_join(dates, 0, 0, &[1]) // + d_year @6
+        .group_by(
+            &[4, 5, 6],
+            vec![AggSpec::sum(Expr::col(3))],
+            &["c_geo", "s_geo", "d_year", "revenue"],
+        );
+    Ok(SsbQuery {
+        name: name.to_string(),
+        group: 3,
+        plan,
+        lineorder_columns: vec!["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_revenue"],
+    })
+}
+
+fn q3_1(data: &SsbDataset) -> Result<SsbQuery> {
+    let asia_c = dict_code(&data.customer, "c_region", "ASIA")?;
+    let asia_s = dict_code(&data.supplier, "s_region", "ASIA")?;
+    flight3(
+        data,
+        "Q3.1",
+        Expr::col(3).eq(Expr::lit(asia_c)),
+        Expr::col(3).eq(Expr::lit(asia_s)),
+        Some(Expr::col(1).between(1992, 1997)),
+        "nation",
+    )
+}
+
+fn q3_2(data: &SsbDataset) -> Result<SsbQuery> {
+    let us_c = dict_code(&data.customer, "c_nation", "UNITED STATES")?;
+    let us_s = dict_code(&data.supplier, "s_nation", "UNITED STATES")?;
+    flight3(
+        data,
+        "Q3.2",
+        Expr::col(2).eq(Expr::lit(us_c)),
+        Expr::col(2).eq(Expr::lit(us_s)),
+        Some(Expr::col(1).between(1992, 1997)),
+        "city",
+    )
+}
+
+fn q3_3(data: &SsbDataset) -> Result<SsbQuery> {
+    let c1 = dict_code(&data.customer, "c_city", "UNITED KI1")?;
+    let c5 = dict_code(&data.customer, "c_city", "UNITED KI5")?;
+    let s1 = dict_code(&data.supplier, "s_city", "UNITED KI1")?;
+    let s5 = dict_code(&data.supplier, "s_city", "UNITED KI5")?;
+    flight3(
+        data,
+        "Q3.3",
+        Expr::col(1).in_list(vec![c1, c5]),
+        Expr::col(1).in_list(vec![s1, s5]),
+        Some(Expr::col(1).between(1992, 1997)),
+        "city",
+    )
+}
+
+fn q3_4(data: &SsbDataset) -> Result<SsbQuery> {
+    let c1 = dict_code(&data.customer, "c_city", "UNITED KI1")?;
+    let c5 = dict_code(&data.customer, "c_city", "UNITED KI5")?;
+    let s1 = dict_code(&data.supplier, "s_city", "UNITED KI1")?;
+    let s5 = dict_code(&data.supplier, "s_city", "UNITED KI5")?;
+    flight3(
+        data,
+        "Q3.4",
+        Expr::col(1).in_list(vec![c1, c5]),
+        Expr::col(1).in_list(vec![s1, s5]),
+        Some(Expr::col(2).eq(Expr::lit(199_712))),
+        "city",
+    )
+}
+
+// ---------------------------------------------------------------- flight 4
+
+/// Q4.x: four joins (customer, supplier, part, date); profit =
+/// SUM(lo_revenue - lo_supplycost).
+fn flight4(
+    data: &SsbDataset,
+    name: &str,
+    customer_filter: Expr,
+    supplier_filter: Expr,
+    part_filter: Option<Expr>,
+    date_filter: Option<Expr>,
+    customer_payload: &[usize],
+    supplier_payload: &[usize],
+    part_payload: &[usize],
+    group_keys: &[usize],
+    group_names: &[&str],
+) -> Result<SsbQuery> {
+    let _ = data;
+    let customer = RelNode::scan("customer", &["c_custkey", "c_city", "c_nation", "c_region"])
+        .filter(customer_filter);
+    let supplier = RelNode::scan("supplier", &["s_suppkey", "s_city", "s_nation", "s_region"])
+        .filter(supplier_filter);
+    let mut part = RelNode::scan("part", &["p_partkey", "p_mfgr", "p_category", "p_brand1"]);
+    if let Some(f) = part_filter {
+        part = part.filter(f);
+    }
+    let mut dates = RelNode::scan("date", &["d_datekey", "d_year"]);
+    if let Some(f) = date_filter {
+        dates = dates.filter(f);
+    }
+    // lineorder projection (width 6):
+    // [lo_orderdate, lo_custkey, lo_suppkey, lo_partkey, lo_revenue, lo_supplycost]
+    let plan = RelNode::scan(
+        "lineorder",
+        &["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_partkey", "lo_revenue", "lo_supplycost"],
+    )
+    .hash_join(customer, 1, 0, customer_payload)
+    .hash_join(supplier, 2, 0, supplier_payload)
+    .hash_join(part, 3, 0, part_payload)
+    .hash_join(dates, 0, 0, &[1])
+    .group_by(
+        group_keys,
+        vec![AggSpec::sum(Expr::col(4).sub(Expr::col(5)))],
+        group_names,
+    );
+    Ok(SsbQuery {
+        name: name.to_string(),
+        group: 4,
+        plan,
+        lineorder_columns: vec![
+            "lo_orderdate",
+            "lo_custkey",
+            "lo_suppkey",
+            "lo_partkey",
+            "lo_revenue",
+            "lo_supplycost",
+        ],
+    })
+}
+
+fn q4_1(data: &SsbDataset) -> Result<SsbQuery> {
+    let america_c = dict_code(&data.customer, "c_region", "AMERICA")?;
+    let america_s = dict_code(&data.supplier, "s_region", "AMERICA")?;
+    let m1 = dict_code(&data.part, "p_mfgr", "MFGR#1")?;
+    let m2 = dict_code(&data.part, "p_mfgr", "MFGR#2")?;
+    // widths: 6 -> +c_nation@6 -> +0 -> +0 -> +d_year@7
+    flight4(
+        data,
+        "Q4.1",
+        Expr::col(3).eq(Expr::lit(america_c)),
+        Expr::col(3).eq(Expr::lit(america_s)),
+        Some(Expr::col(1).in_list(vec![m1, m2])),
+        None,
+        &[2],
+        &[],
+        &[],
+        &[7, 6],
+        &["d_year", "c_nation", "profit"],
+    )
+}
+
+fn q4_2(data: &SsbDataset) -> Result<SsbQuery> {
+    let america_c = dict_code(&data.customer, "c_region", "AMERICA")?;
+    let america_s = dict_code(&data.supplier, "s_region", "AMERICA")?;
+    let m1 = dict_code(&data.part, "p_mfgr", "MFGR#1")?;
+    let m2 = dict_code(&data.part, "p_mfgr", "MFGR#2")?;
+    // widths: 6 -> +0 -> +s_nation@6 -> +p_category@7 -> +d_year@8
+    flight4(
+        data,
+        "Q4.2",
+        Expr::col(3).eq(Expr::lit(america_c)),
+        Expr::col(3).eq(Expr::lit(america_s)),
+        Some(Expr::col(1).in_list(vec![m1, m2])),
+        Some(Expr::col(1).in_list(vec![1997, 1998])),
+        &[],
+        &[2],
+        &[2],
+        &[8, 6, 7],
+        &["d_year", "s_nation", "p_category", "profit"],
+    )
+}
+
+fn q4_3(data: &SsbDataset) -> Result<SsbQuery> {
+    let america_c = dict_code(&data.customer, "c_region", "AMERICA")?;
+    let us_s = dict_code(&data.supplier, "s_nation", "UNITED STATES")?;
+    let cat = dict_code(&data.part, "p_category", "MFGR#14")?;
+    // widths: 6 -> +0 -> +s_city@6 -> +p_brand1@7 -> +d_year@8
+    flight4(
+        data,
+        "Q4.3",
+        Expr::col(3).eq(Expr::lit(america_c)),
+        Expr::col(2).eq(Expr::lit(us_s)),
+        Some(Expr::col(2).eq(Expr::lit(cat))),
+        Some(Expr::col(1).in_list(vec![1997, 1998])),
+        &[],
+        &[1],
+        &[3],
+        &[8, 6, 7],
+        &["d_year", "s_city", "p_brand1", "profit"],
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::SsbGenerator;
+    use hetex_common::MemoryNodeId;
+    use hetex_engine::reference_execute;
+    use hetex_storage::Catalog;
+
+    fn dataset() -> SsbDataset {
+        SsbGenerator { scale_factor: 0.002, seed: 11, segment_rows: 4096, fact_rows: None }
+            .generate(&[MemoryNodeId::new(0), MemoryNodeId::new(1)])
+            .unwrap()
+    }
+
+    #[test]
+    fn thirteen_queries_in_four_groups() {
+        let data = dataset();
+        let queries = all_queries(&data).unwrap();
+        assert_eq!(queries.len(), 13);
+        let names: Vec<&str> = queries.iter().map(|q| q.name.as_str()).collect();
+        assert_eq!(names[0], "Q1.1");
+        assert_eq!(names[12], "Q4.3");
+        for q in &queries {
+            assert_eq!(q.group, query_group(&q.name));
+            assert!(!q.lineorder_columns.is_empty());
+        }
+        assert_eq!(queries.iter().filter(|q| q.group == 1).count(), 3);
+        assert_eq!(queries.iter().filter(|q| q.group == 2).count(), 3);
+        assert_eq!(queries.iter().filter(|q| q.group == 3).count(), 4);
+        assert_eq!(queries.iter().filter(|q| q.group == 4).count(), 3);
+        assert!(query_by_name(&data, "Q2.2").is_ok());
+        assert!(query_by_name(&data, "Q9.9").is_err());
+    }
+
+    #[test]
+    fn plans_evaluate_against_the_reference_executor() {
+        let data = dataset();
+        let catalog = Catalog::new();
+        data.register_into(&catalog);
+        for q in all_queries(&data).unwrap() {
+            let rows = reference_execute(&q.plan, &catalog)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", q.name));
+            match q.group {
+                1 => assert_eq!(rows.len(), 1, "{} returns one aggregate row", q.name),
+                _ => {
+                    // Group-by queries may legitimately return empty results at
+                    // tiny scale, but the common flights should find matches.
+                    if q.name == "Q2.1" || q.name == "Q3.1" || q.name == "Q4.1" {
+                        assert!(!rows.is_empty(), "{} should produce groups", q.name);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn q1_1_matches_a_handwritten_evaluation() {
+        let data = dataset();
+        let catalog = Catalog::new();
+        data.register_into(&catalog);
+        let q = query_by_name(&data, "Q1.1").unwrap();
+        let rows = reference_execute(&q.plan, &catalog).unwrap();
+
+        // Recompute directly from the raw columns.
+        let orderdate = data.lineorder.column("lo_orderdate").unwrap();
+        let discount = data.lineorder.column("lo_discount").unwrap();
+        let quantity = data.lineorder.column("lo_quantity").unwrap();
+        let price = data.lineorder.column("lo_extendedprice").unwrap();
+        let mut expected = 0i64;
+        for i in 0..data.lineorder.rows() {
+            let d = discount.get_i64(i).unwrap();
+            let q_ = quantity.get_i64(i).unwrap();
+            let date = orderdate.get_i64(i).unwrap();
+            let year = date / 10_000;
+            if year == 1993 && (1..=3).contains(&d) && q_ < 25 {
+                expected += price.get_i64(i).unwrap() * d;
+            }
+        }
+        assert_eq!(rows[0][0], expected);
+    }
+
+    #[test]
+    fn q2_2_brand_range_selects_eight_brands() {
+        let data = dataset();
+        let (lo, hi) = dict_range(&data.part, "p_brand1", "MFGR#2221", "MFGR#2228").unwrap();
+        assert_eq!(hi - lo + 1, 8);
+    }
+
+    #[test]
+    fn group_by_outputs_are_sorted_and_keyed_correctly() {
+        let data = dataset();
+        let catalog = Catalog::new();
+        data.register_into(&catalog);
+        let q = query_by_name(&data, "Q2.1").unwrap();
+        let rows = reference_execute(&q.plan, &catalog).unwrap();
+        assert!(rows.windows(2).all(|w| w[0] <= w[1]));
+        // Keys are (d_year, p_brand1): years in range, brands within MFGR#12.
+        for row in &rows {
+            assert!((1992..=1998).contains(&row[0]));
+        }
+    }
+}

@@ -1,0 +1,161 @@
+//! Memory managers: operator *state* memory.
+//!
+//! §4.3 distinguishes state memory (hash-join hash tables, aggregation
+//! accumulators) from staging memory (blocks). State memory is served by one
+//! memory manager per memory node, and "requests by the pipelines are always
+//! served by their closest (appropriate) manager". The managers here track
+//! capacity per node (socket DRAM is large, GPU device memory is 8 GB), so a
+//! build side that does not fit on the GPU fails the same way it would on the
+//! paper's hardware.
+
+use hetex_common::{HetError, MemoryNodeId, Result};
+use parking_lot::Mutex;
+use std::sync::Arc;
+
+/// One state allocation; freed when dropped.
+#[derive(Debug)]
+pub struct StateAllocation {
+    bytes: u64,
+    node: MemoryNodeId,
+    used: Arc<Mutex<u64>>,
+    released: bool,
+}
+
+impl StateAllocation {
+    /// Size of the allocation.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
+    }
+
+    /// The node the state lives on.
+    pub fn node(&self) -> MemoryNodeId {
+        self.node
+    }
+}
+
+impl Drop for StateAllocation {
+    fn drop(&mut self) {
+        if !self.released {
+            *self.used.lock() -= self.bytes;
+            self.released = true;
+        }
+    }
+}
+
+/// The state-memory manager of one memory node.
+#[derive(Debug)]
+pub struct MemoryManager {
+    node: MemoryNodeId,
+    capacity: u64,
+    used: Arc<Mutex<u64>>,
+}
+
+impl MemoryManager {
+    /// A manager for `node` with `capacity` bytes of state memory.
+    pub fn new(node: MemoryNodeId, capacity: u64) -> Self {
+        Self { node, capacity, used: Arc::new(Mutex::new(0)) }
+    }
+
+    /// The node this manager serves.
+    pub fn node(&self) -> MemoryNodeId {
+        self.node
+    }
+
+    /// Capacity in bytes.
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Bytes currently allocated.
+    pub fn used(&self) -> u64 {
+        *self.used.lock()
+    }
+
+    /// Allocate `bytes` of state memory on this node.
+    pub fn alloc(&self, bytes: u64) -> Result<StateAllocation> {
+        let mut used = self.used.lock();
+        if *used + bytes > self.capacity {
+            return Err(HetError::Memory(format!(
+                "state memory exhausted on {}: requested {bytes} B, {} of {} B in use",
+                self.node, *used, self.capacity
+            )));
+        }
+        *used += bytes;
+        Ok(StateAllocation {
+            bytes,
+            node: self.node,
+            used: Arc::clone(&self.used),
+            released: false,
+        })
+    }
+}
+
+/// One memory manager per node of the server.
+#[derive(Debug)]
+pub struct MemoryManagerSet {
+    managers: Vec<Arc<MemoryManager>>,
+}
+
+impl MemoryManagerSet {
+    /// Build managers from `(node, capacity_bytes)` pairs.
+    pub fn new(nodes: &[(MemoryNodeId, u64)]) -> Self {
+        Self {
+            managers: nodes
+                .iter()
+                .map(|&(n, cap)| Arc::new(MemoryManager::new(n, cap)))
+                .collect(),
+        }
+    }
+
+    /// The manager closest to (i.e. on) `node`.
+    pub fn manager(&self, node: MemoryNodeId) -> Result<&Arc<MemoryManager>> {
+        self.managers
+            .iter()
+            .find(|m| m.node() == node)
+            .ok_or_else(|| HetError::Memory(format!("no memory manager for {node}")))
+    }
+
+    /// Allocate state on the manager local to `node`.
+    pub fn alloc_on(&self, node: MemoryNodeId, bytes: u64) -> Result<StateAllocation> {
+        self.manager(node)?.alloc(bytes)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_and_drop_round_trip() {
+        let mgr = MemoryManager::new(MemoryNodeId::new(0), 1000);
+        let a = mgr.alloc(600).unwrap();
+        assert_eq!(mgr.used(), 600);
+        assert_eq!(a.bytes(), 600);
+        assert_eq!(a.node(), MemoryNodeId::new(0));
+        assert!(mgr.alloc(500).is_err());
+        drop(a);
+        assert_eq!(mgr.used(), 0);
+        assert!(mgr.alloc(500).is_ok());
+    }
+
+    #[test]
+    fn set_routes_to_local_manager() {
+        let set = MemoryManagerSet::new(&[
+            (MemoryNodeId::new(0), 1000),
+            (MemoryNodeId::new(2), 100),
+        ]);
+        let a = set.alloc_on(MemoryNodeId::new(2), 80).unwrap();
+        assert_eq!(a.node(), MemoryNodeId::new(2));
+        assert!(set.alloc_on(MemoryNodeId::new(2), 80).is_err());
+        assert!(set.alloc_on(MemoryNodeId::new(0), 80).is_ok());
+        assert!(set.alloc_on(MemoryNodeId::new(7), 1).is_err());
+    }
+
+    #[test]
+    fn gpu_sized_manager_rejects_oversized_hash_table() {
+        // A GPU node has 8 GB; a 12 GB build side must be rejected.
+        let set = MemoryManagerSet::new(&[(MemoryNodeId::new(3), 8 * (1 << 30))]);
+        let err = set.alloc_on(MemoryNodeId::new(3), 12 * (1 << 30)).unwrap_err();
+        assert_eq!(err.category(), "memory");
+    }
+}

@@ -1,0 +1,101 @@
+//! Pipeline affinities.
+//!
+//! §4.2 of the paper: every pipeline instance carries *both* a CPU affinity and
+//! a GPU affinity, inherited from the router that instantiated it; only the
+//! affinity matching the pipeline's device type is used, but carrying both lets
+//! a router control the placement of pipelines that sit beyond several device
+//! crossings (e.g. the bottom router pins pipeline 7 even though pipelines 8–10
+//! cross devices twice in between).
+
+use crate::device::{DeviceId, DeviceKind};
+use std::fmt;
+
+/// A (CPU core, GPU) affinity pair assigned to a pipeline instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Affinity {
+    /// CPU core the instance is pinned to, if any.
+    pub cpu_core: Option<DeviceId>,
+    /// GPU the instance is pinned to, if any.
+    pub gpu: Option<DeviceId>,
+}
+
+impl Affinity {
+    /// Affinity with both devices set.
+    pub fn new(cpu_core: Option<DeviceId>, gpu: Option<DeviceId>) -> Self {
+        Self { cpu_core, gpu }
+    }
+
+    /// Affinity pinned to a CPU core only.
+    pub fn cpu(core: DeviceId) -> Self {
+        Self { cpu_core: Some(core), gpu: None }
+    }
+
+    /// Affinity pinned to a GPU only.
+    pub fn gpu(gpu: DeviceId) -> Self {
+        Self { cpu_core: None, gpu: Some(gpu) }
+    }
+
+    /// The device to use for a pipeline of the given kind, per §4.2: "assigning
+    /// both a CPU and GPU affinity to all pipelines, but using only the
+    /// appropriate one".
+    pub fn for_kind(&self, kind: DeviceKind) -> Option<DeviceId> {
+        match kind {
+            DeviceKind::CpuCore => self.cpu_core,
+            DeviceKind::Gpu => self.gpu,
+        }
+    }
+
+    /// Inherit the missing halves from the instantiating pipeline's affinity
+    /// ("HetExchange forces pipelines to inherit both the degree of parallelism
+    /// and the affinity of their instantiator").
+    pub fn inherit_from(&self, parent: &Affinity) -> Affinity {
+        Affinity {
+            cpu_core: self.cpu_core.or(parent.cpu_core),
+            gpu: self.gpu.or(parent.gpu),
+        }
+    }
+}
+
+impl fmt::Display for Affinity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match (self.cpu_core, self.gpu) {
+            (Some(c), Some(g)) => write!(f, "cpu:{} gpu:{}", c.index(), g.index()),
+            (Some(c), None) => write!(f, "cpu:{}", c.index()),
+            (None, Some(g)) => write!(f, "gpu:{}", g.index()),
+            (None, None) => f.write_str("unpinned"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_kind_selects_matching_device() {
+        let a = Affinity::new(Some(DeviceId::new(1)), Some(DeviceId::new(24)));
+        assert_eq!(a.for_kind(DeviceKind::CpuCore), Some(DeviceId::new(1)));
+        assert_eq!(a.for_kind(DeviceKind::Gpu), Some(DeviceId::new(24)));
+        assert_eq!(Affinity::cpu(DeviceId::new(3)).for_kind(DeviceKind::Gpu), None);
+    }
+
+    #[test]
+    fn inherit_fills_missing_halves_only() {
+        let parent = Affinity::new(Some(DeviceId::new(4)), Some(DeviceId::new(25)));
+        let child = Affinity::gpu(DeviceId::new(24));
+        let inherited = child.inherit_from(&parent);
+        // The explicitly set GPU wins; the CPU half is inherited.
+        assert_eq!(inherited.gpu, Some(DeviceId::new(24)));
+        assert_eq!(inherited.cpu_core, Some(DeviceId::new(4)));
+    }
+
+    #[test]
+    fn display_is_compact() {
+        assert_eq!(Affinity::default().to_string(), "unpinned");
+        assert_eq!(Affinity::cpu(DeviceId::new(2)).to_string(), "cpu:2");
+        assert_eq!(
+            Affinity::new(Some(DeviceId::new(1)), Some(DeviceId::new(24))).to_string(),
+            "cpu:1 gpu:24"
+        );
+    }
+}

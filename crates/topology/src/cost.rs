@@ -1,0 +1,245 @@
+//! The work/cost model.
+//!
+//! Compiled pipelines record *what they did* to each block — bytes scanned,
+//! bytes materialized, random probes, simple operations, atomic updates,
+//! kernel launches — into a [`WorkProfile`]. The [`CostModel`] then converts a
+//! work profile into simulated nanoseconds for a particular
+//! [`DeviceProfile`]. Splitting recording from pricing keeps relational
+//! operators device-agnostic (the same blueprint property the paper's device
+//! providers give the generated code) and lets the benchmark harness re-price
+//! the same execution under different hardware assumptions.
+
+use crate::device::DeviceProfile;
+
+/// Work performed while processing one block (or one morsel) of input.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct WorkProfile {
+    /// Bytes read sequentially from the device's local memory.
+    pub bytes_scanned: f64,
+    /// Bytes written sequentially (materialized intermediates, packed blocks).
+    pub bytes_written: f64,
+    /// Bytes touched by dependent random accesses (hash-table probes/builds).
+    pub random_bytes: f64,
+    /// Number of tuples processed.
+    pub tuples: f64,
+    /// Simple operations (comparisons, arithmetic, hashing) executed.
+    pub ops: f64,
+    /// Device-scoped atomic updates performed.
+    pub atomics: f64,
+    /// Kernels launched / tasks spawned on the device.
+    pub kernel_launches: u64,
+}
+
+impl WorkProfile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record a sequential scan of `bytes`.
+    pub fn scan(mut self, bytes: f64) -> Self {
+        self.bytes_scanned += bytes;
+        self
+    }
+
+    /// Record a sequential materialization of `bytes`.
+    pub fn write(mut self, bytes: f64) -> Self {
+        self.bytes_written += bytes;
+        self
+    }
+
+    /// Record `bytes` of dependent random accesses.
+    pub fn random(mut self, bytes: f64) -> Self {
+        self.random_bytes += bytes;
+        self
+    }
+
+    /// Record `n` tuples each performing `ops_per_tuple` simple operations.
+    pub fn compute(mut self, n: f64, ops_per_tuple: f64) -> Self {
+        self.tuples += n;
+        self.ops += n * ops_per_tuple;
+        self
+    }
+
+    /// Record `n` atomic updates.
+    pub fn atomic(mut self, n: f64) -> Self {
+        self.atomics += n;
+        self
+    }
+
+    /// Record a kernel launch / task spawn.
+    pub fn launch(mut self) -> Self {
+        self.kernel_launches += 1;
+        self
+    }
+
+    /// Accumulate another profile into this one.
+    pub fn merge(&mut self, other: &WorkProfile) {
+        self.bytes_scanned += other.bytes_scanned;
+        self.bytes_written += other.bytes_written;
+        self.random_bytes += other.random_bytes;
+        self.tuples += other.tuples;
+        self.ops += other.ops;
+        self.atomics += other.atomics;
+        self.kernel_launches += other.kernel_launches;
+    }
+
+    /// Multiply every component by `factor` (used by the scale-extrapolating
+    /// benchmark harness: a physically small fact table modelling SF1000).
+    pub fn scaled(&self, factor: f64) -> WorkProfile {
+        WorkProfile {
+            bytes_scanned: self.bytes_scanned * factor,
+            bytes_written: self.bytes_written * factor,
+            random_bytes: self.random_bytes * factor,
+            tuples: self.tuples * factor,
+            ops: self.ops * factor,
+            atomics: self.atomics * factor,
+            kernel_launches: self.kernel_launches,
+        }
+    }
+
+    /// Bytes of pressure this work puts on the shared local memory node
+    /// (sequential traffic plus a fraction of random traffic, since random
+    /// probes use a fraction of each cache line fetched).
+    pub fn memory_node_bytes(&self) -> f64 {
+        self.bytes_scanned + self.bytes_written + self.random_bytes
+    }
+
+    /// True if the profile records no work at all.
+    pub fn is_empty(&self) -> bool {
+        self.bytes_scanned == 0.0
+            && self.bytes_written == 0.0
+            && self.random_bytes == 0.0
+            && self.ops == 0.0
+            && self.atomics == 0.0
+            && self.kernel_launches == 0
+    }
+}
+
+/// Converts work profiles into simulated time for a device.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CostModel;
+
+impl CostModel {
+    /// Create the default cost model.
+    pub fn new() -> Self {
+        CostModel
+    }
+
+    /// Time in simulated nanoseconds for `work` on a device with `profile`.
+    ///
+    /// Memory time and compute time overlap (out-of-order CPUs / latency-hiding
+    /// GPUs), so the busy time is their maximum; fixed overheads (atomics
+    /// serialized on shared state, kernel launches) are added on top.
+    pub fn time_ns(&self, work: &WorkProfile, profile: &DeviceProfile) -> u64 {
+        let seq_seconds = (work.bytes_scanned + work.bytes_written)
+            / (profile.seq_bandwidth_gbps * 1e9);
+        let random_seconds = work.random_bytes / (profile.random_bandwidth_gbps * 1e9);
+        let memory_seconds = seq_seconds + random_seconds;
+        let compute_seconds = work.ops / (profile.compute_gops * 1e9);
+        let busy_seconds = memory_seconds.max(compute_seconds);
+        let overhead_ns = work.atomics * profile.atomic_ns
+            + (work.kernel_launches as f64) * (profile.launch_overhead_ns as f64);
+        (busy_seconds * 1e9 + overhead_ns).round() as u64
+    }
+
+    /// Effective throughput in GB/s that the device achieves on `work`
+    /// (weighted bytes divided by modeled time). Used by the bench harness to
+    /// report the throughput numbers quoted in §6.2/§6.4.
+    pub fn throughput_gbps(&self, work: &WorkProfile, profile: &DeviceProfile) -> f64 {
+        let ns = self.time_ns(work, profile);
+        if ns == 0 {
+            return 0.0;
+        }
+        work.bytes_scanned / (ns as f64 / 1e9) / 1e9
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use hetex_common::MemoryNodeId;
+
+    fn cpu() -> DeviceProfile {
+        DeviceProfile::paper_cpu_core(0, MemoryNodeId::new(0))
+    }
+
+    fn gpu() -> DeviceProfile {
+        DeviceProfile::paper_gpu(0, MemoryNodeId::new(2))
+    }
+
+    #[test]
+    fn builder_accumulates_components() {
+        let w = WorkProfile::new()
+            .scan(100.0)
+            .write(50.0)
+            .random(25.0)
+            .compute(10.0, 3.0)
+            .atomic(2.0)
+            .launch();
+        assert_eq!(w.bytes_scanned, 100.0);
+        assert_eq!(w.bytes_written, 50.0);
+        assert_eq!(w.random_bytes, 25.0);
+        assert_eq!(w.tuples, 10.0);
+        assert_eq!(w.ops, 30.0);
+        assert_eq!(w.atomics, 2.0);
+        assert_eq!(w.kernel_launches, 1);
+        assert_eq!(w.memory_node_bytes(), 175.0);
+        assert!(!w.is_empty());
+        assert!(WorkProfile::new().is_empty());
+    }
+
+    #[test]
+    fn merge_and_scale() {
+        let mut a = WorkProfile::new().scan(10.0).compute(5.0, 1.0);
+        let b = WorkProfile::new().scan(20.0).atomic(1.0).launch();
+        a.merge(&b);
+        assert_eq!(a.bytes_scanned, 30.0);
+        assert_eq!(a.kernel_launches, 1);
+        let s = a.scaled(10.0);
+        assert_eq!(s.bytes_scanned, 300.0);
+        assert_eq!(s.ops, 50.0);
+        // Launches are fixed overheads and are not scaled.
+        assert_eq!(s.kernel_launches, 1);
+    }
+
+    #[test]
+    fn sequential_scan_faster_on_gpu_than_single_core() {
+        let work = WorkProfile::new().scan(1e9).compute(250e6, 2.0);
+        let model = CostModel::new();
+        let cpu_ns = model.time_ns(&work, &cpu());
+        let gpu_ns = model.time_ns(&work, &gpu());
+        assert!(gpu_ns < cpu_ns / 20, "gpu {gpu_ns} vs cpu {cpu_ns}");
+    }
+
+    #[test]
+    fn random_probes_penalize_cpu_more() {
+        let work = WorkProfile::new().random(1e8).compute(1e7, 4.0);
+        let model = CostModel::new();
+        let cpu_ns = model.time_ns(&work, &cpu());
+        let gpu_ns = model.time_ns(&work, &gpu());
+        // §6.4: the join query is GPU-friendly because random accesses impact
+        // the CPU side more.
+        assert!(cpu_ns as f64 / gpu_ns as f64 > 20.0);
+    }
+
+    #[test]
+    fn kernel_launch_overhead_is_charged() {
+        let model = CostModel::new();
+        let no_launch = WorkProfile::new().scan(1e6);
+        let with_launch = WorkProfile::new().scan(1e6).launch();
+        let g = gpu();
+        assert_eq!(
+            model.time_ns(&with_launch, &g) - model.time_ns(&no_launch, &g),
+            g.launch_overhead_ns
+        );
+    }
+
+    #[test]
+    fn single_core_scan_throughput_matches_calibration() {
+        let model = CostModel::new();
+        let work = WorkProfile::new().scan(1e9);
+        let gbps = model.throughput_gbps(&work, &cpu());
+        assert!((gbps - 5.6).abs() < 0.1, "throughput {gbps}");
+    }
+}

@@ -1,0 +1,139 @@
+//! Interconnect links between memory nodes.
+//!
+//! The paper's server connects each GPU to its socket with a dedicated PCIe
+//! 3.0 x16 link (~12 GB/s measured) and the two sockets with QPI. Transfers
+//! between two memory nodes traverse one or more links; the DMA engine
+//! reserves time on every link of the route, so a transfer that crosses the
+//! QPI *and* a PCIe link is limited by the slower of the two and contends with
+//! any other traffic using either link.
+
+use std::fmt;
+
+/// Identifier of an interconnect link.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct LinkId(pub usize);
+
+impl LinkId {
+    /// Construct from a raw index.
+    pub const fn new(raw: usize) -> Self {
+        LinkId(raw)
+    }
+
+    /// The raw index.
+    pub const fn index(self) -> usize {
+        self.0
+    }
+}
+
+impl fmt::Display for LinkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "link{}", self.0)
+    }
+}
+
+/// The technology of a link, which determines its default characteristics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum LinkKind {
+    /// PCIe 3.0 x16 between a socket and a GPU (~12 GB/s measured, §6).
+    Pcie3x16,
+    /// Inter-socket link (QPI/UPI).
+    InterSocket,
+    /// A PCIe switch shared by several GPUs on the same socket (§2.1 mentions
+    /// that switched GPUs share bandwidth; the paper's server does not use
+    /// switches but the topology builder supports them).
+    PcieSwitch,
+}
+
+impl LinkKind {
+    /// Default bandwidth for the link kind, GB/s.
+    pub fn default_bandwidth_gbps(self) -> f64 {
+        match self {
+            LinkKind::Pcie3x16 => 12.0,
+            LinkKind::InterSocket => 30.0,
+            LinkKind::PcieSwitch => 12.0,
+        }
+    }
+
+    /// Default latency for one transfer on this link, nanoseconds.
+    pub fn default_latency_ns(self) -> u64 {
+        match self {
+            LinkKind::Pcie3x16 => 10_000,
+            LinkKind::InterSocket => 500,
+            LinkKind::PcieSwitch => 12_000,
+        }
+    }
+}
+
+/// Description of one interconnect link between two endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LinkSpec {
+    /// Identifier of the link.
+    pub id: LinkId,
+    /// Technology of the link.
+    pub kind: LinkKind,
+    /// Human-readable endpoints, e.g. `"socket0"` and `"gpu0"`.
+    pub from: String,
+    pub to: String,
+    /// Usable bandwidth, GB/s, per direction.
+    pub bandwidth_gbps: f64,
+    /// Fixed latency added to every transfer, nanoseconds.
+    pub latency_ns: u64,
+}
+
+impl LinkSpec {
+    /// A link of the given kind with default characteristics.
+    pub fn new(id: LinkId, kind: LinkKind, from: impl Into<String>, to: impl Into<String>) -> Self {
+        Self {
+            id,
+            kind,
+            from: from.into(),
+            to: to.into(),
+            bandwidth_gbps: kind.default_bandwidth_gbps(),
+            latency_ns: kind.default_latency_ns(),
+        }
+    }
+
+    /// Override the bandwidth (used for what-if topologies and tests).
+    pub fn with_bandwidth(mut self, gbps: f64) -> Self {
+        self.bandwidth_gbps = gbps;
+        self
+    }
+
+    /// Time to move `bytes` over this link, ignoring queueing.
+    pub fn transfer_ns(&self, bytes: f64) -> u64 {
+        let seconds = bytes / (self.bandwidth_gbps * 1e9);
+        self.latency_ns + (seconds * 1e9) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_defaults_match_paper_measurements() {
+        assert!((LinkKind::Pcie3x16.default_bandwidth_gbps() - 12.0).abs() < f64::EPSILON);
+        assert!(LinkKind::InterSocket.default_bandwidth_gbps() > LinkKind::Pcie3x16.default_bandwidth_gbps());
+    }
+
+    #[test]
+    fn transfer_time_scales_with_bytes() {
+        let link = LinkSpec::new(LinkId::new(0), LinkKind::Pcie3x16, "socket0", "gpu0");
+        let one_gb = link.transfer_ns(1e9);
+        let two_gb = link.transfer_ns(2e9);
+        // 1 GB over 12 GB/s ≈ 83 ms.
+        assert!(one_gb > 80_000_000 && one_gb < 90_000_000);
+        assert!(two_gb > 2 * one_gb - link.latency_ns - 1);
+    }
+
+    #[test]
+    fn bandwidth_override() {
+        let link = LinkSpec::new(LinkId::new(1), LinkKind::Pcie3x16, "a", "b").with_bandwidth(6.0);
+        assert!(link.transfer_ns(1e9) > LinkSpec::new(LinkId::new(1), LinkKind::Pcie3x16, "a", "b").transfer_ns(1e9));
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(LinkId::new(2).to_string(), "link2");
+    }
+}

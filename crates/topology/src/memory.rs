@@ -1,0 +1,83 @@
+//! Memory node descriptions.
+//!
+//! A memory node is one physically distinct pool of memory with its own
+//! bandwidth: the DRAM attached to a CPU socket, or the device memory of one
+//! GPU. Memory nodes are shared resources — a socket's DRAM bandwidth is
+//! divided among the cores scanning from it — so each node also carries a
+//! resource clock in the assembled [`crate::topology::ServerTopology`].
+
+use hetex_common::MemoryNodeId;
+
+/// The kind of memory behind a memory node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemoryNodeKind {
+    /// Socket-local DRAM, reachable by every CPU core (remotely via QPI) and
+    /// by GPUs via PCIe DMA.
+    CpuDram,
+    /// GPU device memory (GDDR/HBM), only directly addressable by its GPU.
+    GpuDevice,
+}
+
+/// Description of one memory node.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MemoryNodeSpec {
+    /// Identifier of the node.
+    pub id: MemoryNodeId,
+    /// DRAM or GPU device memory.
+    pub kind: MemoryNodeKind,
+    /// Which socket the node belongs to (for DRAM) or is attached to (GPU).
+    pub socket: usize,
+    /// Capacity in bytes.
+    pub capacity: u64,
+    /// Aggregate bandwidth of the node in GB/s, shared by all readers/writers.
+    pub bandwidth_gbps: f64,
+}
+
+impl MemoryNodeSpec {
+    /// DRAM node of the paper's server: 128 GB per socket, ~45.3 GB/s each
+    /// (the paper measures 90.6 GB/s aggregate with 8/12 channels populated).
+    pub fn paper_cpu_dram(id: MemoryNodeId, socket: usize) -> Self {
+        Self {
+            id,
+            kind: MemoryNodeKind::CpuDram,
+            socket,
+            capacity: 128 * (1 << 30),
+            bandwidth_gbps: 45.3,
+        }
+    }
+
+    /// GPU device memory node: 8 GB, 320 GB/s (GTX 1080).
+    pub fn paper_gpu_device(id: MemoryNodeId, socket: usize) -> Self {
+        Self {
+            id,
+            kind: MemoryNodeKind::GpuDevice,
+            socket,
+            capacity: 8 * (1 << 30),
+            bandwidth_gbps: 320.0,
+        }
+    }
+
+    /// True for GPU device memory.
+    pub fn is_gpu_memory(&self) -> bool {
+        self.kind == MemoryNodeKind::GpuDevice
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_nodes_match_hardware_description() {
+        let dram = MemoryNodeSpec::paper_cpu_dram(MemoryNodeId::new(0), 0);
+        let gmem = MemoryNodeSpec::paper_gpu_device(MemoryNodeId::new(2), 0);
+        assert!(!dram.is_gpu_memory());
+        assert!(gmem.is_gpu_memory());
+        assert_eq!(dram.capacity, 128 * (1 << 30));
+        assert_eq!(gmem.capacity, 8 * (1 << 30));
+        // The two DRAM nodes together provide the measured ~90.6 GB/s.
+        assert!((2.0 * dram.bandwidth_gbps - 90.6).abs() < 0.1);
+        // GPU memory is far faster than socket DRAM.
+        assert!(gmem.bandwidth_gbps > 5.0 * dram.bandwidth_gbps);
+    }
+}

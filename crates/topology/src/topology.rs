@@ -1,0 +1,456 @@
+//! The assembled server topology.
+//!
+//! [`ServerTopology`] ties together memory nodes, devices (CPU cores and GPUs),
+//! interconnect links and the routing table between memory nodes, and owns the
+//! resource clocks for the shared resources (memory nodes and links). It is
+//! built either with [`TopologyBuilder`] or with [`ServerTopology::paper_server`],
+//! which reproduces the machine of §6: two 12-core sockets, 128 GB DRAM each,
+//! one GTX 1080 per socket on a dedicated PCIe 3.0 x16 link.
+
+use crate::clock::ResourceClock;
+use crate::device::{DeviceId, DeviceKind, DeviceProfile};
+use crate::interconnect::{LinkId, LinkKind, LinkSpec};
+use crate::memory::{MemoryNodeKind, MemoryNodeSpec};
+use hetex_common::{HetError, MemoryNodeId, Result};
+use std::collections::HashMap;
+use std::sync::Arc;
+
+/// A complete description of a heterogeneous server.
+#[derive(Debug, Clone)]
+pub struct ServerTopology {
+    memory_nodes: Vec<MemoryNodeSpec>,
+    devices: Vec<DeviceProfile>,
+    links: Vec<LinkSpec>,
+    /// Route (ordered list of links) between every ordered pair of distinct
+    /// memory nodes that can exchange data.
+    routes: HashMap<(MemoryNodeId, MemoryNodeId), Vec<LinkId>>,
+    /// Availability clocks of the shared memory-node bandwidth.
+    memory_clocks: Vec<ResourceClock>,
+    /// Availability clocks of the interconnect links.
+    link_clocks: Vec<ResourceClock>,
+    sockets: usize,
+}
+
+impl ServerTopology {
+    /// The server used in the paper's evaluation (§6): 2 sockets × 12 cores,
+    /// 128 GB DRAM per socket, one GTX 1080 (8 GB, 320 GB/s) per socket behind
+    /// a dedicated ~12 GB/s PCIe 3.0 x16 link, sockets joined by QPI.
+    pub fn paper_server() -> Arc<ServerTopology> {
+        Self::custom_server(2, 12, 1)
+    }
+
+    /// A parameterized variant of the paper server: `sockets` sockets with
+    /// `cores_per_socket` cores each and `gpus_per_socket` GPUs per socket.
+    pub fn custom_server(
+        sockets: usize,
+        cores_per_socket: usize,
+        gpus_per_socket: usize,
+    ) -> Arc<ServerTopology> {
+        let mut b = TopologyBuilder::new();
+        for s in 0..sockets {
+            b.add_socket(cores_per_socket);
+            for _ in 0..gpus_per_socket {
+                b.add_gpu(s);
+            }
+        }
+        Arc::new(b.build().expect("paper-style topology is always valid"))
+    }
+
+    /// Number of CPU sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets
+    }
+
+    /// All memory nodes.
+    pub fn memory_nodes(&self) -> &[MemoryNodeSpec] {
+        &self.memory_nodes
+    }
+
+    /// Memory node by id.
+    pub fn memory_node(&self, id: MemoryNodeId) -> Result<&MemoryNodeSpec> {
+        self.memory_nodes
+            .get(id.index())
+            .ok_or_else(|| HetError::UnknownDevice(format!("memory node {id}")))
+    }
+
+    /// All devices; a [`DeviceId`] indexes into this slice.
+    pub fn devices(&self) -> &[DeviceProfile] {
+        &self.devices
+    }
+
+    /// Device profile by id.
+    pub fn device(&self, id: DeviceId) -> Result<&DeviceProfile> {
+        self.devices
+            .get(id.index())
+            .ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
+    }
+
+    /// All CPU core device ids, in socket-interleaved order (core 0 of socket
+    /// 0, core 0 of socket 1, core 1 of socket 0, …) — the order the paper
+    /// uses when sweeping the number of cores in §6.3.
+    pub fn cpu_cores_interleaved(&self) -> Vec<DeviceId> {
+        let mut per_socket: Vec<Vec<DeviceId>> = vec![Vec::new(); self.sockets.max(1)];
+        for (idx, dev) in self.devices.iter().enumerate() {
+            if dev.kind == DeviceKind::CpuCore {
+                per_socket[dev.socket].push(DeviceId::new(idx));
+            }
+        }
+        let mut out = Vec::new();
+        let max_len = per_socket.iter().map(Vec::len).max().unwrap_or(0);
+        for i in 0..max_len {
+            for socket in &per_socket {
+                if let Some(id) = socket.get(i) {
+                    out.push(*id);
+                }
+            }
+        }
+        out
+    }
+
+    /// All GPU device ids.
+    pub fn gpus(&self) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == DeviceKind::Gpu)
+            .map(|(i, _)| DeviceId::new(i))
+            .collect()
+    }
+
+    /// All CPU core device ids in declaration order.
+    pub fn cpu_cores(&self) -> Vec<DeviceId> {
+        self.devices
+            .iter()
+            .enumerate()
+            .filter(|(_, d)| d.kind == DeviceKind::CpuCore)
+            .map(|(i, _)| DeviceId::new(i))
+            .collect()
+    }
+
+    /// Memory nodes backed by CPU DRAM.
+    pub fn cpu_memory_nodes(&self) -> Vec<MemoryNodeId> {
+        self.memory_nodes
+            .iter()
+            .filter(|m| m.kind == MemoryNodeKind::CpuDram)
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// Memory nodes backed by GPU device memory.
+    pub fn gpu_memory_nodes(&self) -> Vec<MemoryNodeId> {
+        self.memory_nodes
+            .iter()
+            .filter(|m| m.kind == MemoryNodeKind::GpuDevice)
+            .map(|m| m.id)
+            .collect()
+    }
+
+    /// The memory node local to a device.
+    pub fn local_memory_of(&self, device: DeviceId) -> Result<MemoryNodeId> {
+        Ok(self.device(device)?.local_memory)
+    }
+
+    /// All links.
+    pub fn links(&self) -> &[LinkSpec] {
+        &self.links
+    }
+
+    /// Link by id.
+    pub fn link(&self, id: LinkId) -> Result<&LinkSpec> {
+        self.links
+            .get(id.index())
+            .ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
+    }
+
+    /// The route between two distinct memory nodes, as an ordered list of
+    /// links. Same-node "routes" are empty.
+    pub fn route(&self, from: MemoryNodeId, to: MemoryNodeId) -> Result<Vec<LinkId>> {
+        if from == to {
+            return Ok(Vec::new());
+        }
+        self.routes
+            .get(&(from, to))
+            .cloned()
+            .ok_or_else(|| HetError::Transfer(format!("no route from {from} to {to}")))
+    }
+
+    /// Resource clock of a memory node's shared bandwidth.
+    pub fn memory_clock(&self, id: MemoryNodeId) -> Result<&ResourceClock> {
+        self.memory_clocks
+            .get(id.index())
+            .ok_or_else(|| HetError::UnknownDevice(format!("memory node {id}")))
+    }
+
+    /// Resource clock of an interconnect link.
+    pub fn link_clock(&self, id: LinkId) -> Result<&ResourceClock> {
+        self.link_clocks
+            .get(id.index())
+            .ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
+    }
+
+    /// Reset all shared resource clocks to zero (between benchmark runs).
+    pub fn reset_clocks(&self) {
+        for c in &self.memory_clocks {
+            c.reset();
+        }
+        for c in &self.link_clocks {
+            c.reset();
+        }
+    }
+}
+
+/// Builder for [`ServerTopology`].
+#[derive(Debug, Default)]
+pub struct TopologyBuilder {
+    sockets: Vec<usize>,
+    gpus: Vec<usize>,
+    custom_pcie_bandwidth: Option<f64>,
+}
+
+impl TopologyBuilder {
+    /// Empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add one CPU socket with the given number of cores (and its DRAM node).
+    pub fn add_socket(&mut self, cores: usize) -> &mut Self {
+        self.sockets.push(cores);
+        self
+    }
+
+    /// Add one GPU attached to `socket` (with its device-memory node and a
+    /// dedicated PCIe link).
+    pub fn add_gpu(&mut self, socket: usize) -> &mut Self {
+        self.gpus.push(socket);
+        self
+    }
+
+    /// Override the PCIe link bandwidth for what-if topologies.
+    pub fn pcie_bandwidth_gbps(&mut self, gbps: f64) -> &mut Self {
+        self.custom_pcie_bandwidth = Some(gbps);
+        self
+    }
+
+    /// Assemble the topology.
+    pub fn build(&self) -> Result<ServerTopology> {
+        if self.sockets.is_empty() {
+            return Err(HetError::Config("topology needs at least one socket".into()));
+        }
+        for &s in &self.gpus {
+            if s >= self.sockets.len() {
+                return Err(HetError::Config(format!(
+                    "GPU attached to socket {s}, but only {} sockets exist",
+                    self.sockets.len()
+                )));
+            }
+        }
+
+        let n_sockets = self.sockets.len();
+        let mut memory_nodes = Vec::new();
+        let mut devices = Vec::new();
+        let mut links = Vec::new();
+
+        // DRAM node per socket, then CPU core devices.
+        for (socket, &cores) in self.sockets.iter().enumerate() {
+            let mem_id = MemoryNodeId::new(memory_nodes.len());
+            memory_nodes.push(MemoryNodeSpec::paper_cpu_dram(mem_id, socket));
+            for _ in 0..cores {
+                devices.push(DeviceProfile::paper_cpu_core(socket, mem_id));
+            }
+        }
+
+        // Inter-socket links (a clique; the paper server has just one pair).
+        let mut socket_link: HashMap<(usize, usize), LinkId> = HashMap::new();
+        for a in 0..n_sockets {
+            for b in (a + 1)..n_sockets {
+                let id = LinkId::new(links.len());
+                links.push(LinkSpec::new(
+                    id,
+                    LinkKind::InterSocket,
+                    format!("socket{a}"),
+                    format!("socket{b}"),
+                ));
+                socket_link.insert((a, b), id);
+                socket_link.insert((b, a), id);
+            }
+        }
+
+        // GPUs: device memory node + PCIe link to the owning socket.
+        let mut gpu_info: Vec<(MemoryNodeId, usize, LinkId)> = Vec::new();
+        for (gpu_idx, &socket) in self.gpus.iter().enumerate() {
+            let mem_id = MemoryNodeId::new(memory_nodes.len());
+            memory_nodes.push(MemoryNodeSpec::paper_gpu_device(mem_id, socket));
+            devices.push(DeviceProfile::paper_gpu(socket, mem_id));
+            let link_id = LinkId::new(links.len());
+            let mut link = LinkSpec::new(
+                link_id,
+                LinkKind::Pcie3x16,
+                format!("socket{socket}"),
+                format!("gpu{gpu_idx}"),
+            );
+            if let Some(bw) = self.custom_pcie_bandwidth {
+                link = link.with_bandwidth(bw);
+            }
+            links.push(link);
+            gpu_info.push((mem_id, socket, link_id));
+        }
+
+        // Routing table between memory nodes.
+        let mut routes = HashMap::new();
+        let socket_mem = |s: usize| MemoryNodeId::new(s);
+        // DRAM <-> DRAM via the inter-socket link.
+        for a in 0..n_sockets {
+            for b in 0..n_sockets {
+                if a != b {
+                    let link = socket_link[&(a, b)];
+                    routes.insert((socket_mem(a), socket_mem(b)), vec![link]);
+                }
+            }
+        }
+        // DRAM <-> GPU memory.
+        for &(gpu_mem, gpu_socket, pcie) in &gpu_info {
+            for s in 0..n_sockets {
+                let mut path = Vec::new();
+                if s != gpu_socket {
+                    path.push(socket_link[&(s, gpu_socket)]);
+                }
+                path.push(pcie);
+                routes.insert((socket_mem(s), gpu_mem), path.clone());
+                let mut back = path;
+                back.reverse();
+                routes.insert((gpu_mem, socket_mem(s)), back);
+            }
+        }
+        // GPU memory <-> GPU memory (through both PCIe links and, if needed,
+        // the inter-socket link; the paper's server has no NVLink).
+        for &(mem_a, sock_a, pcie_a) in &gpu_info {
+            for &(mem_b, sock_b, pcie_b) in &gpu_info {
+                if mem_a == mem_b {
+                    continue;
+                }
+                let mut path = vec![pcie_a];
+                if sock_a != sock_b {
+                    path.push(socket_link[&(sock_a, sock_b)]);
+                }
+                path.push(pcie_b);
+                routes.insert((mem_a, mem_b), path);
+            }
+        }
+
+        let memory_clocks = memory_nodes
+            .iter()
+            .map(|m| ResourceClock::new(format!("mem:{}", m.id)))
+            .collect();
+        let link_clocks = links
+            .iter()
+            .map(|l| ResourceClock::new(format!("link:{}-{}", l.from, l.to)))
+            .collect();
+
+        Ok(ServerTopology {
+            memory_nodes,
+            devices,
+            links,
+            routes,
+            memory_clocks,
+            link_clocks,
+            sockets: n_sockets,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_server_shape() {
+        let t = ServerTopology::paper_server();
+        assert_eq!(t.sockets(), 2);
+        assert_eq!(t.cpu_cores().len(), 24);
+        assert_eq!(t.gpus().len(), 2);
+        assert_eq!(t.memory_nodes().len(), 4);
+        assert_eq!(t.cpu_memory_nodes().len(), 2);
+        assert_eq!(t.gpu_memory_nodes().len(), 2);
+        // 1 QPI + 2 PCIe links.
+        assert_eq!(t.links().len(), 3);
+    }
+
+    #[test]
+    fn interleaved_cores_alternate_sockets() {
+        let t = ServerTopology::paper_server();
+        let cores = t.cpu_cores_interleaved();
+        assert_eq!(cores.len(), 24);
+        let s0 = t.device(cores[0]).unwrap().socket;
+        let s1 = t.device(cores[1]).unwrap().socket;
+        assert_ne!(s0, s1);
+    }
+
+    #[test]
+    fn routes_cover_all_memory_pairs() {
+        let t = ServerTopology::paper_server();
+        let nodes: Vec<_> = t.memory_nodes().iter().map(|m| m.id).collect();
+        for &a in &nodes {
+            for &b in &nodes {
+                let route = t.route(a, b).unwrap();
+                if a == b {
+                    assert!(route.is_empty());
+                } else {
+                    assert!(!route.is_empty(), "missing route {a} -> {b}");
+                    for link in route {
+                        t.link(link).unwrap();
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cross_socket_gpu_route_uses_two_hops() {
+        let t = ServerTopology::paper_server();
+        // Socket 0 DRAM (mem0) to the GPU on socket 1 (mem3).
+        let route = t.route(MemoryNodeId::new(0), MemoryNodeId::new(3)).unwrap();
+        assert_eq!(route.len(), 2);
+        // Local GPU is a single hop.
+        let local = t.route(MemoryNodeId::new(0), MemoryNodeId::new(2)).unwrap();
+        assert_eq!(local.len(), 1);
+    }
+
+    #[test]
+    fn gpu_local_memory_is_device_memory() {
+        let t = ServerTopology::paper_server();
+        for gpu in t.gpus() {
+            let mem = t.local_memory_of(gpu).unwrap();
+            assert!(t.memory_node(mem).unwrap().is_gpu_memory());
+        }
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert!(TopologyBuilder::new().build().is_err());
+        let mut b = TopologyBuilder::new();
+        b.add_socket(4).add_gpu(3);
+        assert!(b.build().is_err());
+    }
+
+    #[test]
+    fn reset_clears_clocks() {
+        let t = ServerTopology::paper_server();
+        t.memory_clock(MemoryNodeId::new(0))
+            .unwrap()
+            .reserve(crate::clock::SimTime::ZERO, 100);
+        t.reset_clocks();
+        assert_eq!(
+            t.memory_clock(MemoryNodeId::new(0)).unwrap().now(),
+            crate::clock::SimTime::ZERO
+        );
+    }
+
+    #[test]
+    fn unknown_ids_error() {
+        let t = ServerTopology::paper_server();
+        assert!(t.device(DeviceId::new(999)).is_err());
+        assert!(t.memory_node(MemoryNodeId::new(99)).is_err());
+        assert!(t.link(LinkId::new(99)).is_err());
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate property and behaviour tests of the HetExchange framework
+//! itself: plan rewriting invariants, scaling behaviour of the simulated
+//! server, and failure injection.
+
+use hetexchange::common::{ColumnData, DataType, EngineConfig};
+use hetexchange::core_ops::traits::{check_relational_requirements, derive_traits};
+use hetexchange::core_ops::{parallelize, RelNode};
+use hetexchange::engine::Proteus;
+use hetexchange::jit::{AggSpec, Expr};
+use hetexchange::storage::TableBuilder;
+use proptest::prelude::*;
+
+fn engine_with_fact(rows: usize) -> Proteus {
+    let engine = Proteus::on_paper_server();
+    let nodes = engine.topology().cpu_memory_nodes();
+    let table = TableBuilder::new("fact")
+        .column(
+            "k",
+            DataType::Int32,
+            ColumnData::Int32((0..rows as i32).map(|i| i % 97).collect()),
+        )
+        .column(
+            "v",
+            DataType::Int64,
+            ColumnData::Int64((0..rows as i64).collect()),
+        )
+        .build(&nodes, (rows / 8).max(1024))
+        .unwrap();
+    engine.register_table(table);
+    engine
+}
+
+fn sum_plan(threshold: i64) -> RelNode {
+    RelNode::scan("fact", &["k", "v"])
+        .filter(Expr::col(0).gt_lit(threshold))
+        .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["s", "c"])
+}
+
+#[test]
+fn parallelized_plans_always_satisfy_the_trait_contract() {
+    // For every device mix, relational operators must receive local, unpacked
+    // input, and the plan's output must be CPU-side and sequential (the final
+    // gather).
+    let dim = RelNode::scan("dim", &["k", "tag"]).filter(Expr::col(1).lt_lit(5));
+    let plan = RelNode::scan("fact", &["k", "v"])
+        .hash_join(dim, 0, 0, &[1])
+        .group_by(&[2], vec![AggSpec::sum(Expr::col(1))], &["tag", "s"]);
+    for config in [
+        EngineConfig::cpu_only(4),
+        EngineConfig::cpu_only(24),
+        EngineConfig::gpu_only(1),
+        EngineConfig::gpu_only(2),
+        EngineConfig::hybrid(1, 1),
+        EngineConfig::hybrid(24, 2),
+    ] {
+        let het = parallelize(&plan, &config).unwrap();
+        check_relational_requirements(&het).unwrap();
+        let traits = derive_traits(&het);
+        assert!(traits.local);
+        assert_eq!(traits.dop, 1, "the gather stage is sequential");
+    }
+}
+
+#[test]
+fn simulated_time_scales_with_cores_and_saturates_at_dram() {
+    let engine = engine_with_fact(400_000);
+    let mut config = EngineConfig::cpu_only(1);
+    config.scale_weight = 10_000.0; // model a ~48 GB fact table
+    let base = engine.execute(&sum_plan(10), &config).unwrap().sim_time;
+
+    let mut times = Vec::new();
+    for cores in [2usize, 8, 16, 24] {
+        let mut cfg = EngineConfig::cpu_only(cores);
+        cfg.scale_weight = 10_000.0;
+        times.push(engine.execute(&sum_plan(10), &cfg).unwrap().sim_time);
+    }
+    // More cores never hurt, 8 cores give a solid speed-up, and 24 cores are
+    // not dramatically better than 16 (socket DRAM saturation).
+    assert!(times.windows(2).all(|w| w[1] <= w[0]));
+    assert!(base.as_nanos() as f64 / times[1].as_nanos() as f64 > 4.0);
+    let ratio_16_to_24 = times[2].as_nanos() as f64 / times[3].as_nanos() as f64;
+    assert!(ratio_16_to_24 < 1.35, "DRAM saturation should cap scaling, got {ratio_16_to_24}");
+}
+
+#[test]
+fn hybrid_is_not_slower_than_either_single_device_configuration() {
+    let engine = engine_with_fact(400_000);
+    let weight = 20_000.0;
+    let run = |mut cfg: EngineConfig| {
+        cfg.scale_weight = weight;
+        engine.execute(&sum_plan(40), &cfg).unwrap()
+    };
+    let cpu = run(EngineConfig::cpu_only(24));
+    let gpu = run(EngineConfig::gpu_only(2));
+    let hybrid = run(EngineConfig::hybrid(24, 2));
+    assert_eq!(cpu.rows, gpu.rows);
+    assert_eq!(cpu.rows, hybrid.rows);
+    let slack = 1.05;
+    assert!(hybrid.sim_time.as_secs_f64() <= cpu.sim_time.as_secs_f64() * slack);
+    assert!(hybrid.sim_time.as_secs_f64() <= gpu.sim_time.as_secs_f64() * slack);
+}
+
+#[test]
+fn missing_tables_and_invalid_configs_fail_cleanly() {
+    let engine = Proteus::on_paper_server();
+    let err = engine
+        .execute(&sum_plan(0), &EngineConfig::cpu_only(4))
+        .unwrap_err();
+    assert_eq!(err.category(), "catalog");
+
+    let engine = engine_with_fact(1_000);
+    assert!(engine.execute(&sum_plan(0), &EngineConfig::cpu_only(0)).is_err());
+    let mut bad = EngineConfig::cpu_only(2);
+    bad.block_capacity = 0;
+    assert!(engine.execute(&sum_plan(0), &bad).is_err());
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The engine's answer equals a straightforward scalar evaluation for
+    /// arbitrary filter thresholds and device mixes.
+    #[test]
+    fn prop_engine_matches_scalar_sum(threshold in -10i64..110, cpus in 1usize..6, gpus in 0usize..3) {
+        let rows = 30_000usize;
+        let engine = engine_with_fact(rows);
+        let expected_sum: i64 = (0..rows as i64).filter(|i| i % 97 > threshold).sum();
+        let expected_cnt: i64 = (0..rows as i64).filter(|i| i % 97 > threshold).count() as i64;
+        let config = if gpus == 0 {
+            EngineConfig::cpu_only(cpus)
+        } else {
+            EngineConfig::hybrid(cpus, gpus)
+        };
+        let outcome = engine.execute(&sum_plan(threshold), &config).unwrap();
+        prop_assert_eq!(outcome.rows, vec![vec![expected_sum, expected_cnt]]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Cross-crate integration tests: every engine configuration and both baseline
+//! systems must produce exactly the same answers as the naive reference
+//! executor on the full SSB query set, across data placements.
+
+use hetexchange::baselines::{DbmsC, DbmsG};
+use hetexchange::common::config::DataPlacement;
+use hetexchange::common::EngineConfig;
+use hetexchange::engine::{reference_execute, Proteus};
+use hetexchange::ssb::{all_queries, SsbGenerator};
+use hetexchange::storage::Catalog;
+use std::sync::Arc;
+
+fn generator() -> SsbGenerator {
+    SsbGenerator { scale_factor: 0.002, seed: 1234, segment_rows: 2_048, fact_rows: None }
+}
+
+#[test]
+fn all_ssb_queries_match_reference_on_cpu_gpu_and_hybrid() {
+    let engine = Proteus::on_paper_server();
+    let dataset = generator()
+        .generate(&engine.topology().cpu_memory_nodes())
+        .expect("generate SSB");
+    dataset.register_into(engine.catalog());
+    let reference_catalog = Catalog::new();
+    dataset.register_into(&reference_catalog);
+
+    let configs = [
+        EngineConfig::cpu_only(6),
+        EngineConfig::gpu_only(2),
+        EngineConfig::hybrid(6, 2),
+    ];
+    for query in all_queries(&dataset).expect("queries") {
+        let expected = reference_execute(&query.plan, &reference_catalog)
+            .unwrap_or_else(|e| panic!("reference failed for {}: {e}", query.name));
+        for config in &configs {
+            let outcome = engine
+                .execute(&query.plan, config)
+                .unwrap_or_else(|e| panic!("{} failed on {:?}: {e}", query.name, config.target));
+            assert_eq!(
+                outcome.rows, expected,
+                "{} on {:?} disagrees with the reference executor",
+                query.name, config.target
+            );
+        }
+    }
+}
+
+#[test]
+fn gpu_resident_placement_produces_identical_results() {
+    let engine = Proteus::on_paper_server();
+    let gpu_nodes = engine.topology().gpu_memory_nodes();
+    let cpu_nodes = engine.topology().cpu_memory_nodes();
+    let gpu_dataset = generator().generate(&gpu_nodes).expect("gpu placement");
+    let cpu_dataset = generator().generate(&cpu_nodes).expect("cpu placement");
+    gpu_dataset.register_into(engine.catalog());
+    let reference_catalog = Catalog::new();
+    cpu_dataset.register_into(&reference_catalog);
+
+    for name in ["Q1.1", "Q2.1", "Q3.2", "Q4.1"] {
+        let query = hetexchange::ssb::query_by_name(&gpu_dataset, name).unwrap();
+        let expected = reference_execute(&query.plan, &reference_catalog).unwrap();
+        let outcome = engine
+            .execute(&query.plan, &EngineConfig::gpu_only(2))
+            .unwrap_or_else(|e| panic!("{name} failed on GPU-resident data: {e}"));
+        assert_eq!(outcome.rows, expected, "{name} differs with GPU-resident data");
+    }
+}
+
+#[test]
+fn baselines_match_reference_and_report_paper_failures() {
+    let topology = hetexchange::topology::ServerTopology::paper_server();
+    let dataset = generator()
+        .generate(&topology.cpu_memory_nodes())
+        .expect("generate SSB");
+    let catalog = Catalog::new();
+    dataset.register_into(&catalog);
+    let weights = EngineConfig::default();
+
+    let dbms_c = DbmsC::new(Arc::clone(&topology), 24);
+    let dbms_g_streaming = DbmsG::new(Arc::clone(&topology), 2, DataPlacement::CpuResident);
+    let dbms_g_resident = DbmsG::new(topology, 2, DataPlacement::GpuResident);
+
+    for query in all_queries(&dataset).expect("queries") {
+        let expected = reference_execute(&query.plan, &catalog).unwrap();
+        let c = dbms_c.execute(&query.plan, &catalog, &weights).expect("DBMS C runs everything");
+        assert_eq!(c.rows, expected, "DBMS C wrong on {}", query.name);
+
+        let g = dbms_g_streaming.execute(&query.plan, &catalog, &weights);
+        match query.name.as_str() {
+            // §6: DBMS G cannot run Q2.2 at all, and fails Q4.3 over
+            // non-GPU-resident data.
+            "Q2.2" => assert!(g.is_err(), "DBMS G must fail Q2.2"),
+            "Q4.3" => assert!(g.is_err(), "DBMS G must fail Q4.3 when streaming"),
+            _ => {
+                assert_eq!(
+                    g.unwrap_or_else(|e| panic!("DBMS G failed {}: {e}", query.name)).rows,
+                    expected,
+                    "DBMS G wrong on {}",
+                    query.name
+                );
+            }
+        }
+
+        // With GPU-resident data only the string inequality remains impossible.
+        let g = dbms_g_resident.execute(&query.plan, &catalog, &weights);
+        if query.name == "Q2.2" {
+            assert!(g.is_err());
+        } else {
+            assert_eq!(g.unwrap().rows, expected);
+        }
+    }
+}
+
+#[test]
+fn sequential_and_parallel_executions_agree_without_hetexchange() {
+    let engine = Proteus::on_paper_server();
+    let dataset = generator()
+        .generate(&engine.topology().cpu_memory_nodes())
+        .expect("generate SSB");
+    dataset.register_into(engine.catalog());
+    let query = hetexchange::ssb::query_by_name(&dataset, "Q2.1").unwrap();
+
+    // Model a non-trivial working set; otherwise the ~10 ms router
+    // initialization overhead dominates (the Figure 8 effect) and the
+    // comparison below would be meaningless.
+    let mut sequential = EngineConfig::cpu_only(1);
+    sequential.hetexchange_enabled = false;
+    sequential.scale_weight = 10_000.0;
+    let mut parallel = EngineConfig::hybrid(8, 2);
+    parallel.scale_weight = 10_000.0;
+    let seq = engine.execute(&query.plan, &sequential).unwrap();
+    let par = engine.execute(&query.plan, &parallel).unwrap();
+    assert_eq!(seq.rows, par.rows);
+    assert!(
+        par.sim_time < seq.sim_time,
+        "parallel execution must be faster in simulated time ({} vs {})",
+        par.sim_time,
+        seq.sim_time
+    );
+}
