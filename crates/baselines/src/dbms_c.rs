@@ -119,9 +119,7 @@ mod tests {
     }
 
     fn weighted(w: f64) -> EngineConfig {
-        let mut cfg = EngineConfig::default();
-        cfg.scale_weight = w;
-        cfg
+        EngineConfig { scale_weight: w, ..EngineConfig::default() }
     }
 
     fn sum_plan() -> RelNode {
@@ -167,9 +165,8 @@ mod tests {
         let sixteen = DbmsC::new(Arc::clone(&topology), 16)
             .execute(&sum_plan(), &catalog, &weighted(1_000.0))
             .unwrap();
-        let twentyfour = DbmsC::new(topology, 24)
-            .execute(&sum_plan(), &catalog, &weighted(1_000.0))
-            .unwrap();
+        let twentyfour =
+            DbmsC::new(topology, 24).execute(&sum_plan(), &catalog, &weighted(1_000.0)).unwrap();
         let ratio = sixteen.seconds() / twentyfour.seconds();
         assert!(ratio < 1.15, "24 cores should not be much faster than 16: {ratio}");
     }

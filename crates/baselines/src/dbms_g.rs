@@ -172,9 +172,7 @@ mod tests {
     }
 
     fn weighted(w: f64) -> EngineConfig {
-        let mut cfg = EngineConfig::default();
-        cfg.scale_weight = w;
-        cfg
+        EngineConfig { scale_weight: w, ..EngineConfig::default() }
     }
 
     fn join_plan() -> RelNode {

@@ -64,10 +64,7 @@ impl PlanProfile {
 
     /// Rows reaching the aggregation.
     pub fn rows_into_aggregation(&self) -> f64 {
-        self.rows_after_each_join
-            .last()
-            .copied()
-            .unwrap_or(self.rows_after_filter)
+        self.rows_after_each_join.last().copied().unwrap_or(self.rows_after_filter)
     }
 }
 
@@ -79,11 +76,8 @@ pub fn profile_plan(
     catalog: &Catalog,
     config: &EngineConfig,
 ) -> Result<(PlanProfile, Vec<Vec<i64>>)> {
-    let mut profile = PlanProfile {
-        spine_weight: 1.0,
-        group_domain_product: 1.0,
-        ..PlanProfile::default()
-    };
+    let mut profile =
+        PlanProfile { spine_weight: 1.0, group_domain_product: 1.0, ..PlanProfile::default() };
     let rows = eval(plan, catalog, config, &mut profile, true)?;
     profile.result_rows = rows.len() as f64;
     // Spine cardinalities were counted on the physical data; scale them to the
@@ -135,8 +129,7 @@ fn eval(
                 detect_string_range(input, predicate, catalog, profile);
             }
             let rows = eval(input, catalog, config, profile, on_spine)?;
-            let out: Vec<Vec<i64>> =
-                rows.into_iter().filter(|r| predicate.eval_bool(r)).collect();
+            let out: Vec<Vec<i64>> = rows.into_iter().filter(|r| predicate.eval_bool(r)).collect();
             if on_spine {
                 profile.rows_after_filter = out.len() as f64;
             }
@@ -148,10 +141,7 @@ fn eval(
                 profile.spine_width = exprs.len();
                 profile.spine_columns = vec![None; exprs.len()];
             }
-            Ok(rows
-                .into_iter()
-                .map(|r| exprs.iter().map(|e| e.eval(&r)).collect())
-                .collect())
+            Ok(rows.into_iter().map(|r| exprs.iter().map(|e| e.eval(&r)).collect()).collect())
         }
         RelNode::HashJoin { build, probe, build_key, probe_key, payload } => {
             let build_rows = eval(build, catalog, config, profile, false)?;
@@ -166,10 +156,7 @@ fn eval(
                     .get(*build_key)
                     .copied()
                     .ok_or_else(|| HetError::Plan("build key out of range".into()))?;
-                table
-                    .entry(key)
-                    .or_default()
-                    .push(payload.iter().map(|&p| row[p]).collect());
+                table.entry(key).or_default().push(payload.iter().map(|&p| row[p]).collect());
             }
             let mut out = Vec::new();
             for row in probe_rows {
@@ -270,7 +257,12 @@ fn source_column(node: &RelNode, col: usize) -> Option<(String, String)> {
 /// Mark the profile if a dimension filter contains a range predicate over a
 /// dictionary-encoded column (Q2.2's `p_brand1 BETWEEN 'MFGR#2221' AND
 /// 'MFGR#2228'`).
-fn detect_string_range(input: &RelNode, predicate: &Expr, catalog: &Catalog, profile: &mut PlanProfile) {
+fn detect_string_range(
+    input: &RelNode,
+    predicate: &Expr,
+    catalog: &Catalog,
+    profile: &mut PlanProfile,
+) {
     let RelNode::Scan { table, projection } = input else {
         return;
     };
@@ -281,11 +273,7 @@ fn detect_string_range(input: &RelNode, predicate: &Expr, catalog: &Catalog, pro
         .iter()
         .enumerate()
         .filter(|(_, name)| {
-            table
-                .schema()
-                .field(name)
-                .map(|f| f.data_type == DataType::Dictionary)
-                .unwrap_or(false)
+            table.schema().field(name).map(|f| f.data_type == DataType::Dictionary).unwrap_or(false)
         })
         .map(|(i, _)| i)
         .collect();
@@ -319,8 +307,16 @@ mod tests {
         let brand_dict = Arc::new(DictionaryBuilder::from_domain(["B1", "B2", "B3", "B4"]));
         catalog.register(
             TableBuilder::new("fact")
-                .column("k", DataType::Int32, ColumnData::Int32((0..1000).map(|i| i % 10).collect()))
-                .column("m", DataType::Int32, ColumnData::Int32((0..1000).map(|i| i % 100).collect()))
+                .column(
+                    "k",
+                    DataType::Int32,
+                    ColumnData::Int32((0..1000).map(|i| i % 10).collect()),
+                )
+                .column(
+                    "m",
+                    DataType::Int32,
+                    ColumnData::Int32((0..1000).map(|i| i % 100).collect()),
+                )
                 .column("v", DataType::Int64, ColumnData::Int64((0..1000).collect()))
                 .build(&nodes, 256)
                 .unwrap(),

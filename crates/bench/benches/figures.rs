@@ -11,12 +11,8 @@ fn bench_figures(c: &mut Criterion) {
     let mut group = c.benchmark_group("figures");
     group.sample_size(10);
 
-    group.bench_function("figure4_ssb_sf100", |b| {
-        b.iter(|| figures::figure4(0.002).unwrap())
-    });
-    group.bench_function("figure5_ssb_sf1000", |b| {
-        b.iter(|| figures::figure5(0.002).unwrap())
-    });
+    group.bench_function("figure4_ssb_sf100", |b| b.iter(|| figures::figure4(0.002).unwrap()));
+    group.bench_function("figure5_ssb_sf1000", |b| b.iter(|| figures::figure5(0.002).unwrap()));
     group.bench_function("figure6_scalability", |b| {
         b.iter(|| figures::figure6(0.002, &[1, 8, 24]).unwrap())
     });

@@ -12,9 +12,7 @@ use hetex_core::plan::RouterPolicy;
 use hetex_core::router::{ConsumerSlot, Router};
 use hetex_gpu_sim::device::standalone_gpu;
 use hetex_gpu_sim::LaunchConfig;
-use hetex_jit::{
-    AggSpec, CompiledPipeline, ExecCtx, Expr, SharedState, Step, TerminalStep,
-};
+use hetex_jit::{AggSpec, CompiledPipeline, ExecCtx, Expr, SharedState, Step, TerminalStep};
 use hetex_topology::{Affinity, DeviceId, DeviceKind, DmaEngine, ServerTopology, SimTime};
 use std::sync::Arc;
 
@@ -32,7 +30,7 @@ fn bench_router(c: &mut Criterion) {
             affinity: Affinity::cpu(DeviceId::new(i)),
         })
         .collect();
-    let router = Router::new(RouterPolicy::LeastLoaded, slots).unwrap();
+    let router = Router::new(RouterPolicy::LeastLoaded, &slots).unwrap();
     let meta = BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0));
     let loads: Vec<u64> = (0..26).map(|i| (i as u64) * 1000).collect();
     let mut group = c.benchmark_group("router");

@@ -1,0 +1,21 @@
+//! Emit `BENCH_pipeline.json`: pipelined vs stage-at-a-time A/B numbers for
+//! the join+reduce acceptance workload and the SSB queries.
+
+use hetex_bench::pipeline_ab;
+
+fn main() {
+    let report = pipeline_ab::run_all(200_000, 0.002).expect("A/B suite failed");
+    for row in &report.rows {
+        println!(
+            "{:<28} pipelined {:>9.4}s  stage-at-a-time {:>9.4}s  improvement {:>6.2}%  rows_identical {}",
+            row.workload,
+            row.pipelined_s,
+            row.stage_at_a_time_s,
+            row.improvement_pct(),
+            row.rows_identical
+        );
+    }
+    let path = "BENCH_pipeline.json";
+    std::fs::write(path, report.to_json()).expect("write BENCH_pipeline.json");
+    println!("wrote {path}");
+}

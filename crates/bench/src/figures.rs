@@ -26,10 +26,7 @@ pub struct Figure {
 impl Figure {
     /// The measurement for a (query, system) pair, if present and successful.
     pub fn seconds(&self, query: &str, system: &str) -> Option<f64> {
-        self.rows
-            .iter()
-            .find(|r| r.query == query && r.system == system)
-            .and_then(|r| r.seconds)
+        self.rows.iter().find(|r| r.query == query && r.system == system).and_then(|r| r.seconds)
     }
 }
 
@@ -147,10 +144,7 @@ pub fn figure6(physical_sf: f64, core_counts: &[usize]) -> Result<Figure> {
             }
         }
     }
-    print_matrix(
-        "Figure 6: Proteus scalability on SSB SF1000 (speed-up over 1 CPU core)",
-        &rows,
-    );
+    print_matrix("Figure 6: Proteus scalability on SSB SF1000 (speed-up over 1 CPU core)", &rows);
     Ok(Figure { title: "Figure 6".into(), rows })
 }
 
@@ -228,11 +222,8 @@ pub fn figure8(probe_rows: usize, sizes_gb: &[f64]) -> Result<Figure> {
                     if with_hetex { "with HetExchange" } else { "without HetExchange" }
                 );
                 for &gb in sizes_gb {
-                    let mut config = if device {
-                        EngineConfig::gpu_only(1)
-                    } else {
-                        EngineConfig::cpu_only(1)
-                    };
+                    let mut config =
+                        if device { EngineConfig::gpu_only(1) } else { EngineConfig::cpu_only(1) };
                     config.hetexchange_enabled = with_hetex;
                     let time = workload.run(query, config, gb * 1e9)?;
                     rows.push(QueryTimeRow {
@@ -245,10 +236,7 @@ pub fn figure8(probe_rows: usize, sizes_gb: &[f64]) -> Result<Figure> {
             }
         }
     }
-    print_matrix(
-        "Figure 8: microbenchmark size-up at DOP=1 (seconds)",
-        &rows,
-    );
+    print_matrix("Figure 8: microbenchmark size-up at DOP=1 (seconds)", &rows);
     Ok(Figure { title: "Figure 8".into(), rows })
 }
 
@@ -323,8 +311,14 @@ mod tests {
         assert!(gpu <= dbms_g, "Proteus GPU {gpu} should not lose to DBMS G {dbms_g}");
         // The two CPU systems land in the same ballpark (the paper shows them
         // within ~1.5x of each other on the single-join flight).
-        assert!(cpu <= dbms_c * 1.6, "Proteus CPU {cpu} should be competitive with DBMS C {dbms_c}");
-        assert!(dbms_c <= cpu * 1.6, "DBMS C {dbms_c} should be competitive with Proteus CPU {cpu}");
+        assert!(
+            cpu <= dbms_c * 1.6,
+            "Proteus CPU {cpu} should be competitive with DBMS C {dbms_c}"
+        );
+        assert!(
+            dbms_c <= cpu * 1.6,
+            "DBMS C {dbms_c} should be competitive with Proteus CPU {cpu}"
+        );
         // DBMS G cannot run Q2.2.
         assert!(fig.seconds("Q2.2", "DBMS G").is_none());
         assert!(fig.seconds("Q2.2", "Proteus GPUs").is_some());

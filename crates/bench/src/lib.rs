@@ -28,6 +28,7 @@
 
 pub mod figures;
 pub mod micro;
+pub mod pipeline_ab;
 pub mod report;
 pub mod systems;
 pub mod workload;

@@ -11,8 +11,8 @@
 //! The paper uses a 23 GB probe column; the physical tables here are small and
 //! the `scale_weight` models the nominal size, exactly like the SSB workload.
 
-use hetex_common::{EngineConfig, Result};
 use hetex_common::{ColumnData, DataType};
+use hetex_common::{EngineConfig, Result};
 use hetex_core::RelNode;
 use hetex_engine::Proteus;
 use hetex_jit::{AggSpec, Expr};
@@ -66,9 +66,7 @@ impl MicroWorkload {
         let topology = ServerTopology::paper_server();
         let engine = Proteus::new(Arc::clone(&topology));
         let nodes = topology.cpu_memory_nodes();
-        let build_rows = ((PAPER_BUILD_BYTES / 8.0) as usize)
-            .min(probe_rows.max(1))
-            .max(1_000);
+        let build_rows = ((PAPER_BUILD_BYTES / 8.0) as usize).min(probe_rows.max(1)).max(1_000);
 
         // Probe table: a measure column and a key column referencing the build
         // side (every probe row matches exactly one build row).
@@ -82,11 +80,7 @@ impl MicroWorkload {
             .column("key", DataType::Int64, ColumnData::Int64(keys))
             .build(&nodes, segment_rows)?;
         let build = TableBuilder::new("build")
-            .column(
-                "key",
-                DataType::Int64,
-                ColumnData::Int64((0..build_rows as i64).collect()),
-            )
+            .column("key", DataType::Int64, ColumnData::Int64((0..build_rows as i64).collect()))
             .build(&nodes, segment_rows)?;
         engine.register_table(probe);
         engine.register_table(build);
@@ -105,8 +99,9 @@ impl MicroWorkload {
     /// the paper's single-column inputs.
     pub fn plan(&self, query: MicroQuery) -> RelNode {
         match query {
-            MicroQuery::Sum => RelNode::scan("probe", &["a"])
-                .reduce(vec![AggSpec::sum(Expr::col(0))], &["sum_a"]),
+            MicroQuery::Sum => {
+                RelNode::scan("probe", &["a"]).reduce(vec![AggSpec::sum(Expr::col(0))], &["sum_a"])
+            }
             MicroQuery::Join => {
                 let build = RelNode::scan("build", &["key"]);
                 RelNode::scan("probe", &["key"])
@@ -123,10 +118,8 @@ impl MicroWorkload {
         let probe_weight = (nominal_probe_bytes / self.physical_probe_bytes).max(1e-6);
         let build_weight = (PAPER_BUILD_BYTES / (self.build_rows as f64 * 8.0)).max(1.0);
         base.scale_weight = probe_weight;
-        base.table_weights = vec![
-            ("probe".to_string(), probe_weight),
-            ("build".to_string(), build_weight),
-        ];
+        base.table_weights =
+            vec![("probe".to_string(), probe_weight), ("build".to_string(), build_weight)];
         base.block_capacity = self.block_capacity;
         base
     }

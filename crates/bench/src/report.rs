@@ -105,10 +105,30 @@ mod tests {
 
     fn rows() -> Vec<QueryTimeRow> {
         vec![
-            QueryTimeRow { query: "Q1.1".into(), system: "A".into(), seconds: Some(2.0), note: None },
-            QueryTimeRow { query: "Q1.1".into(), system: "B".into(), seconds: Some(1.0), note: None },
-            QueryTimeRow { query: "Q1.2".into(), system: "A".into(), seconds: Some(8.0), note: None },
-            QueryTimeRow { query: "Q1.2".into(), system: "B".into(), seconds: Some(2.0), note: None },
+            QueryTimeRow {
+                query: "Q1.1".into(),
+                system: "A".into(),
+                seconds: Some(2.0),
+                note: None,
+            },
+            QueryTimeRow {
+                query: "Q1.1".into(),
+                system: "B".into(),
+                seconds: Some(1.0),
+                note: None,
+            },
+            QueryTimeRow {
+                query: "Q1.2".into(),
+                system: "A".into(),
+                seconds: Some(8.0),
+                note: None,
+            },
+            QueryTimeRow {
+                query: "Q1.2".into(),
+                system: "B".into(),
+                seconds: Some(2.0),
+                note: None,
+            },
             QueryTimeRow {
                 query: "Q2.2".into(),
                 system: "B".into(),

@@ -98,9 +98,7 @@ fn execute(
         System::DbmsC { cores } => {
             let dbms = DbmsC::new(Arc::clone(&workload.topology), cores);
             let weights = workload.config(EngineConfig::cpu_only(cores.max(1)));
-            Ok(dbms
-                .execute(&query.plan, &workload.catalog_cpu, &weights)?
-                .seconds())
+            Ok(dbms.execute(&query.plan, &workload.catalog_cpu, &weights)?.seconds())
         }
         System::DbmsG { gpus } => {
             let (catalog, placement) = if gpu_resident {
@@ -119,18 +117,12 @@ fn execute(
         }
         System::ProteusCpu { cores } => {
             let config = workload.config(EngineConfig::cpu_only(cores));
-            Ok(workload
-                .engine_cpu_data
-                .execute(&query.plan, &config)?
-                .seconds())
+            Ok(workload.engine_cpu_data.execute(&query.plan, &config)?.seconds())
         }
         System::ProteusGpu { gpus } => {
             let mut config = workload.config(EngineConfig::gpu_only(gpus));
-            config.placement = if gpu_resident {
-                DataPlacement::GpuResident
-            } else {
-                DataPlacement::CpuResident
-            };
+            config.placement =
+                if gpu_resident { DataPlacement::GpuResident } else { DataPlacement::CpuResident };
             let engine = if gpu_resident {
                 workload.engine_gpu_data.as_ref().ok_or_else(|| {
                     HetError::Config("workload has no GPU-resident dataset".into())
@@ -142,10 +134,7 @@ fn execute(
         }
         System::ProteusHybrid { cores, gpus } => {
             let config = workload.config(EngineConfig::hybrid(cores, gpus));
-            Ok(workload
-                .engine_cpu_data
-                .execute(&query.plan, &config)?
-                .seconds())
+            Ok(workload.engine_cpu_data.execute(&query.plan, &config)?.seconds())
         }
     }
 }
@@ -164,12 +153,7 @@ mod tests {
         let q = w.query("Q1.1").unwrap().clone();
         for system in System::figure4_lineup() {
             let row = run_query(&w, system, &q, true);
-            assert!(
-                row.seconds.is_some(),
-                "{} failed: {:?}",
-                row.system,
-                row.note
-            );
+            assert!(row.seconds.is_some(), "{} failed: {:?}", row.system, row.note);
             assert!(row.seconds.unwrap() > 0.0);
         }
     }
@@ -178,14 +162,9 @@ mod tests {
     fn proteus_results_agree_across_systems() {
         let w = tiny_workload(true);
         let q = w.query("Q2.1").unwrap().clone();
-        let cpu = w
-            .engine_cpu_data
-            .execute(&q.plan, &w.config(EngineConfig::cpu_only(4)))
-            .unwrap();
-        let hybrid = w
-            .engine_cpu_data
-            .execute(&q.plan, &w.config(EngineConfig::hybrid(4, 2)))
-            .unwrap();
+        let cpu = w.engine_cpu_data.execute(&q.plan, &w.config(EngineConfig::cpu_only(4))).unwrap();
+        let hybrid =
+            w.engine_cpu_data.execute(&q.plan, &w.config(EngineConfig::hybrid(4, 2))).unwrap();
         assert_eq!(cpu.rows, hybrid.rows);
         let gpu = w
             .engine_gpu_data

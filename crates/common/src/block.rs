@@ -78,9 +78,7 @@ impl Block {
 
     /// Column by position.
     pub fn column(&self, idx: usize) -> Result<&ColumnData> {
-        self.columns
-            .get(idx)
-            .ok_or_else(|| HetError::Schema(format!("block has no column {idx}")))
+        self.columns.get(idx).ok_or_else(|| HetError::Schema(format!("block has no column {idx}")))
     }
 
     /// Mutable column access, used by the pack operator while a block is being
@@ -251,29 +249,17 @@ mod tests {
     use crate::types::DataType;
 
     fn sample_schema() -> Schema {
-        Schema::new(vec![
-            Field::new("a", DataType::Int32),
-            Field::new("b", DataType::Int64),
-        ])
+        Schema::new(vec![Field::new("a", DataType::Int32), Field::new("b", DataType::Int64)])
     }
 
     fn sample_block() -> Block {
-        Block::new(
-            vec![
-                ColumnData::Int32(vec![1, 2, 3]),
-                ColumnData::Int64(vec![10, 20, 30]),
-            ],
-            3,
-        )
-        .unwrap()
+        Block::new(vec![ColumnData::Int32(vec![1, 2, 3]), ColumnData::Int64(vec![10, 20, 30])], 3)
+            .unwrap()
     }
 
     #[test]
     fn block_rejects_ragged_columns() {
-        let err = Block::new(
-            vec![ColumnData::Int32(vec![1, 2]), ColumnData::Int64(vec![1])],
-            2,
-        );
+        let err = Block::new(vec![ColumnData::Int32(vec![1, 2]), ColumnData::Int64(vec![1])], 2);
         assert!(err.is_err());
     }
 

@@ -23,7 +23,9 @@ impl ColumnData {
     /// Dictionary columns are physically `Int32`.
     pub fn with_capacity(data_type: DataType, capacity: usize) -> Self {
         match data_type {
-            DataType::Int32 | DataType::Dictionary => ColumnData::Int32(Vec::with_capacity(capacity)),
+            DataType::Int32 | DataType::Dictionary => {
+                ColumnData::Int32(Vec::with_capacity(capacity))
+            }
             DataType::Int64 => ColumnData::Int64(Vec::with_capacity(capacity)),
             DataType::Float64 => ColumnData::Float64(Vec::with_capacity(capacity)),
         }
@@ -237,11 +239,7 @@ impl DictionaryBuilder {
         let mut values: Vec<String> = domain.into_iter().map(Into::into).collect();
         values.sort();
         values.dedup();
-        let index = values
-            .iter()
-            .enumerate()
-            .map(|(i, v)| (v.clone(), i as i32))
-            .collect();
+        let index = values.iter().enumerate().map(|(i, v)| (v.clone(), i as i32)).collect();
         Self { values, index }
     }
 

@@ -5,10 +5,8 @@
 //! participate) plus the knobs our reproduction adds (scale-extrapolation
 //! weight used when a physically small dataset models a nominally larger one).
 
-use serde::{Deserialize, Serialize};
-
 /// Where the engine is allowed to run the main part of a query plan.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecutionTarget {
     /// All relational work on CPU cores only (paper: "Proteus CPUs").
     CpuOnly,
@@ -29,8 +27,23 @@ impl ExecutionTarget {
     }
 }
 
+/// How the executor schedules the stages of a compiled query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ExecutionMode {
+    /// All stages run concurrently; producers push block handles into the
+    /// consumer stage's asynchronous queues the moment each block is produced,
+    /// and routing / mem-move localization happen inline on the producer path
+    /// (§3.1's router-connected pipeline instances). This is the default.
+    #[default]
+    Pipelined,
+    /// Legacy stage-at-a-time scheduling: each stage fully materializes its
+    /// outputs before the next stage starts, and routing is a serial pre-pass.
+    /// Kept selectable for A/B comparison against the pipelined executor.
+    StageAtATime,
+}
+
 /// Initial placement of base-table data.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPlacement {
     /// Columns reside in CPU (socket-interleaved) memory — the SF1000 setup.
     CpuResident,
@@ -40,7 +53,7 @@ pub enum DataPlacement {
 
 /// Engine configuration. `Default` reproduces the paper's server with all
 /// devices enabled and CPU-resident data.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EngineConfig {
     /// Which device classes execute the relational part of the plan.
     pub target: ExecutionTarget,
@@ -63,6 +76,12 @@ pub struct EngineConfig {
     /// with the scale factor (the `date` dimension has a fixed size, `part`
     /// grows logarithmically), so the harness sets one weight per table.
     pub table_weights: Vec<(String, f64)>,
+    /// How stages are scheduled by the executor.
+    pub execution_mode: ExecutionMode,
+    /// Bound (in blocks) of each consumer queue in pipelined mode; producers
+    /// block once a queue is full, modeling the block managers' pre-allocated
+    /// staging memory. `None` leaves queues unbounded.
+    pub queue_capacity: Option<usize>,
 }
 
 impl Default for EngineConfig {
@@ -76,39 +95,29 @@ impl Default for EngineConfig {
             hetexchange_enabled: true,
             scale_weight: 1.0,
             table_weights: Vec::new(),
+            execution_mode: ExecutionMode::default(),
+            queue_capacity: Some(DEFAULT_QUEUE_CAPACITY),
         }
     }
 }
 
+/// Default bound (in blocks) of each pipelined consumer queue.
+pub const DEFAULT_QUEUE_CAPACITY: usize = 16;
+
 impl EngineConfig {
     /// CPU-only configuration with the given degree of parallelism.
     pub fn cpu_only(cpu_dop: usize) -> Self {
-        Self {
-            target: ExecutionTarget::CpuOnly,
-            cpu_dop,
-            gpu_dop: 0,
-            ..Self::default()
-        }
+        Self { target: ExecutionTarget::CpuOnly, cpu_dop, gpu_dop: 0, ..Self::default() }
     }
 
     /// GPU-only configuration with the given number of GPUs.
     pub fn gpu_only(gpu_dop: usize) -> Self {
-        Self {
-            target: ExecutionTarget::GpuOnly,
-            cpu_dop: 0,
-            gpu_dop,
-            ..Self::default()
-        }
+        Self { target: ExecutionTarget::GpuOnly, cpu_dop: 0, gpu_dop, ..Self::default() }
     }
 
     /// Hybrid configuration using `cpu_dop` cores and `gpu_dop` GPUs.
     pub fn hybrid(cpu_dop: usize, gpu_dop: usize) -> Self {
-        Self {
-            target: ExecutionTarget::Hybrid,
-            cpu_dop,
-            gpu_dop,
-            ..Self::default()
-        }
+        Self { target: ExecutionTarget::Hybrid, cpu_dop, gpu_dop, ..Self::default() }
     }
 
     /// Total degree of parallelism of the main (relational) part of the plan.
@@ -132,6 +141,12 @@ impl EngineConfig {
         self
     }
 
+    /// Select the executor's stage-scheduling mode.
+    pub fn with_execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.execution_mode = mode;
+        self
+    }
+
     /// Validate that the configuration is internally consistent.
     pub fn validate(&self) -> crate::error::Result<()> {
         use crate::error::HetError;
@@ -150,6 +165,9 @@ impl EngineConfig {
             }
             _ if self.scale_weight <= 0.0 => {
                 Err(HetError::Config("scale_weight must be positive".into()))
+            }
+            _ if self.queue_capacity == Some(0) => {
+                Err(HetError::Config("queue_capacity must be positive when bounded".into()))
             }
             _ => Ok(()),
         }
@@ -179,18 +197,15 @@ mod tests {
     fn validation_rejects_inconsistent_configs() {
         assert!(EngineConfig::cpu_only(0).validate().is_err());
         assert!(EngineConfig::gpu_only(0).validate().is_err());
-        let mut cfg = EngineConfig::default();
-        cfg.block_capacity = 0;
+        let cfg = EngineConfig { block_capacity: 0, ..EngineConfig::default() };
         assert!(cfg.validate().is_err());
-        let mut cfg = EngineConfig::default();
-        cfg.scale_weight = 0.0;
+        let cfg = EngineConfig { scale_weight: 0.0, ..EngineConfig::default() };
         assert!(cfg.validate().is_err());
     }
 
     #[test]
     fn per_table_weights_override_the_global_weight() {
-        let mut cfg = EngineConfig::default();
-        cfg.scale_weight = 100.0;
+        let cfg = EngineConfig { scale_weight: 100.0, ..EngineConfig::default() };
         let cfg = cfg.with_table_weight("date", 1.0).with_table_weight("part", 7.5);
         assert_eq!(cfg.weight_for("lineorder"), 100.0);
         assert_eq!(cfg.weight_for("date"), 1.0);

@@ -13,7 +13,9 @@
 //! pack-invariants, and wherever blocks need to be (re)built outside a
 //! pipeline.
 
-use hetex_common::{Block, BlockHandle, BlockId, BlockMeta, ColumnData, HetError, MemoryNodeId, Result};
+use hetex_common::{
+    Block, BlockHandle, BlockId, BlockMeta, ColumnData, HetError, MemoryNodeId, Result,
+};
 use std::collections::HashMap;
 
 /// Groups row-major tuples into blocks, optionally hash-partitioned.
@@ -131,13 +133,8 @@ impl Unpacker {
     /// Iterate the tuples of a block as row-major `Vec<i64>`s.
     pub fn rows(handle: &BlockHandle) -> impl Iterator<Item = Vec<i64>> + '_ {
         let block = handle.block();
-        (0..block.rows()).map(move |row| {
-            block
-                .columns()
-                .iter()
-                .map(|c| c.get_i64(row).unwrap_or(0))
-                .collect()
-        })
+        (0..block.rows())
+            .map(move |row| block.columns().iter().map(|c| c.get_i64(row).unwrap_or(0)).collect())
     }
 }
 
@@ -147,9 +144,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn rows(n: usize, width: usize) -> Vec<Vec<i64>> {
-        (0..n)
-            .map(|i| (0..width).map(|c| (i * 10 + c) as i64).collect())
-            .collect()
+        (0..n).map(|i| (0..width).map(|c| (i * 10 + c) as i64).collect()).collect()
     }
 
     #[test]
@@ -181,7 +176,8 @@ mod tests {
             }
         }
         blocks.extend(packer.flush().unwrap());
-        let unpacked: Vec<Vec<i64>> = blocks.iter().flat_map(|b| Unpacker::rows(b).collect::<Vec<_>>()).collect();
+        let unpacked: Vec<Vec<i64>> =
+            blocks.iter().flat_map(|b| Unpacker::rows(b).collect::<Vec<_>>()).collect();
         assert_eq!(unpacked, input);
         assert!(blocks.iter().all(|b| (b.meta().weight - 3.0).abs() < f64::EPSILON));
         assert!(blocks.iter().all(|b| b.meta().location == MemoryNodeId::new(1)));
@@ -201,8 +197,7 @@ mod tests {
         for block in &blocks {
             let tag = block.meta().hash_partition.expect("hash-pack must tag blocks");
             for row in Unpacker::rows(block) {
-                let expected =
-                    hetex_jit::expr::hash_i64(row[0]).unsigned_abs() % 5;
+                let expected = hetex_jit::expr::hash_i64(row[0]).unsigned_abs() % 5;
                 assert_eq!(expected, tag, "tuple in block with a different hash partition");
             }
         }

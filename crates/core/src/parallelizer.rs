@@ -110,11 +110,13 @@ fn augment(node: &RelNode, config: &EngineConfig, is_root: bool) -> Result<HetNo
 
 /// The chain that turns a base-table scan into local, unpacked tuples on the
 /// participating devices: segmenter → router → mem-move → (cpu2gpu) → unpack.
-fn scan_chain(table: &str, projection: &[String], config: &EngineConfig, build_side: bool) -> HetNode {
-    let mut node = HetNode::Segmenter {
-        table: table.to_string(),
-        projection: projection.to_vec(),
-    };
+fn scan_chain(
+    table: &str,
+    projection: &[String],
+    config: &EngineConfig,
+    build_side: bool,
+) -> HetNode {
+    let mut node = HetNode::Segmenter { table: table.to_string(), projection: projection.to_vec() };
     if config.hetexchange_enabled {
         let targets = if build_side {
             // Dimension (build) sides are small; parallelize them over CPU
@@ -123,11 +125,8 @@ fn scan_chain(table: &str, projection: &[String], config: &EngineConfig, build_s
         } else {
             targets_of(config)
         };
-        node = HetNode::Router {
-            input: Box::new(node),
-            policy: RouterPolicy::LeastLoaded,
-            targets,
-        };
+        node =
+            HetNode::Router { input: Box::new(node), policy: RouterPolicy::LeastLoaded, targets };
     }
     node = HetNode::MemMove { input: Box::new(node), broadcast: false };
     if !build_side && uses_gpu(config) {
@@ -138,14 +137,23 @@ fn scan_chain(table: &str, projection: &[String], config: &EngineConfig, build_s
 
 /// The build side of a join: scan and filter the dimension on the CPU, pack
 /// the surviving tuples, broadcast them to every device that will probe, and
-/// unpack into the hash-table build.
+/// unpack into the hash-table build. A router above the packed dimension
+/// parallelizes the build itself — multiple CPU pipeline instances insert
+/// into the shared hash table concurrently, exactly like any other
+/// router-encapsulated pipeline (a single-instance build would serialize the
+/// whole query behind one core's random-access bandwidth).
 fn augment_build_side(build: &RelNode, config: &EngineConfig) -> Result<HetNode> {
     let inner = augment_build_inner(build, config)?;
     let packed = HetNode::Pack { input: Box::new(inner), hash_partitions: None };
-    let moved = HetNode::MemMove {
-        input: Box::new(packed),
-        broadcast: uses_gpu(config),
-    };
+    let mut node = packed;
+    if config.hetexchange_enabled {
+        node = HetNode::Router {
+            input: Box::new(node),
+            policy: RouterPolicy::LeastLoaded,
+            targets: vec![DeviceTarget::cpu(config.cpu_dop.clamp(1, 8))],
+        };
+    }
+    let moved = HetNode::MemMove { input: Box::new(node), broadcast: uses_gpu(config) };
     Ok(HetNode::Unpack { input: Box::new(moved) })
 }
 
@@ -172,9 +180,9 @@ fn augment_build_inner(node: &RelNode, config: &EngineConfig) -> Result<HetNode>
                 payload: payload.clone(),
             })
         }
-        RelNode::Reduce { .. } | RelNode::GroupBy { .. } => Err(HetError::Plan(
-            "aggregations are not supported on the build side of a join".into(),
-        )),
+        RelNode::Reduce { .. } | RelNode::GroupBy { .. } => {
+            Err(HetError::Plan("aggregations are not supported on the build side of a join".into()))
+        }
     }
 }
 
@@ -216,11 +224,9 @@ mod tests {
 
     #[test]
     fn relational_operators_always_get_local_unpacked_input() {
-        for config in [
-            EngineConfig::cpu_only(8),
-            EngineConfig::gpu_only(2),
-            EngineConfig::hybrid(16, 2),
-        ] {
+        for config in
+            [EngineConfig::cpu_only(8), EngineConfig::gpu_only(2), EngineConfig::hybrid(16, 2)]
+        {
             let het = parallelize(&sample_plan(), &config).unwrap();
             check_relational_requirements(&het).unwrap();
         }

@@ -93,12 +93,7 @@ pub enum RelNode {
     /// Ungrouped aggregation producing exactly one row.
     Reduce { input: Box<RelNode>, aggs: Vec<AggSpec>, names: Vec<String> },
     /// Grouped aggregation.
-    GroupBy {
-        input: Box<RelNode>,
-        keys: Vec<usize>,
-        aggs: Vec<AggSpec>,
-        names: Vec<String>,
-    },
+    GroupBy { input: Box<RelNode>, keys: Vec<usize>, aggs: Vec<AggSpec>, names: Vec<String> },
 }
 
 impl RelNode {
@@ -116,7 +111,13 @@ impl RelNode {
     }
 
     /// Join this node (as probe side) with a build side.
-    pub fn hash_join(self, build: RelNode, probe_key: usize, build_key: usize, payload: &[usize]) -> RelNode {
+    pub fn hash_join(
+        self,
+        build: RelNode,
+        probe_key: usize,
+        build_key: usize,
+        payload: &[usize],
+    ) -> RelNode {
         RelNode::HashJoin {
             build: Box::new(build),
             probe: Box::new(self),
@@ -155,7 +156,8 @@ impl RelNode {
                 let mut names = probe.output_names();
                 let build_names = build.output_names();
                 for &p in payload {
-                    names.push(build_names.get(p).cloned().unwrap_or_else(|| format!("payload{p}")));
+                    names
+                        .push(build_names.get(p).cloned().unwrap_or_else(|| format!("payload{p}")));
                 }
                 names
             }
@@ -234,23 +236,49 @@ impl RelNode {
 #[derive(Debug, Clone, PartialEq)]
 pub enum HetNode {
     /// The single-threaded leaf that cuts a table into block-shaped partitions.
-    Segmenter { table: String, projection: Vec<String> },
+    Segmenter {
+        table: String,
+        projection: Vec<String>,
+    },
     /// Control-flow: parallelism encapsulation.
-    Router { input: Box<HetNode>, policy: RouterPolicy, targets: Vec<DeviceTarget> },
+    Router {
+        input: Box<HetNode>,
+        policy: RouterPolicy,
+        targets: Vec<DeviceTarget>,
+    },
     /// Control-flow: CPU → GPU crossing (kernel launches).
-    Cpu2Gpu { input: Box<HetNode> },
+    Cpu2Gpu {
+        input: Box<HetNode>,
+    },
     /// Control-flow: GPU → CPU crossing (asynchronous queue + CPU-side part).
-    Gpu2Cpu { input: Box<HetNode> },
+    Gpu2Cpu {
+        input: Box<HetNode>,
+    },
     /// Data-flow: make blocks local to their consumer, possibly broadcasting.
-    MemMove { input: Box<HetNode>, broadcast: bool },
+    MemMove {
+        input: Box<HetNode>,
+        broadcast: bool,
+    },
     /// Data-flow: group tuples into blocks; `hash_partitions` makes it a
     /// hash-pack whose blocks are hash-homogeneous.
-    Pack { input: Box<HetNode>, hash_partitions: Option<usize> },
+    Pack {
+        input: Box<HetNode>,
+        hash_partitions: Option<usize>,
+    },
     /// Data-flow: feed a block's tuples one at a time to the next operator.
-    Unpack { input: Box<HetNode> },
+    Unpack {
+        input: Box<HetNode>,
+    },
     /// Relational operators (same semantics as in [`RelNode`]).
-    Filter { input: Box<HetNode>, predicate: Expr },
-    Project { input: Box<HetNode>, exprs: Vec<Expr>, names: Vec<String> },
+    Filter {
+        input: Box<HetNode>,
+        predicate: Expr,
+    },
+    Project {
+        input: Box<HetNode>,
+        exprs: Vec<Expr>,
+        names: Vec<String>,
+    },
     HashJoin {
         build: Box<HetNode>,
         probe: Box<HetNode>,
@@ -258,7 +286,11 @@ pub enum HetNode {
         probe_key: usize,
         payload: Vec<usize>,
     },
-    Reduce { input: Box<HetNode>, aggs: Vec<AggSpec>, names: Vec<String> },
+    Reduce {
+        input: Box<HetNode>,
+        aggs: Vec<AggSpec>,
+        names: Vec<String>,
+    },
     GroupBy {
         input: Box<HetNode>,
         keys: Vec<usize>,
@@ -295,15 +327,13 @@ impl HetNode {
                 let mut names = probe.output_names();
                 let build_names = build.output_names();
                 for &p in payload {
-                    names.push(build_names.get(p).cloned().unwrap_or_else(|| format!("payload{p}")));
+                    names
+                        .push(build_names.get(p).cloned().unwrap_or_else(|| format!("payload{p}")));
                 }
                 names
             }
             HetNode::Reduce { names, .. } | HetNode::GroupBy { names, .. } => names.clone(),
-            other => other
-                .input()
-                .map(|i| i.output_names())
-                .unwrap_or_default(),
+            other => other.input().map(|i| i.output_names()).unwrap_or_default(),
         }
     }
 
@@ -350,11 +380,12 @@ impl HetNode {
                 out.push_str(&format!("{pad}segmenter {table} [{}]\n", projection.join(", ")));
             }
             HetNode::Router { input, policy, targets } => {
-                let targets: Vec<String> = targets
-                    .iter()
-                    .map(|t| format!("{}x{}", t.dop, t.kind))
-                    .collect();
-                out.push_str(&format!("{pad}router policy={policy} targets=[{}]\n", targets.join(", ")));
+                let targets: Vec<String> =
+                    targets.iter().map(|t| format!("{}x{}", t.dop, t.kind)).collect();
+                out.push_str(&format!(
+                    "{pad}router policy={policy} targets=[{}]\n",
+                    targets.join(", ")
+                ));
                 input.explain_into(out, depth + 1);
             }
             HetNode::Cpu2Gpu { input } => {
@@ -441,10 +472,7 @@ mod tests {
         // Join output = probe columns ++ payload columns.
         if let RelNode::Reduce { input, .. } = &plan {
             let join_names = input.output_names();
-            assert_eq!(
-                join_names,
-                vec!["lo_orderdate", "lo_discount", "lo_revenue", "d_year"]
-            );
+            assert_eq!(join_names, vec!["lo_orderdate", "lo_discount", "lo_revenue", "d_year"]);
         } else {
             panic!("expected reduce at root");
         }

@@ -1,20 +1,41 @@
 //! Asynchronous block-handle queues.
 //!
 //! Routers and the gpu2cpu operator connect producer and consumer pipeline
-//! instances through asynchronous queues of block *handles* (§3.1). The queue
-//! is unbounded (the paper's staging memory is pre-allocated by the block
-//! managers; back-pressure is handled there, not in the queue), supports many
-//! producers, and terminates the consumer cleanly once every registered
-//! producer has finished.
+//! instances through asynchronous queues of block *handles* (§3.1). A queue
+//! supports many producers and terminates the consumer cleanly once every
+//! registered producer has finished. Two variants exist:
+//!
+//! * [`BlockQueue::new`] — unbounded (the paper's staging memory is
+//!   pre-allocated by the block managers, so back-pressure can be handled
+//!   there);
+//! * [`BlockQueue::bounded`] — bounded to a fixed number of buffered blocks,
+//!   giving the pipelined executor explicit back-pressure: a producer blocks
+//!   in [`BlockQueue::push`] until the consumer drains a slot, modeling a
+//!   finite staging arena.
+//!
+//! Termination is cooperative: producers register (`new(n)` /
+//! [`BlockQueue::add_producer`] / [`BlockQueue::register_producer`]) and
+//! signal completion ([`BlockQueue::producer_done`]); `pop` returns `None`
+//! once every producer finished and the queue drained. Two safety valves stop
+//! a consumer from deadlocking when a producer dies abnormally:
+//!
+//! * [`BlockQueue::close`] poisons the queue — every pending and future `pop`
+//!   returns `None` and every future `push` fails — and is called by the
+//!   executor when a worker errors out, cascading shutdown upstream;
+//! * [`ProducerGuard`] (from [`BlockQueue::register_producer`]) signals
+//!   `producer_done` from its `Drop` impl, so a producer that panics before
+//!   finishing still releases its consumer during unwinding.
 
-use crossbeam::channel::{unbounded, Receiver, Sender};
+use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
 use hetex_common::{BlockHandle, HetError, Result};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 
 enum Message {
     Block(BlockHandle),
     ProducerDone,
+    /// Wake-up with no payload, used by `close()` to rouse a blocked consumer.
+    Nudge,
 }
 
 /// A multi-producer, single-consumer queue of block handles.
@@ -24,6 +45,7 @@ pub struct BlockQueue {
     receiver: Receiver<Message>,
     producers: Arc<AtomicUsize>,
     finished: Arc<AtomicUsize>,
+    closed: Arc<AtomicBool>,
 }
 
 impl std::fmt::Debug for BlockQueue {
@@ -32,19 +54,38 @@ impl std::fmt::Debug for BlockQueue {
             .field("producers", &self.producers.load(Ordering::Relaxed))
             .field("finished", &self.finished.load(Ordering::Relaxed))
             .field("pending", &self.receiver.len())
+            .field("closed", &self.closed.load(Ordering::Relaxed))
             .finish()
     }
 }
 
 impl BlockQueue {
-    /// A queue expecting `producers` producers.
+    /// An unbounded queue expecting `producers` producers.
     pub fn new(producers: usize) -> Self {
         let (sender, receiver) = unbounded();
+        Self::from_channel(sender, receiver, producers)
+    }
+
+    /// A bounded queue expecting `producers` producers: at most `capacity`
+    /// messages buffer before `push` blocks (back-pressure).
+    pub fn bounded(producers: usize, capacity: usize) -> Self {
+        // One extra slot keeps the completion marker from blocking a producer
+        // whose data already filled the queue.
+        let (sender, receiver) = bounded(capacity.max(1) + 1);
+        Self::from_channel(sender, receiver, producers)
+    }
+
+    fn from_channel(
+        sender: Sender<Message>,
+        receiver: Receiver<Message>,
+        producers: usize,
+    ) -> Self {
         Self {
             sender,
             receiver,
             producers: Arc::new(AtomicUsize::new(producers)),
             finished: Arc::new(AtomicUsize::new(0)),
+            closed: Arc::new(AtomicBool::new(false)),
         }
     }
 
@@ -54,35 +95,98 @@ impl BlockQueue {
         self.producers.fetch_add(1, Ordering::SeqCst);
     }
 
-    /// Push a block handle into the queue.
-    pub fn push(&self, handle: BlockHandle) -> Result<()> {
-        self.sender
-            .send(Message::Block(handle))
-            .map_err(|_| HetError::Cancelled("block queue closed".into()))
+    /// Register a producer and return an RAII guard for it: the guard pushes
+    /// on the producer's behalf and signals `producer_done` when dropped (or
+    /// explicitly via [`ProducerGuard::done`]). Because the signal lives in
+    /// `Drop`, a producer that panics mid-stream still terminates its
+    /// consumer instead of deadlocking it.
+    pub fn register_producer(&self) -> ProducerGuard {
+        self.add_producer();
+        ProducerGuard { queue: self.clone(), finished: false }
     }
 
-    /// Signal that one producer has no more blocks to push.
+    /// Push a block handle into the queue, blocking on a full bounded queue.
+    /// Fails if the queue was closed — including while blocked on a full
+    /// queue whose consumer died: the wait periodically rechecks the closed
+    /// flag, so `close()` releases stuck producers instead of deadlocking
+    /// them.
+    pub fn push(&self, handle: BlockHandle) -> Result<()> {
+        let mut message = Message::Block(handle);
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(HetError::Cancelled("block queue closed".into()));
+            }
+            match self.sender.send_timeout(message, std::time::Duration::from_millis(10)) {
+                Ok(()) => return Ok(()),
+                Err(crossbeam::channel::SendTimeoutError::Timeout(m)) => message = m,
+                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => {
+                    return Err(HetError::Cancelled("block queue closed".into()));
+                }
+            }
+        }
+    }
+
+    /// Signal that one producer has no more blocks to push. Like
+    /// [`Self::push`], the wait on a full bounded queue periodically rechecks
+    /// the closed flag so a completing producer cannot deadlock against a
+    /// consumer that died.
     pub fn producer_done(&self) -> Result<()> {
-        self.sender
-            .send(Message::ProducerDone)
-            .map_err(|_| HetError::Cancelled("block queue closed".into()))
+        let mut message = Message::ProducerDone;
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                // A closed queue no longer counts completions; not an error
+                // so unwinding producers can call this unconditionally.
+                return Ok(());
+            }
+            match self.sender.send_timeout(message, std::time::Duration::from_millis(10)) {
+                Ok(()) => return Ok(()),
+                Err(crossbeam::channel::SendTimeoutError::Timeout(m)) => message = m,
+                Err(crossbeam::channel::SendTimeoutError::Disconnected(_)) => {
+                    return Err(HetError::Cancelled("block queue closed".into()));
+                }
+            }
+        }
+    }
+
+    /// Poison the queue: every pending and future [`Self::pop`] returns
+    /// `None`, and every future [`Self::push`] fails. Used to cascade
+    /// shutdown when a worker dies abnormally.
+    pub fn close(&self) {
+        self.closed.store(true, Ordering::SeqCst);
+        // Wake a consumer blocked in `recv`. If the buffer is full the
+        // consumer is not blocked (it has data to pop and will observe the
+        // flag at its next loop iteration), so a failed try-send is fine.
+        let _ = self.sender.try_send(Message::Nudge);
+    }
+
+    /// True once the queue has been closed.
+    pub fn is_closed(&self) -> bool {
+        self.closed.load(Ordering::SeqCst)
     }
 
     /// Pop the next block handle, or `None` once every producer finished and
-    /// the queue drained.
+    /// the queue drained (or the queue was closed).
     pub fn pop(&self) -> Option<BlockHandle> {
         loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return None;
+            }
             if self.finished.load(Ordering::SeqCst) >= self.producers.load(Ordering::SeqCst)
                 && self.receiver.is_empty()
             {
                 return None;
             }
             match self.receiver.recv() {
-                Ok(Message::Block(handle)) => return Some(handle),
+                Ok(Message::Block(handle)) => {
+                    if self.closed.load(Ordering::SeqCst) {
+                        return None;
+                    }
+                    return Some(handle);
+                }
                 Ok(Message::ProducerDone) => {
                     self.finished.fetch_add(1, Ordering::SeqCst);
                 }
-                Err(_) => return None,
+                Ok(Message::Nudge) | Err(_) => {}
             }
         }
     }
@@ -109,11 +213,45 @@ impl BlockQueue {
     }
 }
 
+/// RAII producer registration for a [`BlockQueue`]; see
+/// [`BlockQueue::register_producer`].
+#[derive(Debug)]
+pub struct ProducerGuard {
+    queue: BlockQueue,
+    finished: bool,
+}
+
+impl ProducerGuard {
+    /// Push a block on behalf of this producer.
+    pub fn push(&self, handle: BlockHandle) -> Result<()> {
+        self.queue.push(handle)
+    }
+
+    /// Explicitly signal completion (otherwise `Drop` does it).
+    pub fn done(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        if !self.finished {
+            self.finished = true;
+            let _ = self.queue.producer_done();
+        }
+    }
+}
+
+impl Drop for ProducerGuard {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use hetex_common::{Block, BlockId, BlockMeta, ColumnData, MemoryNodeId};
     use std::thread;
+    use std::time::Duration;
 
     fn handle(id: usize) -> BlockHandle {
         let block = Block::new(vec![ColumnData::Int64(vec![id as i64])], 1).unwrap();
@@ -184,6 +322,115 @@ mod tests {
         q.push(handle(1)).unwrap();
         q.producer_done().unwrap();
         assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn bounded_queue_applies_backpressure() {
+        let q = BlockQueue::bounded(1, 2);
+        q.push(handle(1)).unwrap();
+        q.push(handle(2)).unwrap();
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                // Capacity 2 (+1 marker slot): the fourth push must block
+                // until the consumer drains.
+                q.push(handle(3)).unwrap();
+                q.push(handle(4)).unwrap();
+                q.producer_done().unwrap();
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert!(q.len() <= 3, "bounded queue overfilled: {}", q.len());
+        let drained = q.drain();
+        producer.join().unwrap();
+        assert_eq!(drained.len(), 4);
+    }
+
+    #[test]
+    fn close_unblocks_a_waiting_consumer() {
+        let q = BlockQueue::new(1);
+        let consumer = {
+            let q = q.clone();
+            thread::spawn(move || q.pop())
+        };
+        thread::sleep(Duration::from_millis(20));
+        q.close();
+        assert_eq!(consumer.join().unwrap().map(|h| h.rows()), None);
+        // Pushes after close fail instead of piling up.
+        assert!(q.push(handle(1)).is_err());
+        // producer_done after close is tolerated (unwinding producers).
+        assert!(q.producer_done().is_ok());
+    }
+
+    #[test]
+    fn close_releases_a_producer_blocked_on_a_full_queue() {
+        // Regression test: the pipelined executor's error path closes a dead
+        // worker's input queue; a producer already blocked in push() on the
+        // full queue must fail out instead of deadlocking the shutdown.
+        let q = BlockQueue::bounded(1, 1);
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || {
+                let mut pushed = 0;
+                while q.push(handle(pushed)).is_ok() {
+                    pushed += 1;
+                }
+                pushed
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        q.close();
+        let pushed = producer.join().expect("producer must not deadlock");
+        assert!(pushed >= 2, "queue accepted {pushed} pushes before close");
+    }
+
+    #[test]
+    fn close_releases_a_producer_completing_against_a_full_queue() {
+        // producer_done() must also recheck the closed flag while waiting on
+        // a full queue: guards signal completion from Drop during shutdown,
+        // and a dead consumer must not deadlock them.
+        let q = BlockQueue::bounded(1, 1);
+        // Capacity 1 (+1 marker slot): two pushes fill the channel, so the
+        // completion marker has nowhere to go.
+        q.push(handle(0)).unwrap();
+        q.push(handle(1)).unwrap();
+        let producer = {
+            let q = q.clone();
+            thread::spawn(move || q.producer_done())
+        };
+        thread::sleep(Duration::from_millis(30));
+        q.close();
+        assert!(producer.join().expect("producer_done must not deadlock").is_ok());
+    }
+
+    #[test]
+    fn panicking_producer_does_not_deadlock_the_consumer() {
+        // Regression test: without the guard's Drop signal, the consumer
+        // would block in pop() forever after the producer panics before
+        // calling producer_done().
+        let q = BlockQueue::new(0);
+        let guard = q.register_producer();
+        let producer = thread::spawn(move || {
+            guard.push(handle(1)).unwrap();
+            panic!("producer died before producer_done()");
+        });
+        assert!(producer.join().is_err());
+        // The panicked producer's guard signalled completion during unwind:
+        // the consumer sees the pushed block, then clean termination.
+        assert!(q.pop().is_some());
+        assert!(q.pop().is_none());
+    }
+
+    #[test]
+    fn producer_guard_done_signals_exactly_once() {
+        let q = BlockQueue::new(0);
+        let g1 = q.register_producer();
+        let g2 = q.register_producer();
+        g1.push(handle(1)).unwrap();
+        g1.done();
+        assert!(q.pop().is_some());
+        drop(g2);
         assert!(q.pop().is_none());
     }
 }

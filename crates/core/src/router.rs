@@ -12,7 +12,7 @@
 use crate::plan::{DeviceTarget, RouterPolicy};
 use hetex_common::{BlockMeta, HetError, Result};
 use hetex_topology::{Affinity, DeviceId, DeviceKind, ServerTopology};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// One consumer instance the router fans out to.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -23,17 +23,18 @@ pub struct ConsumerSlot {
     pub affinity: Affinity,
 }
 
-/// The runtime router.
+/// The runtime router. Borrows its consumer slots (the slot plan lives in the
+/// compiled stage graph); routing itself is lock-free.
 #[derive(Debug)]
-pub struct Router {
+pub struct Router<'a> {
     policy: RouterPolicy,
-    consumers: Vec<ConsumerSlot>,
+    consumers: &'a [ConsumerSlot],
     cursor: AtomicUsize,
 }
 
-impl Router {
+impl<'a> Router<'a> {
     /// A router with the given policy and consumer instances.
-    pub fn new(policy: RouterPolicy, consumers: Vec<ConsumerSlot>) -> Result<Self> {
+    pub fn new(policy: RouterPolicy, consumers: &'a [ConsumerSlot]) -> Result<Self> {
         if consumers.is_empty() {
             return Err(HetError::Plan("router needs at least one consumer".into()));
         }
@@ -54,6 +55,19 @@ impl Router {
         targets: &[DeviceTarget],
         topology: &ServerTopology,
     ) -> Result<Vec<ConsumerSlot>> {
+        Self::plan_consumers_offset(targets, topology, 0)
+    }
+
+    /// Like [`Self::plan_consumers`], but rotating the interleaved core list
+    /// by `offset` cores. The pipelined executor runs stages concurrently, so
+    /// the planner staggers each stage's CPU instances across the topology —
+    /// concurrent pipelines land on disjoint cores when enough exist instead
+    /// of oversubscribing the same few.
+    pub fn plan_consumers_offset(
+        targets: &[DeviceTarget],
+        topology: &ServerTopology,
+        offset: usize,
+    ) -> Result<Vec<ConsumerSlot>> {
         let cores = topology.cpu_cores_interleaved();
         let gpus = topology.gpus();
         let mut slots = Vec::new();
@@ -68,7 +82,7 @@ impl Router {
                         )));
                     }
                     for i in 0..target.dop {
-                        let core = cores[i % cores.len()];
+                        let core = cores[(offset + i) % cores.len()];
                         let gpu = gpus.get(i % gpus.len().max(1)).copied();
                         slots.push(ConsumerSlot {
                             kind: DeviceKind::CpuCore,
@@ -107,7 +121,7 @@ impl Router {
 
     /// The consumer instances.
     pub fn consumers(&self) -> &[ConsumerSlot] {
-        &self.consumers
+        self.consumers
     }
 
     /// Degree of parallelism this router establishes.
@@ -127,12 +141,13 @@ impl Router {
             RouterPolicy::RoundRobin => Ok(self.cursor.fetch_add(1, Ordering::Relaxed) % n),
             RouterPolicy::LeastLoaded => {
                 if loads.len() == n {
-                    let best = loads
-                        .iter()
-                        .enumerate()
-                        .min_by_key(|(_, l)| **l)
-                        .map(|(i, _)| i)
-                        .unwrap_or(0);
+                    // Rotate the scan origin so ties break round-robin:
+                    // concurrent producers routing against momentarily equal
+                    // (or stale) load estimates must not stampede the same
+                    // consumer index.
+                    let start = self.cursor.fetch_add(1, Ordering::Relaxed) % n;
+                    let best =
+                        (0..n).map(|off| (start + off) % n).min_by_key(|&i| loads[i]).unwrap_or(0);
                     Ok(best)
                 } else {
                     // Without load information fall back to round-robin.
@@ -167,10 +182,57 @@ impl Router {
     /// Devices (by id) that the consumers of this router execute on, in slot
     /// order — the executor uses this to create one worker per slot.
     pub fn consumer_devices(&self) -> Vec<Option<DeviceId>> {
-        self.consumers
+        self.consumers.iter().map(|slot| slot.affinity.for_kind(slot.kind)).collect()
+    }
+}
+
+/// Incremental, lock-free load estimates for a router's consumers.
+///
+/// The pipelined executor routes blocks from many producer workers
+/// concurrently, so the least-loaded policy's per-consumer load accumulator
+/// cannot be a serial pre-pass vector any more: it is a vector of atomics.
+/// Each producer projects `load[i] + cost[i]` for every consumer, lets the
+/// router pick, and commits the winner's cost with a single `fetch_add`.
+/// Races between concurrent routing decisions can momentarily over- or
+/// under-estimate a consumer's load; that only perturbs the greedy balancing
+/// heuristic (exactly like the paper's feedback-driven router, whose load
+/// signals are also slightly stale), never correctness.
+#[derive(Debug)]
+pub struct LoadEstimator {
+    loads: Vec<AtomicU64>,
+}
+
+impl LoadEstimator {
+    /// An estimator with one zeroed accumulator per consumer.
+    pub fn new(consumers: usize) -> Self {
+        Self { loads: (0..consumers).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Number of consumers tracked.
+    pub fn len(&self) -> usize {
+        self.loads.len()
+    }
+
+    /// True when tracking no consumers.
+    pub fn is_empty(&self) -> bool {
+        self.loads.is_empty()
+    }
+
+    /// Projected completion time per consumer if the block were assigned to
+    /// it: current load plus the block's estimated `costs[i]` on consumer `i`.
+    pub fn projected(&self, costs: &[u64]) -> Vec<u64> {
+        self.loads
             .iter()
-            .map(|slot| slot.affinity.for_kind(slot.kind))
+            .zip(costs)
+            .map(|(load, &cost)| load.load(Ordering::Relaxed).saturating_add(cost))
             .collect()
+    }
+
+    /// Commit `cost` to consumer `idx`'s load (after routing a block to it).
+    pub fn commit(&self, idx: usize, cost: u64) {
+        if let Some(load) = self.loads.get(idx) {
+            load.fetch_add(cost, Ordering::Relaxed);
+        }
     }
 }
 
@@ -194,7 +256,8 @@ mod tests {
 
     #[test]
     fn round_robin_cycles_through_consumers() {
-        let router = Router::new(RouterPolicy::RoundRobin, slots(3)).unwrap();
+        let slots = slots(3);
+        let router = Router::new(RouterPolicy::RoundRobin, &slots).unwrap();
         let picks: Vec<usize> = (0..6).map(|_| router.route(&meta(), &[]).unwrap()).collect();
         assert_eq!(picks, vec![0, 1, 2, 0, 1, 2]);
         assert_eq!(router.dop(), 3);
@@ -202,7 +265,8 @@ mod tests {
 
     #[test]
     fn least_loaded_picks_the_idle_consumer() {
-        let router = Router::new(RouterPolicy::LeastLoaded, slots(3)).unwrap();
+        let slots = slots(3);
+        let router = Router::new(RouterPolicy::LeastLoaded, &slots).unwrap();
         assert_eq!(router.route(&meta(), &[500, 100, 900]).unwrap(), 1);
         assert_eq!(router.route(&meta(), &[100, 100, 50]).unwrap(), 2);
         // Missing load information degrades to round-robin rather than failing.
@@ -213,7 +277,8 @@ mod tests {
 
     #[test]
     fn hash_routing_uses_the_handle_tag_only() {
-        let router = Router::new(RouterPolicy::Hash, slots(4)).unwrap();
+        let slots = slots(4);
+        let router = Router::new(RouterPolicy::Hash, &slots).unwrap();
         let mut m = meta();
         m.hash_partition = Some(11);
         assert_eq!(router.route(&m, &[]).unwrap(), 11 % 4);
@@ -223,7 +288,8 @@ mod tests {
 
     #[test]
     fn target_routing_follows_broadcast_tags() {
-        let router = Router::new(RouterPolicy::Target, slots(2)).unwrap();
+        let slots = slots(2);
+        let router = Router::new(RouterPolicy::Target, &slots).unwrap();
         let mut m = meta();
         m.broadcast_target = Some(1);
         assert_eq!(router.route(&m, &[]).unwrap(), 1);
@@ -234,20 +300,20 @@ mod tests {
 
     #[test]
     fn union_router_requires_single_consumer() {
-        assert!(Router::new(RouterPolicy::Union, slots(2)).is_err());
-        let router = Router::new(RouterPolicy::Union, slots(1)).unwrap();
+        let two = slots(2);
+        assert!(Router::new(RouterPolicy::Union, &two).is_err());
+        let one = slots(1);
+        let router = Router::new(RouterPolicy::Union, &one).unwrap();
         assert_eq!(router.route(&meta(), &[]).unwrap(), 0);
-        assert!(Router::new(RouterPolicy::RoundRobin, Vec::new()).is_err());
+        assert!(Router::new(RouterPolicy::RoundRobin, &[]).is_err());
     }
 
     #[test]
     fn plan_consumers_assigns_both_affinities() {
         let topology = ServerTopology::paper_server();
-        let slots = Router::plan_consumers(
-            &[DeviceTarget::cpu(4), DeviceTarget::gpu(2)],
-            &topology,
-        )
-        .unwrap();
+        let slots =
+            Router::plan_consumers(&[DeviceTarget::cpu(4), DeviceTarget::gpu(2)], &topology)
+                .unwrap();
         assert_eq!(slots.len(), 6);
         let cpu_slots: Vec<_> = slots.iter().filter(|s| s.kind == DeviceKind::CpuCore).collect();
         let gpu_slots: Vec<_> = slots.iter().filter(|s| s.kind == DeviceKind::Gpu).collect();
@@ -261,10 +327,30 @@ mod tests {
         // CPU instances are interleaved across sockets.
         let c0 = cpu_slots[0].affinity.cpu_core.unwrap();
         let c1 = cpu_slots[1].affinity.cpu_core.unwrap();
-        assert_ne!(
-            topology.device(c0).unwrap().socket,
-            topology.device(c1).unwrap().socket
-        );
+        assert_ne!(topology.device(c0).unwrap().socket, topology.device(c1).unwrap().socket);
+    }
+
+    #[test]
+    fn load_estimator_projects_and_commits_concurrently() {
+        let est = LoadEstimator::new(3);
+        assert_eq!(est.len(), 3);
+        assert!(!est.is_empty());
+        assert_eq!(est.projected(&[5, 10, 15]), vec![5, 10, 15]);
+        est.commit(1, 100);
+        assert_eq!(est.projected(&[5, 10, 15]), vec![5, 110, 15]);
+        // Concurrent commits accumulate without loss.
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for _ in 0..1000 {
+                        est.commit(0, 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(est.projected(&[0, 0, 0])[0], 4000);
+        // Out-of-range commits are ignored rather than panicking.
+        est.commit(7, 1);
     }
 
     #[test]
@@ -278,8 +364,9 @@ mod tests {
     fn consumer_devices_match_slot_kinds() {
         let topology = ServerTopology::paper_server();
         let slots =
-            Router::plan_consumers(&[DeviceTarget::cpu(2), DeviceTarget::gpu(1)], &topology).unwrap();
-        let router = Router::new(RouterPolicy::LeastLoaded, slots).unwrap();
+            Router::plan_consumers(&[DeviceTarget::cpu(2), DeviceTarget::gpu(1)], &topology)
+                .unwrap();
+        let router = Router::new(RouterPolicy::LeastLoaded, &slots).unwrap();
         let devices = router.consumer_devices();
         assert_eq!(devices.len(), 3);
         assert!(devices.iter().all(Option::is_some));

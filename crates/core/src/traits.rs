@@ -186,9 +186,8 @@ mod tests {
 
     #[test]
     fn gpu2cpu_returns_to_cpu() {
-        let plan = HetNode::Gpu2Cpu {
-            input: Box::new(HetNode::Cpu2Gpu { input: Box::new(segmenter()) }),
-        };
+        let plan =
+            HetNode::Gpu2Cpu { input: Box::new(HetNode::Cpu2Gpu { input: Box::new(segmenter()) }) };
         assert_eq!(derive_traits(&plan).device, DeviceKind::CpuCore);
     }
 

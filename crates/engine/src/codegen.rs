@@ -80,6 +80,53 @@ impl Stage {
     }
 }
 
+/// Explicit producer → consumer wiring of a stage graph, computed at compile
+/// time so the pipelined executor can create its queues and dependency gates
+/// without re-deriving the topology of the graph.
+#[derive(Debug, Clone, Default)]
+pub struct StageWiring {
+    /// `feeds[i] = Some(j)` when stage `j` consumes stage `i`'s output blocks
+    /// (the executor wires one queue per consumer slot of `j`, and stage `i`
+    /// registers as their producer). `None` for sink stages.
+    pub feeds: Vec<Option<usize>>,
+    /// `unlocks[i]` = stages whose dependency gate opens (partially) when
+    /// stage `i` completes — the inverse of `Stage::depends_on`.
+    pub unlocks: Vec<Vec<usize>>,
+}
+
+impl StageWiring {
+    /// Derive the wiring from compiled stages. Fails if two stages claim the
+    /// same producer (plans are trees, so each stage feeds at most one).
+    fn derive(stages: &[Stage]) -> Result<Self> {
+        let mut feeds: Vec<Option<usize>> = vec![None; stages.len()];
+        let mut unlocks: Vec<Vec<usize>> = vec![Vec::new(); stages.len()];
+        for (idx, stage) in stages.iter().enumerate() {
+            if let StageSource::Stage(src) = stage.source {
+                if src >= stages.len() {
+                    return Err(HetError::Codegen(format!(
+                        "stage {idx} consumes unknown stage {src}"
+                    )));
+                }
+                if let Some(prev) = feeds[src] {
+                    return Err(HetError::Codegen(format!(
+                        "stage {src} feeds both stage {prev} and stage {idx}"
+                    )));
+                }
+                feeds[src] = Some(idx);
+            }
+            for &dep in &stage.depends_on {
+                if dep >= stages.len() {
+                    return Err(HetError::Codegen(format!(
+                        "stage {idx} depends on unknown stage {dep}"
+                    )));
+                }
+                unlocks[dep].push(idx);
+            }
+        }
+        Ok(Self { feeds, unlocks })
+    }
+}
+
 /// The compiled query: stages in execution order plus the shared state.
 #[derive(Debug)]
 pub struct StageGraph {
@@ -87,6 +134,8 @@ pub struct StageGraph {
     pub stages: Vec<Stage>,
     /// Shared state (hash tables, accumulators, group-by tables).
     pub state: SharedState,
+    /// Producer → consumer wiring used by the pipelined executor.
+    pub wiring: StageWiring,
 }
 
 impl StageGraph {
@@ -117,6 +166,7 @@ pub fn compile(
         topology,
         build_stage_of_slot: HashMap::new(),
         next_pipeline: 1000,
+        core_offset: 0,
     };
 
     // Strip the result-gathering wrapper (union router / gpu2cpu above the
@@ -134,7 +184,8 @@ pub fn compile(
     let result_stage = cg.compile_stage(root, true)?;
     cg.stages[result_stage].is_result = true;
     let (_pipelines, state) = cg.ctx.seal()?;
-    Ok(StageGraph { stages: cg.stages, state })
+    let wiring = StageWiring::derive(&cg.stages)?;
+    Ok(StageGraph { stages: cg.stages, state, wiring })
 }
 
 /// Edge attributes gathered while descending an input chain.
@@ -154,6 +205,10 @@ struct Codegen<'a> {
     /// Which stage builds each hash-table slot.
     build_stage_of_slot: HashMap<usize, usize>,
     next_pipeline: usize,
+    /// Running count of planned CPU instances: each stage's consumers are
+    /// staggered past the previous stages' so concurrently running pipelines
+    /// land on disjoint cores when the topology has enough.
+    core_offset: usize,
 }
 
 impl<'a> Codegen<'a> {
@@ -219,8 +274,7 @@ impl<'a> Codegen<'a> {
             HetNode::HashJoin { build, probe, build_key, probe_key, payload } => {
                 // Compile the entire build side first: it becomes one or more
                 // stages ending in a HashJoinBuild terminal.
-                let (slot, build_stage) =
-                    self.compile_build_side(build, *build_key, payload)?;
+                let (slot, build_stage) = self.compile_build_side(build, *build_key, payload)?;
                 // Then continue with the probe side in the current pipeline.
                 let mut body = self.walk_body(probe)?;
                 self.ctx.push_step(Step::HashJoinProbe {
@@ -253,7 +307,7 @@ impl<'a> Codegen<'a> {
     fn open_pipeline_from_chain(&mut self, node: &HetNode) -> Result<OpenBody> {
         let mut attrs = EdgeAttrs::default();
         let mut cursor = node;
-        let (source, width, mut depends_on) = loop {
+        let (source, width) = loop {
             match cursor {
                 HetNode::Unpack { input } => cursor = input,
                 HetNode::MemMove { input, broadcast } => {
@@ -278,13 +332,17 @@ impl<'a> Codegen<'a> {
                     break (
                         StageSource::Table { table: table.clone(), projection: projection.clone() },
                         projection.len(),
-                        Vec::new(),
                     );
                 }
-                packed @ (HetNode::Pack { .. } | HetNode::Reduce { .. } | HetNode::GroupBy { .. }) => {
+                packed @ (HetNode::Pack { .. }
+                | HetNode::Reduce { .. }
+                | HetNode::GroupBy { .. }) => {
                     let stage = self.compile_stage(packed, false)?;
                     let width = self.stages[stage].output_width();
-                    break (StageSource::Stage(stage), width, vec![stage]);
+                    // Upstream packed stages feed blocks, not state;
+                    // consuming them does not require a dependency gate —
+                    // blocks flow through the queue as they are produced.
+                    break (StageSource::Stage(stage), width);
                 }
                 other => {
                     return Err(HetError::Codegen(format!(
@@ -293,12 +351,8 @@ impl<'a> Codegen<'a> {
                 }
             }
         };
-        // Upstream packed stages feed blocks, not state; consuming them does
-        // not require waiting for global completion of anything but them.
-        depends_on.clear();
-
         self.ctx.begin_pipeline(DeviceKind::CpuCore, width)?;
-        Ok(OpenBody { source, width, attrs, depends_on })
+        Ok(OpenBody { source, width, attrs, depends_on: Vec::new() })
     }
 
     /// Compile the build side of a hash join into its stages and register the
@@ -337,7 +391,8 @@ impl<'a> Codegen<'a> {
                 vec![DeviceTarget::cpu(1)]
             }
         });
-        let consumers = Router::plan_consumers(&targets, self.topology)?;
+        let consumers = Router::plan_consumers_offset(&targets, self.topology, self.core_offset)?;
+        self.core_offset += consumers.iter().filter(|c| c.kind == DeviceKind::CpuCore).count();
 
         // Build one template per device kind appearing in the consumers
         // (§4.2: a parameterizable pipeline per device, not per thread).
@@ -452,10 +507,7 @@ mod tests {
         let cpu_only = compile_for(&EngineConfig::cpu_only(8));
         assert_eq!(cpu_only.stages[1].mem_move, MemMoveMode::ToInstance);
         // CPU-only plans never generate GPU templates.
-        assert!(cpu_only
-            .stages
-            .iter()
-            .all(|s| !s.templates.contains_key(&DeviceKind::Gpu)));
+        assert!(cpu_only.stages.iter().all(|s| !s.templates.contains_key(&DeviceKind::Gpu)));
     }
 
     #[test]
@@ -482,5 +534,18 @@ mod tests {
     fn pipeline_count_matches_templates() {
         let graph = compile_for(&EngineConfig::hybrid(4, 1));
         assert!(graph.pipeline_count() >= graph.stages.len());
+    }
+
+    #[test]
+    fn wiring_connects_producers_to_consumers_and_inverts_gates() {
+        let graph = compile_for(&EngineConfig::hybrid(8, 2));
+        // Stage 0 (dimension scan) feeds stage 1 (hash build); the probe
+        // stage (2) reads a base table, so nothing feeds it and it feeds
+        // no-one (it is the result sink).
+        assert_eq!(graph.wiring.feeds, vec![Some(1), None, None]);
+        // Build completion unlocks the probe stage's gate.
+        assert_eq!(graph.wiring.unlocks[1], vec![2]);
+        assert!(graph.wiring.unlocks[0].is_empty());
+        assert!(graph.wiring.unlocks[2].is_empty());
     }
 }

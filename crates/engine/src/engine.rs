@@ -25,6 +25,8 @@ pub struct QueryStats {
     pub bytes_transferred: f64,
     /// Number of pipeline stages executed.
     pub stages: usize,
+    /// Simulated completion time of each stage.
+    pub stage_completion: Vec<SimTime>,
     /// Wall-clock time of the functional execution.
     pub wall_time: std::time::Duration,
 }
@@ -75,11 +77,8 @@ impl Proteus {
     /// An engine on an arbitrary topology.
     pub fn new(topology: Arc<ServerTopology>) -> Self {
         let nodes: Vec<_> = topology.memory_nodes().iter().map(|m| m.id).collect();
-        let capacities: Vec<_> = topology
-            .memory_nodes()
-            .iter()
-            .map(|m| (m.id, m.capacity))
-            .collect();
+        let capacities: Vec<_> =
+            topology.memory_nodes().iter().map(|m| (m.id, m.capacity)).collect();
         let executor = Executor::new(Arc::clone(&topology));
         Self {
             topology,
@@ -140,6 +139,7 @@ impl Proteus {
                 per_kind: result.per_kind,
                 bytes_transferred: result.bytes_transferred,
                 stages: graph.stages.len(),
+                stage_completion: result.stage_completion,
                 wall_time: result.wall_time,
             },
         })
@@ -188,11 +188,9 @@ mod tests {
     fn running_example_on_all_targets() {
         let engine = engine_with_table(100_000);
         let expected = expected_sum(100_000);
-        for config in [
-            EngineConfig::cpu_only(4),
-            EngineConfig::gpu_only(2),
-            EngineConfig::hybrid(8, 2),
-        ] {
+        for config in
+            [EngineConfig::cpu_only(4), EngineConfig::gpu_only(2), EngineConfig::hybrid(8, 2)]
+        {
             let outcome = engine.execute(&sum_where_plan(), &config).unwrap();
             assert_eq!(outcome.rows, vec![vec![expected]], "target {:?}", config.target);
             assert!(outcome.sim_time > SimTime::ZERO);
@@ -204,11 +202,8 @@ mod tests {
     #[test]
     fn group_by_returns_sorted_groups() {
         let engine = engine_with_table(10_000);
-        let plan = RelNode::scan("t", &["a", "b"]).group_by(
-            &[0],
-            vec![AggSpec::count()],
-            &["a", "cnt"],
-        );
+        let plan =
+            RelNode::scan("t", &["a", "b"]).group_by(&[0], vec![AggSpec::count()], &["a", "cnt"]);
         let outcome = engine.execute(&plan, &EngineConfig::cpu_only(2)).unwrap();
         assert_eq!(outcome.rows.len(), 1000);
         // Sorted by key and each key appears 10 times.
@@ -219,9 +214,7 @@ mod tests {
     #[test]
     fn explain_shows_hetexchange_operators() {
         let engine = engine_with_table(1000);
-        let text = engine
-            .explain(&sum_where_plan(), &EngineConfig::hybrid(24, 2))
-            .unwrap();
+        let text = engine.explain(&sum_where_plan(), &EngineConfig::hybrid(24, 2)).unwrap();
         assert!(text.contains("router"));
         assert!(text.contains("cpu2gpu"));
         assert!(text.contains("segmenter t"));
@@ -230,9 +223,7 @@ mod tests {
     #[test]
     fn missing_table_is_a_catalog_error() {
         let engine = Proteus::on_paper_server();
-        let err = engine
-            .execute(&sum_where_plan(), &EngineConfig::cpu_only(1))
-            .unwrap_err();
+        let err = engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(1)).unwrap_err();
         assert_eq!(err.category(), "catalog");
     }
 
@@ -245,9 +236,7 @@ mod tests {
     #[test]
     fn throughput_helper_uses_simulated_time() {
         let engine = engine_with_table(100_000);
-        let outcome = engine
-            .execute(&sum_where_plan(), &EngineConfig::cpu_only(8))
-            .unwrap();
+        let outcome = engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(8)).unwrap();
         let bytes = (100_000 * (4 + 8)) as f64;
         assert!(outcome.throughput_gbps(bytes) > 0.0);
     }

@@ -6,28 +6,50 @@
 //! concurrently — while *performance* is accounted on the simulated resource
 //! clocks: each device (CPU core or GPU) owns a clock, each DRAM node and each
 //! PCIe link owns a clock, and the reported query time is the largest
-//! completion timestamp observed. Pipelining, transfer/compute overlap, PCIe
-//! saturation and DRAM saturation all emerge from those clocks (see
-//! `DESIGN.md` §4).
+//! completion timestamp observed (see `DESIGN.md` §4).
+//!
+//! Two scheduling modes exist, selected by
+//! [`ExecutionMode`](hetex_common::ExecutionMode):
+//!
+//! * **Pipelined** (default) — all stages' pipeline-instance workers are
+//!   spawned up front and connected through bounded [`BlockQueue`]s, one per
+//!   consumer slot. Producers route, localize (mem-move) and push each block
+//!   handle the moment it is produced, so transfers, CPU work and GPU work
+//!   genuinely overlap; dependency edges (hash build before probe) are gates
+//!   a consumer waits on, not materialization barriers. This is the paper's
+//!   §3.1 architecture: routers connecting pipeline instances through
+//!   asynchronous queues of block handles.
+//! * **StageAtATime** — the legacy executor: stages run one after another,
+//!   each fully materializing its outputs before the next starts, with
+//!   routing as a serial pre-pass. Its simulated time honestly charges the
+//!   materialization barrier (stage *k* cannot start, and cannot schedule
+//!   transfers, before stage *k-1* completed). Kept selectable so the A/B
+//!   comparison and the correctness gate stay honest.
 
 use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
-use hetex_common::{BlockHandle, EngineConfig, HetError, Result};
+use hetex_common::{BlockHandle, EngineConfig, ExecutionMode, HetError, MemoryNodeId, Result};
 use hetex_core::mem_move::MemMove;
-use hetex_core::router::Router;
+use hetex_core::queue::{BlockQueue, ProducerGuard};
+use hetex_core::router::{LoadEstimator, Router};
 use hetex_gpu_sim::GpuDevice;
 use hetex_jit::{ExecCtx, SharedState, TerminalStep};
 use hetex_storage::{Catalog, Segmenter};
 use hetex_topology::{
-    CostModel, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime,
-    WorkProfile,
+    CostModel, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime, WorkProfile,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Instant;
 
 /// Router initialization and thread pinning overhead (§6.4: ~10 ms, visible
 /// only for very small inputs).
 pub const ROUTER_INIT_OVERHEAD: SimTime = SimTime::from_millis(10);
+
+/// Filter selectivity the router assumes when estimating a block's cost for
+/// load balancing (it cannot know real selectivities up front).
+const ASSUMED_SELECTIVITY: f64 = 0.3;
 
 /// Per-device-kind execution statistics of one query.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -38,6 +60,18 @@ pub struct DeviceKindStats {
     pub busy_ns: u64,
     /// Modeled bytes scanned by this device kind.
     pub bytes_scanned: f64,
+}
+
+/// Wall-clock milestones of one stage, used to observe genuine pipelining:
+/// in pipelined mode a consumer stage processes its first block while its
+/// producer stage is still running.
+#[derive(Debug, Clone, Default)]
+pub struct StageTimeline {
+    /// Wall-clock nanoseconds (since query start) when the stage's workers
+    /// processed their first block; `None` if the stage saw no blocks.
+    pub first_block_wall_ns: Option<u64>,
+    /// Wall-clock nanoseconds when the stage finished.
+    pub finished_wall_ns: u64,
 }
 
 /// The raw outcome of running a stage graph.
@@ -53,6 +87,10 @@ pub struct ExecutionResult {
     pub per_kind: HashMap<DeviceKind, DeviceKindStats>,
     /// Bytes moved over interconnects (weighted).
     pub bytes_transferred: f64,
+    /// Wall-clock milestones per stage (pipelining observability).
+    pub stage_timeline: Vec<StageTimeline>,
+    /// Simulated completion time of each stage.
+    pub stage_completion: Vec<SimTime>,
 }
 
 /// Executes stage graphs on a topology.
@@ -60,6 +98,103 @@ pub struct Executor {
     topology: Arc<ServerTopology>,
     gpus: HashMap<DeviceId, Arc<GpuDevice>>,
     cost: CostModel,
+}
+
+/// Routing state of one stage, shared by every producer pushing into it:
+/// the router, the per-consumer devices/memory nodes, and the lock-free load
+/// estimates driving the least-loaded policy.
+struct StageRouting<'a> {
+    stage: &'a Stage,
+    router: Router<'a>,
+    instance_devices: Vec<DeviceId>,
+    instance_nodes: Vec<MemoryNodeId>,
+    /// Dense index of each consumer's memory node into `node_load`.
+    node_index: Vec<usize>,
+    /// Per-consumer load estimates (device time committed per routed block).
+    est: LoadEstimator,
+    /// Per-memory-node load estimates: a socket's cores share its DRAM
+    /// bandwidth, so a block's projected completion on a consumer is the max
+    /// of its device backlog and its memory node's backlog — mirroring the
+    /// device-clock / node-clock split the executor charges at run time.
+    node_load: Vec<AtomicU64>,
+    /// Assumed fraction of tuples surviving the stage's fused steps
+    /// (stage-constant; precomputed off the per-block routing path).
+    est_selectivity: f64,
+    /// Assumed hash probes per input tuple across the fused probe steps.
+    est_probes_per_row: f64,
+}
+
+/// A dependency gate: consumer workers of a stage block here until every
+/// build stage the pipeline probes has signalled completion, and inherit the
+/// largest simulated completion time as their scheduling floor.
+struct Gate {
+    state: StdMutex<(usize, SimTime)>,
+    cv: Condvar,
+}
+
+impl Gate {
+    fn new(dependencies: usize) -> Self {
+        Self { state: StdMutex::new((dependencies, SimTime::ZERO)), cv: Condvar::new() }
+    }
+
+    /// One dependency completed at simulated time `at`.
+    fn open(&self, at: SimTime) {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        state.0 = state.0.saturating_sub(1);
+        state.1 = state.1.max(at);
+        if state.0 == 0 {
+            self.cv.notify_all();
+        }
+    }
+
+    /// Block until every dependency completed; returns the simulated floor.
+    fn wait(&self) -> SimTime {
+        let mut state = self.state.lock().unwrap_or_else(|e| e.into_inner());
+        while state.0 > 0 {
+            state = self.cv.wait(state).unwrap_or_else(|e| e.into_inner());
+        }
+        state.1
+    }
+}
+
+/// Completion bookkeeping of one pipelined stage.
+struct StageProgress {
+    /// Workers still running.
+    remaining: AtomicUsize,
+    /// Largest simulated completion time observed so far.
+    completion: Mutex<SimTime>,
+    /// This stage's producer registrations on its consumer's queues, dropped
+    /// (→ `producer_done`) by the last finishing worker after the terminal
+    /// emission was pushed.
+    downstream_guards: Mutex<Vec<ProducerGuard>>,
+    /// Wall-clock ns of the first processed block (`u64::MAX` = none yet).
+    first_block_wall: AtomicU64,
+    /// Wall-clock ns when the stage finished.
+    finished_wall: AtomicU64,
+}
+
+impl StageProgress {
+    fn new(workers: usize) -> Self {
+        Self {
+            remaining: AtomicUsize::new(workers),
+            completion: Mutex::new(SimTime::ZERO),
+            downstream_guards: Mutex::new(Vec::new()),
+            first_block_wall: AtomicU64::new(u64::MAX),
+            finished_wall: AtomicU64::new(0),
+        }
+    }
+
+    fn record_first_block(&self, wall_ns: u64) {
+        let _ = self.first_block_wall.fetch_min(wall_ns, Ordering::Relaxed);
+    }
+
+    fn timeline(&self) -> StageTimeline {
+        let first = self.first_block_wall.load(Ordering::Relaxed);
+        StageTimeline {
+            first_block_wall_ns: (first != u64::MAX).then_some(first),
+            finished_wall_ns: self.finished_wall.load(Ordering::Relaxed),
+        }
+    }
 }
 
 impl Executor {
@@ -82,55 +217,701 @@ impl Executor {
         &self.gpus
     }
 
-    /// Execute a stage graph.
+    /// Execute a stage graph in the configured scheduling mode.
     pub fn execute(
         &self,
         graph: &StageGraph,
         catalog: &Catalog,
         config: &EngineConfig,
     ) -> Result<ExecutionResult> {
-        let wall_start = std::time::Instant::now();
+        match config.execution_mode {
+            ExecutionMode::Pipelined => self.execute_pipelined(graph, catalog, config),
+            ExecutionMode::StageAtATime => self.execute_stage_at_a_time(graph, catalog, config),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Shared machinery
+    // ------------------------------------------------------------------
+
+    fn device_clocks(&self) -> HashMap<DeviceId, ResourceClock> {
+        // One persistent clock per device: a core used by several stages
+        // cannot do their work at the same simulated time.
+        self.topology
+            .devices()
+            .iter()
+            .enumerate()
+            .map(|(idx, _)| (DeviceId::new(idx), ResourceClock::new(format!("dev{idx}"))))
+            .collect()
+    }
+
+    fn stage_routing<'a>(&self, stage: &'a Stage) -> Result<StageRouting<'a>> {
+        let router = Router::new(stage.policy, &stage.consumers)?;
+        let instance_devices: Vec<DeviceId> = stage
+            .consumers
+            .iter()
+            .map(|slot| {
+                slot.affinity.for_kind(slot.kind).ok_or_else(|| {
+                    HetError::Execution("consumer slot without a device affinity".into())
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let instance_nodes: Vec<MemoryNodeId> = instance_devices
+            .iter()
+            .map(|&d| self.topology.local_memory_of(d))
+            .collect::<Result<Vec<_>>>()?;
+        let mut distinct_nodes: Vec<MemoryNodeId> = Vec::new();
+        let node_index: Vec<usize> = instance_nodes
+            .iter()
+            .map(|node| {
+                distinct_nodes.iter().position(|n| n == node).unwrap_or_else(|| {
+                    distinct_nodes.push(*node);
+                    distinct_nodes.len() - 1
+                })
+            })
+            .collect();
+        let est = LoadEstimator::new(stage.consumers.len());
+        let node_load = (0..distinct_nodes.len()).map(|_| AtomicU64::new(0)).collect();
+        // Walk the fused steps once with a running selectivity: every probe
+        // step touches its hash table once per tuple *surviving the steps
+        // before it* (a fact scan with no preceding filter probes every
+        // row), and each filter or probe thins the stream by the assumed
+        // selectivity. Pricing probes structurally matters because random
+        // accesses are the CPU's scarce resource — a flat estimate
+        // under-prices CPU consumers and the least-loaded policy then
+        // overloads them.
+        let mut est_selectivity = 1.0f64;
+        let mut est_probes_per_row = 0.0f64;
+        for step in stage.template(DeviceKind::CpuCore).steps() {
+            match step {
+                hetex_jit::Step::Filter { .. } => est_selectivity *= ASSUMED_SELECTIVITY,
+                hetex_jit::Step::HashJoinProbe { .. } => {
+                    est_probes_per_row += est_selectivity;
+                    est_selectivity *= ASSUMED_SELECTIVITY;
+                }
+                hetex_jit::Step::Map { .. } => {}
+            }
+        }
+        Ok(StageRouting {
+            stage,
+            router,
+            instance_devices,
+            instance_nodes,
+            node_index,
+            est,
+            node_load,
+            est_selectivity,
+            est_probes_per_row,
+        })
+    }
+
+    /// A DMA copy is only required when the consumer cannot address the block
+    /// directly: GPU consumers need device-resident data, and no CPU core can
+    /// address GPU device memory. CPU consumers read remote NUMA DRAM
+    /// directly (at a penalty already captured by the socket DRAM clocks).
+    fn requires_dma(
+        &self,
+        routing: &StageRouting<'_>,
+        instance: usize,
+        location: MemoryNodeId,
+    ) -> bool {
+        if location == routing.instance_nodes[instance] {
+            return false;
+        }
+        let consumer_is_gpu = routing.stage.consumers[instance].kind == DeviceKind::Gpu;
+        let block_on_gpu =
+            self.topology.memory_node(location).map(|m| m.is_gpu_memory()).unwrap_or(false);
+        consumer_is_gpu || block_on_gpu
+    }
+
+    /// Estimated cost of `handle` on each consumer of the stage: the same
+    /// work/cost model the executor charges, evaluated with an assumed filter
+    /// selectivity, throttled to PCIe speed when the data would have to move.
+    /// Returns `(device_ns, memory_node_ns)` per consumer — the two backlogs
+    /// the least-loaded policy balances.
+    fn block_costs(
+        &self,
+        routing: &StageRouting<'_>,
+        handle: &BlockHandle,
+    ) -> (Vec<u64>, Vec<u64>) {
+        let rows = handle.rows() as u64;
+        let bytes = handle.byte_size() as u64;
+        let counters = hetex_jit::BlockCounters {
+            rows_in: rows,
+            rows_terminal: (rows as f64 * routing.est_selectivity) as u64,
+            probes: (rows as f64 * routing.est_probes_per_row) as u64,
+            probe_matches: (rows as f64 * routing.est_probes_per_row * ASSUMED_SELECTIVITY) as u64,
+            bytes_in: bytes,
+            ..Default::default()
+        };
+        let est_work = routing
+            .stage
+            .template(DeviceKind::CpuCore)
+            .work_profile(&counters, handle.meta().weight);
+        let mut device_ns = Vec::with_capacity(routing.stage.consumers.len());
+        let mut node_ns = Vec::with_capacity(routing.stage.consumers.len());
+        for i in 0..routing.stage.consumers.len() {
+            let device = match self.topology.device(routing.instance_devices[i]) {
+                Ok(d) => d,
+                Err(_) => {
+                    device_ns.push(u64::MAX);
+                    node_ns.push(0);
+                    continue;
+                }
+            };
+            let mut block_ns = self.cost.time_ns(&est_work, device) as f64;
+            if self.requires_dma(routing, i, handle.meta().location)
+                && routing.stage.mem_move != MemMoveMode::None
+            {
+                // Price the DMA at the bottleneck link of the actual route
+                // (successive blocks pipeline across hops, so the sustained
+                // rate is the slowest link's, not the hop-latency sum). This
+                // respects per-link bandwidth overrides in the topology.
+                let transfer_ns = self
+                    .topology
+                    .route(handle.meta().location, routing.instance_nodes[i])
+                    .map(|links| {
+                        links
+                            .iter()
+                            .filter_map(|&l| self.topology.link(l).ok())
+                            .map(|link| link.transfer_ns(handle.weighted_bytes()))
+                            .max()
+                            .unwrap_or(0)
+                    })
+                    .unwrap_or(0);
+                block_ns = block_ns.max(transfer_ns as f64);
+            }
+            device_ns.push(block_ns as u64);
+            let mem = self
+                .topology
+                .memory_node(routing.instance_nodes[i])
+                .map(|node| {
+                    (est_work.memory_node_bytes() / (node.bandwidth_gbps * 1e9) * 1e9) as u64
+                })
+                .unwrap_or(0);
+            node_ns.push(mem);
+        }
+        (device_ns, node_ns)
+    }
+
+    /// Route one block to a consumer of `routing`'s stage and localize it via
+    /// mem-move. `not_before` floors the block's readiness (the stage-at-a-
+    /// time executor uses it to charge the materialization barrier; the
+    /// pipelined executor passes `SimTime::ZERO` so transfers overlap
+    /// upstream compute). Returns `(consumer index, localized handle)`.
+    fn route_and_localize(
+        &self,
+        routing: &StageRouting<'_>,
+        mem_move: &MemMove,
+        gpu_nodes: &[MemoryNodeId],
+        mut handle: BlockHandle,
+        not_before: SimTime,
+    ) -> Result<(usize, BlockHandle)> {
+        if handle.meta().ready_at_ns < not_before.as_nanos() {
+            handle.meta_mut().ready_at_ns = not_before.as_nanos();
+        }
+        let (device_ns, node_ns) = self.block_costs(routing, &handle);
+        // Project each consumer's completion as the later of its device
+        // backlog and its memory node's backlog — the same two clocks the
+        // executor charges (summing them would double-count and starve the
+        // node-bound consumers). A small device-backlog tie-breaker keeps the
+        // projection strictly increasing in the consumer's own backlog, so
+        // concurrent producers routing against a saturated node still spread
+        // blocks across its consumers instead of colliding on ties.
+        let projected: Vec<u64> = routing
+            .est
+            .projected(&device_ns)
+            .into_iter()
+            .enumerate()
+            .map(|(i, dev)| {
+                let node = routing.node_load[routing.node_index[i]]
+                    .load(Ordering::Relaxed)
+                    .saturating_add(node_ns[i]);
+                dev.max(node).saturating_add(dev >> 7)
+            })
+            .collect();
+        let pick = routing.router.route(handle.meta(), &projected)?;
+        routing.est.commit(pick, device_ns[pick]);
+        routing.node_load[routing.node_index[pick]].fetch_add(node_ns[pick], Ordering::Relaxed);
+
+        let localized = match routing.stage.mem_move {
+            MemMoveMode::None => handle,
+            MemMoveMode::ToInstance => {
+                if self.requires_dma(routing, pick, handle.meta().location) {
+                    mem_move.relocate(&handle, routing.instance_nodes[pick])?
+                } else {
+                    handle
+                }
+            }
+            MemMoveMode::Broadcast => {
+                // Broadcast the dimension data to every GPU memory node (so
+                // probes on GPUs read local data), and hand the local copy to
+                // the building instance.
+                if !gpu_nodes.is_empty() {
+                    mem_move.broadcast(&handle, gpu_nodes)?;
+                }
+                if self.requires_dma(routing, pick, handle.meta().location) {
+                    mem_move.relocate(&handle, routing.instance_nodes[pick])?
+                } else {
+                    handle
+                }
+            }
+        };
+        Ok((pick, localized))
+    }
+
+    /// The input segments of a table-scan stage.
+    fn table_segments(
+        &self,
+        table: &str,
+        projection: &[String],
+        catalog: &Catalog,
+        config: &EngineConfig,
+    ) -> Result<Vec<BlockHandle>> {
+        let weight = config.weight_for(table);
+        let table = catalog.get(table)?;
+        let projection: Vec<&str> = projection.iter().map(String::as_str).collect();
+        Segmenter::new(table, &projection, config.block_capacity).with_weight(weight).segments()
+    }
+
+    /// Charge modeled work to a device clock and its local memory node's
+    /// bandwidth clock. The memory-node clock is a *utilization accumulator*:
+    /// every block advances it by bytes / node_bandwidth, and a block cannot
+    /// complete before the node has had enough cumulative capacity to serve
+    /// it. This is what makes a socket's cores stop scaling once they
+    /// saturate its DRAM (§6.4: the sum query plateaus at ~16 cores).
+    fn charge(
+        &self,
+        clock: &ResourceClock,
+        device_profile: &hetex_topology::DeviceProfile,
+        work: &WorkProfile,
+        not_before: SimTime,
+    ) -> (SimTime, u64) {
+        let busy = self.cost.time_ns(work, device_profile);
+        let (_, end) = clock.reserve(not_before, busy);
+        let mut final_end = end;
+        if work.memory_node_bytes() > 0.0 {
+            if let (Ok(node), Ok(mem_clock)) = (
+                self.topology.memory_node(device_profile.local_memory),
+                self.topology.memory_clock(device_profile.local_memory),
+            ) {
+                let mem_ns = (work.memory_node_bytes() / (node.bandwidth_gbps * 1e9) * 1e9) as u64;
+                let (_, mem_end) = mem_clock.reserve(SimTime::ZERO, mem_ns);
+                // The device keeps issuing (out-of-order cores / latency-
+                // hiding GPUs overlap DRAM stalls), so the node's backlog
+                // delays this block's completion without serializing the
+                // device clock behind the whole node. Keeping the two clocks
+                // decoupled also makes the simulated time insensitive to the
+                // wall-clock interleaving of concurrent workers.
+                final_end = end.max(mem_end);
+            }
+        }
+        (final_end, busy)
+    }
+
+    /// Run the final gather of a reduce/group-by stage: emit the shared-state
+    /// results exactly once, on a CPU context (the paper's final
+    /// single-instance gather pipeline). Returns `(result rows, blocks)`.
+    fn emit_stage_results(
+        &self,
+        stage: &Stage,
+        state: &SharedState,
+        completion: SimTime,
+        config: &EngineConfig,
+    ) -> Result<(Vec<Vec<i64>>, Vec<BlockHandle>)> {
+        if !matches!(
+            stage.template(DeviceKind::CpuCore).terminal(),
+            TerminalStep::Reduce { .. } | TerminalStep::GroupBy { .. }
+        ) {
+            return Ok((Vec::new(), Vec::new()));
+        }
+        let node = self.topology.cpu_memory_nodes()[0];
+        let mut ctx = ExecCtx::cpu(node, config.block_capacity);
+        let emitted = stage.template(DeviceKind::CpuCore).emit_state_results(state, &mut ctx)?;
+        let mut rows = Vec::new();
+        for handle in &emitted.blocks {
+            let block = handle.block();
+            for row in 0..block.rows() {
+                rows.push(block.columns().iter().map(|c| c.get_i64(row).unwrap_or(0)).collect());
+            }
+        }
+        let mut blocks = emitted.blocks;
+        for b in &mut blocks {
+            b.meta_mut().ready_at_ns = completion.as_nanos();
+        }
+        Ok((rows, blocks))
+    }
+
+    // ------------------------------------------------------------------
+    // Pipelined executor (default)
+    // ------------------------------------------------------------------
+
+    fn execute_pipelined(
+        &self,
+        graph: &StageGraph,
+        catalog: &Catalog,
+        config: &EngineConfig,
+    ) -> Result<ExecutionResult> {
+        let wall_start = Instant::now();
         self.topology.reset_clocks();
         let dma = DmaEngine::new(Arc::clone(&self.topology));
         let mem_move = MemMove::new(dma);
+        let device_clocks = self.device_clocks();
+        let gpu_nodes = self.topology.gpu_memory_nodes();
+        let trace = std::env::var("HETEX_TRACE_EXEC").is_ok();
 
-        // One persistent clock per device: a core used by several stages
-        // cannot do their work at the same simulated time.
-        let mut device_clocks: HashMap<DeviceId, ResourceClock> = HashMap::new();
-        for (idx, _) in self.topology.devices().iter().enumerate() {
-            device_clocks.insert(DeviceId::new(idx), ResourceClock::new(format!("dev{idx}")));
+        let routing: Vec<StageRouting<'_>> =
+            graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>()?;
+
+        // One queue per consumer slot; producers register via the guards
+        // below and terminate the consumer through `producer_done` (RAII).
+        let queues: Vec<Vec<BlockQueue>> = graph
+            .stages
+            .iter()
+            .map(|stage| {
+                (0..stage.consumers.len())
+                    .map(|_| match config.queue_capacity {
+                        Some(cap) => BlockQueue::bounded(0, cap),
+                        None => BlockQueue::new(0),
+                    })
+                    .collect()
+            })
+            .collect();
+
+        let gates: Vec<Gate> = graph.stages.iter().map(|s| Gate::new(s.depends_on.len())).collect();
+        let progress: Vec<StageProgress> =
+            graph.stages.iter().map(|s| StageProgress::new(s.consumers.len())).collect();
+
+        // Register each producing stage as ONE logical producer on each of
+        // its consumer's queues: blocks flow from any worker at any time, and
+        // the registration is released when the stage completes (after the
+        // terminal emission was pushed).
+        for (idx, feeds) in graph.wiring.feeds.iter().enumerate() {
+            if let Some(consumer) = feeds {
+                let guards: Vec<ProducerGuard> =
+                    queues[*consumer].iter().map(|q| q.register_producer()).collect();
+                *progress[idx].downstream_guards.lock() = guards;
+            }
         }
+
+        let per_kind: Mutex<HashMap<DeviceKind, DeviceKindStats>> = Mutex::new(HashMap::new());
+        let result_rows: Mutex<Vec<Vec<i64>>> = Mutex::new(Vec::new());
+        let first_error: Mutex<Option<HetError>> = Mutex::new(None);
+
+        // Everything below borrows; worker threads are scoped.
+        let first_error = &first_error;
+        let record_error = move |e: HetError| {
+            let mut slot = first_error.lock();
+            if slot.is_none() {
+                *slot = Some(e);
+            }
+        };
+        let routing = &routing;
+        let queues = &queues;
+        let gates = &gates;
+        let progress = &progress;
+        let per_kind = &per_kind;
+        let result_rows = &result_rows;
+        let record_error = &record_error;
+        let mem_move = &mem_move;
+        let gpu_nodes = &gpu_nodes;
+        let graph_ref = graph;
+
+        // Route one produced block to `consumer`'s stage and enqueue it for
+        // the chosen instance — the single downstream hand-off path shared by
+        // workers, finalize flushes and terminal emissions.
+        let push_downstream = move |consumer: usize, block: BlockHandle| -> Result<()> {
+            let (pick, localized) = self.route_and_localize(
+                &routing[consumer],
+                mem_move,
+                gpu_nodes,
+                block,
+                SimTime::ZERO,
+            )?;
+            queues[consumer][pick].push(localized)
+        };
+        let push_downstream = &push_downstream;
+
+        // Runs the completion protocol for a worker of `stage_idx`; the last
+        // worker emits terminal results, pushes them downstream, releases the
+        // producer registrations and opens dependent gates.
+        let worker_finished = move |stage_idx: usize, last_end: SimTime| {
+            let stage = &graph_ref.stages[stage_idx];
+            {
+                let mut done = progress[stage_idx].completion.lock();
+                *done = done.max(last_end);
+            }
+            if progress[stage_idx].remaining.fetch_sub(1, Ordering::AcqRel) != 1 {
+                return;
+            }
+            // Last worker: finish the stage.
+            let completion = *progress[stage_idx].completion.lock();
+            let had_error = first_error.lock().is_some();
+            if !had_error {
+                match self.emit_stage_results(stage, &graph_ref.state, completion, config) {
+                    Ok((rows, blocks)) => {
+                        if stage.is_result && !rows.is_empty() {
+                            *result_rows.lock() = rows;
+                        }
+                        if let Some(consumer) = graph_ref.wiring.feeds[stage_idx] {
+                            for block in blocks {
+                                if let Err(e) = push_downstream(consumer, block) {
+                                    record_error(e);
+                                    break;
+                                }
+                            }
+                        }
+                    }
+                    Err(e) => record_error(e),
+                }
+            }
+            progress[stage_idx]
+                .finished_wall
+                .store(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            // Terminate downstream consumers (producer_done via guard drop).
+            progress[stage_idx].downstream_guards.lock().clear();
+            // Open the gates of every stage waiting on this one.
+            for &dependent in &graph_ref.wiring.unlocks[stage_idx] {
+                gates[dependent].open(completion);
+            }
+        };
+        let worker_finished = &worker_finished;
+
+        std::thread::scope(|scope| {
+            // Source pumps: segment each scanned table and route its blocks
+            // inline, the moment they exist. Transfers to (e.g.) GPU memory
+            // are scheduled immediately, so they overlap whatever the gated
+            // consumer is still waiting for — the paper's transfer/compute
+            // overlap.
+            for (idx, stage) in graph.stages.iter().enumerate() {
+                let StageSource::Table { table, projection } = &stage.source else {
+                    continue;
+                };
+                let pump_guards: Vec<ProducerGuard> =
+                    queues[idx].iter().map(|q| q.register_producer()).collect();
+                scope.spawn(move || {
+                    let pump = || -> Result<()> {
+                        let segments = self.table_segments(table, projection, catalog, config)?;
+                        for handle in segments {
+                            let (pick, localized) = self.route_and_localize(
+                                &routing[idx],
+                                mem_move,
+                                gpu_nodes,
+                                handle,
+                                SimTime::ZERO,
+                            )?;
+                            // Bounded queues exert back-pressure here.
+                            pump_guards[pick].push(localized)?;
+                        }
+                        Ok(())
+                    };
+                    if let Err(e) = pump() {
+                        record_error(e);
+                    }
+                    // Guards drop → producer_done on every queue.
+                });
+            }
+
+            // Consumer workers: one per pipeline instance of every stage, all
+            // spawned up front.
+            for (idx, stage) in graph.stages.iter().enumerate() {
+                for (slot_idx, slot) in stage.consumers.iter().enumerate() {
+                    let device_id = routing[idx].instance_devices[slot_idx];
+                    let device_profile = match self.topology.device(device_id) {
+                        Ok(p) => p.clone(),
+                        Err(e) => {
+                            record_error(e);
+                            worker_finished(idx, SimTime::ZERO);
+                            continue;
+                        }
+                    };
+                    let clock = device_clocks.get(&device_id).expect("device clock exists").clone();
+                    let pipeline = stage.template(slot.kind).clone();
+                    let gpu = self.gpus.get(&device_id).cloned();
+                    let kind = slot.kind;
+                    let out_node = routing[idx].instance_nodes[slot_idx];
+                    let queue = queues[idx][slot_idx].clone();
+                    let state = &graph.state;
+
+                    scope.spawn(move || {
+                        let mut last_end = SimTime::ZERO;
+                        let run = || -> Result<()> {
+                            // Gate: a probe worker starts pulling only after
+                            // its build stages signalled completion.
+                            let gate_floor = gates[idx].wait();
+                            last_end = gate_floor;
+
+                            let mut ctx = match kind {
+                                DeviceKind::Gpu => match gpu {
+                                    Some(gpu) => ExecCtx::gpu(gpu, config.block_capacity),
+                                    None => {
+                                        return Err(HetError::Execution(format!(
+                                            "stage {idx}: GPU instance without a device"
+                                        )))
+                                    }
+                                },
+                                DeviceKind::CpuCore => {
+                                    ExecCtx::cpu(out_node, config.block_capacity)
+                                }
+                            };
+
+                            let mut local_stats = DeviceKindStats::default();
+                            let mut processed_any = false;
+                            while let Some(block) = queue.pop() {
+                                if !processed_any {
+                                    processed_any = true;
+                                    progress[idx].record_first_block(
+                                        wall_start.elapsed().as_nanos() as u64,
+                                    );
+                                }
+                                let ready =
+                                    SimTime::from_nanos(block.meta().ready_at_ns).max(gate_floor);
+                                let out = pipeline.process_block(&block, state, &mut ctx)?;
+                                let (end, busy) =
+                                    self.charge(&clock, &device_profile, &out.work, ready);
+                                last_end = last_end.max(end);
+                                local_stats.busy_ns += busy;
+                                local_stats.blocks += 1;
+                                local_stats.bytes_scanned += out.work.bytes_scanned;
+                                for mut produced in out.blocks {
+                                    produced.meta_mut().ready_at_ns = end.as_nanos();
+                                    if let Some(consumer) = graph_ref.wiring.feeds[idx] {
+                                        push_downstream(consumer, produced)?;
+                                    }
+                                }
+                            }
+
+                            // Flush partially filled packed outputs.
+                            let out = pipeline.finalize_instance(&mut ctx)?;
+                            if !out.work.is_empty() {
+                                let (end, busy) =
+                                    self.charge(&clock, &device_profile, &out.work, last_end);
+                                last_end = last_end.max(end);
+                                local_stats.busy_ns += busy;
+                            }
+                            for mut produced in out.blocks {
+                                produced.meta_mut().ready_at_ns = last_end.as_nanos();
+                                if let Some(consumer) = graph_ref.wiring.feeds[idx] {
+                                    push_downstream(consumer, produced)?;
+                                }
+                            }
+
+                            if trace {
+                                eprintln!(
+                                    "[trace] stage {idx} dev {device_id:?} blocks {} busy {:.1}ms last_end {} clock {}",
+                                    local_stats.blocks,
+                                    local_stats.busy_ns as f64 / 1e6,
+                                    last_end,
+                                    clock.now()
+                                );
+                            }
+                            {
+                                let mut kinds = per_kind.lock();
+                                let entry = kinds.entry(kind).or_default();
+                                entry.blocks += local_stats.blocks;
+                                entry.busy_ns += local_stats.busy_ns;
+                                entry.bytes_scanned += local_stats.bytes_scanned;
+                            }
+                            Ok(())
+                        };
+                        // A panic must not skip the completion protocol:
+                        // without the worker_finished call the stage's
+                        // remaining-count never reaches zero, dependent gates
+                        // never open, and the whole query deadlocks instead
+                        // of reporting the failure.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(run));
+                        match outcome {
+                            Ok(Ok(())) => {}
+                            Ok(Err(e)) => {
+                                record_error(e);
+                                // Unblock the producer pushing into this
+                                // worker and cascade shutdown upstream.
+                                queue.close();
+                            }
+                            Err(_) => {
+                                record_error(HetError::Execution(format!(
+                                    "stage {idx} worker panicked"
+                                )));
+                                queue.close();
+                            }
+                        }
+                        worker_finished(idx, last_end);
+                    });
+                }
+            }
+        });
+
+        if let Some(err) = first_error.lock().take() {
+            return Err(err);
+        }
+
+        let any_router = graph.stages.iter().any(|s| s.has_router);
+        let mut sim_time =
+            progress.iter().map(|p| *p.completion.lock()).fold(SimTime::ZERO, SimTime::max);
+        if any_router {
+            sim_time = sim_time.add_nanos(ROUTER_INIT_OVERHEAD.as_nanos());
+        }
+
+        let rows = std::mem::take(&mut *result_rows.lock());
+        let per_kind = std::mem::take(&mut *per_kind.lock());
+        Ok(ExecutionResult {
+            rows,
+            sim_time,
+            wall_time: wall_start.elapsed(),
+            per_kind,
+            bytes_transferred: mem_move.dma().stats().bytes_moved,
+            stage_timeline: progress.iter().map(StageProgress::timeline).collect(),
+            stage_completion: progress.iter().map(|p| *p.completion.lock()).collect(),
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Stage-at-a-time executor (legacy, kept for A/B comparison)
+    // ------------------------------------------------------------------
+
+    fn execute_stage_at_a_time(
+        &self,
+        graph: &StageGraph,
+        catalog: &Catalog,
+        config: &EngineConfig,
+    ) -> Result<ExecutionResult> {
+        let wall_start = Instant::now();
+        self.topology.reset_clocks();
+        let dma = DmaEngine::new(Arc::clone(&self.topology));
+        let mem_move = MemMove::new(dma);
+        let device_clocks = self.device_clocks();
+        let trace = std::env::var("HETEX_TRACE_EXEC").is_ok();
 
         let any_router = graph.stages.iter().any(|s| s.has_router);
         let mut stage_outputs: Vec<Vec<BlockHandle>> = Vec::with_capacity(graph.stages.len());
         let mut stage_completion: Vec<SimTime> = Vec::with_capacity(graph.stages.len());
+        let mut timeline: Vec<StageTimeline> = Vec::with_capacity(graph.stages.len());
         let mut per_kind: HashMap<DeviceKind, DeviceKindStats> = HashMap::new();
         let mut result_rows: Vec<Vec<i64>> = Vec::new();
+        // The materialization barrier: a stage-at-a-time engine runs one
+        // stage at a time, so stage k (and its transfers) cannot start
+        // before stage k-1 finished — its simulated time honestly pays the
+        // sum of stage latencies instead of a pipelined critical path.
+        let mut barrier = SimTime::ZERO;
 
         for (stage_idx, stage) in graph.stages.iter().enumerate() {
-            // Gather the stage's input blocks.
             let inputs: Vec<BlockHandle> = match &stage.source {
                 StageSource::Table { table, projection } => {
-                    let weight = config.weight_for(table);
-                    let table = catalog.get(table)?;
-                    let projection: Vec<&str> = projection.iter().map(String::as_str).collect();
-                    Segmenter::new(table, &projection, config.block_capacity)
-                        .with_weight(weight)
-                        .segments()?
+                    self.table_segments(table, projection, catalog, config)?
                 }
-                StageSource::Stage(idx) => stage_outputs
-                    .get(*idx)
-                    .cloned()
-                    .ok_or_else(|| HetError::Execution(format!("stage {idx} has no outputs yet")))?,
+                StageSource::Stage(idx) => stage_outputs.get(*idx).cloned().ok_or_else(|| {
+                    HetError::Execution(format!("stage {idx} has no outputs yet"))
+                })?,
             };
 
-            // A probe stage cannot start before the hash tables it reads are
-            // fully built.
+            // A probe stage additionally cannot start before the hash tables
+            // it reads are fully built.
             let floor = stage
                 .depends_on
                 .iter()
                 .map(|&d| stage_completion.get(d).copied().unwrap_or(SimTime::ZERO))
-                .fold(SimTime::ZERO, SimTime::max);
+                .fold(barrier, SimTime::max);
 
             let outcome = self.run_stage(
                 stage,
@@ -141,6 +922,8 @@ impl Executor {
                 &mem_move,
                 &device_clocks,
                 config,
+                trace,
+                wall_start,
             )?;
 
             for (kind, s) in outcome.per_kind {
@@ -152,14 +935,13 @@ impl Executor {
             if stage.is_result {
                 result_rows = outcome.result_rows;
             }
+            barrier = barrier.max(outcome.completion);
             stage_completion.push(outcome.completion);
             stage_outputs.push(outcome.outputs);
+            timeline.push(outcome.timeline);
         }
 
-        let mut sim_time = stage_completion
-            .iter()
-            .copied()
-            .fold(SimTime::ZERO, SimTime::max);
+        let mut sim_time = stage_completion.iter().copied().fold(SimTime::ZERO, SimTime::max);
         if any_router {
             sim_time = sim_time.add_nanos(ROUTER_INIT_OVERHEAD.as_nanos());
         }
@@ -170,6 +952,8 @@ impl Executor {
             wall_time: wall_start.elapsed(),
             per_kind,
             bytes_transferred: mem_move.dma().stats().bytes_moved,
+            stage_timeline: timeline,
+            stage_completion,
         })
     }
 
@@ -184,113 +968,20 @@ impl Executor {
         mem_move: &MemMove,
         device_clocks: &HashMap<DeviceId, ResourceClock>,
         config: &EngineConfig,
+        trace: bool,
+        wall_start: Instant,
     ) -> Result<StageOutcome> {
-        let router = Router::new(stage.policy, stage.consumers.clone())?;
+        let routing = self.stage_routing(stage)?;
         let gpu_nodes = self.topology.gpu_memory_nodes();
 
-        // Per-instance routing state: the memory node outputs/relocations
-        // target, and an estimated load used by the least-loaded policy.
-        let mut instance_inputs: Vec<Vec<BlockHandle>> = vec![Vec::new(); stage.consumers.len()];
-        let mut est_load_ns: Vec<u64> = vec![0; stage.consumers.len()];
-        let instance_devices: Vec<DeviceId> = stage
-            .consumers
-            .iter()
-            .map(|slot| {
-                slot.affinity.for_kind(slot.kind).ok_or_else(|| {
-                    HetError::Execution("consumer slot without a device affinity".into())
-                })
-            })
-            .collect::<Result<Vec<_>>>()?;
-        let instance_nodes: Vec<_> = instance_devices
-            .iter()
-            .map(|&d| self.topology.local_memory_of(d))
-            .collect::<Result<Vec<_>>>()?;
-
         // Routing pass: distribute block handles (control plane only), then
-        // let mem-move localize the data for the chosen instance.
-        //
-        // The least-loaded policy is given, for each consumer, the projected
-        // completion time *if this block were assigned to it*: its accumulated
-        // load plus the block's estimated cost on that consumer (throttled to
-        // PCIe speed when the data would have to move, and accounting for the
-        // random accesses of the pipeline's hash probes). This is the greedy
-        // feedback-driven balancing the paper's router performs, and it also
-        // makes routing locality-aware for GPU-resident data.
-        // Per-block cost estimate used for balancing: the same work/cost model
-        // the executor charges, evaluated with an assumed filter selectivity
-        // (the router cannot know real selectivities up front).
-        const ASSUMED_SELECTIVITY: f64 = 0.3;
-        let estimate_template = stage.template(DeviceKind::CpuCore);
-        let estimate_counters = |rows: u64, bytes: u64| hetex_jit::BlockCounters {
-            rows_in: rows,
-            rows_terminal: (rows as f64 * ASSUMED_SELECTIVITY) as u64,
-            probes: (rows as f64 * ASSUMED_SELECTIVITY) as u64,
-            probe_matches: (rows as f64 * ASSUMED_SELECTIVITY) as u64,
-            bytes_in: bytes,
-            ..Default::default()
-        };
-        // A DMA copy is only required when the consumer cannot address the
-        // block directly: GPU consumers need device-resident data, and no CPU
-        // core can address GPU device memory. CPU consumers read remote NUMA
-        // DRAM directly (at a penalty already captured by the socket DRAM
-        // clocks), so no transfer is scheduled for them.
-        let requires_dma = |instance: usize, location: hetex_common::MemoryNodeId| -> bool {
-            if location == instance_nodes[instance] {
-                return false;
-            }
-            let consumer_is_gpu = stage.consumers[instance].kind == DeviceKind::Gpu;
-            let block_on_gpu = self
-                .topology
-                .memory_node(location)
-                .map(|m| m.is_gpu_memory())
-                .unwrap_or(false);
-            consumer_is_gpu || block_on_gpu
-        };
-
+        // let mem-move localize the data for the chosen instance. Serial, and
+        // floored at the materialization barrier: neither routing nor the
+        // transfers it schedules can precede the stage's start.
+        let mut instance_inputs: Vec<Vec<BlockHandle>> = vec![Vec::new(); stage.consumers.len()];
         for handle in inputs {
-            let counters = estimate_counters(handle.rows() as u64, handle.byte_size() as u64);
-            let est_work = estimate_template.work_profile(&counters, handle.meta().weight);
-            let projected: Vec<u64> = (0..stage.consumers.len())
-                .map(|i| {
-                    let device = match self.topology.device(instance_devices[i]) {
-                        Ok(d) => d,
-                        Err(_) => return u64::MAX,
-                    };
-                    let mut block_ns = self.cost.time_ns(&est_work, device) as f64;
-                    if requires_dma(i, handle.meta().location) && stage.mem_move != MemMoveMode::None
-                    {
-                        let transfer_ns = handle.weighted_bytes() / 12.0;
-                        block_ns = block_ns.max(transfer_ns);
-                    }
-                    est_load_ns[i].saturating_add(block_ns as u64)
-                })
-                .collect();
-            let pick = router.route(handle.meta(), &projected)?;
-            est_load_ns[pick] = projected[pick];
-
-            let localized = match stage.mem_move {
-                MemMoveMode::None => handle,
-                MemMoveMode::ToInstance => {
-                    if requires_dma(pick, handle.meta().location) {
-                        mem_move.relocate(&handle, instance_nodes[pick])?
-                    } else {
-                        handle
-                    }
-                }
-                MemMoveMode::Broadcast => {
-                    // Broadcast the dimension data to every GPU memory node
-                    // (so probes on GPUs read local data), and hand the local
-                    // copy to the building instance.
-                    if !gpu_nodes.is_empty() {
-                        mem_move.broadcast(&handle, &gpu_nodes)?;
-                    }
-                    if requires_dma(pick, handle.meta().location) {
-                        mem_move.relocate(&handle, instance_nodes[pick])?
-                    } else {
-                        handle
-                    }
-                }
-            };
+            let (pick, localized) =
+                self.route_and_localize(&routing, mem_move, &gpu_nodes, handle, floor)?;
             instance_inputs[pick].push(localized);
         }
 
@@ -299,6 +990,7 @@ impl Executor {
         let per_kind: Mutex<HashMap<DeviceKind, DeviceKindStats>> = Mutex::new(HashMap::new());
         let completion: Mutex<SimTime> = Mutex::new(floor);
         let first_error: Mutex<Option<HetError>> = Mutex::new(None);
+        let first_block_wall = AtomicU64::new(u64::MAX);
 
         std::thread::scope(|scope| {
             for (slot_idx, slot) in stage.consumers.iter().enumerate() {
@@ -306,7 +998,7 @@ impl Executor {
                 if my_blocks.is_empty() {
                     continue;
                 }
-                let device_id = instance_devices[slot_idx];
+                let device_id = routing.instance_devices[slot_idx];
                 let device_profile = match self.topology.device(device_id) {
                     Ok(p) => p.clone(),
                     Err(e) => {
@@ -314,20 +1006,16 @@ impl Executor {
                         continue;
                     }
                 };
-                let clock = device_clocks
-                    .get(&device_id)
-                    .expect("device clock exists")
-                    .clone();
+                let clock = device_clocks.get(&device_id).expect("device clock exists").clone();
                 let pipeline = stage.template(slot.kind).clone();
                 let gpu = self.gpus.get(&device_id).cloned();
                 let outputs = &outputs;
                 let per_kind = &per_kind;
                 let completion = &completion;
                 let first_error = &first_error;
-                let topology = Arc::clone(&self.topology);
-                let cost = self.cost;
+                let first_block_wall = &first_block_wall;
                 let kind = slot.kind;
-                let out_node = instance_nodes[slot_idx];
+                let out_node = routing.instance_nodes[slot_idx];
                 let block_capacity = config.block_capacity;
 
                 scope.spawn(move || {
@@ -347,40 +1035,19 @@ impl Executor {
                     let mut local_stats = DeviceKindStats::default();
                     let mut local_outputs: Vec<BlockHandle> = Vec::new();
                     let mut last_end = floor;
-
-                    // Charge the modeled work to the instance's device clock
-                    // and to the shared bandwidth of its local memory node.
-                    // The memory-node clock is a *utilization accumulator*:
-                    // every block advances it by bytes / node_bandwidth, and a
-                    // block cannot complete before the node has had enough
-                    // cumulative capacity to serve it. This is what makes a
-                    // socket's cores stop scaling once they saturate its DRAM
-                    // (§6.4: the sum query plateaus at ~16 cores / 89.7 GB/s).
-                    let charge = |work: &WorkProfile, not_before: SimTime| -> (SimTime, u64) {
-                        let busy = cost.time_ns(work, &device_profile);
-                        let (_, end) = clock.reserve(not_before, busy);
-                        let mut final_end = end;
-                        if work.memory_node_bytes() > 0.0 {
-                            if let (Ok(node), Ok(mem_clock)) = (
-                                topology.memory_node(device_profile.local_memory),
-                                topology.memory_clock(device_profile.local_memory),
-                            ) {
-                                let mem_ns = (work.memory_node_bytes()
-                                    / (node.bandwidth_gbps * 1e9)
-                                    * 1e9) as u64;
-                                let (_, mem_end) = mem_clock.reserve(SimTime::ZERO, mem_ns);
-                                final_end = end.max(mem_end);
-                                clock.advance_to(final_end);
-                            }
-                        }
-                        (final_end, busy)
-                    };
+                    let mut processed_any = false;
 
                     for block in my_blocks {
+                        if !processed_any {
+                            processed_any = true;
+                            let _ = first_block_wall
+                                .fetch_min(wall_start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                        }
                         let ready = SimTime::from_nanos(block.meta().ready_at_ns).max(floor);
                         match pipeline.process_block(&block, state, &mut ctx) {
                             Ok(out) => {
-                                let (end, busy) = charge(&out.work, ready);
+                                let (end, busy) =
+                                    self.charge(&clock, &device_profile, &out.work, ready);
                                 last_end = last_end.max(end);
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
@@ -404,7 +1071,8 @@ impl Executor {
                     match pipeline.finalize_instance(&mut ctx) {
                         Ok(out) => {
                             if !out.work.is_empty() {
-                                let (end, busy) = charge(&out.work, last_end);
+                                let (end, busy) =
+                                    self.charge(&clock, &device_profile, &out.work, last_end);
                                 last_end = last_end.max(end);
                                 local_stats.busy_ns += busy;
                             }
@@ -422,7 +1090,7 @@ impl Executor {
                         }
                     }
 
-                    if std::env::var("HETEX_TRACE_EXEC").is_ok() {
+                    if trace {
                         eprintln!(
                             "[trace] stage {stage_idx} dev {device_id:?} blocks {} busy {:.1}ms last_end {} clock {}",
                             local_stats.blocks,
@@ -451,43 +1119,23 @@ impl Executor {
 
         let completion = *completion.lock();
         let mut outputs = outputs.into_inner();
-        let mut result_rows = Vec::new();
 
         // Emit reduce / group-by results exactly once per stage, on a CPU
         // context (the paper's final single-instance gather pipeline).
-        if matches!(
-            stage.template(DeviceKind::CpuCore).terminal(),
-            TerminalStep::Reduce { .. } | TerminalStep::GroupBy { .. }
-        ) {
-            let node = self.topology.cpu_memory_nodes()[0];
-            let mut ctx = ExecCtx::cpu(node, config.block_capacity);
-            let emitted = stage
-                .template(DeviceKind::CpuCore)
-                .emit_state_results(state, &mut ctx)?;
-            for handle in &emitted.blocks {
-                let block = handle.block();
-                for row in 0..block.rows() {
-                    result_rows.push(
-                        block
-                            .columns()
-                            .iter()
-                            .map(|c| c.get_i64(row).unwrap_or(0))
-                            .collect(),
-                    );
-                }
-            }
-            let mut emitted_blocks = emitted.blocks;
-            for b in &mut emitted_blocks {
-                b.meta_mut().ready_at_ns = completion.as_nanos();
-            }
-            outputs.extend(emitted_blocks);
-        }
+        let (result_rows, emitted_blocks) =
+            self.emit_stage_results(stage, state, completion, config)?;
+        outputs.extend(emitted_blocks);
 
+        let first = first_block_wall.load(Ordering::Relaxed);
         Ok(StageOutcome {
             outputs,
             completion,
             per_kind: per_kind.into_inner(),
             result_rows,
+            timeline: StageTimeline {
+                first_block_wall_ns: (first != u64::MAX).then_some(first),
+                finished_wall_ns: wall_start.elapsed().as_nanos() as u64,
+            },
         })
     }
 }
@@ -497,6 +1145,7 @@ struct StageOutcome {
     completion: SimTime,
     per_kind: HashMap<DeviceKind, DeviceKindStats>,
     result_rows: Vec<Vec<i64>>,
+    timeline: StageTimeline,
 }
 
 #[cfg(test)]
@@ -517,20 +1166,12 @@ mod tests {
                 DataType::Int32,
                 ColumnData::Int32((0..rows as i32).map(|i| i % 100).collect()),
             )
-            .column(
-                "value",
-                DataType::Int64,
-                ColumnData::Int64((0..rows as i64).collect()),
-            )
+            .column("value", DataType::Int64, ColumnData::Int64((0..rows as i64).collect()))
             .build(&nodes, 4096)
             .unwrap();
         let dim = TableBuilder::new("dim")
             .column("k", DataType::Int32, ColumnData::Int32((0..100).collect()))
-            .column(
-                "attr",
-                DataType::Int32,
-                ColumnData::Int32((0..100).map(|i| i % 7).collect()),
-            )
+            .column("attr", DataType::Int32, ColumnData::Int32((0..100).map(|i| i % 7).collect()))
             .build(&nodes, 4096)
             .unwrap();
         catalog.register(fact);
@@ -623,5 +1264,92 @@ mod tests {
             "router overhead missing: {diff}"
         );
         assert_eq!(seq.rows, with.rows);
+    }
+
+    #[test]
+    fn both_modes_produce_identical_rows() {
+        let pipelined = run(&EngineConfig::cpu_only(4), 50_000);
+        let saat = run(
+            &EngineConfig::cpu_only(4).with_execution_mode(ExecutionMode::StageAtATime),
+            50_000,
+        );
+        assert_eq!(pipelined.rows, saat.rows);
+    }
+
+    #[test]
+    fn pipelined_mode_overlaps_producer_and_consumer_stages() {
+        // Stage 1 (hash build) consumes the blocks stage 0 (dimension scan +
+        // pack) produces. In pipelined mode the build processes its first
+        // block while the scan stage is still running (observed on the wall
+        // clock, so the check retries a few times — the overlap is a
+        // capability, not a guarantee of any single thread interleaving); in
+        // stage-at-a-time mode it can never happen.
+        let topology = ServerTopology::paper_server();
+        let fact_rows = 200_000usize;
+        let dim_rows = 400_000usize;
+        let catalog = {
+            let catalog = Catalog::new();
+            let nodes = topology.cpu_memory_nodes();
+            let fact = TableBuilder::new("fact")
+                .column(
+                    "key",
+                    DataType::Int32,
+                    ColumnData::Int32((0..fact_rows as i32).map(|i| i % dim_rows as i32).collect()),
+                )
+                .column(
+                    "value",
+                    DataType::Int64,
+                    ColumnData::Int64((0..fact_rows as i64).collect()),
+                )
+                .build(&nodes, 256)
+                .unwrap();
+            let dim = TableBuilder::new("dim")
+                .column("k", DataType::Int32, ColumnData::Int32((0..dim_rows as i32).collect()))
+                .column(
+                    "attr",
+                    DataType::Int32,
+                    ColumnData::Int32((0..dim_rows as i32).map(|i| i % 7).collect()),
+                )
+                .build(&nodes, 256)
+                .unwrap();
+            catalog.register(fact);
+            catalog.register(dim);
+            catalog
+        };
+        let mut config = EngineConfig::cpu_only(4);
+        config.block_capacity = 256;
+        let het = parallelize(&join_sum_plan(), &config).unwrap();
+        let graph = compile(&het, &config, &topology).unwrap();
+        let executor = Executor::new(Arc::clone(&topology));
+
+        let mut pipelined = executor.execute(&graph, &catalog, &config).unwrap();
+        let mut overlapped = false;
+        for _ in 0..5 {
+            let build_first = pipelined.stage_timeline[1]
+                .first_block_wall_ns
+                .expect("build stage processed blocks");
+            let scan_finished = pipelined.stage_timeline[0].finished_wall_ns;
+            if build_first < scan_finished {
+                overlapped = true;
+                break;
+            }
+            pipelined = executor.execute(&graph, &catalog, &config).unwrap();
+        }
+        assert!(
+            overlapped,
+            "pipelined: the build stage never processed a block before the scan stage finished"
+        );
+
+        let saat_config = config.clone().with_execution_mode(ExecutionMode::StageAtATime);
+        let graph = compile(&het, &saat_config, &topology).unwrap();
+        let saat = executor.execute(&graph, &catalog, &saat_config).unwrap();
+        let build_first =
+            saat.stage_timeline[1].first_block_wall_ns.expect("build stage processed blocks");
+        let scan_finished = saat.stage_timeline[0].finished_wall_ns;
+        assert!(
+            build_first >= scan_finished,
+            "stage-at-a-time: build must start only after the scan finished"
+        );
+        assert_eq!(pipelined.rows, saat.rows);
     }
 }

@@ -36,10 +36,7 @@ pub fn reference_execute(plan: &RelNode, catalog: &Catalog) -> Result<Vec<Vec<i6
         }
         RelNode::Project { input, exprs, .. } => {
             let rows = reference_execute(input, catalog)?;
-            Ok(rows
-                .into_iter()
-                .map(|r| exprs.iter().map(|e| e.eval(&r)).collect())
-                .collect())
+            Ok(rows.into_iter().map(|r| exprs.iter().map(|e| e.eval(&r)).collect()).collect())
         }
         RelNode::HashJoin { build, probe, build_key, probe_key, payload } => {
             let build_rows = reference_execute(build, catalog)?;
@@ -109,7 +106,12 @@ fn aggregate(rows: &[Vec<i64>], aggs: &[AggSpec]) -> Vec<i64> {
 }
 
 /// Convenience: the sum query of the paper's running example, as a plan.
-pub fn running_example_plan(table: &str, filter_col: &str, sum_col: &str, threshold: i64) -> RelNode {
+pub fn running_example_plan(
+    table: &str,
+    filter_col: &str,
+    sum_col: &str,
+    threshold: i64,
+) -> RelNode {
     RelNode::scan(table, &[filter_col, sum_col])
         .filter(Expr::col(0).gt_lit(threshold))
         .reduce(vec![AggSpec::sum(Expr::col(1))], &["sum"])
@@ -152,15 +154,14 @@ mod tests {
     #[test]
     fn join_and_group_by() {
         let dim = RelNode::scan("dim", &["id", "tag"]);
-        let plan = RelNode::scan("fact", &["k", "v"])
-            .hash_join(dim, 0, 0, &[1])
-            .group_by(&[2], vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["tag", "s", "c"]);
+        let plan = RelNode::scan("fact", &["k", "v"]).hash_join(dim, 0, 0, &[1]).group_by(
+            &[2],
+            vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+            &["tag", "s", "c"],
+        );
         let rows = reference_execute(&plan, &catalog()).unwrap();
         // tag 100: k=1 rows v=10,50 -> 60/2 ; tag 200: v=20,40 -> 60/2 ; tag 300: v=30 -> 30/1
-        assert_eq!(
-            rows,
-            vec![vec![100, 60, 2], vec![200, 60, 2], vec![300, 30, 1]]
-        );
+        assert_eq!(rows, vec![vec![100, 60, 2], vec![200, 60, 2], vec![300, 30, 1]]);
     }
 
     #[test]
@@ -170,10 +171,7 @@ mod tests {
             exprs: vec![Expr::col(1).mul(Expr::lit(2))],
             names: vec!["v2".into()],
         }
-        .reduce(
-            vec![AggSpec::min(Expr::col(0)), AggSpec::max(Expr::col(0))],
-            &["min", "max"],
-        );
+        .reduce(vec![AggSpec::min(Expr::col(0)), AggSpec::max(Expr::col(0))], &["min", "max"]);
         let rows = reference_execute(&plan, &catalog()).unwrap();
         assert_eq!(rows, vec![vec![20, 120]]);
     }

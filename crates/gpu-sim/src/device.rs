@@ -42,9 +42,8 @@ impl GpuDevice {
     /// Create a device from its topology profile.
     pub fn new(id: DeviceId, profile: DeviceProfile) -> Self {
         let memory = DeviceMemory::new(profile.local_memory, profile.memory_capacity);
-        let host_parallelism = std::thread::available_parallelism()
-            .map(|n| n.get().min(4))
-            .unwrap_or(2);
+        let host_parallelism =
+            std::thread::available_parallelism().map(|n| n.get().min(4)).unwrap_or(2);
         Self {
             id,
             profile,
@@ -185,12 +184,7 @@ mod tests {
         let gpu = standalone_gpu();
         let a: Vec<i64> = (0..50_000).map(|i| i % 100).collect();
         let b: Vec<i64> = (0..50_000).map(|i| i * 3).collect();
-        let expected: i64 = a
-            .iter()
-            .zip(&b)
-            .filter(|(av, _)| **av > 42)
-            .map(|(_, bv)| *bv)
-            .sum();
+        let expected: i64 = a.iter().zip(&b).filter(|(av, _)| **av > 42).map(|(_, bv)| *bv).sum();
 
         let cfg = LaunchConfig::new(8, 64);
         let reducer = NeighborhoodReducer::new(cfg.total_warps(), WARP_SIZE);

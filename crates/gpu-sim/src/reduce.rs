@@ -30,9 +30,7 @@ impl NeighborhoodReducer {
     pub fn new(total_warps: usize, lanes_per_warp: usize) -> Self {
         Self {
             warp_partials: (0..total_warps).map(|_| AtomicI64::new(0)).collect(),
-            warp_pending: (0..total_warps)
-                .map(|_| AtomicUsize::new(lanes_per_warp))
-                .collect(),
+            warp_pending: (0..total_warps).map(|_| AtomicUsize::new(lanes_per_warp)).collect(),
             flushes: AtomicUsize::new(0),
         }
     }

@@ -12,7 +12,7 @@
 //! fresh one with [`CodegenContext::begin_pipeline`], possibly for a different
 //! device (that is what the device-crossing operators do).
 
-use crate::ir::{AggSpec, Step, StateSlot, TerminalStep};
+use crate::ir::{AggSpec, StateSlot, Step, TerminalStep};
 use crate::pipeline::CompiledPipeline;
 use crate::state::SharedState;
 use hetex_common::{HetError, PipelineId, Result};
@@ -69,14 +69,9 @@ impl CodegenContext {
 
     /// Number of registers currently flowing through the open pipeline.
     pub fn current_width(&self) -> Result<usize> {
-        let builder = self
-            .current
-            .as_ref()
-            .ok_or_else(|| HetError::Codegen("no open pipeline".into()))?;
-        Ok(builder
-            .steps
-            .iter()
-            .fold(builder.input_width, |w, s| s.output_width(w)))
+        let builder =
+            self.current.as_ref().ok_or_else(|| HetError::Codegen("no open pipeline".into()))?;
+        Ok(builder.steps.iter().fold(builder.input_width, |w, s| s.output_width(w)))
     }
 
     /// Append a fused step to the open pipeline (what a non-breaking
@@ -84,11 +79,7 @@ impl CodegenContext {
     pub fn push_step(&mut self, step: Step) -> Result<()> {
         let width = self.current_width()?;
         step.check_width(width)?;
-        self.current
-            .as_mut()
-            .expect("checked by current_width")
-            .steps
-            .push(step);
+        self.current.as_mut().expect("checked by current_width").steps.push(step);
         Ok(())
     }
 
@@ -180,7 +171,10 @@ mod tests {
             .unwrap();
         assert_eq!(ctx.current_width().unwrap(), 3);
         let probe_id = ctx
-            .finish_pipeline(TerminalStep::Reduce { aggs: vec![AggSpec::sum(Expr::col(2))], slot: acc })
+            .finish_pipeline(TerminalStep::Reduce {
+                aggs: vec![AggSpec::sum(Expr::col(2))],
+                slot: acc,
+            })
             .unwrap();
 
         assert_ne!(build_id, probe_id);

@@ -93,11 +93,13 @@ impl Expr {
     }
 
     /// `self * other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, other: Expr) -> Expr {
         Expr::Mul(Box::new(self), Box::new(other))
     }
 
     /// `self - other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, other: Expr) -> Expr {
         Expr::Sub(Box::new(self), Box::new(other))
     }
@@ -229,14 +231,8 @@ mod tests {
         assert_eq!(Expr::Add(Box::new(Expr::col(0)), Box::new(Expr::col(1))).eval(&regs), 13);
         assert_eq!(Expr::col(0).sub(Expr::col(2)).eval(&regs), 15);
         assert_eq!(Expr::col(0).mul(Expr::col(1)).eval(&regs), 30);
-        assert_eq!(
-            Expr::Div(Box::new(Expr::col(0)), Box::new(Expr::lit(3))).eval(&regs),
-            3
-        );
-        assert_eq!(
-            Expr::Div(Box::new(Expr::col(0)), Box::new(Expr::lit(0))).eval(&regs),
-            0
-        );
+        assert_eq!(Expr::Div(Box::new(Expr::col(0)), Box::new(Expr::lit(3))).eval(&regs), 3);
+        assert_eq!(Expr::Div(Box::new(Expr::col(0)), Box::new(Expr::lit(0))).eval(&regs), 0);
         assert_eq!(Expr::col(0).gt_lit(9).eval(&regs), 1);
         assert_eq!(Expr::col(0).lt_lit(9).eval(&regs), 0);
         assert_eq!(Expr::col(1).eq(Expr::lit(3)).eval(&regs), 1);
@@ -245,25 +241,14 @@ mod tests {
     #[test]
     fn boolean_connectives() {
         let regs = [50, 1993];
-        let pred = Expr::col(0)
-            .between(26, 35)
-            .or(Expr::col(1).eq(Expr::lit(1993)));
+        let pred = Expr::col(0).between(26, 35).or(Expr::col(1).eq(Expr::lit(1993)));
         assert!(pred.eval_bool(&regs));
         let both = Expr::col(0).gt_lit(40).and(Expr::col(1).gt_lit(2000));
         assert!(!both.eval_bool(&regs));
         assert_eq!(Expr::Not(Box::new(Expr::lit(0))).eval(&regs), 1);
-        assert_eq!(
-            Expr::Ne(Box::new(Expr::col(0)), Box::new(Expr::lit(50))).eval(&regs),
-            0
-        );
-        assert_eq!(
-            Expr::Le(Box::new(Expr::col(0)), Box::new(Expr::lit(50))).eval(&regs),
-            1
-        );
-        assert_eq!(
-            Expr::Ge(Box::new(Expr::col(0)), Box::new(Expr::lit(51))).eval(&regs),
-            0
-        );
+        assert_eq!(Expr::Ne(Box::new(Expr::col(0)), Box::new(Expr::lit(50))).eval(&regs), 0);
+        assert_eq!(Expr::Le(Box::new(Expr::col(0)), Box::new(Expr::lit(50))).eval(&regs), 1);
+        assert_eq!(Expr::Ge(Box::new(Expr::col(0)), Box::new(Expr::lit(51))).eval(&regs), 0);
     }
 
     #[test]

@@ -186,9 +186,7 @@ impl TerminalStep {
             TerminalStep::HashJoinBuild { key, payload, .. } => {
                 key.op_count() + payload.iter().map(Expr::op_count).sum::<f64>() + 4.0
             }
-            TerminalStep::Reduce { aggs, .. } => {
-                aggs.iter().map(|a| a.expr.op_count() + 1.0).sum()
-            }
+            TerminalStep::Reduce { aggs, .. } => aggs.iter().map(|a| a.expr.op_count() + 1.0).sum(),
             TerminalStep::GroupBy { keys, aggs, .. } => {
                 keys.iter().map(Expr::op_count).sum::<f64>()
                     + aggs.iter().map(|a| a.expr.op_count() + 1.0).sum::<f64>()
@@ -288,11 +286,8 @@ mod tests {
         let bad_filter = Step::Filter { predicate: Expr::col(4).gt_lit(0) };
         assert!(bad_filter.check_width(3).is_err());
         assert!(bad_filter.check_width(5).is_ok());
-        let bad_pack = TerminalStep::Pack {
-            exprs: vec![Expr::col(9)],
-            partition_by: None,
-            partitions: 1,
-        };
+        let bad_pack =
+            TerminalStep::Pack { exprs: vec![Expr::col(9)], partition_by: None, partitions: 1 };
         assert!(bad_pack.check_width(2).is_err());
         let empty_partition = TerminalStep::Pack {
             exprs: vec![Expr::col(0)],

@@ -35,7 +35,7 @@ pub mod state;
 
 pub use codegen::CodegenContext;
 pub use expr::Expr;
-pub use ir::{AggFunc, AggSpec, Step, StateSlot, TerminalStep};
+pub use ir::{AggFunc, AggSpec, StateSlot, Step, TerminalStep};
 pub use pipeline::{BlockCounters, CompiledPipeline, ExecCtx, PipelineOutput};
 pub use provider::{CpuProvider, DeviceProvider, GpuProvider};
 pub use state::{SharedState, StateObject};

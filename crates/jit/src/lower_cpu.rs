@@ -121,10 +121,7 @@ pub(crate) fn process_block(
     let terminal = pipeline.terminal();
 
     for row in 0..rows {
-        let regs: Vec<i64> = columns
-            .iter()
-            .map(|c| c.get_i64(row).unwrap_or(0))
-            .collect();
+        let regs: Vec<i64> = columns.iter().map(|c| c.get_i64(row).unwrap_or(0)).collect();
         apply_transforms(steps, state, regs, &mut probes, &mut probe_matches, &mut |r| {
             rows_terminal += 1;
             match terminal {
@@ -220,12 +217,7 @@ mod tests {
         // SELECT SUM(b) FROM t WHERE a > 42 — the paper's running example.
         let a: Vec<i64> = (0..1000).map(|i| i % 100).collect();
         let b: Vec<i64> = (0..1000).map(|i| i * 3).collect();
-        let expected: i64 = a
-            .iter()
-            .zip(&b)
-            .filter(|(av, _)| **av > 42)
-            .map(|(_, bv)| *bv)
-            .sum();
+        let expected: i64 = a.iter().zip(&b).filter(|(av, _)| **av > 42).map(|(_, bv)| *bv).sum();
 
         let mut state = SharedState::new();
         let slot = state.add_accumulators(&[AggSpec::sum(Expr::col(1))]);
@@ -311,9 +303,8 @@ mod tests {
         )
         .unwrap();
         let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
-        let out = probe
-            .process_block(&block_of(vec![7, 8, 7], vec![0, 0, 0]), &state, &mut ctx)
-            .unwrap();
+        let out =
+            probe.process_block(&block_of(vec![7, 8, 7], vec![0, 0, 0]), &state, &mut ctx).unwrap();
         assert_eq!(out.counters.probe_matches, 4);
         assert_eq!(state.accumulators(acc).unwrap().values(), vec![4]);
     }

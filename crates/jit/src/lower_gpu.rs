@@ -60,10 +60,7 @@ pub(crate) fn process_block(
         let mut local_terminal = 0u64;
 
         for i in thread.grid_stride(rows) {
-            let regs: Vec<i64> = columns
-                .iter()
-                .map(|c| c.get_i64(i).unwrap_or(0))
-                .collect();
+            let regs: Vec<i64> = columns.iter().map(|c| c.get_i64(i).unwrap_or(0)).collect();
             let result = apply_transforms(
                 steps,
                 state,
@@ -163,9 +160,8 @@ pub(crate) fn process_block(
 
     // One device atomic per active warp (per aggregate), the neighborhood-
     // reduction discipline of Listing 1.
-    let active_warps = config
-        .total_warps()
-        .min(rows.div_ceil(hetex_gpu_sim::simt::WARP_SIZE).max(1)) as u64;
+    let active_warps =
+        config.total_warps().min(rows.div_ceil(hetex_gpu_sim::simt::WARP_SIZE).max(1)) as u64;
     counters.atomics = match terminal {
         TerminalStep::Reduce { aggs, .. } => active_warps * aggs.len() as u64,
         TerminalStep::GroupBy { .. } => active_warps,
@@ -224,12 +220,7 @@ mod tests {
     fn gpu_filtered_sum_matches_cpu_result() {
         let a: Vec<i64> = (0..20_000).map(|i| i % 100).collect();
         let b: Vec<i64> = (0..20_000).map(|i| i * 7).collect();
-        let expected: i64 = a
-            .iter()
-            .zip(&b)
-            .filter(|(av, _)| **av > 42)
-            .map(|(_, bv)| *bv)
-            .sum();
+        let expected: i64 = a.iter().zip(&b).filter(|(av, _)| **av > 42).map(|(_, bv)| *bv).sum();
 
         let mut state = SharedState::new();
         let slot = state.add_accumulators(&[AggSpec::sum(Expr::col(1))]);
@@ -290,15 +281,11 @@ mod tests {
         let expected_matches = keys.iter().filter(|k| **k < 50).count() as i64;
         let expected_sum: i64 = keys.iter().filter(|k| **k < 50).map(|k| k * 1000).sum();
         let mut ctx = gpu_ctx(1024);
-        let out = pipeline
-            .process_block(&block_of(keys, vec![0; 10_000]), &state, &mut ctx)
-            .unwrap();
+        let out =
+            pipeline.process_block(&block_of(keys, vec![0; 10_000]), &state, &mut ctx).unwrap();
         assert_eq!(out.counters.probes, 10_000);
         assert_eq!(out.counters.probe_matches as i64, expected_matches);
-        assert_eq!(
-            state.accumulators(acc).unwrap().values(),
-            vec![expected_matches, expected_sum]
-        );
+        assert_eq!(state.accumulators(acc).unwrap().values(), vec![expected_matches, expected_sum]);
     }
 
     #[test]
@@ -320,8 +307,7 @@ mod tests {
         let b: Vec<i64> = (0..2000).map(|i| i + 1).collect();
         let mut ctx = gpu_ctx(128);
         let mut out = pipeline.process_block(&block_of(a, b), &state, &mut ctx).unwrap();
-        out.blocks
-            .extend(pipeline.finalize_instance(&mut ctx).unwrap().blocks);
+        out.blocks.extend(pipeline.finalize_instance(&mut ctx).unwrap().blocks);
         let rows: usize = out.blocks.iter().map(BlockHandle::rows).sum();
         assert_eq!(rows, 500);
         // Every emitted row satisfies the filter and keeps b = a + 1.

@@ -213,9 +213,7 @@ impl CompiledPipeline {
 
     /// Number of registers flowing into the terminal step.
     pub fn terminal_width(&self) -> usize {
-        self.steps
-            .iter()
-            .fold(self.input_width, |w, s| s.output_width(w))
+        self.steps.iter().fold(self.input_width, |w, s| s.output_width(w))
     }
 
     /// Process one input block on this instance.
@@ -267,7 +265,11 @@ impl CompiledPipeline {
     /// Emit the results held in shared state (reduce / group-by terminals).
     /// Must be called exactly once per pipeline, after every instance has
     /// finished, by the executor.
-    pub fn emit_state_results(&self, state: &SharedState, ctx: &mut ExecCtx) -> Result<PipelineOutput> {
+    pub fn emit_state_results(
+        &self,
+        state: &SharedState,
+        ctx: &mut ExecCtx,
+    ) -> Result<PipelineOutput> {
         let mut rows: Vec<Vec<i64>> = Vec::new();
         match &self.terminal {
             TerminalStep::Reduce { slot, .. } => {
@@ -305,12 +307,8 @@ impl CompiledPipeline {
                 _ => 0.0,
             })
             .sum::<f64>()
-            / self
-                .steps
-                .iter()
-                .filter(|s| matches!(s, Step::HashJoinProbe { .. }))
-                .count()
-                .max(1) as f64;
+            / self.steps.iter().filter(|s| matches!(s, Step::HashJoinProbe { .. })).count().max(1)
+                as f64;
 
         let rows_in = counters.rows_in as f64;
         let rows_terminal = counters.rows_terminal as f64;

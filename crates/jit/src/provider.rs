@@ -108,7 +108,9 @@ fn render_steps(pipeline: &CompiledPipeline, indent: &str) -> String {
     let mut out = String::new();
     for step in pipeline.steps() {
         match step {
-            crate::ir::Step::Filter { .. } => out.push_str(&format!("{indent}if !predicate(t): continue\n")),
+            crate::ir::Step::Filter { .. } => {
+                out.push_str(&format!("{indent}if !predicate(t): continue\n"))
+            }
             crate::ir::Step::Map { exprs } => {
                 out.push_str(&format!("{indent}t <- project[{} exprs](t)\n", exprs.len()))
             }
@@ -126,9 +128,10 @@ fn render_steps(pipeline: &CompiledPipeline, indent: &str) -> String {
                 out.push_str(&format!("{indent}append t to output block; flush when full\n"));
             }
         }
-        crate::ir::TerminalStep::HashJoinBuild { slot, .. } => {
-            out.push_str(&format!("{indent}insert (key(t), payload(t)) into state[{}]\n", slot.index()))
-        }
+        crate::ir::TerminalStep::HashJoinBuild { slot, .. } => out.push_str(&format!(
+            "{indent}insert (key(t), payload(t)) into state[{}]\n",
+            slot.index()
+        )),
         crate::ir::TerminalStep::Reduce { .. } => {
             out.push_str(&format!("{indent}local_acc <- local_acc + f(t)\n"))
         }
@@ -269,7 +272,8 @@ impl DeviceProvider for GpuProvider {
     fn convert_to_machine_code(&self, pipeline: &CompiledPipeline) -> String {
         // Listing 1, pipeline 9: grid-stride loop, thread-local accumulator,
         // neighborhood (warp) reduce, leader does the device atomic.
-        let mut code = format!("__kernel__ def pipeline{}_gpu(block, state):\n", pipeline.id().index());
+        let mut code =
+            format!("__kernel__ def pipeline{}_gpu(block, state):\n", pipeline.id().index());
         code.push_str(&format!(
             "  # specialized by GpuProvider: threadId=grid thread id, #threads={}\n",
             self.launch.total_threads()
@@ -288,7 +292,7 @@ impl DeviceProvider for GpuProvider {
 mod tests {
     use super::*;
     use crate::expr::Expr;
-    use crate::ir::{AggSpec, Step, StateSlot, TerminalStep};
+    use crate::ir::{AggSpec, StateSlot, Step, TerminalStep};
     use hetex_common::PipelineId;
     use hetex_gpu_sim::device::standalone_gpu;
 

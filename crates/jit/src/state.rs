@@ -81,10 +81,7 @@ impl Accumulators {
     pub fn new(aggs: &[AggSpec]) -> Self {
         Self {
             funcs: aggs.iter().map(|a| a.func).collect(),
-            values: aggs
-                .iter()
-                .map(|a| DeviceAtomicI64::new(a.func.identity()))
-                .collect(),
+            values: aggs.iter().map(|a| DeviceAtomicI64::new(a.func.identity())).collect(),
         }
     }
 
@@ -138,10 +135,7 @@ pub struct GroupByTable {
 impl GroupByTable {
     /// A table whose values follow `aggs`.
     pub fn new(aggs: &[AggSpec]) -> Self {
-        Self {
-            funcs: aggs.iter().map(|a| a.func).collect(),
-            groups: Mutex::new(HashMap::new()),
-        }
+        Self { funcs: aggs.iter().map(|a| a.func).collect(), groups: Mutex::new(HashMap::new()) }
     }
 
     /// Merge a batch of partial `(key, values)` pairs. Batching keeps the
@@ -175,12 +169,8 @@ impl GroupByTable {
 
     /// Snapshot of all `(key, values)` pairs, sorted by key for determinism.
     pub fn snapshot(&self) -> Vec<(Vec<i64>, Vec<i64>)> {
-        let mut rows: Vec<(Vec<i64>, Vec<i64>)> = self
-            .groups
-            .lock()
-            .iter()
-            .map(|(k, v)| (k.clone(), v.clone()))
-            .collect();
+        let mut rows: Vec<(Vec<i64>, Vec<i64>)> =
+            self.groups.lock().iter().map(|(k, v)| (k.clone(), v.clone())).collect();
         rows.sort();
         rows
     }
@@ -249,10 +239,9 @@ impl SharedState {
     pub fn hash_table(&self, slot: StateSlot) -> Result<&JoinHashTable> {
         match self.slots.get(slot.index()) {
             Some(StateObject::HashTable { table, .. }) => Ok(table),
-            Some(_) => Err(HetError::Execution(format!(
-                "state slot {} is not a hash table",
-                slot.index()
-            ))),
+            Some(_) => {
+                Err(HetError::Execution(format!("state slot {} is not a hash table", slot.index())))
+            }
             None => Err(HetError::Execution(format!("unknown state slot {}", slot.index()))),
         }
     }
@@ -346,10 +335,7 @@ mod tests {
         let aggs = vec![AggSpec::sum(Expr::col(0)), AggSpec::max(Expr::col(0))];
         let g = GroupByTable::new(&aggs);
         assert!(g.is_empty());
-        g.merge_batch(vec![
-            (vec![1997, 1], vec![100, 10]),
-            (vec![1998, 1], vec![50, 5]),
-        ]);
+        g.merge_batch(vec![(vec![1997, 1], vec![100, 10]), (vec![1998, 1], vec![50, 5])]);
         g.merge_batch(vec![(vec![1997, 1], vec![25, 99])]);
         assert_eq!(g.len(), 2);
         let rows = g.snapshot();

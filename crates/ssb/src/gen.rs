@@ -132,9 +132,7 @@ impl SsbGenerator {
     /// Physical row counts derived from the scale factor.
     pub fn row_counts(&self) -> (usize, usize, usize, usize, usize) {
         let sf = self.scale_factor.max(1e-4);
-        let fact = self
-            .fact_rows
-            .unwrap_or(((6_000_000.0 * sf) as usize).max(1_000));
+        let fact = self.fact_rows.unwrap_or(((6_000_000.0 * sf) as usize).max(1_000));
         let customer = ((30_000.0 * sf) as usize).max(100);
         let supplier = ((2_000.0 * sf) as usize).max(40);
         let part = if sf >= 1.0 {
@@ -358,11 +356,13 @@ fn geo_dictionaries() -> (DictionaryBuilder, DictionaryBuilder, DictionaryBuilde
 /// Dictionaries for the part table: manufacturer, category, brand.
 fn part_dictionaries() -> (DictionaryBuilder, DictionaryBuilder, DictionaryBuilder) {
     let mfgr = DictionaryBuilder::from_domain((1..=5).map(|m| format!("MFGR#{m}")));
-    let category =
-        DictionaryBuilder::from_domain((1..=5).flat_map(|m| (1..=5).map(move |c| format!("MFGR#{m}{c}"))));
-    let brand = DictionaryBuilder::from_domain((1..=5).flat_map(|m| {
-        (1..=5).flat_map(move |c| (1..=40).map(move |b| format!("MFGR#{m}{c}{b}")))
-    }));
+    let category = DictionaryBuilder::from_domain(
+        (1..=5).flat_map(|m| (1..=5).map(move |c| format!("MFGR#{m}{c}"))),
+    );
+    let brand =
+        DictionaryBuilder::from_domain((1..=5).flat_map(|m| {
+            (1..=5).flat_map(move |c| (1..=40).map(move |b| format!("MFGR#{m}{c}{b}")))
+        }));
     (mfgr, category, brand)
 }
 
@@ -477,9 +477,7 @@ mod tests {
     #[test]
     fn working_set_bytes_counts_projection() {
         let data = tiny();
-        let bytes = data
-            .working_set_bytes(&["lo_orderdate", "lo_revenue"])
-            .unwrap();
+        let bytes = data.working_set_bytes(&["lo_orderdate", "lo_revenue"]).unwrap();
         assert_eq!(bytes, data.fact_rows() * (4 + 8));
     }
 }

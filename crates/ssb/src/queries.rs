@@ -33,11 +33,7 @@ pub struct SsbQuery {
 
 /// Query flight of a query name ("Q3.2" → 3).
 pub fn query_group(name: &str) -> usize {
-    name.trim_start_matches('Q')
-        .split('.')
-        .next()
-        .and_then(|s| s.parse().ok())
-        .unwrap_or(0)
+    name.trim_start_matches('Q').split('.').next().and_then(|s| s.parse().ok()).unwrap_or(0)
 }
 
 fn dict_code(table: &StoredTable, column: &str, value: &str) -> Result<i64> {
@@ -97,11 +93,9 @@ fn flight1(
 ) -> Result<SsbQuery> {
     let _ = data;
     // date projection: [d_datekey, d_year, d_yearmonthnum, d_weeknuminyear]
-    let dates = RelNode::scan(
-        "date",
-        &["d_datekey", "d_year", "d_yearmonthnum", "d_weeknuminyear"],
-    )
-    .filter(date_filter);
+    let dates =
+        RelNode::scan("date", &["d_datekey", "d_year", "d_yearmonthnum", "d_weeknuminyear"])
+            .filter(date_filter);
     // lineorder projection: [lo_orderdate, lo_discount, lo_quantity, lo_extendedprice]
     let plan = RelNode::scan(
         "lineorder",
@@ -109,10 +103,7 @@ fn flight1(
     )
     .filter(Expr::col(1).between(discount_lo, discount_hi).and(quantity_pred))
     .hash_join(dates, 0, 0, &[])
-    .reduce(
-        vec![AggSpec::sum(Expr::col(3).mul(Expr::col(1)))],
-        &["revenue"],
-    );
+    .reduce(vec![AggSpec::sum(Expr::col(3).mul(Expr::col(1)))], &["revenue"]);
     Ok(SsbQuery {
         name: name.to_string(),
         group: 1,
@@ -122,25 +113,11 @@ fn flight1(
 }
 
 fn q1_1(data: &SsbDataset) -> Result<SsbQuery> {
-    flight1(
-        data,
-        "Q1.1",
-        Expr::col(1).eq(Expr::lit(1993)),
-        1,
-        3,
-        Expr::col(2).lt_lit(25),
-    )
+    flight1(data, "Q1.1", Expr::col(1).eq(Expr::lit(1993)), 1, 3, Expr::col(2).lt_lit(25))
 }
 
 fn q1_2(data: &SsbDataset) -> Result<SsbQuery> {
-    flight1(
-        data,
-        "Q1.2",
-        Expr::col(2).eq(Expr::lit(199_401)),
-        4,
-        6,
-        Expr::col(2).between(26, 35),
-    )
+    flight1(data, "Q1.2", Expr::col(2).eq(Expr::lit(199_401)), 4, 6, Expr::col(2).between(26, 35))
 }
 
 fn q1_3(data: &SsbDataset) -> Result<SsbQuery> {
@@ -164,15 +141,16 @@ fn flight2(data: &SsbDataset, name: &str, part_filter: Expr, s_region: &str) -> 
         .filter(Expr::col(1).eq(Expr::lit(dict_code(&data.supplier, "s_region", s_region)?)));
     let dates = RelNode::scan("date", &["d_datekey", "d_year"]);
     // lineorder projection: [lo_orderdate, lo_partkey, lo_suppkey, lo_revenue]
-    let plan = RelNode::scan("lineorder", &["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"])
-        .hash_join(part, 1, 0, &[2]) // + p_brand1 @4
-        .hash_join(supplier, 2, 0, &[]) // width 5
-        .hash_join(dates, 0, 0, &[1]) // + d_year @5
-        .group_by(
-            &[5, 4],
-            vec![AggSpec::sum(Expr::col(3))],
-            &["d_year", "p_brand1", "revenue"],
-        );
+    let plan =
+        RelNode::scan("lineorder", &["lo_orderdate", "lo_partkey", "lo_suppkey", "lo_revenue"])
+            .hash_join(part, 1, 0, &[2]) // + p_brand1 @4
+            .hash_join(supplier, 2, 0, &[]) // width 5
+            .hash_join(dates, 0, 0, &[1]) // + d_year @5
+            .group_by(
+                &[5, 4],
+                vec![AggSpec::sum(Expr::col(3))],
+                &["d_year", "p_brand1", "revenue"],
+            );
     Ok(SsbQuery {
         name: name.to_string(),
         group: 2,
@@ -225,15 +203,16 @@ fn flight3(
         _ => 2,
     };
     // lineorder projection: [lo_orderdate, lo_custkey, lo_suppkey, lo_revenue]
-    let plan = RelNode::scan("lineorder", &["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_revenue"])
-        .hash_join(customer, 1, 0, &[geo_idx]) // + c_geo @4
-        .hash_join(supplier, 2, 0, &[geo_idx]) // + s_geo @5
-        .hash_join(dates, 0, 0, &[1]) // + d_year @6
-        .group_by(
-            &[4, 5, 6],
-            vec![AggSpec::sum(Expr::col(3))],
-            &["c_geo", "s_geo", "d_year", "revenue"],
-        );
+    let plan =
+        RelNode::scan("lineorder", &["lo_orderdate", "lo_custkey", "lo_suppkey", "lo_revenue"])
+            .hash_join(customer, 1, 0, &[geo_idx]) // + c_geo @4
+            .hash_join(supplier, 2, 0, &[geo_idx]) // + s_geo @5
+            .hash_join(dates, 0, 0, &[1]) // + d_year @6
+            .group_by(
+                &[4, 5, 6],
+                vec![AggSpec::sum(Expr::col(3))],
+                &["c_geo", "s_geo", "d_year", "revenue"],
+            );
     Ok(SsbQuery {
         name: name.to_string(),
         group: 3,
@@ -302,6 +281,7 @@ fn q3_4(data: &SsbDataset) -> Result<SsbQuery> {
 
 /// Q4.x: four joins (customer, supplier, part, date); profit =
 /// SUM(lo_revenue - lo_supplycost).
+#[allow(clippy::too_many_arguments)]
 fn flight4(
     data: &SsbDataset,
     name: &str,
@@ -338,11 +318,7 @@ fn flight4(
     .hash_join(supplier, 2, 0, supplier_payload)
     .hash_join(part, 3, 0, part_payload)
     .hash_join(dates, 0, 0, &[1])
-    .group_by(
-        group_keys,
-        vec![AggSpec::sum(Expr::col(4).sub(Expr::col(5)))],
-        group_names,
-    );
+    .group_by(group_keys, vec![AggSpec::sum(Expr::col(4).sub(Expr::col(5)))], group_names);
     Ok(SsbQuery {
         name: name.to_string(),
         group: 4,

@@ -109,9 +109,7 @@ impl NodeState {
         let take = n.min(*available);
         *available -= take;
         let mut next = self.next_id.lock();
-        let ids = (0..take)
-            .map(|i| BlockId::new(*next + i))
-            .collect::<Vec<_>>();
+        let ids = (0..take).map(|i| BlockId::new(*next + i)).collect::<Vec<_>>();
         *next += take;
         ids
     }
@@ -185,10 +183,7 @@ impl BlockManagerSet {
     /// Build one manager per node with `arena_blocks` blocks each.
     pub fn new(nodes: &[MemoryNodeId], arena_blocks: usize) -> Self {
         Self {
-            managers: nodes
-                .iter()
-                .map(|&n| Arc::new(BlockManager::new(n, arena_blocks)))
-                .collect(),
+            managers: nodes.iter().map(|&n| Arc::new(BlockManager::new(n, arena_blocks))).collect(),
         }
     }
 
@@ -220,9 +215,7 @@ impl BlockManagerSet {
         // launched to the remote node" amortized over REMOTE_BATCH blocks).
         let ids = target_mgr.state.try_acquire_up_to(REMOTE_BATCH);
         if ids.is_empty() {
-            return Err(HetError::Memory(format!(
-                "block arena exhausted on remote node {target}"
-            )));
+            return Err(HetError::Memory(format!("block arena exhausted on remote node {target}")));
         }
         {
             let mut stats = local_mgr.stats.lock();
@@ -318,13 +311,9 @@ mod tests {
     #[test]
     fn exhausted_remote_arena_reports_memory_error() {
         let set = BlockManagerSet::new(&nodes(), 0);
-        let err = set
-            .acquire(MemoryNodeId::new(0), MemoryNodeId::new(1))
-            .unwrap_err();
+        let err = set.acquire(MemoryNodeId::new(0), MemoryNodeId::new(1)).unwrap_err();
         assert_eq!(err.category(), "memory");
-        let err = set
-            .acquire(MemoryNodeId::new(0), MemoryNodeId::new(0))
-            .unwrap_err();
+        let err = set.acquire(MemoryNodeId::new(0), MemoryNodeId::new(0)).unwrap_err();
         assert_eq!(err.category(), "memory");
     }
 

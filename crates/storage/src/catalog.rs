@@ -91,7 +91,11 @@ impl StoredTable {
     /// Materialize scan blocks for `projection`, `block_capacity` rows each,
     /// respecting segment boundaries and placements. Block ids are assigned
     /// sequentially from 0 for this scan.
-    pub fn scan_blocks(&self, projection: &[&str], block_capacity: usize) -> Result<Vec<BlockHandle>> {
+    pub fn scan_blocks(
+        &self,
+        projection: &[&str],
+        block_capacity: usize,
+    ) -> Result<Vec<BlockHandle>> {
         if block_capacity == 0 {
             return Err(HetError::Config("block_capacity must be positive".into()));
         }
@@ -109,10 +113,8 @@ impl StoredTable {
             let mut start = seg.start;
             while start < seg.end {
                 let end = (start + block_capacity).min(seg.end);
-                let columns: Vec<ColumnData> = col_indexes
-                    .iter()
-                    .map(|&idx| self.columns[idx].slice(start, end))
-                    .collect();
+                let columns: Vec<ColumnData> =
+                    col_indexes.iter().map(|&idx| self.columns[idx].slice(start, end)).collect();
                 let block = Block::new(columns, end - start)?;
                 let meta = BlockMeta::new(BlockId::new(next_id), seg.node);
                 next_id += 1;
@@ -146,7 +148,12 @@ impl TableBuilder {
     }
 
     /// Add a column with its data.
-    pub fn column(mut self, name: impl Into<String>, data_type: DataType, data: ColumnData) -> Self {
+    pub fn column(
+        mut self,
+        name: impl Into<String>,
+        data_type: DataType,
+        data: ColumnData,
+    ) -> Self {
         self.fields.push(Field::new(name, data_type));
         self.columns.push(data);
         self
@@ -239,9 +246,7 @@ impl Catalog {
     /// Register an already shared table (tables are immutable, so several
     /// catalogs — e.g. one per compared engine — can share the same data).
     pub fn register_arc(&self, table: Arc<StoredTable>) {
-        self.tables
-            .write()
-            .insert(table.name().to_owned(), table);
+        self.tables.write().insert(table.name().to_owned(), table);
     }
 
     /// Look up a table by name.

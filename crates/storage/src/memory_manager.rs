@@ -100,10 +100,7 @@ impl MemoryManagerSet {
     /// Build managers from `(node, capacity_bytes)` pairs.
     pub fn new(nodes: &[(MemoryNodeId, u64)]) -> Self {
         Self {
-            managers: nodes
-                .iter()
-                .map(|&(n, cap)| Arc::new(MemoryManager::new(n, cap)))
-                .collect(),
+            managers: nodes.iter().map(|&(n, cap)| Arc::new(MemoryManager::new(n, cap))).collect(),
         }
     }
 
@@ -140,10 +137,8 @@ mod tests {
 
     #[test]
     fn set_routes_to_local_manager() {
-        let set = MemoryManagerSet::new(&[
-            (MemoryNodeId::new(0), 1000),
-            (MemoryNodeId::new(2), 100),
-        ]);
+        let set =
+            MemoryManagerSet::new(&[(MemoryNodeId::new(0), 1000), (MemoryNodeId::new(2), 100)]);
         let a = set.alloc_on(MemoryNodeId::new(2), 80).unwrap();
         assert_eq!(a.node(), MemoryNodeId::new(2));
         assert!(set.alloc_on(MemoryNodeId::new(2), 80).is_err());

@@ -49,10 +49,7 @@ impl Affinity {
     /// ("HetExchange forces pipelines to inherit both the degree of parallelism
     /// and the affinity of their instantiator").
     pub fn inherit_from(&self, parent: &Affinity) -> Affinity {
-        Affinity {
-            cpu_core: self.cpu_core.or(parent.cpu_core),
-            gpu: self.gpu.or(parent.gpu),
-        }
+        Affinity { cpu_core: self.cpu_core.or(parent.cpu_core), gpu: self.gpu.or(parent.gpu) }
     }
 }
 

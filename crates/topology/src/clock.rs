@@ -89,10 +89,7 @@ pub struct ResourceClock {
 impl ResourceClock {
     /// A clock at time zero with a diagnostic label.
     pub fn new(label: impl Into<String>) -> Self {
-        Self {
-            inner: Arc::new(Mutex::new(0)),
-            label: Arc::from(label.into()),
-        }
+        Self { inner: Arc::new(Mutex::new(0)), label: Arc::from(label.into()) }
     }
 
     /// Diagnostic label (e.g. `"pcie:socket0-gpu0"`).

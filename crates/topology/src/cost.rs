@@ -132,8 +132,8 @@ impl CostModel {
     /// GPUs), so the busy time is their maximum; fixed overheads (atomics
     /// serialized on shared state, kernel launches) are added on top.
     pub fn time_ns(&self, work: &WorkProfile, profile: &DeviceProfile) -> u64 {
-        let seq_seconds = (work.bytes_scanned + work.bytes_written)
-            / (profile.seq_bandwidth_gbps * 1e9);
+        let seq_seconds =
+            (work.bytes_scanned + work.bytes_written) / (profile.seq_bandwidth_gbps * 1e9);
         let random_seconds = work.random_bytes / (profile.random_bandwidth_gbps * 1e9);
         let memory_seconds = seq_seconds + random_seconds;
         let compute_seconds = work.ops / (profile.compute_gops * 1e9);

@@ -113,7 +113,10 @@ mod tests {
     #[test]
     fn link_defaults_match_paper_measurements() {
         assert!((LinkKind::Pcie3x16.default_bandwidth_gbps() - 12.0).abs() < f64::EPSILON);
-        assert!(LinkKind::InterSocket.default_bandwidth_gbps() > LinkKind::Pcie3x16.default_bandwidth_gbps());
+        assert!(
+            LinkKind::InterSocket.default_bandwidth_gbps()
+                > LinkKind::Pcie3x16.default_bandwidth_gbps()
+        );
     }
 
     #[test]
@@ -129,7 +132,10 @@ mod tests {
     #[test]
     fn bandwidth_override() {
         let link = LinkSpec::new(LinkId::new(1), LinkKind::Pcie3x16, "a", "b").with_bandwidth(6.0);
-        assert!(link.transfer_ns(1e9) > LinkSpec::new(LinkId::new(1), LinkKind::Pcie3x16, "a", "b").transfer_ns(1e9));
+        assert!(
+            link.transfer_ns(1e9)
+                > LinkSpec::new(LinkId::new(1), LinkKind::Pcie3x16, "a", "b").transfer_ns(1e9)
+        );
     }
 
     #[test]

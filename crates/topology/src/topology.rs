@@ -80,9 +80,7 @@ impl ServerTopology {
 
     /// Device profile by id.
     pub fn device(&self, id: DeviceId) -> Result<&DeviceProfile> {
-        self.devices
-            .get(id.index())
-            .ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
+        self.devices.get(id.index()).ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
     }
 
     /// All CPU core device ids, in socket-interleaved order (core 0 of socket
@@ -157,9 +155,7 @@ impl ServerTopology {
 
     /// Link by id.
     pub fn link(&self, id: LinkId) -> Result<&LinkSpec> {
-        self.links
-            .get(id.index())
-            .ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
+        self.links.get(id.index()).ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
     }
 
     /// The route between two distinct memory nodes, as an ordered list of
@@ -183,9 +179,7 @@ impl ServerTopology {
 
     /// Resource clock of an interconnect link.
     pub fn link_clock(&self, id: LinkId) -> Result<&ResourceClock> {
-        self.link_clocks
-            .get(id.index())
-            .ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
+        self.link_clocks.get(id.index()).ok_or_else(|| HetError::UnknownDevice(format!("{id}")))
     }
 
     /// Reset all shared resource clocks to zero (between benchmark runs).
@@ -338,14 +332,10 @@ impl TopologyBuilder {
             }
         }
 
-        let memory_clocks = memory_nodes
-            .iter()
-            .map(|m| ResourceClock::new(format!("mem:{}", m.id)))
-            .collect();
-        let link_clocks = links
-            .iter()
-            .map(|l| ResourceClock::new(format!("link:{}-{}", l.from, l.to)))
-            .collect();
+        let memory_clocks =
+            memory_nodes.iter().map(|m| ResourceClock::new(format!("mem:{}", m.id))).collect();
+        let link_clocks =
+            links.iter().map(|l| ResourceClock::new(format!("link:{}-{}", l.from, l.to))).collect();
 
         Ok(ServerTopology {
             memory_nodes,
@@ -436,9 +426,7 @@ mod tests {
     #[test]
     fn reset_clears_clocks() {
         let t = ServerTopology::paper_server();
-        t.memory_clock(MemoryNodeId::new(0))
-            .unwrap()
-            .reserve(crate::clock::SimTime::ZERO, 100);
+        t.memory_clock(MemoryNodeId::new(0)).unwrap().reserve(crate::clock::SimTime::ZERO, 100);
         t.reset_clocks();
         assert_eq!(
             t.memory_clock(MemoryNodeId::new(0)).unwrap().now(),

@@ -107,10 +107,7 @@ impl DmaEngine {
         targets: &[MemoryNodeId],
         ready: SimTime,
     ) -> Result<Vec<TransferTicket>> {
-        targets
-            .iter()
-            .map(|&t| self.schedule(bytes, from, t, ready))
-            .collect()
+        targets.iter().map(|&t| self.schedule(bytes, from, t, ready)).collect()
     }
 
     /// Statistics accumulated so far.
@@ -136,9 +133,7 @@ mod tests {
     #[test]
     fn local_requests_are_forwarded_without_cost() {
         let e = engine();
-        let t = e
-            .schedule(1e9, MemoryNodeId::new(0), MemoryNodeId::new(0), SimTime(5))
-            .unwrap();
+        let t = e.schedule(1e9, MemoryNodeId::new(0), MemoryNodeId::new(0), SimTime(5)).unwrap();
         assert!(!t.moved);
         assert_eq!(t.completes_at, SimTime(5));
         assert_eq!(e.stats().forwarded, 1);
@@ -149,9 +144,8 @@ mod tests {
     fn pcie_transfer_takes_bytes_over_bandwidth() {
         let e = engine();
         // 1.2 GB over a 12 GB/s link ≈ 100 ms.
-        let t = e
-            .schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO)
-            .unwrap();
+        let t =
+            e.schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO).unwrap();
         assert!(t.moved);
         let ms = t.duration_ns() as f64 / 1e6;
         assert!(ms > 95.0 && ms < 110.0, "duration {ms} ms");
@@ -160,12 +154,10 @@ mod tests {
     #[test]
     fn concurrent_transfers_on_one_link_serialize() {
         let e = engine();
-        let a = e
-            .schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO)
-            .unwrap();
-        let b = e
-            .schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO)
-            .unwrap();
+        let a =
+            e.schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO).unwrap();
+        let b =
+            e.schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO).unwrap();
         // The second transfer queues behind the first on the same PCIe link.
         assert!(b.completes_at > a.completes_at);
         assert!(b.completes_at.as_nanos() >= 2 * a.duration_ns());
@@ -174,13 +166,11 @@ mod tests {
     #[test]
     fn transfers_on_different_links_overlap() {
         let e = engine();
-        let a = e
-            .schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO)
-            .unwrap();
+        let a =
+            e.schedule(1.2e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO).unwrap();
         // Socket 1 DRAM to GPU 1 uses the other PCIe link.
-        let b = e
-            .schedule(1.2e9, MemoryNodeId::new(1), MemoryNodeId::new(3), SimTime::ZERO)
-            .unwrap();
+        let b =
+            e.schedule(1.2e9, MemoryNodeId::new(1), MemoryNodeId::new(3), SimTime::ZERO).unwrap();
         let diff = a.completes_at.as_nanos().abs_diff(b.completes_at.as_nanos());
         assert!(diff < a.duration_ns() / 10, "links should not contend");
     }
@@ -188,13 +178,11 @@ mod tests {
     #[test]
     fn cross_socket_transfer_is_slower_than_local() {
         let e = engine();
-        let local = e
-            .schedule(1e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO)
-            .unwrap();
+        let local =
+            e.schedule(1e9, MemoryNodeId::new(0), MemoryNodeId::new(2), SimTime::ZERO).unwrap();
         e.topology().reset_clocks();
-        let remote = e
-            .schedule(1e9, MemoryNodeId::new(1), MemoryNodeId::new(2), SimTime::ZERO)
-            .unwrap();
+        let remote =
+            e.schedule(1e9, MemoryNodeId::new(1), MemoryNodeId::new(2), SimTime::ZERO).unwrap();
         assert!(remote.duration_ns() > local.duration_ns());
     }
 
@@ -202,9 +190,8 @@ mod tests {
     fn broadcast_produces_one_ticket_per_target() {
         let e = engine();
         let targets = [MemoryNodeId::new(2), MemoryNodeId::new(3)];
-        let tickets = e
-            .schedule_broadcast(5e8, MemoryNodeId::new(0), &targets, SimTime::ZERO)
-            .unwrap();
+        let tickets =
+            e.schedule_broadcast(5e8, MemoryNodeId::new(0), &targets, SimTime::ZERO).unwrap();
         assert_eq!(tickets.len(), 2);
         assert!(tickets.iter().all(|t| t.moved));
         assert_eq!(e.stats().transfers, 2);

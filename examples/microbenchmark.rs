@@ -29,10 +29,7 @@ fn main() -> hetexchange::common::Result<()> {
             ("24 cores + 2 GPUs", EngineConfig::hybrid(24, 2)),
         ] {
             let seconds = workload.run(query, config, PAPER_PROBE_BYTES)?;
-            println!(
-                "  {label:<27}: {seconds:>8.3} s   speed-up {:>6.1}x",
-                baseline / seconds
-            );
+            println!("  {label:<27}: {seconds:>8.3} s   speed-up {:>6.1}x", baseline / seconds);
         }
         println!();
     }

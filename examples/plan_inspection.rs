@@ -16,8 +16,8 @@ use std::sync::Arc;
 
 fn main() -> hetexchange::common::Result<()> {
     // The running example: an aggregation over a filtered join.
-    let dates = RelNode::scan("date", &["d_datekey", "d_year"])
-        .filter(Expr::col(1).eq(Expr::lit(1993)));
+    let dates =
+        RelNode::scan("date", &["d_datekey", "d_year"]).filter(Expr::col(1).eq(Expr::lit(1993)));
     let plan = RelNode::scan("lineorder", &["lo_orderdate", "lo_discount", "lo_revenue"])
         .filter(Expr::col(1).between(1, 3))
         .hash_join(dates, 0, 0, &[1])

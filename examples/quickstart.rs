@@ -24,11 +24,7 @@ fn main() -> hetexchange::common::Result<()> {
             DataType::Int32,
             ColumnData::Int32((0..rows as i32).map(|i| i % 100).collect()),
         )
-        .column(
-            "b",
-            DataType::Int64,
-            ColumnData::Int64((0..rows as i64).map(|i| i * 3).collect()),
-        )
+        .column("b", DataType::Int64, ColumnData::Int64((0..rows as i64).map(|i| i * 3).collect()))
         .build(&nodes, rows / 8)?;
     engine.register_table(table);
 

@@ -8,10 +8,7 @@ use hetexchange::bench::systems::{run_query, System};
 use hetexchange::bench::workload::SsbWorkload;
 
 fn main() -> hetexchange::common::Result<()> {
-    let physical_sf: f64 = std::env::args()
-        .nth(1)
-        .and_then(|a| a.parse().ok())
-        .unwrap_or(0.01);
+    let physical_sf: f64 = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(0.01);
     println!("generating SSB at physical SF {physical_sf}, modeling SF1000 (CPU-resident)…");
     let workload = SsbWorkload::build(physical_sf, 1000.0, false)?;
 

@@ -25,8 +25,8 @@ pub use hetex_topology as topology;
 
 /// Commonly used types, re-exported for convenience.
 pub mod prelude {
+    pub use hetex_common::config::{DataPlacement, ExecutionTarget};
     pub use hetex_common::{
         Block, BlockHandle, DataType, EngineConfig, HetError, Result, Schema, Value,
     };
-    pub use hetex_common::config::{DataPlacement, ExecutionTarget};
 }

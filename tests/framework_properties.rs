@@ -14,16 +14,8 @@ fn engine_with_fact(rows: usize) -> Proteus {
     let engine = Proteus::on_paper_server();
     let nodes = engine.topology().cpu_memory_nodes();
     let table = TableBuilder::new("fact")
-        .column(
-            "k",
-            DataType::Int32,
-            ColumnData::Int32((0..rows as i32).map(|i| i % 97).collect()),
-        )
-        .column(
-            "v",
-            DataType::Int64,
-            ColumnData::Int64((0..rows as i64).collect()),
-        )
+        .column("k", DataType::Int32, ColumnData::Int32((0..rows as i32).map(|i| i % 97).collect()))
+        .column("v", DataType::Int64, ColumnData::Int64((0..rows as i64).collect()))
         .build(&nodes, (rows / 8).max(1024))
         .unwrap();
     engine.register_table(table);
@@ -42,9 +34,11 @@ fn parallelized_plans_always_satisfy_the_trait_contract() {
     // input, and the plan's output must be CPU-side and sequential (the final
     // gather).
     let dim = RelNode::scan("dim", &["k", "tag"]).filter(Expr::col(1).lt_lit(5));
-    let plan = RelNode::scan("fact", &["k", "v"])
-        .hash_join(dim, 0, 0, &[1])
-        .group_by(&[2], vec![AggSpec::sum(Expr::col(1))], &["tag", "s"]);
+    let plan = RelNode::scan("fact", &["k", "v"]).hash_join(dim, 0, 0, &[1]).group_by(
+        &[2],
+        vec![AggSpec::sum(Expr::col(1))],
+        &["tag", "s"],
+    );
     for config in [
         EngineConfig::cpu_only(4),
         EngineConfig::cpu_only(24),
@@ -103,9 +97,7 @@ fn hybrid_is_not_slower_than_either_single_device_configuration() {
 #[test]
 fn missing_tables_and_invalid_configs_fail_cleanly() {
     let engine = Proteus::on_paper_server();
-    let err = engine
-        .execute(&sum_plan(0), &EngineConfig::cpu_only(4))
-        .unwrap_err();
+    let err = engine.execute(&sum_plan(0), &EngineConfig::cpu_only(4)).unwrap_err();
     assert_eq!(err.category(), "catalog");
 
     let engine = engine_with_fact(1_000);

@@ -1,0 +1,59 @@
+//! Cross-mode equivalence: the pipelined executor and the legacy
+//! stage-at-a-time executor must produce byte-identical result rows on every
+//! workload and device mix — scheduling is a performance decision, never a
+//! correctness one.
+
+use hetexchange::bench::pipeline_ab::join_reduce_engine;
+use hetexchange::bench::workload::SsbWorkload;
+use hetexchange::common::{EngineConfig, ExecutionMode};
+
+fn device_mixes() -> Vec<EngineConfig> {
+    vec![EngineConfig::cpu_only(4), EngineConfig::gpu_only(2), EngineConfig::hybrid(8, 2)]
+}
+
+#[test]
+fn join_reduce_rows_identical_across_modes_and_device_mixes() {
+    let (engine, plan) = join_reduce_engine(200_000).unwrap();
+    for base in device_mixes() {
+        let pipelined = engine
+            .execute(&plan, &base.clone().with_execution_mode(ExecutionMode::Pipelined))
+            .unwrap();
+        let stage_at_a_time = engine
+            .execute(&plan, &base.clone().with_execution_mode(ExecutionMode::StageAtATime))
+            .unwrap();
+        assert!(!pipelined.rows.is_empty());
+        assert_eq!(
+            pipelined.rows, stage_at_a_time.rows,
+            "rows diverged between modes under {:?}",
+            base.target
+        );
+    }
+}
+
+#[test]
+fn ssb_queries_rows_identical_across_modes_and_device_mixes() {
+    let workload = SsbWorkload::build(0.002, 1000.0, false).unwrap();
+    for name in ["Q1.1", "Q3.1"] {
+        let query = workload.queries.iter().find(|q| q.name == name).expect("query exists");
+        for base in device_mixes() {
+            let config = workload.config(base.clone());
+            let pipelined = workload
+                .engine_cpu_data
+                .execute(&query.plan, &config.clone().with_execution_mode(ExecutionMode::Pipelined))
+                .unwrap();
+            let stage_at_a_time = workload
+                .engine_cpu_data
+                .execute(
+                    &query.plan,
+                    &config.clone().with_execution_mode(ExecutionMode::StageAtATime),
+                )
+                .unwrap();
+            assert!(!pipelined.rows.is_empty(), "{name} returned no rows");
+            assert_eq!(
+                pipelined.rows, stage_at_a_time.rows,
+                "{name} rows diverged between modes under {:?}",
+                base.target
+            );
+        }
+    }
+}

@@ -17,18 +17,14 @@ fn generator() -> SsbGenerator {
 #[test]
 fn all_ssb_queries_match_reference_on_cpu_gpu_and_hybrid() {
     let engine = Proteus::on_paper_server();
-    let dataset = generator()
-        .generate(&engine.topology().cpu_memory_nodes())
-        .expect("generate SSB");
+    let dataset =
+        generator().generate(&engine.topology().cpu_memory_nodes()).expect("generate SSB");
     dataset.register_into(engine.catalog());
     let reference_catalog = Catalog::new();
     dataset.register_into(&reference_catalog);
 
-    let configs = [
-        EngineConfig::cpu_only(6),
-        EngineConfig::gpu_only(2),
-        EngineConfig::hybrid(6, 2),
-    ];
+    let configs =
+        [EngineConfig::cpu_only(6), EngineConfig::gpu_only(2), EngineConfig::hybrid(6, 2)];
     for query in all_queries(&dataset).expect("queries") {
         let expected = reference_execute(&query.plan, &reference_catalog)
             .unwrap_or_else(|e| panic!("reference failed for {}: {e}", query.name));
@@ -69,9 +65,7 @@ fn gpu_resident_placement_produces_identical_results() {
 #[test]
 fn baselines_match_reference_and_report_paper_failures() {
     let topology = hetexchange::topology::ServerTopology::paper_server();
-    let dataset = generator()
-        .generate(&topology.cpu_memory_nodes())
-        .expect("generate SSB");
+    let dataset = generator().generate(&topology.cpu_memory_nodes()).expect("generate SSB");
     let catalog = Catalog::new();
     dataset.register_into(&catalog);
     let weights = EngineConfig::default();
@@ -114,9 +108,8 @@ fn baselines_match_reference_and_report_paper_failures() {
 #[test]
 fn sequential_and_parallel_executions_agree_without_hetexchange() {
     let engine = Proteus::on_paper_server();
-    let dataset = generator()
-        .generate(&engine.topology().cpu_memory_nodes())
-        .expect("generate SSB");
+    let dataset =
+        generator().generate(&engine.topology().cpu_memory_nodes()).expect("generate SSB");
     dataset.register_into(engine.catalog());
     let query = hetexchange::ssb::query_by_name(&dataset, "Q2.1").unwrap();
 

@@ -1,0 +1,366 @@
+//! Minimal stand-in for the `crossbeam` crate.
+//!
+//! Provides `crossbeam::channel` with the subset of the API this workspace
+//! uses: multi-producer **multi-consumer** channels (`Sender` and `Receiver`
+//! are both `Clone`), unbounded and bounded variants, blocking `send`/`recv`,
+//! and disconnect semantics — `recv` fails once every `Sender` is dropped and
+//! the buffer is drained, `send` fails once every `Receiver` is dropped.
+//! Implemented with a `Mutex<VecDeque>` + two `Condvar`s; throughput is more
+//! than sufficient for block-granularity handoff.
+
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Shared<T> {
+        inner: Mutex<Inner<T>>,
+        /// Consumers wait here for data (or disconnect).
+        not_empty: Condvar,
+        /// Bounded-channel producers wait here for space (or disconnect).
+        not_full: Condvar,
+        capacity: Option<usize>,
+    }
+
+    struct Inner<T> {
+        queue: VecDeque<T>,
+        senders: usize,
+        receivers: usize,
+    }
+
+    impl<T> Shared<T> {
+        fn lock(&self) -> std::sync::MutexGuard<'_, Inner<T>> {
+            self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        }
+    }
+
+    /// The sending half of a channel.
+    pub struct Sender<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// The receiving half of a channel.
+    pub struct Receiver<T> {
+        shared: Arc<Shared<T>>,
+    }
+
+    /// Error returned by [`Sender::send`] when every receiver is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// Channel currently empty, but senders remain.
+        Empty,
+        /// Channel empty and every sender dropped.
+        Disconnected,
+    }
+
+    /// Error returned by [`Sender::try_send`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TrySendError<T> {
+        /// A bounded channel is at capacity.
+        Full(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    /// Error returned by [`Sender::send_timeout`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum SendTimeoutError<T> {
+        /// The channel stayed full until the timeout elapsed.
+        Timeout(T),
+        /// Every receiver has been dropped.
+        Disconnected(T),
+    }
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(f, "receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// An unbounded mpmc channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        with_capacity(None)
+    }
+
+    /// A bounded mpmc channel: `send` blocks while `cap` messages are queued.
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        with_capacity(Some(cap.max(1)))
+    }
+
+    fn with_capacity<T>(capacity: Option<usize>) -> (Sender<T>, Receiver<T>) {
+        let shared = Arc::new(Shared {
+            inner: Mutex::new(Inner { queue: VecDeque::new(), senders: 1, receivers: 1 }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity,
+        });
+        (Sender { shared: Arc::clone(&shared) }, Receiver { shared })
+    }
+
+    impl<T> Sender<T> {
+        /// Send a message, blocking while a bounded channel is full. Fails only
+        /// when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            let mut inner = self.shared.lock();
+            if let Some(cap) = self.shared.capacity {
+                while inner.queue.len() >= cap {
+                    if inner.receivers == 0 {
+                        return Err(SendError(value));
+                    }
+                    inner =
+                        self.shared.not_full.wait(inner).unwrap_or_else(PoisonError::into_inner);
+                }
+            }
+            if inner.receivers == 0 {
+                return Err(SendError(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send, giving up after `timeout` if a bounded channel stays full.
+        pub fn send_timeout(
+            &self,
+            value: T,
+            timeout: std::time::Duration,
+        ) -> Result<(), SendTimeoutError<T>> {
+            let deadline = std::time::Instant::now() + timeout;
+            let mut inner = self.shared.lock();
+            if let Some(cap) = self.shared.capacity {
+                while inner.queue.len() >= cap {
+                    if inner.receivers == 0 {
+                        return Err(SendTimeoutError::Disconnected(value));
+                    }
+                    let now = std::time::Instant::now();
+                    if now >= deadline {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                    let (guard, result) = self
+                        .shared
+                        .not_full
+                        .wait_timeout(inner, deadline - now)
+                        .unwrap_or_else(std::sync::PoisonError::into_inner);
+                    inner = guard;
+                    if result.timed_out() && inner.queue.len() >= cap {
+                        return Err(SendTimeoutError::Timeout(value));
+                    }
+                }
+            }
+            if inner.receivers == 0 {
+                return Err(SendTimeoutError::Disconnected(value));
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Send without blocking: fails on a full bounded channel.
+        pub fn try_send(&self, value: T) -> Result<(), TrySendError<T>> {
+            let mut inner = self.shared.lock();
+            if inner.receivers == 0 {
+                return Err(TrySendError::Disconnected(value));
+            }
+            if let Some(cap) = self.shared.capacity {
+                if inner.queue.len() >= cap {
+                    return Err(TrySendError::Full(value));
+                }
+            }
+            inner.queue.push_back(value);
+            drop(inner);
+            self.shared.not_empty.notify_one();
+            Ok(())
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no messages are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Receive the next message, blocking until one arrives. Fails when the
+        /// channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut inner = self.shared.lock();
+            loop {
+                if let Some(value) = inner.queue.pop_front() {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    return Ok(value);
+                }
+                if inner.senders == 0 {
+                    return Err(RecvError);
+                }
+                inner = self.shared.not_empty.wait(inner).unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Receive without blocking.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            let mut inner = self.shared.lock();
+            match inner.queue.pop_front() {
+                Some(value) => {
+                    drop(inner);
+                    self.shared.not_full.notify_one();
+                    Ok(value)
+                }
+                None if inner.senders == 0 => Err(TryRecvError::Disconnected),
+                None => Err(TryRecvError::Empty),
+            }
+        }
+
+        /// Number of messages currently buffered.
+        pub fn len(&self) -> usize {
+            self.shared.lock().queue.len()
+        }
+
+        /// True when no messages are buffered.
+        pub fn is_empty(&self) -> bool {
+            self.len() == 0
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().senders += 1;
+            Sender { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.shared.lock().receivers += 1;
+            Receiver { shared: Arc::clone(&self.shared) }
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.senders -= 1;
+            let last = inner.senders == 0;
+            drop(inner);
+            if last {
+                // Wake blocked consumers so they observe the disconnect.
+                self.shared.not_empty.notify_all();
+            }
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            let mut inner = self.shared.lock();
+            inner.receivers -= 1;
+            let last = inner.receivers == 0;
+            drop(inner);
+            if last {
+                // Wake blocked producers so they observe the disconnect.
+                self.shared.not_full.notify_all();
+            }
+        }
+    }
+
+    impl<T> fmt::Debug for Sender<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Sender").field("len", &self.len()).finish()
+        }
+    }
+
+    impl<T> fmt::Debug for Receiver<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.debug_struct("Receiver").field("len", &self.len()).finish()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::channel::{bounded, unbounded, RecvError, TryRecvError};
+    use std::thread;
+    use std::time::Duration;
+
+    #[test]
+    fn unbounded_round_trip() {
+        let (tx, rx) = unbounded();
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        assert_eq!(rx.len(), 2);
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(rx.try_recv(), Ok(2));
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+    }
+
+    #[test]
+    fn recv_fails_after_last_sender_drops() {
+        let (tx, rx) = unbounded();
+        tx.send(7).unwrap();
+        drop(tx);
+        assert_eq!(rx.recv(), Ok(7));
+        assert_eq!(rx.recv(), Err(RecvError));
+    }
+
+    #[test]
+    fn blocked_receiver_wakes_on_disconnect() {
+        let (tx, rx) = unbounded::<i32>();
+        let waiter = thread::spawn(move || rx.recv());
+        thread::sleep(Duration::from_millis(20));
+        drop(tx);
+        assert_eq!(waiter.join().unwrap(), Err(RecvError));
+    }
+
+    #[test]
+    fn bounded_channel_applies_backpressure() {
+        let (tx, rx) = bounded(2);
+        tx.send(1).unwrap();
+        tx.send(2).unwrap();
+        let t = {
+            let tx = tx.clone();
+            thread::spawn(move || {
+                tx.send(3).unwrap(); // blocks until a slot frees up
+                3
+            })
+        };
+        thread::sleep(Duration::from_millis(20));
+        assert_eq!(rx.len(), 2, "third send must be blocked");
+        assert_eq!(rx.recv(), Ok(1));
+        assert_eq!(t.join().unwrap(), 3);
+        assert_eq!(rx.recv(), Ok(2));
+        assert_eq!(rx.recv(), Ok(3));
+    }
+
+    #[test]
+    fn mpmc_clone_receivers_share_the_stream() {
+        let (tx, rx) = unbounded();
+        let rx2 = rx.clone();
+        for i in 0..100 {
+            tx.send(i).unwrap();
+        }
+        drop(tx);
+        let a = thread::spawn(move || std::iter::from_fn(|| rx.recv().ok()).count());
+        let b = thread::spawn(move || std::iter::from_fn(|| rx2.recv().ok()).count());
+        assert_eq!(a.join().unwrap() + b.join().unwrap(), 100);
+    }
+}
