@@ -30,6 +30,7 @@ pub mod figures;
 pub mod micro;
 pub mod pipeline_ab;
 pub mod report;
+pub mod staging_ab;
 pub mod systems;
 pub mod workload;
 

@@ -1,0 +1,151 @@
+//! A/B harness: byte-budget staging governance on vs off.
+//!
+//! Runs the pipelined executor over the join+reduce hybrid acceptance
+//! workload twice — once with the per-node staging byte budget enabled
+//! (`EngineConfig::staging_bytes = Some(..)`, every queued block backed by a
+//! `BlockLease`) and once with governance disabled (`None`, the PR 1
+//! handle-count-only behaviour) — and reports simulated end-to-end times, the
+//! relative overhead, the per-node peak staged bytes, and whether the result
+//! rows were byte-identical. The acceptance bar: governance must stay within
+//! 5% of the ungoverned throughput on identical row counts. `cargo run
+//! --release -p hetex-bench --bin staging_ab` emits `BENCH_staging.json`.
+
+use crate::pipeline_ab::join_reduce_engine;
+use hetex_common::config::DEFAULT_STAGING_BYTES;
+use hetex_common::{EngineConfig, ExecutionMode, Result};
+
+/// One governed-vs-ungoverned measurement.
+#[derive(Debug, Clone)]
+pub struct StagingAbRow {
+    /// Workload label.
+    pub workload: String,
+    /// Per-node staging budget used for the governed run, in bytes.
+    pub budget_bytes: u64,
+    /// Simulated seconds with byte-budget governance.
+    pub governed_s: f64,
+    /// Simulated seconds without governance (PR 1 behaviour).
+    pub ungoverned_s: f64,
+    /// Largest per-node peak of leased staging bytes in the governed run.
+    pub peak_leased_bytes: u64,
+    /// Whether both runs produced byte-identical result rows.
+    pub rows_identical: bool,
+}
+
+impl StagingAbRow {
+    /// Relative overhead of governance, in percent (positive = slower).
+    pub fn overhead_pct(&self) -> f64 {
+        if self.ungoverned_s <= 0.0 {
+            return 0.0;
+        }
+        (self.governed_s / self.ungoverned_s - 1.0) * 100.0
+    }
+}
+
+/// The full governed-vs-ungoverned report.
+#[derive(Debug, Clone, Default)]
+pub struct StagingAbReport {
+    /// Every measured workload.
+    pub rows: Vec<StagingAbRow>,
+}
+
+impl StagingAbReport {
+    /// Serialize as pretty-printed JSON (hand-rolled; the build has no JSON
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmark\": \"staging_governance_ab\",\n");
+        out.push_str("  \"metric\": \"simulated_seconds\",\n  \"workloads\": [\n");
+        for (i, row) in self.rows.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"budget_bytes\": {}, \"governed_s\": {:.9}, \
+                 \"ungoverned_s\": {:.9}, \"overhead_pct\": {:.2}, \"peak_leased_bytes\": {}, \
+                 \"rows_identical\": {}}}{}\n",
+                row.workload,
+                row.budget_bytes,
+                row.governed_s,
+                row.ungoverned_s,
+                row.overhead_pct(),
+                row.peak_leased_bytes,
+                row.rows_identical,
+                if i + 1 < self.rows.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// The acceptance workload: join+reduce over `fact_rows` fact rows on
+/// `EngineConfig::hybrid(8, 2)` in pipelined mode, with and without the
+/// staging byte budget (same scale extrapolation as `pipeline_ab`).
+pub fn join_reduce_staging_ab(fact_rows: usize) -> Result<StagingAbRow> {
+    let (engine, plan) = join_reduce_engine(fact_rows)?;
+    let mut base = EngineConfig::hybrid(8, 2).with_execution_mode(ExecutionMode::Pipelined);
+    base.scale_weight = 20_000.0;
+    base.block_capacity = 2048;
+    let base = base.with_table_weight("dim", 2_500.0);
+
+    let budget = DEFAULT_STAGING_BYTES;
+    let governed = engine.execute(&plan, &base.clone().with_staging_bytes(Some(budget)))?;
+    let ungoverned = engine.execute(&plan, &base.clone().with_staging_bytes(None))?;
+    Ok(StagingAbRow {
+        workload: format!("join_reduce_{}k_hybrid_8_2", fact_rows / 1000),
+        budget_bytes: budget,
+        governed_s: governed.seconds(),
+        ungoverned_s: ungoverned.seconds(),
+        peak_leased_bytes: governed
+            .stats
+            .staging_peaks
+            .iter()
+            .map(|(_, peak)| *peak)
+            .max()
+            .unwrap_or(0),
+        rows_identical: governed.rows == ungoverned.rows,
+    })
+}
+
+/// Run the A/B suite (currently the join+reduce acceptance workload).
+pub fn run_all(fact_rows: usize) -> Result<StagingAbReport> {
+    Ok(StagingAbReport { rows: vec![join_reduce_staging_ab(fact_rows)?] })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn governance_costs_at_most_5_percent_on_the_acceptance_workload() {
+        // Acceptance criterion: the governed pipelined executor stays within
+        // 5% of PR 1's ungoverned simulated time on the join+reduce hybrid
+        // workload, with identical rows, and every staged block was backed by
+        // a lease (a non-zero peak within the budget).
+        let row = join_reduce_staging_ab(200_000).unwrap();
+        assert!(row.rows_identical, "governance must not change results");
+        assert!(
+            row.overhead_pct() <= 5.0,
+            "governed {}s vs ungoverned {}s: overhead {:.2}% > 5%",
+            row.governed_s,
+            row.ungoverned_s,
+            row.overhead_pct()
+        );
+        assert!(row.peak_leased_bytes > 0, "no block was ever lease-backed");
+        assert!(row.peak_leased_bytes <= row.budget_bytes, "peak exceeded the budget");
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = StagingAbReport {
+            rows: vec![StagingAbRow {
+                workload: "w".into(),
+                budget_bytes: 1024,
+                governed_s: 1.05,
+                ungoverned_s: 1.0,
+                peak_leased_bytes: 512,
+                rows_identical: true,
+            }],
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"overhead_pct\": 5.00"));
+        assert!(json.contains("\"peak_leased_bytes\": 512"));
+        assert!(json.contains("\"rows_identical\": true"));
+    }
+}

@@ -19,6 +19,16 @@ use crate::ids::{BlockId, MemoryNodeId};
 use crate::schema::Schema;
 use std::sync::Arc;
 
+/// An opaque staging charge attached to a [`BlockHandle`].
+///
+/// The executor leases staging memory from the block managers when it admits
+/// a block into a consumer queue and attaches the lease here; the charge is
+/// released when the last handle referencing it is dropped (RAII), so error
+/// paths and panic unwinding cannot leak staging bytes. The type is erased
+/// (`dyn Any`) because `hetex-common` sits below `hetex-storage` in the crate
+/// graph and must not know the concrete lease type.
+pub type StagingToken = Arc<dyn std::any::Any + Send + Sync>;
+
 /// Default number of tuples per block. The paper uses block-shaped partitions
 /// of roughly 1 MiB per column; with 4-byte columns that is 256 Ki tuples. We
 /// default to a smaller block so small test datasets still produce several
@@ -178,22 +188,54 @@ impl BlockMeta {
 ///
 /// Handles are what flows through routers and device-crossing operators; the
 /// data itself is shared behind an [`Arc`] and is only copied when a mem-move
-/// materializes it on another memory node.
-#[derive(Debug, Clone)]
+/// materializes it on another memory node. A handle may additionally carry a
+/// [`StagingToken`] — the staging-memory charge backing the block while it is
+/// queued for a consumer; clones share the charge and the last drop releases
+/// it.
+#[derive(Clone)]
 pub struct BlockHandle {
     data: Arc<Block>,
     meta: BlockMeta,
+    staging: Option<StagingToken>,
+}
+
+impl std::fmt::Debug for BlockHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BlockHandle")
+            .field("data", &self.data)
+            .field("meta", &self.meta)
+            .field("staged", &self.staging.is_some())
+            .finish()
+    }
 }
 
 impl BlockHandle {
     /// Wrap a block in a handle.
     pub fn new(data: Block, meta: BlockMeta) -> Self {
-        Self { data: Arc::new(data), meta }
+        Self { data: Arc::new(data), meta, staging: None }
     }
 
     /// Wrap an already shared block.
     pub fn from_shared(data: Arc<Block>, meta: BlockMeta) -> Self {
-        Self { data, meta }
+        Self { data, meta, staging: None }
+    }
+
+    /// Attach a staging charge to this handle (replacing any prior charge,
+    /// which is thereby released).
+    pub fn attach_staging(&mut self, token: StagingToken) {
+        self.staging = Some(token);
+    }
+
+    /// Detach and return the staging charge, if any. Dropping the returned
+    /// token releases the charge; this is the "release on the source node"
+    /// half of a lease transfer across a device crossing.
+    pub fn take_staging(&mut self) -> Option<StagingToken> {
+        self.staging.take()
+    }
+
+    /// True while the handle carries a staging charge.
+    pub fn is_staged(&self) -> bool {
+        self.staging.is_some()
     }
 
     /// The referenced block.
@@ -233,12 +275,15 @@ impl BlockHandle {
 
     /// A copy of this handle relocated to `node` and available at `ready_at_ns`.
     /// The underlying data is shared; only the metadata changes. The simulated
-    /// DMA cost is accounted by the transfer engine, not here.
+    /// DMA cost is accounted by the transfer engine, not here. Any staging
+    /// charge stays behind with the source handle: the block now occupies
+    /// memory on a different node, so whoever relocates it must acquire a
+    /// fresh charge at the destination (lease transfer).
     pub fn relocated(&self, node: MemoryNodeId, ready_at_ns: u64) -> BlockHandle {
         let mut meta = self.meta.clone();
         meta.location = node;
         meta.ready_at_ns = ready_at_ns;
-        BlockHandle { data: Arc::clone(&self.data), meta }
+        BlockHandle { data: Arc::clone(&self.data), meta, staging: None }
     }
 }
 
@@ -304,6 +349,39 @@ mod tests {
         assert_eq!(moved.rows(), h.rows());
         // Data is shared, not copied.
         assert!(Arc::ptr_eq(&h.shared(), &moved.shared()));
+    }
+
+    #[test]
+    fn staging_tokens_are_released_on_drop_and_left_behind_by_relocation() {
+        struct Counter(Arc<std::sync::atomic::AtomicUsize>);
+        impl Drop for Counter {
+            fn drop(&mut self) {
+                self.0.fetch_add(1, std::sync::atomic::Ordering::SeqCst);
+            }
+        }
+        let released = Arc::new(std::sync::atomic::AtomicUsize::new(0));
+        let meta = BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0));
+        let mut h = BlockHandle::new(sample_block(), meta);
+        assert!(!h.is_staged());
+        h.attach_staging(Arc::new(Counter(Arc::clone(&released))));
+        assert!(h.is_staged());
+        // A relocated copy does not carry the source charge.
+        let moved = h.relocated(MemoryNodeId::new(1), 0);
+        assert!(!moved.is_staged());
+        // A clone shares the charge: only the last drop releases it.
+        let clone = h.clone();
+        drop(h);
+        assert_eq!(released.load(std::sync::atomic::Ordering::SeqCst), 0);
+        drop(clone);
+        assert_eq!(released.load(std::sync::atomic::Ordering::SeqCst), 1);
+        // Attaching over an existing charge releases the old one.
+        let mut h =
+            BlockHandle::new(sample_block(), BlockMeta::new(BlockId::new(1), MemoryNodeId::new(0)));
+        h.attach_staging(Arc::new(Counter(Arc::clone(&released))));
+        h.attach_staging(Arc::new(Counter(Arc::clone(&released))));
+        assert_eq!(released.load(std::sync::atomic::Ordering::SeqCst), 2);
+        assert!(h.take_staging().is_some());
+        assert_eq!(released.load(std::sync::atomic::Ordering::SeqCst), 3);
     }
 
     #[test]

@@ -79,9 +79,16 @@ pub struct EngineConfig {
     /// How stages are scheduled by the executor.
     pub execution_mode: ExecutionMode,
     /// Bound (in blocks) of each consumer queue in pipelined mode; producers
-    /// block once a queue is full, modeling the block managers' pre-allocated
-    /// staging memory. `None` leaves queues unbounded.
+    /// block once a queue is full. This is a control-plane cap on *handles*;
+    /// the data-plane bound on staged *bytes* is `staging_bytes`. `None`
+    /// leaves queues unbounded.
     pub queue_capacity: Option<usize>,
+    /// Per-memory-node staging byte budget in pipelined mode (§4.3). Every
+    /// block admitted into a consumer queue is backed by a `BlockLease` of its
+    /// byte size drawn from the destination node's arena, so large blocks
+    /// count for more and back-pressure reflects real staging memory. `None`
+    /// disables byte governance (PR 1 behaviour: handle-count bounds only).
+    pub staging_bytes: Option<u64>,
 }
 
 impl Default for EngineConfig {
@@ -97,12 +104,26 @@ impl Default for EngineConfig {
             table_weights: Vec::new(),
             execution_mode: ExecutionMode::default(),
             queue_capacity: Some(DEFAULT_QUEUE_CAPACITY),
+            staging_bytes: Some(DEFAULT_STAGING_BYTES),
         }
     }
 }
 
 /// Default bound (in blocks) of each pipelined consumer queue.
 pub const DEFAULT_QUEUE_CAPACITY: usize = 16;
+
+/// Default per-memory-node staging byte budget (64 MiB). Generous relative to
+/// physical block sizes (staging charges are physical bytes, not
+/// scale-extrapolated ones), so governance costs nothing on the happy path
+/// while still bounding runaway staging.
+pub const DEFAULT_STAGING_BYTES: u64 = 64 * 1024 * 1024;
+
+/// Estimated worst-case bytes per tuple used when sizing staging floors.
+/// Blocks in this workspace carry a handful of 4/8-byte columns — join
+/// outputs concatenate probe and build payloads, so 32 bytes per tuple is
+/// the planning estimate the staging validation uses (the arenas themselves
+/// always charge exact physical bytes).
+pub const EST_MAX_TUPLE_BYTES: usize = 32;
 
 impl EngineConfig {
     /// CPU-only configuration with the given degree of parallelism.
@@ -147,6 +168,28 @@ impl EngineConfig {
         self
     }
 
+    /// Set (or disable, with `None`) the per-node staging byte budget.
+    pub fn with_staging_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.staging_bytes = bytes;
+        self
+    }
+
+    /// Estimated size in bytes of a maximum-size block under this
+    /// configuration ([`EST_MAX_TUPLE_BYTES`] per tuple).
+    pub fn est_max_block_bytes(&self) -> u64 {
+        (self.block_capacity.max(1) * EST_MAX_TUPLE_BYTES) as u64
+    }
+
+    /// Smallest valid per-node staging budget: one estimated maximum-size
+    /// block per active consumer. Below this a node whose arena hosts every
+    /// consumer could not stage even one block per instance, and the
+    /// executor's per-queue byte quotas would shrink below a single block —
+    /// the precondition of the lease-ordering deadlock-freedom argument
+    /// (see DESIGN.md "Staging memory governance").
+    pub fn min_staging_bytes(&self) -> u64 {
+        self.est_max_block_bytes() * self.total_dop().max(1) as u64
+    }
+
     /// Validate that the configuration is internally consistent.
     pub fn validate(&self) -> crate::error::Result<()> {
         use crate::error::HetError;
@@ -168,6 +211,19 @@ impl EngineConfig {
             }
             _ if self.queue_capacity == Some(0) => {
                 Err(HetError::Config("queue_capacity must be positive when bounded".into()))
+            }
+            _ if self.staging_bytes.is_some_and(|b| b < self.min_staging_bytes()) => {
+                Err(HetError::Config(format!(
+                    "staging_bytes ({}) must cover at least one maximum-size block per active \
+                     consumer: {} consumers x {} bytes/block (block_capacity {} x {} bytes/tuple) \
+                     = {} bytes minimum",
+                    self.staging_bytes.unwrap_or(0),
+                    self.total_dop().max(1),
+                    self.est_max_block_bytes(),
+                    self.block_capacity,
+                    EST_MAX_TUPLE_BYTES,
+                    self.min_staging_bytes()
+                )))
             }
             _ => Ok(()),
         }
@@ -201,6 +257,22 @@ mod tests {
         assert!(cfg.validate().is_err());
         let cfg = EngineConfig { scale_weight: 0.0, ..EngineConfig::default() };
         assert!(cfg.validate().is_err());
+    }
+
+    #[test]
+    fn staging_budget_must_cover_one_block_per_consumer() {
+        // One estimated max-size block per active consumer is the floor.
+        let cfg = EngineConfig::hybrid(8, 2);
+        let floor = cfg.min_staging_bytes();
+        assert_eq!(floor, cfg.est_max_block_bytes() * 10);
+        assert!(cfg.clone().with_staging_bytes(Some(floor)).validate().is_ok());
+        let err = cfg.clone().with_staging_bytes(Some(floor - 1)).validate().unwrap_err();
+        assert_eq!(err.category(), "config");
+        assert!(err.to_string().contains("per active consumer"), "descriptive: {err}");
+        // Disabling governance is always valid.
+        cfg.with_staging_bytes(None).validate().unwrap();
+        // The default budget is valid for the default (hybrid 24+2) config.
+        EngineConfig::default().validate().unwrap();
     }
 
     #[test]

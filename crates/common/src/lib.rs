@@ -18,7 +18,7 @@ pub mod ids;
 pub mod schema;
 pub mod types;
 
-pub use block::{Block, BlockHandle, BlockMeta};
+pub use block::{Block, BlockHandle, BlockMeta, StagingToken};
 pub use column::{Column, ColumnData, DictionaryBuilder};
 pub use config::{EngineConfig, ExecutionMode};
 pub use error::{HetError, Result};

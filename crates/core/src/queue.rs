@@ -27,15 +27,49 @@
 //!   finishing still releases its consumer during unwinding.
 
 use crossbeam::channel::{bounded, unbounded, Receiver, Sender};
-use hetex_common::{BlockHandle, HetError, Result};
+use hetex_common::{BlockHandle, HetError, MemoryNodeId, Result};
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::Duration;
 
+#[derive(Debug)]
 enum Message {
     Block(BlockHandle),
     ProducerDone,
     /// Wake-up with no payload, used by `close()` to rouse a blocked consumer.
     Nudge,
+}
+
+/// Byte-quota accounting of one queue: how many staged bytes are outstanding
+/// (admitted but not yet dropped by the consumer) against the queue's share
+/// of its node's staging arena. Shared by all clones of the queue.
+#[derive(Debug)]
+struct QueueStaging {
+    /// The queue's byte share of its node's staging budget.
+    quota: u64,
+    /// Outstanding admitted bytes.
+    outstanding: StdMutex<u64>,
+    /// Signalled whenever outstanding bytes shrink (or the queue closes).
+    drained_cv: Condvar,
+}
+
+/// RAII receipt of one byte admission into a [`BlockQueue`]; dropping it
+/// returns the bytes to the queue's quota and wakes parked producers. The
+/// executor bundles this with the arena [`BlockLease`] into the handle's
+/// staging token, so consumer-side drops release both at once.
+#[derive(Debug)]
+pub struct QueueSlot {
+    bytes: u64,
+    staging: Arc<QueueStaging>,
+}
+
+impl Drop for QueueSlot {
+    fn drop(&mut self) {
+        let mut outstanding = self.staging.outstanding.lock().unwrap_or_else(|e| e.into_inner());
+        *outstanding = outstanding.saturating_sub(self.bytes);
+        drop(outstanding);
+        self.staging.drained_cv.notify_all();
+    }
 }
 
 /// A multi-producer, single-consumer queue of block handles.
@@ -46,6 +80,11 @@ pub struct BlockQueue {
     producers: Arc<AtomicUsize>,
     finished: Arc<AtomicUsize>,
     closed: Arc<AtomicBool>,
+    /// Byte-quota admission state; `None` leaves admission ungoverned.
+    staging: Option<Arc<QueueStaging>>,
+    /// Memory node this queue (and its buffered handles) is placed on — the
+    /// consumer's local node under the NUMA-aware placement policy.
+    node: Option<MemoryNodeId>,
 }
 
 impl std::fmt::Debug for BlockQueue {
@@ -86,6 +125,78 @@ impl BlockQueue {
             producers: Arc::new(AtomicUsize::new(producers)),
             finished: Arc::new(AtomicUsize::new(0)),
             closed: Arc::new(AtomicBool::new(false)),
+            staging: None,
+            node: None,
+        }
+    }
+
+    /// Govern admission by a byte quota: [`Self::admit`] parks producers once
+    /// `quota` bytes are outstanding. Call before cloning the queue (the
+    /// state is shared by clones made afterwards).
+    pub fn with_byte_quota(mut self, quota: u64) -> Self {
+        self.staging = Some(Arc::new(QueueStaging {
+            quota: quota.max(1),
+            outstanding: StdMutex::new(0),
+            drained_cv: Condvar::new(),
+        }));
+        self
+    }
+
+    /// Record the memory node this queue is placed on (the consumer's local
+    /// node). Call before cloning the queue.
+    pub fn on_node(mut self, node: MemoryNodeId) -> Self {
+        self.node = Some(node);
+        self
+    }
+
+    /// The memory node this queue is placed on, if recorded.
+    pub fn node(&self) -> Option<MemoryNodeId> {
+        self.node
+    }
+
+    /// Bytes currently admitted and not yet released by the consumer.
+    pub fn outstanding_bytes(&self) -> u64 {
+        self.staging
+            .as_ref()
+            .map(|s| *s.outstanding.lock().unwrap_or_else(|e| e.into_inner()))
+            .unwrap_or(0)
+    }
+
+    /// Admit `bytes` against the queue's byte quota, parking while the quota
+    /// is exhausted. Returns the RAII receipt to bundle into the handle's
+    /// staging token, or `None` when the queue is ungoverned (no quota
+    /// configured, or a zero-byte block).
+    ///
+    /// Like [`Self::push`] on a full bounded queue, the wait has no deadline
+    /// of its own — back-pressure may legitimately last as long as an
+    /// upstream build runs — but it periodically rechecks the closed flag, so
+    /// `close()` releases parked producers during shutdown instead of
+    /// deadlocking them. (The arena acquisition that follows admission keeps
+    /// a timeout and remains the backstop against genuine wedges.)
+    ///
+    /// An *empty* account always admits one block even if it exceeds the
+    /// quota — a block larger than the quota must still be able to flow, one
+    /// at a time, or a tiny budget would wedge the pipeline instead of merely
+    /// slowing it.
+    pub fn admit(&self, bytes: u64) -> Result<Option<QueueSlot>> {
+        let Some(staging) = &self.staging else { return Ok(None) };
+        if bytes == 0 {
+            return Ok(None);
+        }
+        let mut outstanding = staging.outstanding.lock().unwrap_or_else(|e| e.into_inner());
+        loop {
+            if self.closed.load(Ordering::SeqCst) {
+                return Err(HetError::Cancelled("block queue closed".into()));
+            }
+            if *outstanding == 0 || *outstanding + bytes <= staging.quota {
+                *outstanding += bytes;
+                return Ok(Some(QueueSlot { bytes, staging: Arc::clone(staging) }));
+            }
+            let (guard, _) = staging
+                .drained_cv
+                .wait_timeout(outstanding, Duration::from_millis(50))
+                .unwrap_or_else(|e| e.into_inner());
+            outstanding = guard;
         }
     }
 
@@ -151,12 +262,23 @@ impl BlockQueue {
     /// Poison the queue: every pending and future [`Self::pop`] returns
     /// `None`, and every future [`Self::push`] fails. Used to cascade
     /// shutdown when a worker dies abnormally.
+    ///
+    /// Handles still buffered in the queue are dropped here, so the staging
+    /// charges they carry are released immediately — a closed queue must not
+    /// keep arena bytes leased (and producers parked on them) until the
+    /// channel itself is torn down.
     pub fn close(&self) {
         self.closed.store(true, Ordering::SeqCst);
-        // Wake a consumer blocked in `recv`. If the buffer is full the
+        // Drop everything already buffered (releasing staging leases), then
+        // wake a consumer blocked in `recv`. If the buffer is full the
         // consumer is not blocked (it has data to pop and will observe the
         // flag at its next loop iteration), so a failed try-send is fine.
+        while self.receiver.try_recv().is_ok() {}
         let _ = self.sender.try_send(Message::Nudge);
+        // Wake producers parked in `admit` so they observe the closed flag.
+        if let Some(staging) = &self.staging {
+            staging.drained_cv.notify_all();
+        }
     }
 
     /// True once the queue has been closed.
@@ -193,11 +315,17 @@ impl BlockQueue {
 
     /// Drain everything currently reachable into a vector (used by the
     /// stage-at-a-time executor, which runs producers to completion before
-    /// consumers start pulling).
+    /// consumers start pulling). On a closed queue nothing is returned, but
+    /// any handles that raced into the buffer after [`Self::close`]'s sweep
+    /// are dropped here so their staging charges are released rather than
+    /// leaked until channel teardown.
     pub fn drain(&self) -> Vec<BlockHandle> {
         let mut out = Vec::new();
         while let Some(handle) = self.pop() {
             out.push(handle);
+        }
+        if self.is_closed() {
+            while self.receiver.try_recv().is_ok() {}
         }
         out
     }
@@ -402,6 +530,120 @@ mod tests {
         thread::sleep(Duration::from_millis(30));
         q.close();
         assert!(producer.join().expect("producer_done must not deadlock").is_ok());
+    }
+
+    /// A staging-token stand-in that counts its releases (the real token is
+    /// the executor's lease bundle; the queue only sees `dyn Any`).
+    struct ReleaseCounter(Arc<AtomicUsize>);
+    impl Drop for ReleaseCounter {
+        fn drop(&mut self) {
+            self.0.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn staged_handle(id: usize, released: &Arc<AtomicUsize>) -> BlockHandle {
+        let mut h = handle(id);
+        h.attach_staging(Arc::new(ReleaseCounter(Arc::clone(released))));
+        h
+    }
+
+    #[test]
+    fn close_releases_staging_charges_of_queued_handles() {
+        // Regression test: close() used to leave buffered handles in the
+        // channel (pop returns None on a closed queue), keeping their staging
+        // leases charged until the channel was torn down — a leak on every
+        // error/panic shutdown path.
+        let released = Arc::new(AtomicUsize::new(0));
+        let q = BlockQueue::new(1);
+        for i in 0..5 {
+            q.push(staged_handle(i, &released)).unwrap();
+        }
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        q.close();
+        assert_eq!(
+            released.load(Ordering::SeqCst),
+            5,
+            "closing the queue must release the staging charges of queued handles"
+        );
+        // drain() on the closed queue returns nothing and sweeps stragglers.
+        assert!(q.drain().is_empty());
+    }
+
+    #[test]
+    fn drain_after_close_sweeps_raced_in_handles() {
+        let released = Arc::new(AtomicUsize::new(0));
+        let q = BlockQueue::new(1);
+        q.close();
+        // Simulate a producer whose send was in flight when close() swept:
+        // deposit directly into the channel after the sweep.
+        q.sender.send(Message::Block(staged_handle(7, &released))).unwrap();
+        assert_eq!(released.load(Ordering::SeqCst), 0);
+        assert!(q.drain().is_empty());
+        assert_eq!(released.load(Ordering::SeqCst), 1);
+    }
+
+    #[test]
+    fn byte_quota_admission_parks_and_resumes() {
+        let q = BlockQueue::new(1).with_byte_quota(100);
+        let a = q.admit(60).unwrap().expect("governed");
+        let b = q.admit(40).unwrap().expect("fits exactly");
+        assert_eq!(q.outstanding_bytes(), 100);
+        // The quota is full: a third admission parks until a slot drops.
+        let waiter = {
+            let q = q.clone();
+            thread::spawn(move || q.admit(50))
+        };
+        thread::sleep(Duration::from_millis(30));
+        drop(a);
+        let slot = waiter.join().unwrap().unwrap().expect("parked admission resumed");
+        assert_eq!(q.outstanding_bytes(), 90);
+        drop(slot);
+        drop(b);
+        // Zero-byte blocks and ungoverned queues admit freely.
+        assert!(q.admit(0).unwrap().is_none());
+        assert!(BlockQueue::new(1).admit(10).unwrap().is_none());
+    }
+
+    #[test]
+    fn an_empty_account_admits_an_oversized_block() {
+        // A block larger than the quota must flow one-at-a-time rather than
+        // wedging the pipeline (the tiny-budget liveness rule).
+        let q = BlockQueue::new(1).with_byte_quota(10);
+        let big = q.admit(64).unwrap().expect("admitted");
+        assert_eq!(q.outstanding_bytes(), 64);
+        // But only while the account is empty: the next admission parks
+        // until the oversized block is released.
+        let waiter = {
+            let q = q.clone();
+            thread::spawn(move || q.admit(1))
+        };
+        thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "admission over a held oversized block must park");
+        drop(big);
+        assert!(waiter.join().unwrap().unwrap().is_some());
+    }
+
+    #[test]
+    fn close_releases_a_producer_parked_in_admission() {
+        let q = BlockQueue::new(1).with_byte_quota(10);
+        let _held = q.admit(10).unwrap();
+        let waiter = {
+            let q = q.clone();
+            thread::spawn(move || q.admit(10))
+        };
+        thread::sleep(Duration::from_millis(30));
+        q.close();
+        let err = waiter.join().unwrap().expect_err("admission on a closed queue fails");
+        assert_eq!(err.category(), "cancelled");
+    }
+
+    #[test]
+    fn queue_placement_is_recorded() {
+        let q = BlockQueue::bounded(1, 4).on_node(MemoryNodeId::new(3));
+        assert_eq!(q.node(), Some(MemoryNodeId::new(3)));
+        // Clones share the placement.
+        assert_eq!(q.clone().node(), Some(MemoryNodeId::new(3)));
+        assert_eq!(BlockQueue::new(1).node(), None);
     }
 
     #[test]

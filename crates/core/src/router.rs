@@ -228,6 +228,18 @@ impl LoadEstimator {
             .collect()
     }
 
+    /// Like [`Self::projected`], with an additive per-consumer `penalties[i]`
+    /// term. The pipelined executor prices each consumer node's staging-arena
+    /// occupancy here, so the least-loaded policy steers blocks away from
+    /// memory-starved nodes before their producers start parking on leases.
+    pub fn projected_with_penalty(&self, costs: &[u64], penalties: &[u64]) -> Vec<u64> {
+        self.projected(costs)
+            .into_iter()
+            .zip(penalties)
+            .map(|(p, &penalty)| p.saturating_add(penalty))
+            .collect()
+    }
+
     /// Commit `cost` to consumer `idx`'s load (after routing a block to it).
     pub fn commit(&self, idx: usize, cost: u64) {
         if let Some(load) = self.loads.get(idx) {
@@ -351,6 +363,16 @@ mod tests {
         assert_eq!(est.projected(&[0, 0, 0])[0], 4000);
         // Out-of-range commits are ignored rather than panicking.
         est.commit(7, 1);
+    }
+
+    #[test]
+    fn occupancy_penalties_shift_the_projection() {
+        let est = LoadEstimator::new(3);
+        est.commit(0, 100);
+        // Without penalties consumer 0 is the most loaded…
+        assert_eq!(est.projected(&[10, 10, 10]), vec![110, 10, 10]);
+        // …and a starved-arena penalty on consumer 1 re-ranks it below 2.
+        assert_eq!(est.projected_with_penalty(&[10, 10, 10], &[0, 500, 0]), vec![110, 510, 10]);
     }
 
     #[test]

@@ -9,7 +9,8 @@
 
 use crate::codegen::compile;
 use crate::executor::{DeviceKindStats, Executor};
-use hetex_common::{EngineConfig, Result};
+use hetex_common::config::DEFAULT_STAGING_BYTES;
+use hetex_common::{EngineConfig, MemoryNodeId, Result};
 use hetex_core::{parallelize, HetNode, RelNode};
 use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
 use hetex_topology::{DeviceKind, ServerTopology, SimTime};
@@ -29,6 +30,9 @@ pub struct QueryStats {
     pub stage_completion: Vec<SimTime>,
     /// Wall-clock time of the functional execution.
     pub wall_time: std::time::Duration,
+    /// Peak leased staging bytes per memory node (governed pipelined mode
+    /// only; empty otherwise).
+    pub staging_peaks: Vec<(MemoryNodeId, u64)>,
 }
 
 /// The outcome of a query: exact rows plus modeled execution time.
@@ -84,7 +88,7 @@ impl Proteus {
             topology,
             catalog: Catalog::new(),
             executor,
-            block_managers: BlockManagerSet::new(&nodes, 4096),
+            block_managers: BlockManagerSet::new(&nodes, DEFAULT_STAGING_BYTES),
             memory_managers: MemoryManagerSet::new(&capacities),
         }
     }
@@ -99,7 +103,11 @@ impl Proteus {
         &self.catalog
     }
 
-    /// The per-node block managers (staging memory).
+    /// The engine-level per-node block managers backing the device providers'
+    /// `getBuffer` surface (Table 1), sized at [`DEFAULT_STAGING_BYTES`].
+    /// Query execution does *not* draw from this set: the pipelined executor
+    /// builds its own per-execution arenas from `EngineConfig::staging_bytes`
+    /// so budgets (and the reported peaks) are per-query observables.
     pub fn block_managers(&self) -> &BlockManagerSet {
         &self.block_managers
     }
@@ -141,6 +149,7 @@ impl Proteus {
                 stages: graph.stages.len(),
                 stage_completion: result.stage_completion,
                 wall_time: result.wall_time,
+                staging_peaks: result.staging_peaks,
             },
         })
     }

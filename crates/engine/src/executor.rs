@@ -29,11 +29,11 @@
 use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
 use hetex_common::{BlockHandle, EngineConfig, ExecutionMode, HetError, MemoryNodeId, Result};
 use hetex_core::mem_move::MemMove;
-use hetex_core::queue::{BlockQueue, ProducerGuard};
+use hetex_core::queue::{BlockQueue, ProducerGuard, QueueSlot};
 use hetex_core::router::{LoadEstimator, Router};
 use hetex_gpu_sim::GpuDevice;
 use hetex_jit::{ExecCtx, SharedState, TerminalStep};
-use hetex_storage::{Catalog, Segmenter};
+use hetex_storage::{BlockLease, BlockManagerSet, Catalog, ExhaustionPolicy, Segmenter};
 use hetex_topology::{
     CostModel, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime, WorkProfile,
 };
@@ -41,7 +41,7 @@ use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Router initialization and thread pinning overhead (§6.4: ~10 ms, visible
 /// only for very small inputs).
@@ -50,6 +50,22 @@ pub const ROUTER_INIT_OVERHEAD: SimTime = SimTime::from_millis(10);
 /// Filter selectivity the router assumes when estimating a block's cost for
 /// load balancing (it cannot know real selectivities up front).
 const ASSUMED_SELECTIVITY: f64 = 0.3;
+
+/// How long a producer may park waiting for staging bytes (arena lease or
+/// queue quota) before the acquisition fails. Long enough that real
+/// back-pressure only slows the query; finite so a wedged pipeline reports a
+/// `HetError::Memory` instead of hanging the process.
+const STAGING_PARK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// The staging charge backing one queued block in governed pipelined mode:
+/// the byte admission into the consumer's queue plus the arena lease on the
+/// consumer's memory node. Attached to the handle as its staging token; the
+/// consumer's drop of the handle releases both, waking parked producers.
+#[derive(Debug)]
+struct StagingCharge {
+    _slot: Option<QueueSlot>,
+    _lease: BlockLease,
+}
 
 /// Per-device-kind execution statistics of one query.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -91,6 +107,9 @@ pub struct ExecutionResult {
     pub stage_timeline: Vec<StageTimeline>,
     /// Simulated completion time of each stage.
     pub stage_completion: Vec<SimTime>,
+    /// Peak leased staging bytes per memory node (governed pipelined mode
+    /// only; empty when byte governance is off or in stage-at-a-time mode).
+    pub staging_peaks: Vec<(MemoryNodeId, u64)>,
 }
 
 /// Executes stage graphs on a topology.
@@ -398,7 +417,11 @@ impl Executor {
     /// mem-move. `not_before` floors the block's readiness (the stage-at-a-
     /// time executor uses it to charge the materialization barrier; the
     /// pipelined executor passes `SimTime::ZERO` so transfers overlap
-    /// upstream compute). Returns `(consumer index, localized handle)`.
+    /// upstream compute). When `staging` is present (governed pipelined
+    /// mode), each consumer node's arena occupancy is priced into the
+    /// projection so routing steers away from memory-starved nodes, and ties
+    /// prefer consumers already local to the block (NUMA-aware placement).
+    /// Returns `(consumer index, localized handle)`.
     fn route_and_localize(
         &self,
         routing: &StageRouting<'_>,
@@ -406,28 +429,59 @@ impl Executor {
         gpu_nodes: &[MemoryNodeId],
         mut handle: BlockHandle,
         not_before: SimTime,
+        staging: Option<&BlockManagerSet>,
     ) -> Result<(usize, BlockHandle)> {
         if handle.meta().ready_at_ns < not_before.as_nanos() {
             handle.meta_mut().ready_at_ns = not_before.as_nanos();
         }
         let (device_ns, node_ns) = self.block_costs(routing, &handle);
+        // Price each consumer node's staging-arena occupancy: a block routed
+        // to a starved node would park its producer on a lease, so its
+        // projected cost grows with the leased fraction of the arena. The
+        // penalty only engages above half occupancy — below that the arena
+        // cannot park anyone and pricing it would merely add wall-clock-
+        // dependent noise to otherwise stable routing decisions.
+        let penalties: Vec<u64> = routing
+            .instance_nodes
+            .iter()
+            .enumerate()
+            .map(|(i, node)| match staging.and_then(|s| s.manager(*node).ok()) {
+                Some(manager) => {
+                    let pressure = (manager.occupancy() - 0.5).max(0.0) * 2.0;
+                    (device_ns[i] as f64 * pressure) as u64
+                }
+                None => 0,
+            })
+            .collect();
+        let source = handle.meta().location;
         // Project each consumer's completion as the later of its device
         // backlog and its memory node's backlog — the same two clocks the
         // executor charges (summing them would double-count and starve the
         // node-bound consumers). A small device-backlog tie-breaker keeps the
         // projection strictly increasing in the consumer's own backlog, so
         // concurrent producers routing against a saturated node still spread
-        // blocks across its consumers instead of colliding on ties.
+        // blocks across its consumers instead of colliding on ties. In
+        // governed mode only — so the ungoverned and legacy baselines route
+        // exactly as before — a final +1 ns on non-local consumers breaks
+        // exact ties toward the block's current node, keeping control-plane
+        // traffic on-socket when the estimates cannot tell the consumers
+        // apart.
+        let numa_tiebreak = staging.is_some();
         let projected: Vec<u64> = routing
             .est
-            .projected(&device_ns)
+            .projected_with_penalty(&device_ns, &penalties)
             .into_iter()
             .enumerate()
             .map(|(i, dev)| {
                 let node = routing.node_load[routing.node_index[i]]
                     .load(Ordering::Relaxed)
                     .saturating_add(node_ns[i]);
-                dev.max(node).saturating_add(dev >> 7)
+                let base = dev.max(node).saturating_add(dev >> 7);
+                if !numa_tiebreak || routing.instance_nodes[i] == source {
+                    base
+                } else {
+                    base.saturating_add(1)
+                }
             })
             .collect();
         let pick = routing.router.route(handle.meta(), &projected)?;
@@ -563,16 +617,52 @@ impl Executor {
         let routing: Vec<StageRouting<'_>> =
             graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>()?;
 
-        // One queue per consumer slot; producers register via the guards
+        // Staging governance (§4.3): one byte-denominated arena per memory
+        // node, sized by the configured per-node budget, created per
+        // execution so peaks are per-query observables. `None` reproduces
+        // the ungoverned PR 1 behaviour (handle-count bounds only).
+        let staging: Option<BlockManagerSet> = config.staging_bytes.map(|budget| {
+            let nodes: Vec<MemoryNodeId> =
+                self.topology.memory_nodes().iter().map(|m| m.id).collect();
+            BlockManagerSet::new(&nodes, budget)
+        });
+
+        // Every stage runs concurrently, so a node's staging budget is shared
+        // by every consumer instance placed on it (across all stages). Each
+        // queue gets an even byte share as its admission quota; the shares
+        // sum to at most the node budget, so one stage's flood can never
+        // starve another stage's consumers out of their reserved staging —
+        // the key step of the deadlock-freedom argument in DESIGN.md.
+        let mut consumers_per_node: HashMap<MemoryNodeId, u64> = HashMap::new();
+        for r in &routing {
+            for node in &r.instance_nodes {
+                *consumers_per_node.entry(*node).or_default() += 1;
+            }
+        }
+
+        // One queue per consumer slot, placed on the consumer's memory node
+        // (NUMA-aware placement: the queue and the handles it buffers live
+        // where the consumer reads them); producers register via the guards
         // below and terminate the consumer through `producer_done` (RAII).
         let queues: Vec<Vec<BlockQueue>> = graph
             .stages
             .iter()
-            .map(|stage| {
+            .enumerate()
+            .map(|(stage_idx, stage)| {
                 (0..stage.consumers.len())
-                    .map(|_| match config.queue_capacity {
-                        Some(cap) => BlockQueue::bounded(0, cap),
-                        None => BlockQueue::new(0),
+                    .map(|slot| {
+                        let node = routing[stage_idx].instance_nodes[slot];
+                        let mut queue = match config.queue_capacity {
+                            Some(cap) => BlockQueue::bounded(0, cap),
+                            None => BlockQueue::new(0),
+                        }
+                        .on_node(node);
+                        if let Some(budget) = config.staging_bytes {
+                            let share =
+                                budget / consumers_per_node.get(&node).copied().unwrap_or(1).max(1);
+                            queue = queue.with_byte_quota(share);
+                        }
+                        queue
                     })
                     .collect()
             })
@@ -616,18 +706,59 @@ impl Executor {
         let mem_move = &mem_move;
         let gpu_nodes = &gpu_nodes;
         let graph_ref = graph;
+        let staging_ref = staging.as_ref();
 
         // Route one produced block to `consumer`'s stage and enqueue it for
         // the chosen instance — the single downstream hand-off path shared by
-        // workers, finalize flushes and terminal emissions.
+        // source pumps, workers, finalize flushes and terminal emissions. In
+        // governed mode the block is backed by a staging charge before it is
+        // pushed: a byte admission into the chosen queue plus a `BlockLease`
+        // on the consumer's memory node (acquired through the producer node's
+        // remote cache when the two differ). The lease-ordering rule: any
+        // charge the handle still carries is released *before* the new one is
+        // acquired — a handle never holds staging on two nodes, so a device
+        // crossing is release-on-source then acquire-on-destination, and a
+        // full arena can only park a producer that holds nothing.
+        let staging_budget = config.staging_bytes.unwrap_or(u64::MAX);
+        let stage_charge = move |consumer: usize,
+                                 pick: usize,
+                                 source: MemoryNodeId,
+                                 handle: &mut BlockHandle|
+              -> Result<()> {
+            let Some(staging) = staging_ref else { return Ok(()) };
+            handle.take_staging();
+            // A block wider than the whole arena (possible: the budget floor
+            // is validated against an estimated tuple width, the arena
+            // charges exact bytes) is charged the full arena instead of
+            // erroring — it parks until the arena is completely free, then
+            // flows alone, preserving the slow-but-alive contract for any
+            // validated budget.
+            let bytes = (handle.byte_size() as u64).min(staging_budget);
+            if bytes == 0 {
+                return Ok(());
+            }
+            let slot = queues[consumer][pick].admit(bytes)?;
+            let lease = staging.acquire(
+                source,
+                routing[consumer].instance_nodes[pick],
+                bytes,
+                ExhaustionPolicy::Park(STAGING_PARK_TIMEOUT),
+            )?;
+            handle.attach_staging(Arc::new(StagingCharge { _slot: slot, _lease: lease }));
+            Ok(())
+        };
+        let stage_charge = &stage_charge;
         let push_downstream = move |consumer: usize, block: BlockHandle| -> Result<()> {
-            let (pick, localized) = self.route_and_localize(
+            let source = block.meta().location;
+            let (pick, mut localized) = self.route_and_localize(
                 &routing[consumer],
                 mem_move,
                 gpu_nodes,
                 block,
                 SimTime::ZERO,
+                staging_ref,
             )?;
+            stage_charge(consumer, pick, source, &mut localized)?;
             queues[consumer][pick].push(localized)
         };
         let push_downstream = &push_downstream;
@@ -693,14 +824,19 @@ impl Executor {
                     let pump = || -> Result<()> {
                         let segments = self.table_segments(table, projection, catalog, config)?;
                         for handle in segments {
-                            let (pick, localized) = self.route_and_localize(
+                            let source = handle.meta().location;
+                            let (pick, mut localized) = self.route_and_localize(
                                 &routing[idx],
                                 mem_move,
                                 gpu_nodes,
                                 handle,
                                 SimTime::ZERO,
+                                staging_ref,
                             )?;
-                            // Bounded queues exert back-pressure here.
+                            // Byte-budget admission (parks on a full arena)
+                            // and the bounded queue both exert back-pressure
+                            // here.
+                            stage_charge(idx, pick, source, &mut localized)?;
                             pump_guards[pick].push(localized)?;
                         }
                         Ok(())
@@ -773,6 +909,17 @@ impl Executor {
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
                                 local_stats.bytes_scanned += out.work.bytes_scanned;
+                                // Lease-ordering rule: release the input
+                                // block's staging charge before acquiring
+                                // charges for its outputs. The data this
+                                // worker still needs has been copied into its
+                                // packed output buffers, so the consumed
+                                // block's staging bytes are free the moment
+                                // processing ends — and a worker that holds
+                                // no lease while it parks on a downstream
+                                // acquisition cannot be part of a hold-and-
+                                // wait cycle.
+                                drop(block);
                                 for mut produced in out.blocks {
                                     produced.meta_mut().ready_at_ns = end.as_nanos();
                                     if let Some(consumer) = graph_ref.wiring.feeds[idx] {
@@ -855,6 +1002,15 @@ impl Executor {
 
         let rows = std::mem::take(&mut *result_rows.lock());
         let per_kind = std::mem::take(&mut *per_kind.lock());
+        // Return prefetched remote leases to their home arenas, then read the
+        // per-node high-water marks for the staging-invariant tests.
+        let staging_peaks = staging
+            .as_ref()
+            .map(|s| {
+                s.flush_remote_caches();
+                s.peaks()
+            })
+            .unwrap_or_default();
         Ok(ExecutionResult {
             rows,
             sim_time,
@@ -863,6 +1019,7 @@ impl Executor {
             bytes_transferred: mem_move.dma().stats().bytes_moved,
             stage_timeline: progress.iter().map(StageProgress::timeline).collect(),
             stage_completion: progress.iter().map(|p| *p.completion.lock()).collect(),
+            staging_peaks,
         })
     }
 
@@ -954,6 +1111,7 @@ impl Executor {
             bytes_transferred: mem_move.dma().stats().bytes_moved,
             stage_timeline: timeline,
             stage_completion,
+            staging_peaks: Vec::new(),
         })
     }
 
@@ -981,7 +1139,7 @@ impl Executor {
         let mut instance_inputs: Vec<Vec<BlockHandle>> = vec![Vec::new(); stage.consumers.len()];
         for handle in inputs {
             let (pick, localized) =
-                self.route_and_localize(&routing, mem_move, &gpu_nodes, handle, floor)?;
+                self.route_and_localize(&routing, mem_move, &gpu_nodes, handle, floor, None)?;
             instance_inputs[pick].push(localized);
         }
 
@@ -1264,6 +1422,64 @@ mod tests {
             "router overhead missing: {diff}"
         );
         assert_eq!(seq.rows, with.rows);
+    }
+
+    #[test]
+    fn governed_pipelined_respects_the_staging_budget() {
+        // Hybrid so blocks cross to GPU memory nodes (lease transfer across a
+        // device crossing) with a deliberately modest budget.
+        let mut config = EngineConfig::hybrid(4, 2);
+        config.block_capacity = 1024;
+        let budget = config.min_staging_bytes() * 4;
+        config.staging_bytes = Some(budget);
+        let governed = run(&config, 100_000);
+        let (sum, cnt) = expected(100_000);
+        assert_eq!(governed.rows, vec![vec![sum, cnt]]);
+        assert!(!governed.staging_peaks.is_empty(), "governed mode reports per-node peaks");
+        for (node, peak) in &governed.staging_peaks {
+            assert!(peak <= &budget, "node {node} peaked at {peak} > budget {budget}");
+        }
+        assert!(
+            governed.staging_peaks.iter().any(|(_, peak)| *peak > 0),
+            "pipelined blocks must be backed by leases: no node ever staged bytes"
+        );
+
+        // Ungoverned mode (PR 1 behaviour) reports no peaks and agrees on rows.
+        let ungoverned = run(&config.clone().with_staging_bytes(None), 100_000);
+        assert!(ungoverned.staging_peaks.is_empty());
+        assert_eq!(governed.rows, ungoverned.rows);
+
+        // Stage-at-a-time mode is not byte-governed.
+        let saat = run(&config.clone().with_execution_mode(ExecutionMode::StageAtATime), 100_000);
+        assert!(saat.staging_peaks.is_empty());
+        assert_eq!(governed.rows, saat.rows);
+    }
+
+    #[test]
+    fn a_block_wider_than_the_arena_still_flows() {
+        // The budget floor is validated against an *estimated* tuple width;
+        // real blocks can be wider. A budget smaller than a single block must
+        // serialize the pipeline (each block charged the full arena), not
+        // kill it with a can-never-fit error.
+        let topology = ServerTopology::paper_server();
+        let catalog = catalog_with_data(&topology, 50_000);
+        let plan = RelNode::scan("fact", &["key", "value"])
+            .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"]);
+        let mut config = EngineConfig::cpu_only(2);
+        config.block_capacity = 1024;
+        let het = parallelize(&plan, &config).unwrap();
+        let graph = compile(&het, &config, &topology).unwrap();
+        // Shrink the budget below one block's ~12 KiB only for execution:
+        // validation (rightly) rejects it, but the executor must still
+        // degrade to serialized flow rather than a can-never-fit error.
+        config.staging_bytes = Some(1024);
+        let executor = Executor::new(topology);
+        let result = executor.execute(&graph, &catalog, &config).unwrap();
+        let sum: i64 = (0..50_000i64).sum();
+        assert_eq!(result.rows, vec![vec![sum, 50_000]]);
+        for (node, peak) in &result.staging_peaks {
+            assert!(*peak <= 1024, "node {node} peaked at {peak} > clamped budget 1024");
+        }
     }
 
     #[test]

@@ -23,7 +23,9 @@
 use crate::pipeline::CompiledPipeline;
 use hetex_common::{MemoryNodeId, Result};
 use hetex_gpu_sim::{DeviceAtomicI64, GpuDevice, LaunchConfig};
-use hetex_storage::{BlockLease, BlockManagerSet, MemoryManagerSet, StateAllocation};
+use hetex_storage::{
+    BlockLease, BlockManagerSet, ExhaustionPolicy, MemoryManagerSet, StateAllocation,
+};
 use hetex_topology::DeviceKind;
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -53,9 +55,12 @@ pub trait DeviceProvider: Send + Sync {
     /// `loadStateVar`: read back a named state value.
     fn load_state_var(&self, name: &str) -> Option<i64>;
 
-    /// `getBuffer`: lease a staging block on the provider's local node.
-    fn get_buffer(&self, managers: &BlockManagerSet) -> Result<BlockLease> {
-        managers.acquire(self.local_memory(), self.local_memory())
+    /// `getBuffer`: lease `bytes` of staging on the provider's local node.
+    /// Generated pipeline code must not stall inside a buffer grab, so the
+    /// exhaustion behaviour is the explicit fail-fast policy — back-pressure
+    /// belongs to the executor's admission path, which parks instead.
+    fn get_buffer(&self, managers: &BlockManagerSet, bytes: u64) -> Result<BlockLease> {
+        managers.acquire(self.local_memory(), self.local_memory(), bytes, ExhaustionPolicy::Error)
     }
 
     /// `releaseBuffer`: return a staging block.
@@ -345,11 +350,16 @@ mod tests {
     #[test]
     fn buffers_come_from_the_local_block_manager() {
         let provider = CpuProvider::new(MemoryNodeId::new(1));
-        let set = BlockManagerSet::new(&[MemoryNodeId::new(0), MemoryNodeId::new(1)], 4);
-        let lease = provider.get_buffer(&set).unwrap();
+        let set = BlockManagerSet::new(&[MemoryNodeId::new(0), MemoryNodeId::new(1)], 4096);
+        let lease = provider.get_buffer(&set, 1024).unwrap();
         assert_eq!(lease.home(), MemoryNodeId::new(1));
+        assert_eq!(lease.bytes(), 1024);
         provider.release_buffer(lease);
-        assert_eq!(set.manager(MemoryNodeId::new(1)).unwrap().available(), 4);
+        assert_eq!(set.manager(MemoryNodeId::new(1)).unwrap().available_bytes(), 4096);
+        // getBuffer fails fast on a dry arena (explicit Error policy) rather
+        // than parking generated code.
+        let err = provider.get_buffer(&set, 8192).unwrap_err();
+        assert_eq!(err.category(), "memory");
     }
 
     #[test]

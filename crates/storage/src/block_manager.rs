@@ -4,50 +4,83 @@
 //! served by block managers. Both are organized as a set of independent, local
 //! components — one per memory node." The block managers:
 //!
-//! * pre-allocate block *arenas* at initialization time, so no allocation
-//!   happens on the query's critical path;
-//! * only allow **local** devices to acquire blocks directly, using
-//!   device-local synchronization (a per-node mutex here — there is no global
+//! * pre-allocate staging *arenas* (a byte budget per node) at initialization
+//!   time, so no allocation happens on the query's critical path;
+//! * only allow **local** devices to acquire staging directly, using
+//!   device-local synchronization (a per-node lock here — there is no global
 //!   lock across nodes);
-//! * serve requests for **remote** blocks by launching small acquisition tasks
-//!   to the remote node's manager, accelerated by (i) a per-remote-node cache
-//!   of already-acquired blocks and (ii) batching of acquisition and release
-//!   requests.
+//! * serve requests for **remote** staging by launching small acquisition
+//!   tasks to the remote node's manager, accelerated by (i) a per-remote-node
+//!   cache of already-acquired leases and (ii) batching of acquisition and
+//!   release requests.
 //!
-//! Blocks here are *capacity tokens*: the actual tuple storage is an ordinary
-//! `Block` built by the pack operator. What the manager provides is the
-//! accounting (arenas can run dry → failure injection tests) and the remote
-//! acquisition protocol with its cache/batching behaviour, which the unit
-//! tests and the ablation bench exercise.
+//! Leases are *capacity tokens* denominated in **bytes**: the actual tuple
+//! storage is an ordinary `Block` built by the pack operator, and a lease of
+//! `n` bytes reserves `n` bytes of the node's staging arena, so a large block
+//! costs proportionally more than a tiny one. What the manager provides is
+//! the accounting (arenas can run dry), the waiter/notify machinery that lets
+//! a caller *park* until bytes are released instead of erroring, and the
+//! remote acquisition protocol with its cache/batching behaviour.
+//!
+//! A dry arena has two explicit behaviours, chosen per call through
+//! [`ExhaustionPolicy`]:
+//!
+//! * [`ExhaustionPolicy::Error`] — fail immediately with `HetError::Memory`.
+//!   This is the failure-injection path the unit tests and strict callers
+//!   (e.g. the device providers' `getBuffer`) use.
+//! * [`ExhaustionPolicy::Park`] — block the caller on the node's condition
+//!   variable until enough bytes are released, up to a timeout. This is what
+//!   the pipelined executor uses for back-pressure: a full arena parks the
+//!   producer instead of killing the query.
 
 use hetex_common::{BlockId, HetError, MemoryNodeId, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex as StdMutex};
+use std::time::{Duration, Instant};
 
-/// How many blocks a remote acquisition batch fetches at once (§4.3: batching
+/// How many leases a remote acquisition batch fetches at once (§4.3: batching
 /// requests for block acquisition and release from remote nodes).
 pub const REMOTE_BATCH: usize = 8;
 
-/// A lease on one staging block from a node's arena. Dropping the lease
-/// returns the block to its home manager.
+/// What an acquisition does when the arena cannot serve it immediately.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExhaustionPolicy {
+    /// Fail with `HetError::Memory` right away (failure injection, strict
+    /// callers that must not block).
+    Error,
+    /// Park the caller until enough bytes are released, up to the given
+    /// timeout; a timeout still fails with `HetError::Memory` so a wedged
+    /// pipeline reports instead of hanging forever.
+    Park(Duration),
+}
+
+/// A lease on staging bytes from a node's arena. Dropping the lease returns
+/// the bytes to its home manager and wakes parked acquirers.
 #[derive(Debug)]
 pub struct BlockLease {
     id: BlockId,
     home: MemoryNodeId,
+    bytes: u64,
     manager: Arc<NodeState>,
     released: bool,
 }
 
 impl BlockLease {
-    /// Identifier of the leased block.
+    /// Identifier of the leased staging block.
     pub fn id(&self) -> BlockId {
         self.id
     }
 
-    /// Memory node the block belongs to.
+    /// Memory node the bytes belong to.
     pub fn home(&self) -> MemoryNodeId {
         self.home
+    }
+
+    /// Bytes this lease reserves in its home arena.
+    pub fn bytes(&self) -> u64 {
+        self.bytes
     }
 
     /// Explicitly return the lease (also happens on drop).
@@ -57,7 +90,7 @@ impl BlockLease {
 
     fn release_inner(&mut self) {
         if !self.released {
-            self.manager.release_one();
+            self.manager.release(self.bytes);
             self.released = true;
         }
     }
@@ -74,49 +107,117 @@ impl Drop for BlockLease {
 pub struct BlockManagerStats {
     /// Local acquisitions served from the arena.
     pub local_acquires: u64,
-    /// Remote acquisitions served from the local cache of remote blocks.
+    /// Remote acquisitions served from the local cache of remote leases.
     pub remote_cache_hits: u64,
     /// Batched acquisition round-trips to remote managers.
     pub remote_batches: u64,
+    /// Acquisitions that had to park for released bytes before succeeding.
+    pub parked: u64,
+}
+
+/// Mutable arena accounting, guarded by the node's lock.
+#[derive(Debug)]
+struct Arena {
+    available: u64,
+    next_id: usize,
+    peak_leased: u64,
 }
 
 #[derive(Debug)]
 struct NodeState {
     node: MemoryNodeId,
-    capacity: usize,
-    available: Mutex<usize>,
-    next_id: Mutex<usize>,
+    capacity: u64,
+    // std sync primitives (not the vendored parking_lot stub) because the
+    // waiter/notify protocol needs a condition variable.
+    arena: StdMutex<Arena>,
+    released_cv: Condvar,
+    /// Mirror of `capacity - arena.available`, maintained on every (de)lease
+    /// so [`BlockManager::occupancy`] — read per consumer per block on the
+    /// routing hot path — never takes the arena lock.
+    leased: AtomicU64,
+}
+
+/// The outcome of one arena acquisition: the lease id plus whether the caller
+/// had to park (for stats).
+struct Acquired {
+    id: BlockId,
+    parked: bool,
 }
 
 impl NodeState {
-    fn acquire_one(&self) -> Result<BlockId> {
-        let mut available = self.available.lock();
-        if *available == 0 {
+    fn acquire(&self, bytes: u64, policy: ExhaustionPolicy) -> Result<Acquired> {
+        if bytes > self.capacity {
             return Err(HetError::Memory(format!(
-                "block arena exhausted on {} ({} blocks)",
+                "staging request of {bytes} bytes can never fit the arena on {} ({} bytes)",
                 self.node, self.capacity
             )));
         }
-        *available -= 1;
-        let mut next = self.next_id.lock();
-        let id = BlockId::new(*next);
-        *next += 1;
-        Ok(id)
+        let mut arena = self.arena.lock().unwrap_or_else(|e| e.into_inner());
+        let mut parked = false;
+        let deadline = match policy {
+            ExhaustionPolicy::Error => None,
+            ExhaustionPolicy::Park(timeout) => Some(Instant::now() + timeout),
+        };
+        while arena.available < bytes {
+            let Some(deadline) = deadline else {
+                return Err(HetError::Memory(format!(
+                    "staging arena exhausted on {} ({} of {} bytes free, {bytes} requested)",
+                    self.node, arena.available, self.capacity
+                )));
+            };
+            let now = Instant::now();
+            if now >= deadline {
+                return Err(HetError::Memory(format!(
+                    "parked staging acquisition timed out on {} ({} of {} bytes free, \
+                     {bytes} requested)",
+                    self.node, arena.available, self.capacity
+                )));
+            }
+            parked = true;
+            let (guard, _) = self
+                .released_cv
+                .wait_timeout(arena, deadline - now)
+                .unwrap_or_else(|e| e.into_inner());
+            arena = guard;
+        }
+        arena.available -= bytes;
+        arena.peak_leased = arena.peak_leased.max(self.capacity - arena.available);
+        self.leased.store(self.capacity - arena.available, Ordering::Relaxed);
+        let id = BlockId::new(arena.next_id);
+        arena.next_id += 1;
+        Ok(Acquired { id, parked })
     }
 
-    fn try_acquire_up_to(&self, n: usize) -> Vec<BlockId> {
-        let mut available = self.available.lock();
-        let take = n.min(*available);
-        *available -= take;
-        let mut next = self.next_id.lock();
-        let ids = (0..take).map(|i| BlockId::new(*next + i)).collect::<Vec<_>>();
-        *next += take;
+    /// Take up to `n` extra leases of `bytes` each without waiting, and only
+    /// while the arena stays comfortably supplied (at least half the capacity
+    /// free after the grab) — prefetching for a remote cache must not hoard
+    /// the last bytes other producers are parked on.
+    fn try_take_extra(&self, n: usize, bytes: u64) -> Vec<BlockId> {
+        if bytes == 0 {
+            return Vec::new();
+        }
+        let mut arena = self.arena.lock().unwrap_or_else(|e| e.into_inner());
+        let mut ids = Vec::new();
+        while ids.len() < n {
+            let after = arena.available.saturating_sub(bytes);
+            if arena.available < bytes || after < self.capacity / 2 {
+                break;
+            }
+            arena.available = after;
+            arena.peak_leased = arena.peak_leased.max(self.capacity - arena.available);
+            self.leased.store(self.capacity - arena.available, Ordering::Relaxed);
+            ids.push(BlockId::new(arena.next_id));
+            arena.next_id += 1;
+        }
         ids
     }
 
-    fn release_one(&self) {
-        let mut available = self.available.lock();
-        *available += 1;
+    fn release(&self, bytes: u64) {
+        let mut arena = self.arena.lock().unwrap_or_else(|e| e.into_inner());
+        arena.available = (arena.available + bytes).min(self.capacity);
+        self.leased.store(self.capacity - arena.available, Ordering::Relaxed);
+        drop(arena);
+        self.released_cv.notify_all();
     }
 }
 
@@ -124,20 +225,24 @@ impl NodeState {
 #[derive(Debug)]
 pub struct BlockManager {
     state: Arc<NodeState>,
-    /// Cache of blocks already acquired from each remote node, keyed by node.
+    /// Cache of leases already acquired from each remote node. A request is
+    /// served by the smallest cached lease that covers it (best fit) — block
+    /// streams are mostly uniform-sized, but tail blocks and variable-width
+    /// stages must reuse the prefetched leases rather than strand them.
     remote_cache: Mutex<HashMap<MemoryNodeId, Vec<BlockLease>>>,
     stats: Mutex<BlockManagerStats>,
 }
 
 impl BlockManager {
-    /// A manager for `node` whose arena holds `arena_blocks` blocks.
-    pub fn new(node: MemoryNodeId, arena_blocks: usize) -> Self {
+    /// A manager for `node` whose staging arena holds `arena_bytes` bytes.
+    pub fn new(node: MemoryNodeId, arena_bytes: u64) -> Self {
         Self {
             state: Arc::new(NodeState {
                 node,
-                capacity: arena_blocks,
-                available: Mutex::new(arena_blocks),
-                next_id: Mutex::new(0),
+                capacity: arena_bytes,
+                arena: StdMutex::new(Arena { available: arena_bytes, next_id: 0, peak_leased: 0 }),
+                released_cv: Condvar::new(),
+                leased: AtomicU64::new(0),
             }),
             remote_cache: Mutex::new(HashMap::new()),
             stats: Mutex::new(BlockManagerStats::default()),
@@ -149,18 +254,49 @@ impl BlockManager {
         self.state.node
     }
 
-    /// Number of blocks currently available in the local arena.
-    pub fn available(&self) -> usize {
-        *self.state.available.lock()
+    /// Total bytes of the staging arena.
+    pub fn capacity_bytes(&self) -> u64 {
+        self.state.capacity
     }
 
-    /// Acquire one block from the local arena (local devices only).
-    pub fn acquire_local(&self) -> Result<BlockLease> {
-        let id = self.state.acquire_one()?;
-        self.stats.lock().local_acquires += 1;
+    /// Bytes currently available in the local arena.
+    pub fn available_bytes(&self) -> u64 {
+        self.state.arena.lock().unwrap_or_else(|e| e.into_inner()).available
+    }
+
+    /// Bytes currently leased out of the arena.
+    pub fn leased_bytes(&self) -> u64 {
+        self.state.leased.load(Ordering::Relaxed)
+    }
+
+    /// Largest number of bytes ever leased simultaneously.
+    pub fn peak_leased_bytes(&self) -> u64 {
+        self.state.arena.lock().unwrap_or_else(|e| e.into_inner()).peak_leased
+    }
+
+    /// Fraction of the arena currently leased, in `[0, 1]`. The router's load
+    /// estimator uses this to steer blocks away from memory-starved nodes.
+    pub fn occupancy(&self) -> f64 {
+        if self.state.capacity == 0 {
+            return 1.0;
+        }
+        self.leased_bytes() as f64 / self.state.capacity as f64
+    }
+
+    /// Acquire `bytes` of staging from the local arena (local devices only).
+    pub fn acquire_local(&self, bytes: u64, policy: ExhaustionPolicy) -> Result<BlockLease> {
+        let acquired = self.state.acquire(bytes, policy)?;
+        {
+            let mut stats = self.stats.lock();
+            stats.local_acquires += 1;
+            if acquired.parked {
+                stats.parked += 1;
+            }
+        }
         Ok(BlockLease {
-            id,
+            id: acquired.id,
             home: self.state.node,
+            bytes,
             manager: Arc::clone(&self.state),
             released: false,
         })
@@ -180,10 +316,10 @@ pub struct BlockManagerSet {
 }
 
 impl BlockManagerSet {
-    /// Build one manager per node with `arena_blocks` blocks each.
-    pub fn new(nodes: &[MemoryNodeId], arena_blocks: usize) -> Self {
+    /// Build one manager per node with `arena_bytes` bytes of staging each.
+    pub fn new(nodes: &[MemoryNodeId], arena_bytes: u64) -> Self {
         Self {
-            managers: nodes.iter().map(|&n| Arc::new(BlockManager::new(n, arena_blocks))).collect(),
+            managers: nodes.iter().map(|&n| Arc::new(BlockManager::new(n, arena_bytes))).collect(),
         }
     }
 
@@ -195,167 +331,331 @@ impl BlockManagerSet {
             .ok_or_else(|| HetError::Memory(format!("no block manager for {node}")))
     }
 
-    /// Acquire a block that must live on `target`, on behalf of a pipeline
-    /// whose local node is `local`. Local requests go straight to the arena;
-    /// remote requests are served from `local`'s cache of `target` blocks,
-    /// refilled in batches of [`REMOTE_BATCH`].
-    pub fn acquire(&self, local: MemoryNodeId, target: MemoryNodeId) -> Result<BlockLease> {
+    /// Acquire `bytes` of staging that must live on `target`, on behalf of a
+    /// pipeline whose local node is `local`. Local requests go straight to
+    /// the arena; remote requests are served from `local`'s cache of `target`
+    /// leases, refilled in batches of up to [`REMOTE_BATCH`] (prefetching
+    /// stops while the remote arena is more than half occupied, so batching
+    /// never hoards the bytes other producers are parked on).
+    pub fn acquire(
+        &self,
+        local: MemoryNodeId,
+        target: MemoryNodeId,
+        bytes: u64,
+        policy: ExhaustionPolicy,
+    ) -> Result<BlockLease> {
         if local == target {
-            return self.manager(local)?.acquire_local();
+            let mgr = self.manager(local)?;
+            return match mgr.acquire_local(bytes, ExhaustionPolicy::Error) {
+                Ok(lease) => Ok(lease),
+                Err(_) if matches!(policy, ExhaustionPolicy::Park(_)) => {
+                    // Before parking, call in the batched *release* half of
+                    // the protocol: leases idling in other nodes' caches of
+                    // this arena go home, so a producer never waits on bytes
+                    // that are merely stranded in a prefetch cache.
+                    self.reclaim_cached_for(target);
+                    mgr.acquire_local(bytes, policy)
+                }
+                Err(e) => Err(e),
+            };
         }
         let local_mgr = self.manager(local)?;
         let target_mgr = self.manager(target)?;
-        let mut cache = local_mgr.remote_cache.lock();
-        let entry = cache.entry(target).or_default();
-        if let Some(lease) = entry.pop() {
-            local_mgr.stats.lock().remote_cache_hits += 1;
-            return Ok(lease);
+        {
+            let mut cache = local_mgr.remote_cache.lock();
+            if let Some(leases) = cache.get_mut(&target) {
+                // Best fit: the smallest cached lease covering the request.
+                let fit = leases
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, l)| l.bytes() >= bytes)
+                    .min_by_key(|(_, l)| l.bytes())
+                    .map(|(i, _)| i);
+                if let Some(i) = fit {
+                    let lease = leases.swap_remove(i);
+                    local_mgr.stats.lock().remote_cache_hits += 1;
+                    return Ok(lease);
+                }
+            }
         }
-        // Cache miss: batch-acquire from the remote manager (one "small task
-        // launched to the remote node" amortized over REMOTE_BATCH blocks).
-        let ids = target_mgr.state.try_acquire_up_to(REMOTE_BATCH);
-        if ids.is_empty() {
-            return Err(HetError::Memory(format!("block arena exhausted on remote node {target}")));
-        }
+        // Cache miss: one "small task launched to the remote node". The first
+        // lease may park per `policy`; the rest of the batch is opportunistic
+        // and never waits.
+        let first = match target_mgr.state.acquire(bytes, ExhaustionPolicy::Error) {
+            Ok(first) => first,
+            Err(_) if matches!(policy, ExhaustionPolicy::Park(_)) => {
+                self.reclaim_cached_for(target);
+                target_mgr.state.acquire(bytes, policy)?
+            }
+            Err(e) => return Err(e),
+        };
+        let extras = target_mgr.state.try_take_extra(REMOTE_BATCH - 1, bytes);
         {
             let mut stats = local_mgr.stats.lock();
             stats.remote_batches += 1;
+            if first.parked {
+                stats.parked += 1;
+            }
         }
-        let mut leases: Vec<BlockLease> = ids
-            .into_iter()
-            .map(|id| BlockLease {
-                id,
-                home: target,
-                manager: Arc::clone(&target_mgr.state),
-                released: false,
-            })
-            .collect();
-        let first = leases.pop().expect("batch is non-empty");
-        entry.extend(leases);
-        Ok(first)
+        if !extras.is_empty() {
+            let leases: Vec<BlockLease> = extras
+                .into_iter()
+                .map(|id| BlockLease {
+                    id,
+                    home: target,
+                    bytes,
+                    manager: Arc::clone(&target_mgr.state),
+                    released: false,
+                })
+                .collect();
+            local_mgr.remote_cache.lock().entry(target).or_default().extend(leases);
+        }
+        Ok(BlockLease {
+            id: first.id,
+            home: target,
+            bytes,
+            manager: Arc::clone(&target_mgr.state),
+            released: false,
+        })
     }
 
-    /// Total number of blocks still available across all arenas.
-    pub fn total_available(&self) -> usize {
-        self.managers.iter().map(|m| m.available()).sum()
+    /// Total bytes still available across all arenas.
+    pub fn total_available_bytes(&self) -> u64 {
+        self.managers.iter().map(|m| m.available_bytes()).sum()
+    }
+
+    /// Per-node peak leased bytes, in node order — the observability hook the
+    /// staging-invariant tests assert against.
+    pub fn peaks(&self) -> Vec<(MemoryNodeId, u64)> {
+        self.managers.iter().map(|m| (m.node(), m.peak_leased_bytes())).collect()
+    }
+
+    /// Drop every cached remote lease, returning the bytes to their home
+    /// arenas (used when a query finishes or fails while leases sit prefetched
+    /// in caches).
+    pub fn flush_remote_caches(&self) {
+        for m in &self.managers {
+            m.remote_cache.lock().clear();
+        }
+    }
+
+    /// Return every cached lease homed on `target` to its arena — the batched
+    /// release half of the remote protocol, invoked before an acquisition
+    /// parks so prefetched-but-idle bytes cannot starve a live producer.
+    fn reclaim_cached_for(&self, target: MemoryNodeId) {
+        for m in &self.managers {
+            m.remote_cache.lock().remove(&target);
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::thread;
+
+    const KB: u64 = 1024;
 
     fn nodes() -> Vec<MemoryNodeId> {
         (0..4).map(MemoryNodeId::new).collect()
     }
 
     #[test]
-    fn local_acquire_and_release_cycle() {
-        let mgr = BlockManager::new(MemoryNodeId::new(0), 2);
-        assert_eq!(mgr.available(), 2);
-        let a = mgr.acquire_local().unwrap();
-        let b = mgr.acquire_local().unwrap();
-        assert_eq!(mgr.available(), 0);
-        assert!(mgr.acquire_local().is_err());
+    fn local_acquire_and_release_cycle_in_bytes() {
+        let mgr = BlockManager::new(MemoryNodeId::new(0), 2 * KB);
+        assert_eq!(mgr.available_bytes(), 2 * KB);
+        let a = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
+        let b = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
+        assert_eq!(mgr.available_bytes(), 0);
+        assert_eq!(mgr.leased_bytes(), 2 * KB);
+        assert!(mgr.acquire_local(1, ExhaustionPolicy::Error).is_err());
         drop(a);
-        assert_eq!(mgr.available(), 1);
+        assert_eq!(mgr.available_bytes(), KB);
+        assert_eq!(b.bytes(), KB);
         b.release();
-        assert_eq!(mgr.available(), 2);
+        assert_eq!(mgr.available_bytes(), 2 * KB);
         assert_eq!(mgr.stats().local_acquires, 2);
+        // Peak reflects the high-water mark, not the current state.
+        assert_eq!(mgr.peak_leased_bytes(), 2 * KB);
+    }
+
+    #[test]
+    fn large_blocks_count_for_more() {
+        let mgr = BlockManager::new(MemoryNodeId::new(0), 10 * KB);
+        let _small = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
+        let _large = mgr.acquire_local(8 * KB, ExhaustionPolicy::Error).unwrap();
+        assert_eq!(mgr.available_bytes(), KB);
+        // A second large block does not fit even though two handles would.
+        assert!(mgr.acquire_local(8 * KB, ExhaustionPolicy::Error).is_err());
+        assert!((mgr.occupancy() - 0.9).abs() < 1e-9);
     }
 
     #[test]
     fn lease_ids_are_unique() {
-        let mgr = BlockManager::new(MemoryNodeId::new(0), 10);
-        let a = mgr.acquire_local().unwrap();
-        let b = mgr.acquire_local().unwrap();
+        let mgr = BlockManager::new(MemoryNodeId::new(0), 10 * KB);
+        let a = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
+        let b = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
         assert_ne!(a.id(), b.id());
         assert_eq!(a.home(), MemoryNodeId::new(0));
     }
 
     #[test]
+    fn park_policy_waits_for_released_bytes() {
+        let mgr = Arc::new(BlockManager::new(MemoryNodeId::new(0), KB));
+        let held = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
+        let waiter = {
+            let mgr = Arc::clone(&mgr);
+            thread::spawn(move || {
+                mgr.acquire_local(KB, ExhaustionPolicy::Park(Duration::from_secs(5)))
+            })
+        };
+        thread::sleep(Duration::from_millis(30));
+        drop(held);
+        let lease = waiter.join().unwrap().expect("parked acquisition succeeds after release");
+        assert_eq!(lease.bytes(), KB);
+        assert_eq!(mgr.stats().parked, 1, "the waiter parked once");
+    }
+
+    #[test]
+    fn park_policy_times_out_instead_of_hanging() {
+        let mgr = BlockManager::new(MemoryNodeId::new(0), KB);
+        let _held = mgr.acquire_local(KB, ExhaustionPolicy::Error).unwrap();
+        let err =
+            mgr.acquire_local(KB, ExhaustionPolicy::Park(Duration::from_millis(30))).unwrap_err();
+        assert_eq!(err.category(), "memory");
+        assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn oversized_requests_fail_under_both_policies() {
+        let mgr = BlockManager::new(MemoryNodeId::new(0), KB);
+        assert!(mgr.acquire_local(2 * KB, ExhaustionPolicy::Error).is_err());
+        // A request that can never fit must not park until the timeout.
+        let start = Instant::now();
+        assert!(mgr
+            .acquire_local(2 * KB, ExhaustionPolicy::Park(Duration::from_secs(30)))
+            .is_err());
+        assert!(start.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
     fn remote_acquisition_uses_batching_and_cache() {
-        let set = BlockManagerSet::new(&nodes(), 64);
+        let set = BlockManagerSet::new(&nodes(), 64 * KB);
         let local = MemoryNodeId::new(0);
         let remote = MemoryNodeId::new(2);
         // First remote acquire triggers one batch round-trip.
-        let _a = set.acquire(local, remote).unwrap();
+        let _a = set.acquire(local, remote, KB, ExhaustionPolicy::Error).unwrap();
         let stats = set.manager(local).unwrap().stats();
         assert_eq!(stats.remote_batches, 1);
         assert_eq!(stats.remote_cache_hits, 0);
-        // The next REMOTE_BATCH-1 acquisitions come from the cache.
+        // The next REMOTE_BATCH-1 same-size acquisitions come from the cache.
         let mut leases = Vec::new();
         for _ in 0..(REMOTE_BATCH - 1) {
-            leases.push(set.acquire(local, remote).unwrap());
+            leases.push(set.acquire(local, remote, KB, ExhaustionPolicy::Error).unwrap());
         }
         let stats = set.manager(local).unwrap().stats();
         assert_eq!(stats.remote_batches, 1);
         assert_eq!(stats.remote_cache_hits, (REMOTE_BATCH - 1) as u64);
         // One more acquisition starts a new batch.
-        let _b = set.acquire(local, remote).unwrap();
+        let _b = set.acquire(local, remote, KB, ExhaustionPolicy::Error).unwrap();
         assert_eq!(set.manager(local).unwrap().stats().remote_batches, 2);
+        // A larger request cannot be served by the cached 1 KB leases…
+        let _c = set.acquire(local, remote, 2 * KB, ExhaustionPolicy::Error).unwrap();
+        assert_eq!(set.manager(local).unwrap().stats().remote_batches, 3);
+        // …but a smaller one reuses them (best fit), so tail blocks never
+        // strand prefetched bytes.
+        let hits_before = set.manager(local).unwrap().stats().remote_cache_hits;
+        let small = set.acquire(local, remote, KB / 2, ExhaustionPolicy::Error).unwrap();
+        assert_eq!(set.manager(local).unwrap().stats().remote_batches, 3);
+        assert_eq!(set.manager(local).unwrap().stats().remote_cache_hits, hits_before + 1);
+        assert_eq!(small.bytes(), KB, "the reused lease keeps its own size");
     }
 
     #[test]
-    fn remote_blocks_come_from_the_remote_arena() {
-        let set = BlockManagerSet::new(&nodes(), 16);
+    fn remote_leases_come_from_the_remote_arena() {
+        let set = BlockManagerSet::new(&nodes(), 64 * KB);
         let local = MemoryNodeId::new(0);
         let remote = MemoryNodeId::new(3);
-        let lease = set.acquire(local, remote).unwrap();
+        let lease = set.acquire(local, remote, KB, ExhaustionPolicy::Error).unwrap();
         assert_eq!(lease.home(), remote);
-        // The remote arena lost a batch of blocks; the local arena is untouched.
-        assert_eq!(set.manager(local).unwrap().available(), 16);
-        assert_eq!(set.manager(remote).unwrap().available(), 16 - REMOTE_BATCH);
+        // The remote arena lost a batch of leases; the local arena is untouched.
+        assert_eq!(set.manager(local).unwrap().available_bytes(), 64 * KB);
+        assert_eq!(set.manager(remote).unwrap().available_bytes(), (64 - REMOTE_BATCH as u64) * KB);
+        set.flush_remote_caches();
+        drop(lease);
+        assert_eq!(set.manager(remote).unwrap().available_bytes(), 64 * KB);
+    }
+
+    #[test]
+    fn batching_never_hoards_a_nearly_dry_arena() {
+        // Remote arena of 4 KB: a 1 KB acquisition succeeds, but the
+        // opportunistic prefetch must stop at the 50%-occupancy guard instead
+        // of caching the last free bytes.
+        let set = BlockManagerSet::new(&nodes(), 4 * KB);
+        let local = MemoryNodeId::new(0);
+        let remote = MemoryNodeId::new(1);
+        let _lease = set.acquire(local, remote, KB, ExhaustionPolicy::Error).unwrap();
+        let remaining = set.manager(remote).unwrap().available_bytes();
+        assert!(remaining >= 2 * KB, "prefetch left only {remaining} bytes on the remote arena");
     }
 
     #[test]
     fn exhausted_remote_arena_reports_memory_error() {
         let set = BlockManagerSet::new(&nodes(), 0);
-        let err = set.acquire(MemoryNodeId::new(0), MemoryNodeId::new(1)).unwrap_err();
+        let err = set
+            .acquire(MemoryNodeId::new(0), MemoryNodeId::new(1), 1, ExhaustionPolicy::Error)
+            .unwrap_err();
         assert_eq!(err.category(), "memory");
-        let err = set.acquire(MemoryNodeId::new(0), MemoryNodeId::new(0)).unwrap_err();
+        let err = set
+            .acquire(MemoryNodeId::new(0), MemoryNodeId::new(0), 1, ExhaustionPolicy::Error)
+            .unwrap_err();
         assert_eq!(err.category(), "memory");
     }
 
     #[test]
     fn unknown_node_is_an_error() {
-        let set = BlockManagerSet::new(&nodes(), 4);
+        let set = BlockManagerSet::new(&nodes(), 4 * KB);
         assert!(set.manager(MemoryNodeId::new(9)).is_err());
-        assert!(set.acquire(MemoryNodeId::new(9), MemoryNodeId::new(0)).is_err());
+        assert!(set
+            .acquire(MemoryNodeId::new(9), MemoryNodeId::new(0), 1, ExhaustionPolicy::Error)
+            .is_err());
     }
 
     #[test]
     fn total_available_tracks_outstanding_leases() {
-        let set = BlockManagerSet::new(&nodes(), 4);
-        assert_eq!(set.total_available(), 16);
-        let lease = set.acquire(MemoryNodeId::new(1), MemoryNodeId::new(1)).unwrap();
-        assert_eq!(set.total_available(), 15);
+        let set = BlockManagerSet::new(&nodes(), 4 * KB);
+        assert_eq!(set.total_available_bytes(), 16 * KB);
+        let lease = set
+            .acquire(MemoryNodeId::new(1), MemoryNodeId::new(1), KB, ExhaustionPolicy::Error)
+            .unwrap();
+        assert_eq!(set.total_available_bytes(), 15 * KB);
         drop(lease);
-        assert_eq!(set.total_available(), 16);
+        assert_eq!(set.total_available_bytes(), 16 * KB);
+        assert_eq!(set.peaks()[1], (MemoryNodeId::new(1), KB));
     }
 
     #[test]
-    fn concurrent_local_acquires_respect_capacity() {
-        use std::thread;
-        let mgr = Arc::new(BlockManager::new(MemoryNodeId::new(0), 100));
+    fn concurrent_acquires_respect_capacity_and_track_peak() {
+        let mgr = Arc::new(BlockManager::new(MemoryNodeId::new(0), 100 * KB));
         let handles: Vec<_> = (0..8)
             .map(|_| {
                 let mgr = Arc::clone(&mgr);
                 thread::spawn(move || {
-                    let mut ok = 0;
                     for _ in 0..50 {
-                        if let Ok(lease) = mgr.acquire_local() {
-                            ok += 1;
+                        if let Ok(lease) =
+                            mgr.acquire_local(KB, ExhaustionPolicy::Park(Duration::from_secs(5)))
+                        {
                             drop(lease);
                         }
                     }
-                    ok
                 })
             })
             .collect();
         for h in handles {
             h.join().unwrap();
         }
-        assert_eq!(mgr.available(), 100);
+        assert_eq!(mgr.available_bytes(), 100 * KB);
+        assert!(mgr.peak_leased_bytes() <= 100 * KB);
+        assert!(mgr.peak_leased_bytes() >= KB);
     }
 }

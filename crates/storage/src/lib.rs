@@ -22,7 +22,7 @@ pub mod catalog;
 pub mod memory_manager;
 pub mod segmenter;
 
-pub use block_manager::{BlockLease, BlockManager, BlockManagerSet};
+pub use block_manager::{BlockLease, BlockManager, BlockManagerSet, ExhaustionPolicy};
 pub use catalog::{Catalog, StoredTable, TableBuilder};
 pub use memory_manager::{MemoryManager, MemoryManagerSet, StateAllocation};
 pub use segmenter::Segmenter;

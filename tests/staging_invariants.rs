@@ -1,0 +1,124 @@
+//! Staging-memory governance invariants (DESIGN.md "Staging memory
+//! governance"): peak leased bytes per node never exceed the configured
+//! arena budget across randomized pipelined plans, and a deliberately tiny
+//! budget slows a query down instead of deadlocking it.
+
+use hetexchange::common::config::DEFAULT_STAGING_BYTES;
+use hetexchange::common::{ColumnData, DataType, EngineConfig};
+use hetexchange::core_ops::RelNode;
+use hetexchange::engine::Proteus;
+use hetexchange::jit::{AggSpec, Expr};
+use hetexchange::storage::TableBuilder;
+use proptest::prelude::*;
+
+/// Engine with a fact table joined against a dimension — the two-stage-chain
+/// shape (scan → build gate → probe → reduce) that exercises gates, device
+/// crossings and every staging path at once.
+fn join_engine(fact_rows: usize, dim_rows: usize, segment_rows: usize) -> Proteus {
+    let engine = Proteus::on_paper_server();
+    let nodes = engine.topology().cpu_memory_nodes();
+    let fact = TableBuilder::new("fact")
+        .column(
+            "key",
+            DataType::Int32,
+            ColumnData::Int32((0..fact_rows as i32).map(|i| i % dim_rows.max(1) as i32).collect()),
+        )
+        .column("value", DataType::Int64, ColumnData::Int64((0..fact_rows as i64).collect()))
+        .build(&nodes, segment_rows)
+        .unwrap();
+    let dim = TableBuilder::new("dim")
+        .column("k", DataType::Int32, ColumnData::Int32((0..dim_rows as i32).collect()))
+        .column(
+            "attr",
+            DataType::Int32,
+            ColumnData::Int32((0..dim_rows as i32).map(|i| i % 7).collect()),
+        )
+        .build(&nodes, segment_rows)
+        .unwrap();
+    engine.register_table(fact);
+    engine.register_table(dim);
+    engine
+}
+
+fn join_plan() -> RelNode {
+    // SELECT SUM(value), COUNT(*) FROM fact JOIN dim ON key = k WHERE attr < 3
+    let dim = RelNode::scan("dim", &["k", "attr"]).filter(Expr::col(1).lt_lit(3));
+    RelNode::scan("fact", &["key", "value"])
+        .hash_join(dim, 0, 0, &[1])
+        .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"])
+}
+
+fn expected(fact_rows: usize, dim_rows: usize) -> (i64, i64) {
+    let mut sum = 0i64;
+    let mut cnt = 0i64;
+    for i in 0..fact_rows as i64 {
+        if (i % dim_rows as i64) % 7 < 3 {
+            sum += i;
+            cnt += 1;
+        }
+    }
+    (sum, cnt)
+}
+
+#[test]
+fn tiny_budget_completes_slowly_instead_of_deadlocking() {
+    // The smallest budget validation admits: one estimated max-size block per
+    // active consumer. Per-queue quotas collapse to roughly one block, so the
+    // whole pipeline advances in near-lockstep — slow, but alive.
+    let fact_rows = 30_000;
+    let dim_rows = 10_000;
+    let engine = join_engine(fact_rows, dim_rows, 512);
+    let mut config = EngineConfig::hybrid(2, 1);
+    config.block_capacity = 256;
+    let tiny = config.min_staging_bytes();
+    assert!(tiny < DEFAULT_STAGING_BYTES / 100, "budget must be genuinely tiny: {tiny}");
+    config.staging_bytes = Some(tiny);
+    let outcome = engine.execute(&join_plan(), &config).unwrap();
+    let (sum, cnt) = expected(fact_rows, dim_rows);
+    assert_eq!(outcome.rows, vec![vec![sum, cnt]]);
+    for (node, peak) in &outcome.stats.staging_peaks {
+        assert!(*peak <= tiny, "node {node} peaked at {peak} > tiny budget {tiny}");
+    }
+    assert!(
+        outcome.stats.staging_peaks.iter().any(|(_, p)| *p > 0),
+        "blocks must have been lease-backed"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Peak leased bytes per node never exceed the configured arena capacity,
+    /// and governance never changes results, across random pipelined plans
+    /// (device mixes, block sizes, and budget tightness).
+    #[test]
+    fn prop_peak_leased_bytes_never_exceed_the_budget(
+        cpus in 1usize..5,
+        gpus in 0usize..3,
+        capacity_sel in 0usize..3,
+        budget_mult in 1u64..5,
+        fact_rows in 10_000usize..40_000,
+    ) {
+        let dim_rows = fact_rows / 3;
+        let engine = join_engine(fact_rows, dim_rows, 1024);
+        let mut config = if gpus == 0 {
+            EngineConfig::cpu_only(cpus)
+        } else {
+            EngineConfig::hybrid(cpus, gpus)
+        };
+        config.block_capacity = [256, 1024, 4096][capacity_sel];
+        let budget = config.min_staging_bytes() * budget_mult;
+        config.staging_bytes = Some(budget);
+        let outcome = engine.execute(&join_plan(), &config).unwrap();
+
+        let (sum, cnt) = expected(fact_rows, dim_rows);
+        prop_assert_eq!(outcome.rows.clone(), vec![vec![sum, cnt]]);
+        prop_assert!(!outcome.stats.staging_peaks.is_empty());
+        for (node, peak) in &outcome.stats.staging_peaks {
+            prop_assert!(
+                peak <= &budget,
+                "node {} peaked at {} > budget {}", node, peak, budget
+            );
+        }
+    }
+}
