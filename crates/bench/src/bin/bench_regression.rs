@@ -1,0 +1,176 @@
+//! Bench-regression gate: compare freshly generated `BENCH_*.json` files
+//! against a snapshot of the committed baselines and fail (exit 1) when any
+//! simulated-time metric regressed by more than the tolerance.
+//!
+//! Usage: `bench_regression <baseline_dir> [current_dir] [tolerance_pct]`
+//!
+//! CI snapshots the checked-in `BENCH_*.json` files before re-running the
+//! bench bins (which overwrite them in place), then invokes this gate with
+//! the snapshot directory. Every numeric field ending in `_s` is treated as
+//! a time metric (`pipelined_s`, `governed_s`, `steal_s`, …): a current
+//! value more than `tolerance_pct` above its baseline is a throughput
+//! regression. Metrics present only in the current files (new benchmarks)
+//! pass; metrics that *disappeared* fail, so a silently dropped workload
+//! cannot slip through. Workloads labelled `skewed` are reported but not
+//! gated: their timings depend on wall-clock thread scheduling (how many
+//! blocks get stolen before a straggler claims them varies with core count
+//! and load), so the committed number is not a stable baseline — the
+//! `steal_ab` bin enforces that workload's real acceptance bar (≥ 10%
+//! improvement) directly. The JSON is the hand-rolled one-object-per-line
+//! format the bench crate emits (the build has no JSON dependency), parsed
+//! with an equally small hand-rolled scanner.
+
+use std::path::{Path, PathBuf};
+use std::process::exit;
+
+/// One time metric: (workload label, field name, seconds).
+type Metric = (String, String, f64);
+
+/// Extract every `"field": value` pair with a `_s`-suffixed field from the
+/// bench crate's one-workload-per-line JSON.
+fn parse_metrics(content: &str) -> Vec<Metric> {
+    let mut out = Vec::new();
+    for line in content.lines() {
+        let Some(workload) = field_str(line, "workload") else { continue };
+        let mut rest = line;
+        while let Some(pos) = rest.find('"') {
+            rest = &rest[pos + 1..];
+            let Some(end) = rest.find('"') else { break };
+            let key = &rest[..end];
+            rest = &rest[end + 1..];
+            if !key.ends_with("_s") {
+                continue;
+            }
+            let Some(colon) = rest.find(':') else { break };
+            let value_str = rest[colon + 1..].trim_start().split([',', '}']).next().unwrap_or("");
+            if let Ok(value) = value_str.trim().parse::<f64>() {
+                out.push((workload.clone(), key.to_string(), value));
+            }
+        }
+    }
+    out
+}
+
+/// The string value of `"field": "..."` on `line`, if present.
+fn field_str(line: &str, field: &str) -> Option<String> {
+    let needle = format!("\"{field}\": \"");
+    let start = line.find(&needle)? + needle.len();
+    let end = line[start..].find('"')?;
+    Some(line[start..start + end].to_string())
+}
+
+fn bench_files(dir: &Path) -> Vec<PathBuf> {
+    let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
+        .map(|entries| {
+            entries
+                .filter_map(|e| e.ok())
+                .map(|e| e.path())
+                .filter(|p| {
+                    p.file_name()
+                        .and_then(|n| n.to_str())
+                        .is_some_and(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+                })
+                .collect()
+        })
+        .unwrap_or_default();
+    files.sort();
+    files
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let Some(baseline_dir) = args.next().map(PathBuf::from) else {
+        eprintln!("usage: bench_regression <baseline_dir> [current_dir] [tolerance_pct]");
+        exit(2);
+    };
+    let current_dir = args.next().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
+    let tolerance_pct: f64 = args.next().and_then(|t| t.parse().ok()).unwrap_or(10.0);
+    let factor = 1.0 + tolerance_pct / 100.0;
+
+    let baselines = bench_files(&baseline_dir);
+    if baselines.is_empty() {
+        eprintln!("no BENCH_*.json baselines under {}", baseline_dir.display());
+        exit(2);
+    }
+
+    let mut regressions = 0usize;
+    let mut compared = 0usize;
+    for baseline_path in baselines {
+        let name = baseline_path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let current_path = current_dir.join(&name);
+        let Ok(baseline) = std::fs::read_to_string(&baseline_path) else { continue };
+        let Ok(current) = std::fs::read_to_string(&current_path) else {
+            eprintln!("REGRESSION {name}: baseline exists but no current file was generated");
+            regressions += 1;
+            continue;
+        };
+        let current_metrics = parse_metrics(&current);
+        for (workload, field, base_s) in parse_metrics(&baseline) {
+            if workload.contains("skewed") && !workload.contains("unskewed") {
+                println!("skip {name} {workload}.{field}: schedule-sensitive, not gated");
+                continue;
+            }
+            compared += 1;
+            let Some((_, _, cur_s)) =
+                current_metrics.iter().find(|(w, f, _)| *w == workload && *f == field)
+            else {
+                eprintln!("REGRESSION {name} {workload}.{field}: metric disappeared");
+                regressions += 1;
+                continue;
+            };
+            if *cur_s > base_s * factor && *cur_s - base_s > 1e-9 {
+                eprintln!(
+                    "REGRESSION {name} {workload}.{field}: {cur_s:.6}s vs baseline {base_s:.6}s \
+                     (+{:.1}% > {tolerance_pct:.0}%)",
+                    (cur_s / base_s - 1.0) * 100.0
+                );
+                regressions += 1;
+            } else {
+                println!(
+                    "ok {name} {workload}.{field}: {cur_s:.6}s vs {base_s:.6}s ({:+.1}%)",
+                    (cur_s / base_s - 1.0) * 100.0
+                );
+            }
+        }
+    }
+    println!("compared {compared} metrics, {regressions} regression(s)");
+    if compared == 0 {
+        eprintln!("no comparable metrics found — treat as failure");
+        exit(2);
+    }
+    if regressions > 0 {
+        exit(1);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const SAMPLE: &str = r#"{
+  "benchmark": "work_stealing_ab",
+  "workloads": [
+    {"workload": "skewed", "steal_s": 5.301234567, "no_steal_s": 10.500000000, "improvement_pct": 49.51, "blocks_stolen": 18, "rows_identical": true},
+    {"workload": "unskewed", "steal_s": 2.100000000, "no_steal_s": 2.110000000, "improvement_pct": 0.47, "blocks_stolen": 0, "rows_identical": true}
+  ]
+}"#;
+
+    #[test]
+    fn parses_only_time_metrics() {
+        let metrics = parse_metrics(SAMPLE);
+        assert_eq!(metrics.len(), 4);
+        assert!(metrics.contains(&("skewed".into(), "steal_s".into(), 5.301234567)));
+        assert!(metrics.contains(&("unskewed".into(), "no_steal_s".into(), 2.11)));
+        // Non-time fields (counts, percentages, booleans) are not gated.
+        assert!(!metrics.iter().any(|(_, f, _)| f == "improvement_pct" || f == "blocks_stolen"));
+    }
+
+    #[test]
+    fn field_str_extracts_workload_labels() {
+        assert_eq!(
+            field_str(r#"{"workload": "Q4.1", "pipelined_s": 5.65}"#, "workload").as_deref(),
+            Some("Q4.1")
+        );
+        assert_eq!(field_str(r#"{"metric": "simulated_seconds"}"#, "workload"), None);
+    }
+}

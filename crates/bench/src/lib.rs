@@ -31,6 +31,7 @@ pub mod micro;
 pub mod pipeline_ab;
 pub mod report;
 pub mod staging_ab;
+pub mod steal_ab;
 pub mod systems;
 pub mod workload;
 

@@ -80,7 +80,15 @@ impl AbReport {
 /// joined against a dimension sized at half the fact side — large enough
 /// that the build chain is a real pipeline stage, not a rounding error.
 pub fn join_reduce_engine(fact_rows: usize) -> Result<(Proteus, RelNode)> {
-    let topology = ServerTopology::paper_server();
+    join_reduce_engine_on(ServerTopology::paper_server(), fact_rows)
+}
+
+/// Like [`join_reduce_engine`], on an arbitrary topology — the work-stealing
+/// A/B uses this with a deliberately skewed server (one straggler device).
+pub fn join_reduce_engine_on(
+    topology: Arc<ServerTopology>,
+    fact_rows: usize,
+) -> Result<(Proteus, RelNode)> {
     let engine = Proteus::new(Arc::clone(&topology));
     let nodes = topology.cpu_memory_nodes();
     let dim_rows = (fact_rows / 2).max(1);

@@ -42,6 +42,37 @@ pub enum ExecutionMode {
     StageAtATime,
 }
 
+/// Whether (and how) idle pipelined workers re-route queued blocks away from
+/// overloaded siblings of the same stage.
+///
+/// Routing binds every block to a consumer the moment it is produced; a
+/// straggler instance (an unexpectedly slow device, a parked lease, a cold
+/// gate) would otherwise hold its queued blocks hostage while siblings idle.
+/// Stealing re-binds late: the thief takes the *tail* of the victim's queue
+/// (the blocks that would wait longest), the router's load estimator moves
+/// the stolen cost from victim to thief (`LoadEstimator::decommit`), and the
+/// block's staging charge is released on the victim's node and re-acquired on
+/// the thief's. Only anonymously routed stages (round-robin / least-loaded)
+/// steal — hash- and target-routed blocks are semantically bound to their
+/// consumer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StealPolicy {
+    /// An idle worker steals the tail block from the most-loaded same-stage
+    /// sibling whose backlog holds at least two blocks. This is the default.
+    #[default]
+    TailMostLoaded,
+    /// Never steal: blocks stay bound to the consumer chosen at routing time
+    /// (the pre-stealing behaviour, kept selectable for A/B comparison).
+    Disabled,
+}
+
+impl StealPolicy {
+    /// True when stealing is enabled in any form.
+    pub fn is_enabled(self) -> bool {
+        self != StealPolicy::Disabled
+    }
+}
+
 /// Initial placement of base-table data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPlacement {
@@ -89,6 +120,9 @@ pub struct EngineConfig {
     /// count for more and back-pressure reflects real staging memory. `None`
     /// disables byte governance (PR 1 behaviour: handle-count bounds only).
     pub staging_bytes: Option<u64>,
+    /// Adaptive re-routing policy of the pipelined executor: whether idle
+    /// workers steal queued blocks from overloaded same-stage siblings.
+    pub steal_policy: StealPolicy,
 }
 
 impl Default for EngineConfig {
@@ -105,6 +139,7 @@ impl Default for EngineConfig {
             execution_mode: ExecutionMode::default(),
             queue_capacity: Some(DEFAULT_QUEUE_CAPACITY),
             staging_bytes: Some(DEFAULT_STAGING_BYTES),
+            steal_policy: StealPolicy::default(),
         }
     }
 }
@@ -171,6 +206,12 @@ impl EngineConfig {
     /// Set (or disable, with `None`) the per-node staging byte budget.
     pub fn with_staging_bytes(mut self, bytes: Option<u64>) -> Self {
         self.staging_bytes = bytes;
+        self
+    }
+
+    /// Select the pipelined executor's work-stealing policy.
+    pub fn with_steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.steal_policy = policy;
         self
     }
 
@@ -273,6 +314,16 @@ mod tests {
         cfg.with_staging_bytes(None).validate().unwrap();
         // The default budget is valid for the default (hybrid 24+2) config.
         EngineConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn stealing_is_on_by_default_and_selectable() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.steal_policy, StealPolicy::TailMostLoaded);
+        assert!(cfg.steal_policy.is_enabled());
+        let off = cfg.with_steal_policy(StealPolicy::Disabled);
+        assert!(!off.steal_policy.is_enabled());
+        off.validate().unwrap();
     }
 
     #[test]

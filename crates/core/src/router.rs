@@ -101,8 +101,12 @@ impl<'a> Router<'a> {
                     for i in 0..target.dop {
                         let gpu = gpus[i % gpus.len()];
                         // The CPU half of the affinity hosts the instance's
-                        // CPU-side work (kernel launches, transfers).
-                        let core = cores.get(i % cores.len().max(1)).copied();
+                        // CPU-side work (kernel launches, transfers). It must
+                        // honour the same stagger `offset` as the CPU slots:
+                        // without it, every concurrent stage's GPU instances
+                        // collided on host cores 0, 1, … while the CPU slots
+                        // were carefully spread apart.
+                        let core = cores.get((offset + i) % cores.len().max(1)).copied();
                         slots.push(ConsumerSlot {
                             kind: DeviceKind::Gpu,
                             affinity: Affinity::new(core, Some(gpu)),
@@ -149,9 +153,19 @@ impl<'a> Router<'a> {
                     let best =
                         (0..n).map(|off| (start + off) % n).min_by_key(|&i| loads[i]).unwrap_or(0);
                     Ok(best)
-                } else {
-                    // Without load information fall back to round-robin.
+                } else if loads.is_empty() {
+                    // An empty vector is a legitimate "no load information"
+                    // signal: degrade to round-robin.
                     Ok(self.cursor.fetch_add(1, Ordering::Relaxed) % n)
+                } else {
+                    // A non-empty vector of the wrong length is a caller bug
+                    // (estimates indexed against some other consumer set);
+                    // routing on garbage silently misbalances the query, so
+                    // fail loudly instead.
+                    Err(HetError::Plan(format!(
+                        "least-loaded routing got {} load estimates for {n} consumers",
+                        loads.len()
+                    )))
                 }
             }
             RouterPolicy::Hash => {
@@ -229,14 +243,36 @@ impl LoadEstimator {
     }
 
     /// Like [`Self::projected`], with an additive per-consumer `penalties[i]`
-    /// term. The pipelined executor prices each consumer node's staging-arena
-    /// occupancy here, so the least-loaded policy steers blocks away from
-    /// memory-starved nodes before their producers start parking on leases.
-    pub fn projected_with_penalty(&self, costs: &[u64], penalties: &[u64]) -> Vec<u64> {
-        self.projected(costs)
-            .into_iter()
+    /// term and a `gate_ns` floor. The pipelined executor prices each
+    /// consumer node's staging-arena occupancy into the penalty, so the
+    /// least-loaded policy steers blocks away from memory-starved nodes
+    /// before their producers start parking on leases.
+    ///
+    /// `gate_ns` is the estimated opening time of the consumer stage's
+    /// dependency gate (0 for ungated stages): none of a gated stage's
+    /// backlog can start before the gate opens, so each projection is the
+    /// absolute completion estimate `gate + load + cost + penalty`. The gate
+    /// is shared by every consumer of the stage, so it never changes the
+    /// *ranking* by itself — its value is that the caller prices gated
+    /// blocks' costs differently (a transfer scheduled while the gate is
+    /// still closed is hidden by it), and the projection stays an honest
+    /// completion time rather than a unitless score.
+    pub fn projected_with_penalty(
+        &self,
+        costs: &[u64],
+        penalties: &[u64],
+        gate_ns: u64,
+    ) -> Vec<u64> {
+        self.loads
+            .iter()
+            .zip(costs)
             .zip(penalties)
-            .map(|(p, &penalty)| p.saturating_add(penalty))
+            .map(|((load, &cost), &penalty)| {
+                gate_ns
+                    .saturating_add(load.load(Ordering::Relaxed))
+                    .saturating_add(cost)
+                    .saturating_add(penalty)
+            })
             .collect()
     }
 
@@ -245,6 +281,27 @@ impl LoadEstimator {
         if let Some(load) = self.loads.get(idx) {
             load.fetch_add(cost, Ordering::Relaxed);
         }
+    }
+
+    /// Remove `cost` from consumer `idx`'s load — the inverse of
+    /// [`Self::commit`], used when adaptive re-routing steals a block away
+    /// from the consumer it was committed to. Saturating: steal-time cost
+    /// re-estimates can differ from the routing-time commit (the block was
+    /// localized in between), and the estimator must never underflow into a
+    /// "negative" (huge) load.
+    pub fn decommit(&self, idx: usize, cost: u64) {
+        if let Some(load) = self.loads.get(idx) {
+            let _ = load.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |v| {
+                Some(v.saturating_sub(cost))
+            });
+        }
+    }
+
+    /// The largest per-consumer load tracked — an estimate of the stage's
+    /// completion time, which downstream gated stages use as their gate-time
+    /// estimate while the build is still running.
+    pub fn max_load(&self) -> u64 {
+        self.loads.iter().map(|l| l.load(Ordering::Relaxed)).max().unwrap_or(0)
     }
 }
 
@@ -285,6 +342,21 @@ mod tests {
         let a = router.route(&meta(), &[]).unwrap();
         let b = router.route(&meta(), &[]).unwrap();
         assert_ne!(a, b);
+    }
+
+    #[test]
+    fn least_loaded_rejects_wrong_length_load_vectors() {
+        // Regression test: a non-empty loads vector of the wrong length is a
+        // caller bug (estimates for some other consumer set) and used to be
+        // silently routed round-robin — now it fails the plan.
+        let slots = slots(3);
+        let router = Router::new(RouterPolicy::LeastLoaded, &slots).unwrap();
+        let err = router.route(&meta(), &[100, 200]).unwrap_err();
+        assert_eq!(err.category(), "plan");
+        assert!(err.to_string().contains("2 load estimates for 3 consumers"), "{err}");
+        assert!(router.route(&meta(), &[1, 2, 3, 4]).is_err());
+        // The empty "no info" signal still degrades gracefully.
+        assert!(router.route(&meta(), &[]).is_ok());
     }
 
     #[test]
@@ -372,7 +444,65 @@ mod tests {
         // Without penalties consumer 0 is the most loaded…
         assert_eq!(est.projected(&[10, 10, 10]), vec![110, 10, 10]);
         // …and a starved-arena penalty on consumer 1 re-ranks it below 2.
-        assert_eq!(est.projected_with_penalty(&[10, 10, 10], &[0, 500, 0]), vec![110, 510, 10]);
+        assert_eq!(est.projected_with_penalty(&[10, 10, 10], &[0, 500, 0], 0), vec![110, 510, 10]);
+    }
+
+    #[test]
+    fn gate_term_shifts_projections_to_absolute_completions() {
+        let est = LoadEstimator::new(3);
+        est.commit(0, 400);
+        assert_eq!(est.projected_with_penalty(&[10, 300, 300], &[0, 0, 0], 0), vec![410, 300, 300]);
+        // The gate is a shared offset: projections become absolute
+        // completion estimates (gate + queued work + this block)…
+        assert_eq!(
+            est.projected_with_penalty(&[10, 300, 300], &[0, 0, 0], 500),
+            vec![910, 800, 800]
+        );
+        // …and in particular queued backlog is never forgotten under the
+        // gate (an earlier floor-based formulation dropped it, flooding the
+        // cheapest consumer with every pre-gate block).
+        assert!(
+            est.projected_with_penalty(&[10, 300, 300], &[0, 0, 0], 500)[0]
+                > est.projected_with_penalty(&[10, 300, 300], &[0, 0, 0], 500)[1]
+        );
+    }
+
+    #[test]
+    fn decommit_moves_load_and_saturates() {
+        let est = LoadEstimator::new(2);
+        est.commit(0, 100);
+        est.commit(1, 40);
+        assert_eq!(est.max_load(), 100);
+        // A steal moves the cost from the victim to the thief.
+        est.decommit(0, 60);
+        est.commit(1, 60);
+        assert_eq!(est.projected(&[0, 0]), vec![40, 100]);
+        assert_eq!(est.max_load(), 100);
+        // Over-decommit saturates at zero instead of wrapping.
+        est.decommit(0, 10_000);
+        assert_eq!(est.projected(&[0, 0])[0], 0);
+        // Out-of-range decommits are ignored rather than panicking.
+        est.decommit(9, 1);
+    }
+
+    #[test]
+    fn stagger_offset_moves_gpu_host_cores_too() {
+        // Regression test: the stagger offset used to apply only to CPU
+        // slots, so every concurrent stage's GPU instances hosted their
+        // CPU-side work on the same first cores of the interleaved list.
+        let topology = ServerTopology::paper_server();
+        let targets = [DeviceTarget::cpu(2), DeviceTarget::gpu(2)];
+        let base = Router::plan_consumers_offset(&targets, &topology, 0).unwrap();
+        let shifted = Router::plan_consumers_offset(&targets, &topology, 4).unwrap();
+        for (b, s) in base.iter().zip(&shifted) {
+            assert_ne!(
+                b.affinity.cpu_core, s.affinity.cpu_core,
+                "offset must move the host core of every slot kind, got {b:?} vs {s:?}"
+            );
+        }
+        // GPU pinning itself is unaffected by the stagger.
+        assert_eq!(base[2].affinity.gpu, shifted[2].affinity.gpu);
+        assert_eq!(base[3].affinity.gpu, shifted[3].affinity.gpu);
     }
 
     #[test]

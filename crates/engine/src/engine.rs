@@ -33,6 +33,16 @@ pub struct QueryStats {
     /// Peak leased staging bytes per memory node (governed pipelined mode
     /// only; empty otherwise).
     pub staging_peaks: Vec<(MemoryNodeId, u64)>,
+    /// Blocks adaptively re-routed (work-stealing) per stage; all zeros when
+    /// `EngineConfig::steal_policy` is disabled or in stage-at-a-time mode.
+    pub blocks_stolen: Vec<u64>,
+}
+
+impl QueryStats {
+    /// Total blocks stolen across all stages.
+    pub fn total_blocks_stolen(&self) -> u64 {
+        self.blocks_stolen.iter().sum()
+    }
 }
 
 /// The outcome of a query: exact rows plus modeled execution time.
@@ -150,6 +160,7 @@ impl Proteus {
                 stage_completion: result.stage_completion,
                 wall_time: result.wall_time,
                 staging_peaks: result.staging_peaks,
+                blocks_stolen: result.blocks_stolen,
             },
         })
     }

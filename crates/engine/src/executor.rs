@@ -29,7 +29,8 @@
 use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
 use hetex_common::{BlockHandle, EngineConfig, ExecutionMode, HetError, MemoryNodeId, Result};
 use hetex_core::mem_move::MemMove;
-use hetex_core::queue::{BlockQueue, ProducerGuard, QueueSlot};
+use hetex_core::plan::RouterPolicy;
+use hetex_core::queue::{BlockQueue, PopNext, ProducerGuard, QueueSlot};
 use hetex_core::router::{LoadEstimator, Router};
 use hetex_gpu_sim::GpuDevice;
 use hetex_jit::{ExecCtx, SharedState, TerminalStep};
@@ -56,6 +57,44 @@ const ASSUMED_SELECTIVITY: f64 = 0.3;
 /// back-pressure only slows the query; finite so a wedged pipeline reports a
 /// `HetError::Memory` instead of hanging the process.
 const STAGING_PARK_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Minimum backlog depth a sibling queue must hold before it can be stolen
+/// from. Two is the smallest depth where theft is guaranteed progress: the
+/// victim keeps its head block (the one it pops next anyway) and the thief
+/// takes work that would otherwise wait behind it — a depth-1 queue would
+/// only invite ping-pong.
+const STEAL_MIN_DEPTH: usize = 2;
+
+/// How long a steal-eligible worker waits on its own queue before scanning
+/// siblings for stealable backlog. Wall-clock only (the simulation charges
+/// no cost for the poll); short enough that an idle worker notices a
+/// straggler promptly.
+const STEAL_POLL: Duration = Duration::from_micros(500);
+
+/// Most consecutive claim-yields a straggling worker may take before it
+/// processes a block regardless (see the claim-pacing comment in the worker
+/// loop). Bounds the wall-clock stall and guarantees progress even when no
+/// sibling ever finds the backlog profitable.
+const MAX_CLAIM_YIELDS: usize = 64;
+
+/// Observed-slowdown ratio (charged vs nominal busy time) above which a
+/// worker treats itself as a straggler and paces its claims so siblings can
+/// steal its backlog. Healthy devices price out at exactly 1.0 in this
+/// simulation; the threshold leaves room for estimator drift without letting
+/// ordinary imbalance trigger pacing.
+const STRAGGLER_RATIO: f64 = 1.5;
+
+/// Outcome of one steal attempt (see `Executor::steal_for`).
+enum StealOutcome {
+    /// A block was stolen and is ready for the thief to process.
+    Stolen(BlockHandle),
+    /// A sibling has stealable backlog, but moving its tail to this thief
+    /// would finish later than leaving it — worth re-checking once the
+    /// victim's clock has advanced.
+    Unprofitable,
+    /// No sibling holds enough backlog to steal from.
+    Nothing,
+}
 
 /// The staging charge backing one queued block in governed pipelined mode:
 /// the byte admission into the consumer's queue plus the arena lease on the
@@ -110,6 +149,10 @@ pub struct ExecutionResult {
     /// Peak leased staging bytes per memory node (governed pipelined mode
     /// only; empty when byte governance is off or in stage-at-a-time mode).
     pub staging_peaks: Vec<(MemoryNodeId, u64)>,
+    /// Blocks adaptively re-routed (stolen from an overloaded sibling's
+    /// queue) per stage; all zeros when stealing is disabled or in
+    /// stage-at-a-time mode.
+    pub blocks_stolen: Vec<u64>,
 }
 
 /// Executes stage graphs on a topology.
@@ -141,6 +184,45 @@ struct StageRouting<'a> {
     est_selectivity: f64,
     /// Assumed hash probes per input tuple across the fused probe steps.
     est_probes_per_row: f64,
+    /// Per-consumer nanoseconds actually charged to the device clock — the
+    /// feedback half of the straggler detector. Together with
+    /// `nominal_busy`, the ratio `charged/nominal` is a consumer's observed
+    /// slowdown: 1.0 for a healthy device, larger when reality (an
+    /// unforeseen `exec_slowdown`, contention) costs more than the model
+    /// predicted. The steal profitability check scales the victim's backlog
+    /// by this ratio, so hidden stragglers are priced by what they *did*,
+    /// not what the estimates promised.
+    charged_busy: Vec<AtomicU64>,
+    /// Per-consumer nanoseconds the nominal cost model prices for the same
+    /// processed work (denominator of the observed-slowdown ratio).
+    nominal_busy: Vec<AtomicU64>,
+    /// Per-consumer count of processed blocks; `charged_busy / processed` is
+    /// a consumer's observed average block cost, the basis of the steal
+    /// profitability pre-check (which must run *before* a block leaves the
+    /// victim's queue — see `Executor::steal_for`).
+    processed: Vec<AtomicU64>,
+}
+
+impl StageRouting<'_> {
+    /// Observed slowdown of consumer `slot`: charged over nominal busy time,
+    /// 1.0 until the consumer has processed anything.
+    fn observed_slowdown(&self, slot: usize) -> f64 {
+        let nominal = self.nominal_busy[slot].load(Ordering::Relaxed);
+        if nominal == 0 {
+            return 1.0;
+        }
+        (self.charged_busy[slot].load(Ordering::Relaxed) as f64 / nominal as f64).max(1.0)
+    }
+
+    /// Observed average charged cost per block of consumer `slot`, or `None`
+    /// until it has processed anything.
+    fn observed_avg_cost(&self, slot: usize) -> Option<u64> {
+        let blocks = self.processed[slot].load(Ordering::Relaxed);
+        if blocks == 0 {
+            return None;
+        }
+        Some(self.charged_busy[slot].load(Ordering::Relaxed) / blocks)
+    }
 }
 
 /// A dependency gate: consumer workers of a stage block here until every
@@ -174,6 +256,19 @@ impl Gate {
         }
         state.1
     }
+
+    /// The gate's partial floor so far, in nanoseconds: the largest completion
+    /// time among the dependencies that already opened (0 while none did).
+    /// Routing combines this with the load-estimator projections of the still
+    /// running dependencies into its gate-time estimate.
+    fn floor_ns(&self) -> u64 {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).1.as_nanos()
+    }
+
+    /// True once every dependency has completed (consumers no longer wait).
+    fn is_open(&self) -> bool {
+        self.state.lock().unwrap_or_else(|e| e.into_inner()).0 == 0
+    }
 }
 
 /// Completion bookkeeping of one pipelined stage.
@@ -190,6 +285,8 @@ struct StageProgress {
     first_block_wall: AtomicU64,
     /// Wall-clock ns when the stage finished.
     finished_wall: AtomicU64,
+    /// Blocks this stage's workers stole from overloaded siblings.
+    blocks_stolen: AtomicU64,
 }
 
 impl StageProgress {
@@ -200,6 +297,7 @@ impl StageProgress {
             downstream_guards: Mutex::new(Vec::new()),
             first_block_wall: AtomicU64::new(u64::MAX),
             finished_wall: AtomicU64::new(0),
+            blocks_stolen: AtomicU64::new(0),
         }
     }
 
@@ -311,6 +409,9 @@ impl Executor {
                 hetex_jit::Step::Map { .. } => {}
             }
         }
+        let charged_busy = (0..stage.consumers.len()).map(|_| AtomicU64::new(0)).collect();
+        let nominal_busy = (0..stage.consumers.len()).map(|_| AtomicU64::new(0)).collect();
+        let processed = (0..stage.consumers.len()).map(|_| AtomicU64::new(0)).collect();
         Ok(StageRouting {
             stage,
             router,
@@ -321,6 +422,9 @@ impl Executor {
             node_load,
             est_selectivity,
             est_probes_per_row,
+            charged_busy,
+            nominal_busy,
+            processed,
         })
     }
 
@@ -348,10 +452,27 @@ impl Executor {
     /// selectivity, throttled to PCIe speed when the data would have to move.
     /// Returns `(device_ns, memory_node_ns)` per consumer — the two backlogs
     /// the least-loaded policy balances.
+    ///
+    /// `pending_gate_ns` is `Some(estimated gate opening)` for a block routed
+    /// into a stage whose dependency gate has not opened yet: mem-move
+    /// schedules the DMA immediately at routing time, so the part of the
+    /// transfer that completes *while the gate is still closed* is hidden by
+    /// it and no longer delays the consumer's device — only the spill past
+    /// the gate does. Each consumer can hide at most `gate_ns` of cumulative
+    /// transfer (tracked on its node backlog axis), so a link that saturates
+    /// long before the builds finish is still priced honestly. The hidden
+    /// portion is not free either: it occupies the path to the consumer's
+    /// memory, so it moves to the *node* axis of the projection (the two
+    /// axes are maxed, modeling parallel streams). Pricing the full transfer
+    /// on the device axis made compute-bound consumers look relatively cheap
+    /// and handed them pre-gate blocks they could not start anyway (the
+    /// over-prefetch of ROADMAP item 3); hiding it entirely would erase both
+    /// data affinity and link saturation. The split keeps all three signals.
     fn block_costs(
         &self,
         routing: &StageRouting<'_>,
         handle: &BlockHandle,
+        pending_gate_ns: Option<u64>,
     ) -> (Vec<u64>, Vec<u64>) {
         let rows = handle.rows() as u64;
         let bytes = handle.byte_size() as u64;
@@ -379,6 +500,7 @@ impl Executor {
                 }
             };
             let mut block_ns = self.cost.time_ns(&est_work, device) as f64;
+            let mut transfer_axis_ns = 0u64;
             if self.requires_dma(routing, i, handle.meta().location)
                 && routing.stage.mem_move != MemMoveMode::None
             {
@@ -398,7 +520,20 @@ impl Executor {
                             .unwrap_or(0)
                     })
                     .unwrap_or(0);
-                block_ns = block_ns.max(transfer_ns as f64);
+                match pending_gate_ns {
+                    Some(gate_ns) => {
+                        // How much of this transfer still fits before the
+                        // gate opens, given the transfer backlog already
+                        // accumulated toward this consumer's node.
+                        let node_backlog =
+                            routing.node_load[routing.node_index[i]].load(Ordering::Relaxed);
+                        let spill =
+                            transfer_ns.saturating_sub(gate_ns.saturating_sub(node_backlog));
+                        block_ns = block_ns.max(spill as f64);
+                        transfer_axis_ns = transfer_ns;
+                    }
+                    None => block_ns = block_ns.max(transfer_ns as f64),
+                }
             }
             device_ns.push(block_ns as u64);
             let mem = self
@@ -408,7 +543,7 @@ impl Executor {
                     (est_work.memory_node_bytes() / (node.bandwidth_gbps * 1e9) * 1e9) as u64
                 })
                 .unwrap_or(0);
-            node_ns.push(mem);
+            node_ns.push(mem.saturating_add(transfer_axis_ns));
         }
         (device_ns, node_ns)
     }
@@ -421,7 +556,19 @@ impl Executor {
     /// mode), each consumer node's arena occupancy is priced into the
     /// projection so routing steers away from memory-starved nodes, and ties
     /// prefer consumers already local to the block (NUMA-aware placement).
+    ///
+    /// `gate_ns` is the estimated opening time of the consumer stage's
+    /// dependency gate (0 when ungated) and `gate_pending` whether that gate
+    /// is still closed at routing time. Together they make the projection
+    /// gate-aware: the gate shifts every consumer's projection to an absolute
+    /// completion estimate, and a still-closed gate discounts the DMA of
+    /// transfer-bound consumers (the transfer is scheduled now and hidden by
+    /// the gate — see [`Self::block_costs`]), so compute-bound consumers of
+    /// gated probe stages stop collecting pre-gate blocks they cannot start
+    /// anyway.
+    ///
     /// Returns `(consumer index, localized handle)`.
+    #[allow(clippy::too_many_arguments)]
     fn route_and_localize(
         &self,
         routing: &StageRouting<'_>,
@@ -430,11 +577,14 @@ impl Executor {
         mut handle: BlockHandle,
         not_before: SimTime,
         staging: Option<&BlockManagerSet>,
+        gate_ns: u64,
+        gate_pending: bool,
     ) -> Result<(usize, BlockHandle)> {
         if handle.meta().ready_at_ns < not_before.as_nanos() {
             handle.meta_mut().ready_at_ns = not_before.as_nanos();
         }
-        let (device_ns, node_ns) = self.block_costs(routing, &handle);
+        let (device_ns, node_ns) =
+            self.block_costs(routing, &handle, gate_pending.then_some(gate_ns));
         // Price each consumer node's staging-arena occupancy: a block routed
         // to a starved node would park its producer on a lease, so its
         // projected cost grows with the leased fraction of the arena. The
@@ -469,7 +619,7 @@ impl Executor {
         let numa_tiebreak = staging.is_some();
         let projected: Vec<u64> = routing
             .est
-            .projected_with_penalty(&device_ns, &penalties)
+            .projected_with_penalty(&device_ns, &penalties, gate_ns)
             .into_iter()
             .enumerate()
             .map(|(i, dev)| {
@@ -514,6 +664,151 @@ impl Executor {
         Ok((pick, localized))
     }
 
+    /// Adaptive re-routing: try to steal one block for the idle worker at
+    /// slot `thief` from the most-loaded sibling of the same stage whose
+    /// backlog holds at least [`STEAL_MIN_DEPTH`] blocks. Returns the block
+    /// ready for the thief to process, or `None` when nothing is stealable
+    /// (or nothing is *profitably* stealable).
+    ///
+    /// Profitability is judged on the **device clocks** and **observed
+    /// average block costs**, not the routing estimator: both carry every
+    /// nanosecond actually charged, so they are the only place an unforeseen
+    /// straggler (a slowdown the cost model did not price) is visible — the
+    /// paper's feedback signal. The stolen tail block would complete on the
+    /// victim no earlier than `victim_clock + backlog × victim_avg_cost`,
+    /// and on the thief at `thief_clock + thief_avg_cost` (doubled as
+    /// hysteresis: near equilibrium a steal only duplicates what
+    /// least-loaded routing already achieves while paying an extra
+    /// relocation). Without this check an idle-but-expensive consumer (a CPU
+    /// core eyeing a GPU-bound backlog) would "rescue" blocks into a slower
+    /// home than the straggler itself.
+    ///
+    /// The check runs *before* anything leaves the victim's queue, and a
+    /// consummated steal is always processed by the thief: a block briefly
+    /// removed and returned could strand forever in a queue whose consumer
+    /// observed termination in between — the exactly-once guarantee admits
+    /// no "changed my mind" path. Consumers that have not processed any
+    /// block yet have no observed cost, so nothing is stolen from or by
+    /// them (a straggler is only detectable after it has straggled).
+    ///
+    /// A consummated steal de-commits the routing-time decision: the
+    /// estimated cost moves from the victim's load accumulators (device and
+    /// memory node) to the thief's, so subsequent routing sees the
+    /// re-balanced world. The block's staging charge follows the
+    /// lease-ordering rule of DESIGN.md §4.2 extended across nodes — the
+    /// victim-side charge (queue byte slot plus the lease on the victim's
+    /// node) is released *before* the thief localizes the block and
+    /// re-charges its own node, so a thief parked on a full arena holds
+    /// nothing.
+    #[allow(clippy::too_many_arguments)]
+    fn steal_for(
+        &self,
+        routing: &StageRouting<'_>,
+        queues: &[BlockQueue],
+        thief: usize,
+        thief_clock: &ResourceClock,
+        device_clocks: &HashMap<DeviceId, ResourceClock>,
+        mem_move: &MemMove,
+        staging: Option<&BlockManagerSet>,
+        staging_budget: u64,
+    ) -> Result<StealOutcome> {
+        let mut best: Option<(usize, usize)> = None;
+        for (slot, queue) in queues.iter().enumerate() {
+            if slot == thief {
+                continue;
+            }
+            let depth = queue.len();
+            if depth >= STEAL_MIN_DEPTH && best.is_none_or(|(_, d)| depth > d) {
+                best = Some((slot, depth));
+            }
+        }
+        let Some((victim, depth)) = best else { return Ok(StealOutcome::Nothing) };
+
+        // Only observed stragglers are worth stealing from. A backlog on a
+        // healthy consumer is ordinary routing imbalance: rescuing it wins a
+        // thin per-block margin but pays an un-modeled shared cost (the
+        // relocation's link bandwidth), which measurably loses on healthy
+        // workloads — and injects wall-clock-dependent noise into otherwise
+        // deterministic simulated times.
+        if routing.observed_slowdown(victim) <= STRAGGLER_RATIO {
+            return Ok(StealOutcome::Unprofitable);
+        }
+
+        // Feedback-driven profitability pre-check (see the doc comment),
+        // evaluated while the block is still safely queued.
+        let (Some(victim_avg), Some(thief_avg)) =
+            (routing.observed_avg_cost(victim), routing.observed_avg_cost(thief))
+        else {
+            return Ok(StealOutcome::Unprofitable);
+        };
+        let victim_clock_ns = device_clocks
+            .get(&routing.instance_devices[victim])
+            .map(|c| c.now().as_nanos())
+            .unwrap_or(0);
+        let victim_end = victim_clock_ns.saturating_add(victim_avg.saturating_mul(depth as u64));
+        let thief_end = thief_clock.now().as_nanos().saturating_add(thief_avg.saturating_mul(2));
+        if std::env::var("HETEX_TRACE_STEAL").is_ok() {
+            eprintln!(
+                "[steal] thief {thief} victim {victim} thief_end {thief_end} victim_end \
+                 {victim_end} depth {depth} slowdown {:.2} -> {}",
+                routing.observed_slowdown(victim),
+                if thief_end >= victim_end { "unprofitable" } else { "steal" }
+            );
+        }
+        if thief_end >= victim_end {
+            return Ok(StealOutcome::Unprofitable);
+        }
+
+        // The victim may have drained (or been closed) since the scan; a
+        // failed steal is simply "nothing to do", never an error.
+        let Some(mut block) = queues[victim].steal() else { return Ok(StealOutcome::Nothing) };
+
+        // Steal-time cost estimates for the de-commit; these can differ
+        // slightly from the routing-time commit (the block was localized in
+        // between), and decommit saturates, so drift only perturbs the
+        // balancing heuristic.
+        let (device_ns, node_ns) = self.block_costs(routing, &block, None);
+        routing.est.decommit(victim, device_ns[victim]);
+        routing.est.commit(thief, device_ns[thief]);
+        let _ = routing.node_load[routing.node_index[victim]].fetch_update(
+            Ordering::Relaxed,
+            Ordering::Relaxed,
+            |v| Some(v.saturating_sub(node_ns[victim])),
+        );
+        routing.node_load[routing.node_index[thief]].fetch_add(node_ns[thief], Ordering::Relaxed);
+
+        // Release the victim-side staging charge before acquiring anything.
+        let victim_node = routing.instance_nodes[victim];
+        block.take_staging();
+
+        // Localize for the thief when it cannot address the block where the
+        // victim's mem-move left it (e.g. a CPU thief rescuing a block
+        // already copied into a straggler GPU's device memory).
+        if routing.stage.mem_move != MemMoveMode::None
+            && self.requires_dma(routing, thief, block.meta().location)
+        {
+            block = mem_move.relocate(&block, routing.instance_nodes[thief])?;
+        }
+
+        // Re-charge on the thief's node (governed mode only). No queue-quota
+        // admission: the block goes straight into processing, never into the
+        // thief's buffer, but its bytes now live on the thief's node and must
+        // be backed by that arena until the thief drops the handle.
+        if let Some(staging) = staging {
+            let bytes = (block.byte_size() as u64).min(staging_budget);
+            if bytes > 0 {
+                let lease = staging.acquire(
+                    victim_node,
+                    routing.instance_nodes[thief],
+                    bytes,
+                    ExhaustionPolicy::Park(STAGING_PARK_TIMEOUT),
+                )?;
+                block.attach_staging(Arc::new(StagingCharge { _slot: None, _lease: lease }));
+            }
+        }
+        Ok(StealOutcome::Stolen(block))
+    }
+
     /// The input segments of a table-scan stage.
     fn table_segments(
         &self,
@@ -541,7 +836,11 @@ impl Executor {
         work: &WorkProfile,
         not_before: SimTime,
     ) -> (SimTime, u64) {
-        let busy = self.cost.time_ns(work, device_profile);
+        // The straggler multiplier applies at charge time only: routing-time
+        // estimates keep pricing the nominal profile, exactly the blind spot
+        // adaptive re-routing exists to absorb.
+        let busy =
+            (self.cost.time_ns(work, device_profile) as f64 * device_profile.exec_slowdown) as u64;
         let (_, end) = clock.reserve(not_before, busy);
         let mut final_end = end;
         if work.memory_node_bytes() > 0.0 {
@@ -672,6 +971,21 @@ impl Executor {
         let progress: Vec<StageProgress> =
             graph.stages.iter().map(|s| StageProgress::new(s.consumers.len())).collect();
 
+        // Steal eligibility per stage: stealing re-binds a block to a sibling,
+        // which is only sound when routing was anonymous to begin with.
+        // Hash-partitioned and broadcast-target blocks are semantically bound
+        // to their consumer (partitioned state, explicit copies) and a union
+        // stage has no sibling to steal from.
+        let stage_steals: Vec<bool> = graph
+            .stages
+            .iter()
+            .map(|s| {
+                config.steal_policy.is_enabled()
+                    && s.consumers.len() > 1
+                    && matches!(s.policy, RouterPolicy::RoundRobin | RouterPolicy::LeastLoaded)
+            })
+            .collect();
+
         // Register each producing stage as ONE logical producer on each of
         // its consumer's queues: blocks flow from any worker at any time, and
         // the registration is released when the stage completes (after the
@@ -700,6 +1014,7 @@ impl Executor {
         let queues = &queues;
         let gates = &gates;
         let progress = &progress;
+        let stage_steals = &stage_steals;
         let per_kind = &per_kind;
         let result_rows = &result_rows;
         let record_error = &record_error;
@@ -707,6 +1022,7 @@ impl Executor {
         let gpu_nodes = &gpu_nodes;
         let graph_ref = graph;
         let staging_ref = staging.as_ref();
+        let device_clocks = &device_clocks;
 
         // Route one produced block to `consumer`'s stage and enqueue it for
         // the chosen instance — the single downstream hand-off path shared by
@@ -748,8 +1064,30 @@ impl Executor {
             Ok(())
         };
         let stage_charge = &stage_charge;
+
+        // Estimated opening time of a stage's dependency gate (plus whether
+        // it is still closed), consulted on every routing decision into that
+        // stage: the partial floor of already-completed builds combined with
+        // the load-estimator projection of the builds still running.
+        // `(0, false)` for ungated stages, so their routing is unchanged.
+        let gate_estimate = move |consumer: usize| -> (u64, bool) {
+            let deps = &graph_ref.stages[consumer].depends_on;
+            if deps.is_empty() {
+                return (0, false);
+            }
+            if gates[consumer].is_open() {
+                return (gates[consumer].floor_ns(), false);
+            }
+            let mut ns = gates[consumer].floor_ns();
+            for &dep in deps {
+                ns = ns.max(routing[dep].est.max_load());
+            }
+            (ns, true)
+        };
+        let gate_estimate = &gate_estimate;
         let push_downstream = move |consumer: usize, block: BlockHandle| -> Result<()> {
             let source = block.meta().location;
+            let (gate_ns, gate_pending) = gate_estimate(consumer);
             let (pick, mut localized) = self.route_and_localize(
                 &routing[consumer],
                 mem_move,
@@ -757,6 +1095,8 @@ impl Executor {
                 block,
                 SimTime::ZERO,
                 staging_ref,
+                gate_ns,
+                gate_pending,
             )?;
             stage_charge(consumer, pick, source, &mut localized)?;
             queues[consumer][pick].push(localized)
@@ -825,6 +1165,7 @@ impl Executor {
                         let segments = self.table_segments(table, projection, catalog, config)?;
                         for handle in segments {
                             let source = handle.meta().location;
+                            let (gate_ns, gate_pending) = gate_estimate(idx);
                             let (pick, mut localized) = self.route_and_localize(
                                 &routing[idx],
                                 mem_move,
@@ -832,6 +1173,8 @@ impl Executor {
                                 handle,
                                 SimTime::ZERO,
                                 staging_ref,
+                                gate_ns,
+                                gate_pending,
                             )?;
                             // Byte-budget admission (parks on a full arena)
                             // and the bounded queue both exert back-pressure
@@ -893,7 +1236,119 @@ impl Executor {
 
                             let mut local_stats = DeviceKindStats::default();
                             let mut processed_any = false;
-                            while let Some(block) = queue.pop() {
+                            let steal_here = stage_steals[idx];
+                            // Sim-paced claiming (steal-enabled stages only).
+                            // Functional execution runs at wall speed, so a
+                            // device that is slow on the *simulated* clock
+                            // would still drain its queue as fast as any
+                            // sibling — wall-time claiming hides exactly the
+                            // backlog that adaptive re-routing exists to
+                            // absorb. A worker whose observed slowdown
+                            // (charged vs nominal busy, the straggler
+                            // detector) exceeds STRAGGLER_RATIO therefore
+                            // yields (bounded by MAX_CLAIM_YIELDS) instead of
+                            // claiming the next block, leaving it in the
+                            // queue where a healthy thief can profitably
+                            // take it.
+                            let mut last_busy: u64 = 0;
+                            let mut claim_yields: usize = 0;
+                            let straggling =
+                                || routing[idx].observed_slowdown(slot_idx) > STRAGGLER_RATIO;
+                            loop {
+                                // Claim pacing, part one: with backlog
+                                // already visible, a sim-behind worker
+                                // sleeps *without touching the queue* — the
+                                // blocks keep their order and stay stealable.
+                                if steal_here
+                                    && last_busy > 0
+                                    && claim_yields < MAX_CLAIM_YIELDS
+                                    && !queue.is_empty()
+                                    && straggling()
+                                {
+                                    claim_yields += 1;
+                                    std::thread::sleep(STEAL_POLL);
+                                    continue;
+                                }
+                                // Late binding: an idle worker (empty queue,
+                                // or its stream already over) rescues the
+                                // tail of an overloaded sibling's backlog
+                                // instead of parking/exiting while a
+                                // straggler holds blocks hostage.
+                                let block = if steal_here {
+                                    match queue.pop_timeout(STEAL_POLL) {
+                                        PopNext::Block(block) => {
+                                            // Claim pacing, part two: a block
+                                            // that arrived while this worker
+                                            // was parked in pop was claimed
+                                            // before part one could see it —
+                                            // if the device is sim-behind its
+                                            // siblings, un-claim it (back to
+                                            // the queue tail, where thieves
+                                            // look) and yield, bounded by
+                                            // MAX_CLAIM_YIELDS so progress
+                                            // never stalls when no sibling
+                                            // finds the backlog profitable.
+                                            if last_busy > 0
+                                                && claim_yields < MAX_CLAIM_YIELDS
+                                                && straggling()
+                                            {
+                                                // A refused give-back means
+                                                // the queue closed: drop the
+                                                // block like close()'s sweep.
+                                                let _ = queue.give_back(block);
+                                                claim_yields += 1;
+                                                std::thread::sleep(STEAL_POLL);
+                                                continue;
+                                            }
+                                            block
+                                        }
+                                        next @ (PopNext::Empty | PopNext::Finished) => {
+                                            let own_finished =
+                                                matches!(next, PopNext::Finished);
+                                            match self.steal_for(
+                                                &routing[idx],
+                                                &queues[idx],
+                                                slot_idx,
+                                                &clock,
+                                                device_clocks,
+                                                mem_move,
+                                                staging_ref,
+                                                staging_budget,
+                                            )? {
+                                                StealOutcome::Stolen(block) => {
+                                                    progress[idx]
+                                                        .blocks_stolen
+                                                        .fetch_add(1, Ordering::Relaxed);
+                                                    block
+                                                }
+                                                StealOutcome::Unprofitable => {
+                                                    // A sibling backlog may
+                                                    // turn profitable as the
+                                                    // victim's clock advances;
+                                                    // pace the recheck when
+                                                    // pop no longer waits (a
+                                                    // finished stream returns
+                                                    // immediately).
+                                                    if own_finished {
+                                                        std::thread::sleep(STEAL_POLL);
+                                                    }
+                                                    continue;
+                                                }
+                                                StealOutcome::Nothing => {
+                                                    if own_finished {
+                                                        break;
+                                                    }
+                                                    continue;
+                                                }
+                                            }
+                                        }
+                                    }
+                                } else {
+                                    match queue.pop() {
+                                        Some(block) => block,
+                                        None => break,
+                                    }
+                                };
                                 if !processed_any {
                                     processed_any = true;
                                     progress[idx].record_first_block(
@@ -906,6 +1361,18 @@ impl Executor {
                                 let (end, busy) =
                                     self.charge(&clock, &device_profile, &out.work, ready);
                                 last_end = last_end.max(end);
+                                last_busy = busy;
+                                claim_yields = 0;
+                                // Feed the straggler detector: what this
+                                // block actually cost vs what the nominal
+                                // model prices for the same work.
+                                routing[idx].charged_busy[slot_idx]
+                                    .fetch_add(busy, Ordering::Relaxed);
+                                routing[idx].nominal_busy[slot_idx].fetch_add(
+                                    self.cost.time_ns(&out.work, &device_profile),
+                                    Ordering::Relaxed,
+                                );
+                                routing[idx].processed[slot_idx].fetch_add(1, Ordering::Relaxed);
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
                                 local_stats.bytes_scanned += out.work.bytes_scanned;
@@ -1020,6 +1487,10 @@ impl Executor {
             stage_timeline: progress.iter().map(StageProgress::timeline).collect(),
             stage_completion: progress.iter().map(|p| *p.completion.lock()).collect(),
             staging_peaks,
+            blocks_stolen: progress
+                .iter()
+                .map(|p| p.blocks_stolen.load(Ordering::Relaxed))
+                .collect(),
         })
     }
 
@@ -1112,6 +1583,7 @@ impl Executor {
             stage_timeline: timeline,
             stage_completion,
             staging_peaks: Vec::new(),
+            blocks_stolen: vec![0; graph.stages.len()],
         })
     }
 
@@ -1138,8 +1610,12 @@ impl Executor {
         // transfers it schedules can precede the stage's start.
         let mut instance_inputs: Vec<Vec<BlockHandle>> = vec![Vec::new(); stage.consumers.len()];
         for handle in inputs {
-            let (pick, localized) =
-                self.route_and_localize(&routing, mem_move, &gpu_nodes, handle, floor, None)?;
+            // No gate term (0, not pending): the materialization barrier
+            // already floors the whole stage at its dependencies' completion,
+            // so legacy routing stays exactly as it was.
+            let (pick, localized) = self.route_and_localize(
+                &routing, mem_move, &gpu_nodes, handle, floor, None, 0, false,
+            )?;
             instance_inputs[pick].push(localized);
         }
 
@@ -1480,6 +1956,46 @@ mod tests {
         for (node, peak) in &result.staging_peaks {
             assert!(*peak <= 1024, "node {node} peaked at {peak} > clamped budget 1024");
         }
+    }
+
+    #[test]
+    fn stealing_rescues_a_straggler_and_preserves_rows() {
+        // One GPU is a hidden 8x straggler: the router keeps pricing its
+        // nominal profile, so its queue backs up. With stealing, siblings
+        // drain the backlog; the rows must be identical either way and the
+        // skewed run must get faster, not slower.
+        let topology = ServerTopology::paper_server();
+        let slow_gpu = topology.gpus()[1];
+        let skewed = topology.with_device_slowdown(slow_gpu, 8.0).unwrap();
+        let catalog = catalog_with_data(&skewed, 200_000);
+        let mut config = EngineConfig::hybrid(8, 2);
+        config.scale_weight = 20_000.0;
+        let het = parallelize(&join_sum_plan(), &config).unwrap();
+        let executor = Executor::new(Arc::clone(&skewed));
+
+        // One freshly compiled graph per execution: the compiled graph owns
+        // the query's shared state (hash tables, accumulators), which is
+        // populated by a run.
+        let graph = compile(&het, &config, &skewed).unwrap();
+        let stealing = executor.execute(&graph, &catalog, &config).unwrap();
+        let disabled_cfg = config.clone().with_steal_policy(hetex_common::StealPolicy::Disabled);
+        let graph = compile(&het, &disabled_cfg, &skewed).unwrap();
+        let bound = executor.execute(&graph, &catalog, &disabled_cfg).unwrap();
+
+        let (sum, cnt) = expected(200_000);
+        assert_eq!(stealing.rows, vec![vec![sum, cnt]]);
+        assert_eq!(bound.rows, stealing.rows);
+        assert!(bound.blocks_stolen.iter().all(|&s| s == 0), "disabled policy must not steal");
+        assert!(
+            stealing.blocks_stolen.iter().sum::<u64>() > 0,
+            "idle siblings should have stolen from the straggler's backlog"
+        );
+        assert!(
+            stealing.sim_time <= bound.sim_time,
+            "stealing ({}) must not lose to binding ({}) on a skewed topology",
+            stealing.sim_time,
+            bound.sim_time
+        );
     }
 
     #[test]

@@ -90,6 +90,14 @@ pub struct DeviceProfile {
     pub atomic_ns: f64,
     /// Capacity of the device's local memory in bytes.
     pub memory_capacity: u64,
+    /// Runtime slowdown multiplier applied when *charging* work to this
+    /// device's clock, but deliberately **not** consulted by routing-time
+    /// cost estimates. `1.0` (the default) models a healthy device; larger
+    /// values model a straggler — thermal throttling, contention from a
+    /// co-tenant, a degraded link — that a static cost model cannot predict.
+    /// This is the knob the work-stealing benchmarks use to create a skewed
+    /// instance the router keeps feeding at its nominal rate.
+    pub exec_slowdown: f64,
 }
 
 impl DeviceProfile {
@@ -112,6 +120,7 @@ impl DeviceProfile {
             launch_overhead_ns: 20_000,
             atomic_ns: 20.0,
             memory_capacity: 128 * (1 << 30),
+            exec_slowdown: 1.0,
         }
     }
 
@@ -131,6 +140,7 @@ impl DeviceProfile {
             launch_overhead_ns: 12_000,
             atomic_ns: 2.0,
             memory_capacity: 8 * (1 << 30),
+            exec_slowdown: 1.0,
         }
     }
 

@@ -61,6 +61,22 @@ impl ServerTopology {
         self.sockets
     }
 
+    /// A copy of this topology with `device` marked as a runtime straggler:
+    /// work charged to it takes `factor`× its modeled time, while routing-time
+    /// cost estimates keep pricing the nominal profile (see
+    /// [`DeviceProfile::exec_slowdown`]). The work-stealing benchmarks use
+    /// this to build a deliberately skewed server whose imbalance the
+    /// feedback router cannot predict — only absorb.
+    pub fn with_device_slowdown(&self, device: DeviceId, factor: f64) -> Result<Arc<Self>> {
+        let mut topology = self.clone();
+        let profile = topology
+            .devices
+            .get_mut(device.index())
+            .ok_or_else(|| HetError::UnknownDevice(format!("{device}")))?;
+        profile.exec_slowdown = factor.max(f64::MIN_POSITIVE);
+        Ok(Arc::new(topology))
+    }
+
     /// All memory nodes.
     pub fn memory_nodes(&self) -> &[MemoryNodeSpec] {
         &self.memory_nodes
@@ -432,6 +448,22 @@ mod tests {
             t.memory_clock(MemoryNodeId::new(0)).unwrap().now(),
             crate::clock::SimTime::ZERO
         );
+    }
+
+    #[test]
+    fn device_slowdown_marks_one_straggler() {
+        let t = ServerTopology::paper_server();
+        let gpu = t.gpus()[1];
+        let skewed = t.with_device_slowdown(gpu, 8.0).unwrap();
+        assert_eq!(skewed.device(gpu).unwrap().exec_slowdown, 8.0);
+        // Every other device — and the original topology — stays nominal.
+        assert_eq!(t.device(gpu).unwrap().exec_slowdown, 1.0);
+        for (idx, dev) in skewed.devices().iter().enumerate() {
+            if DeviceId::new(idx) != gpu {
+                assert_eq!(dev.exec_slowdown, 1.0);
+            }
+        }
+        assert!(t.with_device_slowdown(DeviceId::new(999), 2.0).is_err());
     }
 
     #[test]
