@@ -6,28 +6,80 @@
 //!
 //! CI snapshots the checked-in `BENCH_*.json` files before re-running the
 //! bench bins (which overwrite them in place), then invokes this gate with
-//! the snapshot directory. Every numeric field ending in `_s` is treated as
-//! a time metric (`pipelined_s`, `governed_s`, `steal_s`, …): a current
-//! value more than `tolerance_pct` above its baseline is a throughput
-//! regression. Metrics present only in the current files (new benchmarks)
-//! pass; metrics that *disappeared* fail, so a silently dropped workload
-//! cannot slip through. Workloads labelled `skewed` are reported but not
-//! gated: their timings depend on wall-clock thread scheduling (how many
-//! blocks get stolen before a straggler claims them varies with core count
-//! and load), so the committed number is not a stable baseline — the
-//! `steal_ab` bin enforces that workload's real acceptance bar (≥ 10%
-//! improvement) directly. The JSON is the hand-rolled one-object-per-line
-//! format the bench crate emits (the build has no JSON dependency), parsed
-//! with an equally small hand-rolled scanner.
+//! the snapshot directory. Gated metrics carry **direction metadata**
+//! derived from the field suffix: fields ending in `_s` are simulated times
+//! (lower is better — a current value more than `tolerance_pct` *above* its
+//! baseline regresses), fields ending in `_gbps` are throughputs (higher is
+//! better — a value more than `tolerance_pct` *below* its baseline
+//! regresses). Without the direction split an improved throughput number
+//! would be flagged exactly like a slowed-down time. Metrics present only
+//! in the current files (new benchmarks) pass; metrics that *disappeared*
+//! fail, so a silently dropped workload cannot slip through. Workloads
+//! labelled `skewed` are reported but not gated: their timings depend on
+//! wall-clock thread scheduling (how many blocks get stolen before a
+//! straggler claims them varies with core count and load), so the committed
+//! number is not a stable baseline — the `steal_ab` bin enforces that
+//! workload's real acceptance bar (≥ 10% improvement) directly. The JSON is
+//! the hand-rolled one-object-per-line format the bench crate emits (the
+//! build has no JSON dependency), parsed with an equally small hand-rolled
+//! scanner.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
 
-/// One time metric: (workload label, field name, seconds).
-type Metric = (String, String, f64);
+/// Which way "better" points for a metric.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Direction {
+    /// Times, latencies: a larger current value is a regression.
+    LowerIsBetter,
+    /// Throughputs, recovery rates: a smaller current value is a regression.
+    HigherIsBetter,
+}
 
-/// Extract every `"field": value` pair with a `_s`-suffixed field from the
-/// bench crate's one-workload-per-line JSON.
+/// Direction metadata by field-name suffix; `None` for fields that are not
+/// gated (counts, percentages, booleans).
+fn direction_of(field: &str) -> Option<Direction> {
+    if field.ends_with("_s") {
+        Some(Direction::LowerIsBetter)
+    } else if field.ends_with("_gbps") {
+        Some(Direction::HigherIsBetter)
+    } else {
+        None
+    }
+}
+
+/// One gated metric: (workload label, field name, value, direction).
+type Metric = (String, String, f64, Direction);
+
+/// True when `current` regressed against `baseline` by more than `factor`
+/// (1.0 + tolerance) in the metric's own direction: more than the tolerance
+/// *above* baseline for times, more than the tolerance *below* baseline for
+/// throughputs (`2.0 - factor` = 1.0 − tolerance — symmetric with the
+/// lower-is-better bar, not the smaller `1/factor` drop).
+fn regressed(direction: Direction, baseline: f64, current: f64, factor: f64) -> bool {
+    match direction {
+        Direction::LowerIsBetter => current > baseline * factor && current - baseline > 1e-9,
+        Direction::HigherIsBetter => {
+            current < baseline * (2.0 - factor) && baseline - current > 1e-9
+        }
+    }
+}
+
+/// Signed change of `current` vs `baseline` in percent, oriented so that a
+/// positive value is always an improvement.
+fn improvement_pct(direction: Direction, baseline: f64, current: f64) -> f64 {
+    if baseline == 0.0 {
+        return 0.0;
+    }
+    let raw = (current / baseline - 1.0) * 100.0;
+    match direction {
+        Direction::LowerIsBetter => -raw,
+        Direction::HigherIsBetter => raw,
+    }
+}
+
+/// Extract every gated `"field": value` pair (a field with direction
+/// metadata) from the bench crate's one-workload-per-line JSON.
 fn parse_metrics(content: &str) -> Vec<Metric> {
     let mut out = Vec::new();
     for line in content.lines() {
@@ -38,13 +90,11 @@ fn parse_metrics(content: &str) -> Vec<Metric> {
             let Some(end) = rest.find('"') else { break };
             let key = &rest[..end];
             rest = &rest[end + 1..];
-            if !key.ends_with("_s") {
-                continue;
-            }
+            let Some(direction) = direction_of(key) else { continue };
             let Some(colon) = rest.find(':') else { break };
             let value_str = rest[colon + 1..].trim_start().split([',', '}']).next().unwrap_or("");
             if let Ok(value) = value_str.trim().parse::<f64>() {
-                out.push((workload.clone(), key.to_string(), value));
+                out.push((workload.clone(), key.to_string(), value, direction));
             }
         }
     }
@@ -85,6 +135,13 @@ fn main() {
     };
     let current_dir = args.next().map(PathBuf::from).unwrap_or_else(|| PathBuf::from("."));
     let tolerance_pct: f64 = args.next().and_then(|t| t.parse().ok()).unwrap_or(10.0);
+    // Past 100% the higher-is-better bar (baseline × (1 − tolerance)) goes
+    // non-positive and that whole gate silently disables itself; no
+    // legitimate tolerance is anywhere near that, so reject loudly.
+    if !(0.0..100.0).contains(&tolerance_pct) {
+        eprintln!("tolerance_pct must be in [0, 100), got {tolerance_pct}");
+        exit(2);
+    }
     let factor = 1.0 + tolerance_pct / 100.0;
 
     let baselines = bench_files(&baseline_dir);
@@ -105,30 +162,31 @@ fn main() {
             continue;
         };
         let current_metrics = parse_metrics(&current);
-        for (workload, field, base_s) in parse_metrics(&baseline) {
+        for (workload, field, base, direction) in parse_metrics(&baseline) {
             if workload.contains("skewed") && !workload.contains("unskewed") {
                 println!("skip {name} {workload}.{field}: schedule-sensitive, not gated");
                 continue;
             }
             compared += 1;
-            let Some((_, _, cur_s)) =
-                current_metrics.iter().find(|(w, f, _)| *w == workload && *f == field)
+            let Some((_, _, cur, _)) =
+                current_metrics.iter().find(|(w, f, _, _)| *w == workload && *f == field)
             else {
                 eprintln!("REGRESSION {name} {workload}.{field}: metric disappeared");
                 regressions += 1;
                 continue;
             };
-            if *cur_s > base_s * factor && *cur_s - base_s > 1e-9 {
+            let gain = improvement_pct(direction, base, *cur);
+            if regressed(direction, base, *cur, factor) {
                 eprintln!(
-                    "REGRESSION {name} {workload}.{field}: {cur_s:.6}s vs baseline {base_s:.6}s \
-                     (+{:.1}% > {tolerance_pct:.0}%)",
-                    (cur_s / base_s - 1.0) * 100.0
+                    "REGRESSION {name} {workload}.{field}: {cur:.6} vs baseline {base:.6} \
+                     ({:.1}% worse > {tolerance_pct:.0}%, {direction:?})",
+                    -gain
                 );
                 regressions += 1;
             } else {
                 println!(
-                    "ok {name} {workload}.{field}: {cur_s:.6}s vs {base_s:.6}s ({:+.1}%)",
-                    (cur_s / base_s - 1.0) * 100.0
+                    "ok {name} {workload}.{field}: {cur:.6} vs {base:.6} \
+                     ({gain:+.1}% better, {direction:?})"
                 );
             }
         }
@@ -151,18 +209,78 @@ mod tests {
   "benchmark": "work_stealing_ab",
   "workloads": [
     {"workload": "skewed", "steal_s": 5.301234567, "no_steal_s": 10.500000000, "improvement_pct": 49.51, "blocks_stolen": 18, "rows_identical": true},
-    {"workload": "unskewed", "steal_s": 2.100000000, "no_steal_s": 2.110000000, "improvement_pct": 0.47, "blocks_stolen": 0, "rows_identical": true}
+    {"workload": "unskewed", "steal_s": 2.100000000, "no_steal_s": 2.110000000, "improvement_pct": 0.47, "blocks_stolen": 0, "rows_identical": true},
+    {"workload": "scan_sweep", "throughput_gbps": 41.500000000, "cores": 16}
   ]
 }"#;
 
     #[test]
-    fn parses_only_time_metrics() {
+    fn parses_directed_metrics_only() {
         let metrics = parse_metrics(SAMPLE);
-        assert_eq!(metrics.len(), 4);
-        assert!(metrics.contains(&("skewed".into(), "steal_s".into(), 5.301234567)));
-        assert!(metrics.contains(&("unskewed".into(), "no_steal_s".into(), 2.11)));
-        // Non-time fields (counts, percentages, booleans) are not gated.
-        assert!(!metrics.iter().any(|(_, f, _)| f == "improvement_pct" || f == "blocks_stolen"));
+        assert_eq!(metrics.len(), 5);
+        assert!(metrics.contains(&(
+            "skewed".into(),
+            "steal_s".into(),
+            5.301234567,
+            Direction::LowerIsBetter
+        )));
+        assert!(metrics.contains(&(
+            "unskewed".into(),
+            "no_steal_s".into(),
+            2.11,
+            Direction::LowerIsBetter
+        )));
+        // Throughputs are gated in the opposite direction.
+        assert!(metrics.contains(&(
+            "scan_sweep".into(),
+            "throughput_gbps".into(),
+            41.5,
+            Direction::HigherIsBetter
+        )));
+        // Undirected fields (counts, percentages, booleans) are not gated.
+        assert!(!metrics.iter().any(|(_, f, _, _)| f == "improvement_pct" || f == "blocks_stolen"));
+    }
+
+    #[test]
+    fn direction_metadata_comes_from_the_field_suffix() {
+        assert_eq!(direction_of("pipelined_s"), Some(Direction::LowerIsBetter));
+        assert_eq!(direction_of("governed_s"), Some(Direction::LowerIsBetter));
+        assert_eq!(direction_of("throughput_gbps"), Some(Direction::HigherIsBetter));
+        assert_eq!(direction_of("improvement_pct"), None);
+        assert_eq!(direction_of("blocks_stolen"), None);
+        assert_eq!(direction_of("rows_identical"), None);
+    }
+
+    #[test]
+    fn improvements_are_not_flagged_in_either_direction() {
+        let factor = 1.10;
+        // A faster time is an improvement, not a regression…
+        assert!(!regressed(Direction::LowerIsBetter, 10.0, 8.0, factor));
+        // …and so is a higher throughput, even though the raw value *rose*
+        // (the bug the direction metadata exists to fix).
+        assert!(!regressed(Direction::HigherIsBetter, 40.0, 48.0, factor));
+        // Genuine regressions are flagged in both directions.
+        assert!(regressed(Direction::LowerIsBetter, 10.0, 11.5, factor));
+        assert!(regressed(Direction::HigherIsBetter, 40.0, 34.0, factor));
+        // Within-tolerance drift passes either way — and the higher-is-better
+        // bar is the full symmetric 10% drop (a 9.5% drop passes), not the
+        // tighter 1/1.1 ≈ 9.09% an inverted-factor check would enforce.
+        assert!(!regressed(Direction::LowerIsBetter, 10.0, 10.5, factor));
+        assert!(!regressed(Direction::HigherIsBetter, 40.0, 38.0, factor));
+        assert!(!regressed(Direction::HigherIsBetter, 40.0, 36.2, factor));
+        assert!(regressed(Direction::HigherIsBetter, 40.0, 35.9, factor));
+        // Degenerate equal/zero baselines never divide or flag.
+        assert!(!regressed(Direction::HigherIsBetter, 0.0, 0.0, factor));
+        assert!(!regressed(Direction::LowerIsBetter, 0.0, 0.0, factor));
+    }
+
+    #[test]
+    fn improvement_pct_is_oriented_positive_is_better() {
+        assert!((improvement_pct(Direction::LowerIsBetter, 10.0, 8.0) - 20.0).abs() < 1e-9);
+        assert!((improvement_pct(Direction::LowerIsBetter, 10.0, 12.0) + 20.0).abs() < 1e-9);
+        assert!((improvement_pct(Direction::HigherIsBetter, 40.0, 48.0) - 20.0).abs() < 1e-9);
+        assert!((improvement_pct(Direction::HigherIsBetter, 40.0, 32.0) + 20.0).abs() < 1e-9);
+        assert_eq!(improvement_pct(Direction::HigherIsBetter, 0.0, 5.0), 0.0);
     }
 
     #[test]

@@ -14,6 +14,13 @@ use crate::pipeline_ab::join_reduce_engine;
 use hetex_common::config::DEFAULT_STAGING_BYTES;
 use hetex_common::{EngineConfig, ExecutionMode, Result};
 
+/// The demand-weighted quota A/B (cost-model term 1) reuses the governed
+/// acceptance workload with a deliberately *tight* budget — at the default
+/// 64 MiB the quotas never bind, so the split policy would be unobservable.
+/// Tight means a small multiple of the validation floor: admission quotas
+/// genuinely park producers and the re-split has something to re-balance.
+const DEMAND_QUOTA_BUDGET_FLOORS: u64 = 3;
+
 /// One governed-vs-ungoverned measurement.
 #[derive(Debug, Clone)]
 pub struct StagingAbRow {
@@ -29,6 +36,10 @@ pub struct StagingAbRow {
     pub peak_leased_bytes: u64,
     /// Whether both runs produced byte-identical result rows.
     pub rows_identical: bool,
+    /// What the two time fields measured — emitted into the JSON so the
+    /// committed artifact is self-describing (the demand-quota variant
+    /// reuses the fields with both sides governed).
+    pub note: &'static str,
 }
 
 impl StagingAbRow {
@@ -58,7 +69,7 @@ impl StagingAbReport {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"budget_bytes\": {}, \"governed_s\": {:.9}, \
                  \"ungoverned_s\": {:.9}, \"overhead_pct\": {:.2}, \"peak_leased_bytes\": {}, \
-                 \"rows_identical\": {}}}{}\n",
+                 \"rows_identical\": {}, \"note\": \"{}\"}}{}\n",
                 row.workload,
                 row.budget_bytes,
                 row.governed_s,
@@ -66,6 +77,7 @@ impl StagingAbReport {
                 row.overhead_pct(),
                 row.peak_leased_bytes,
                 row.rows_identical,
+                row.note,
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
         }
@@ -100,12 +112,53 @@ pub fn join_reduce_staging_ab(fact_rows: usize) -> Result<StagingAbRow> {
             .max()
             .unwrap_or(0),
         rows_identical: governed.rows == ungoverned.rows,
+        note: "governed_s=byte-governed, ungoverned_s=ungoverned (PR 1)",
     })
 }
 
-/// Run the A/B suite (currently the join+reduce acceptance workload).
+/// Demand-weighted vs even staging quota split (cost-model term 1), both
+/// governed under a tight budget: `governed_s` is the demand-weighted run,
+/// `ungoverned_s` the even-split (PR 2) run. The acceptance bar mirrors the
+/// governance bar: demand weighting must stay within 5% of the even split
+/// on identical rows (its win is back-pressure fairness under skewed
+/// per-stage demand, not raw simulated time).
+pub fn join_reduce_demand_quota_ab(fact_rows: usize) -> Result<StagingAbRow> {
+    let (engine, plan) = join_reduce_engine(fact_rows)?;
+    let mut base = EngineConfig::hybrid(8, 2).with_execution_mode(ExecutionMode::Pipelined);
+    base.scale_weight = 20_000.0;
+    base.block_capacity = 2048;
+    let mut base = base.with_table_weight("dim", 2_500.0);
+    let budget = base.min_staging_bytes() * DEMAND_QUOTA_BUDGET_FLOORS;
+    base.staging_bytes = Some(budget);
+
+    let demand = engine.execute(&plan, &base)?;
+    let even = engine.execute(
+        &plan,
+        &base.clone().with_cost_model(base.cost_model.with_demand_weighted_quotas(false)),
+    )?;
+    Ok(StagingAbRow {
+        workload: format!("join_reduce_{}k_hybrid_8_2_demand_quota", fact_rows / 1000),
+        budget_bytes: budget,
+        governed_s: demand.seconds(),
+        ungoverned_s: even.seconds(),
+        peak_leased_bytes: demand
+            .stats
+            .staging_peaks
+            .iter()
+            .map(|(_, peak)| *peak)
+            .max()
+            .unwrap_or(0),
+        rows_identical: demand.rows == even.rows,
+        note: "governed_s=demand-weighted split, ungoverned_s=even split (both governed)",
+    })
+}
+
+/// Run the A/B suite: the governed-vs-ungoverned acceptance workload plus
+/// the demand-weighted quota variant.
 pub fn run_all(fact_rows: usize) -> Result<StagingAbReport> {
-    Ok(StagingAbReport { rows: vec![join_reduce_staging_ab(fact_rows)?] })
+    Ok(StagingAbReport {
+        rows: vec![join_reduce_staging_ab(fact_rows)?, join_reduce_demand_quota_ab(fact_rows)?],
+    })
 }
 
 #[cfg(test)]
@@ -132,6 +185,24 @@ mod tests {
     }
 
     #[test]
+    fn demand_weighted_quotas_cost_at_most_5_percent_under_a_tight_budget() {
+        // Cost-model term 1 acceptance: with admission quotas genuinely
+        // binding (tight budget), the demand-weighted split stays within 5%
+        // of the even split with identical rows and a governed peak.
+        let row = join_reduce_demand_quota_ab(200_000).unwrap();
+        assert!(row.rows_identical, "quota policy must not change results");
+        assert!(
+            row.overhead_pct() <= 5.0,
+            "demand-weighted {}s vs even {}s: overhead {:.2}% > 5%",
+            row.governed_s,
+            row.ungoverned_s,
+            row.overhead_pct()
+        );
+        assert!(row.peak_leased_bytes > 0, "no block was ever lease-backed");
+        assert!(row.peak_leased_bytes <= row.budget_bytes, "peak exceeded the budget");
+    }
+
+    #[test]
     fn report_json_shape() {
         let report = StagingAbReport {
             rows: vec![StagingAbRow {
@@ -141,6 +212,7 @@ mod tests {
                 ungoverned_s: 1.0,
                 peak_leased_bytes: 512,
                 rows_identical: true,
+                note: "governed_s=a, ungoverned_s=b",
             }],
         };
         let json = report.to_json();

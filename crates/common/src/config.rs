@@ -73,6 +73,84 @@ impl StealPolicy {
     }
 }
 
+/// Per-term toggles of the unified routing/admission/steal cost model
+/// (`hetex-core`'s `CostModel`).
+///
+/// PRs 1–3 grew estimation logic organically — an arena-occupancy penalty in
+/// the router, an even per-queue staging quota split, a gate term fed by the
+/// dependency's committed load, a clock-based steal profitability check —
+/// and each closed with a named estimation gap. The cost model consolidates
+/// all of it behind one API and ships the four refinements below; each is
+/// individually toggleable so differential tests can isolate each term's
+/// contribution (all-off reproduces the PR 3 behaviour exactly).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CostModelConfig {
+    /// Term 1 — staging quota shares follow observed per-queue demand
+    /// (EWMA of admitted bytes, re-split on a cadence) instead of the even
+    /// `budget / consumers_on_node` split.
+    pub demand_weighted_quotas: bool,
+    /// Term 2 — each cross-node queue push (a remote queue mutex
+    /// acquisition) is priced into the consumer's node-axis load, so
+    /// control-plane traffic is no longer free when the data plane is.
+    pub control_plane_term: bool,
+    /// Term 3 — a gated stage's opening time is estimated from the
+    /// dependency's *critical path* (the slowest transitive feed's committed
+    /// load included), not only the dependency's own committed device load.
+    pub gate_critical_path: bool,
+    /// Term 4 — outstanding DMA backlog on the relocation route (per-link)
+    /// is folded into the steal profitability check, so a rescue that would
+    /// queue behind saturated links is priced honestly.
+    pub link_congestion_term: bool,
+}
+
+impl Default for CostModelConfig {
+    fn default() -> Self {
+        Self {
+            demand_weighted_quotas: true,
+            control_plane_term: true,
+            gate_critical_path: true,
+            link_congestion_term: true,
+        }
+    }
+}
+
+impl CostModelConfig {
+    /// Every refinement disabled — the PR 3 estimation behaviour, the
+    /// baseline the differential tests toggle against.
+    pub fn disabled() -> Self {
+        Self {
+            demand_weighted_quotas: false,
+            control_plane_term: false,
+            gate_critical_path: false,
+            link_congestion_term: false,
+        }
+    }
+
+    /// Toggle the demand-weighted staging quota term.
+    pub fn with_demand_weighted_quotas(mut self, on: bool) -> Self {
+        self.demand_weighted_quotas = on;
+        self
+    }
+
+    /// Toggle the cross-node control-plane term.
+    pub fn with_control_plane_term(mut self, on: bool) -> Self {
+        self.control_plane_term = on;
+        self
+    }
+
+    /// Toggle the critical-path gate estimate.
+    pub fn with_gate_critical_path(mut self, on: bool) -> Self {
+        self.gate_critical_path = on;
+        self
+    }
+
+    /// Toggle the link-congestion steal term.
+    pub fn with_link_congestion_term(mut self, on: bool) -> Self {
+        self.link_congestion_term = on;
+        self
+    }
+}
+
 /// Initial placement of base-table data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPlacement {
@@ -123,6 +201,9 @@ pub struct EngineConfig {
     /// Adaptive re-routing policy of the pipelined executor: whether idle
     /// workers steal queued blocks from overloaded same-stage siblings.
     pub steal_policy: StealPolicy,
+    /// Per-term toggles of the unified cost model driving routing
+    /// projections, staging quota splits and steal profitability.
+    pub cost_model: CostModelConfig,
 }
 
 impl Default for EngineConfig {
@@ -140,6 +221,7 @@ impl Default for EngineConfig {
             queue_capacity: Some(DEFAULT_QUEUE_CAPACITY),
             staging_bytes: Some(DEFAULT_STAGING_BYTES),
             steal_policy: StealPolicy::default(),
+            cost_model: CostModelConfig::default(),
         }
     }
 }
@@ -212,6 +294,12 @@ impl EngineConfig {
     /// Select the pipelined executor's work-stealing policy.
     pub fn with_steal_policy(mut self, policy: StealPolicy) -> Self {
         self.steal_policy = policy;
+        self
+    }
+
+    /// Select which cost-model terms are active.
+    pub fn with_cost_model(mut self, cost_model: CostModelConfig) -> Self {
+        self.cost_model = cost_model;
         self
     }
 
@@ -324,6 +412,25 @@ mod tests {
         let off = cfg.with_steal_policy(StealPolicy::Disabled);
         assert!(!off.steal_policy.is_enabled());
         off.validate().unwrap();
+    }
+
+    #[test]
+    fn cost_model_defaults_on_and_toggles_individually() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.cost_model, CostModelConfig::default());
+        assert!(cfg.cost_model.demand_weighted_quotas);
+        assert!(cfg.cost_model.control_plane_term);
+        assert!(cfg.cost_model.gate_critical_path);
+        assert!(cfg.cost_model.link_congestion_term);
+        let off = CostModelConfig::disabled();
+        assert!(!off.demand_weighted_quotas && !off.link_congestion_term);
+        // Each term toggles independently of the others.
+        let one = CostModelConfig::disabled().with_gate_critical_path(true);
+        assert!(one.gate_critical_path);
+        assert!(!one.control_plane_term && !one.demand_weighted_quotas);
+        let cfg = cfg.with_cost_model(off);
+        assert_eq!(cfg.cost_model, CostModelConfig::disabled());
+        cfg.validate().unwrap();
     }
 
     #[test]

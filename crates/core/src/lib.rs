@@ -13,6 +13,10 @@
 //!   crossings, mem-moves and pack/unpack operators into a sequential plan,
 //!   reproducing the step-by-step construction of Figure 1 for CPU-only,
 //!   GPU-only and hybrid configurations.
+//! * [`cost`] — the unified routing/admission/steal cost model
+//!   ([`cost::CostModel`]): every estimation term the executor's router
+//!   path, queue-admission path and steal path consult, behind one
+//!   calibrated interface with per-term `EngineConfig` toggles.
 //! * [`router`] — the control-flow router: policies (round-robin,
 //!   least-loaded, hash, union, broadcast-target), degree-of-parallelism
 //!   control and affinity assignment. Routes block *handles*, never data.
@@ -25,6 +29,7 @@
 //! * [`queue`] — the asynchronous block-handle queues used by routers and by
 //!   gpu2cpu.
 
+pub mod cost;
 pub mod device_crossing;
 pub mod mem_move;
 pub mod pack;
@@ -34,6 +39,7 @@ pub mod queue;
 pub mod router;
 pub mod traits;
 
+pub use cost::{CostModel, DemandSplitter, StealQuery};
 pub use device_crossing::{Cpu2Gpu, Gpu2Cpu};
 pub use mem_move::MemMove;
 pub use pack::{Packer, Unpacker};

@@ -38,7 +38,7 @@
 
 use hetex_common::{BlockHandle, HetError, MemoryNodeId, Result};
 use std::collections::VecDeque;
-use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -47,12 +47,18 @@ use std::time::{Duration, Instant};
 /// of its node's staging arena. Shared by all clones of the queue.
 #[derive(Debug)]
 struct QueueStaging {
-    /// The queue's byte share of its node's staging budget.
-    quota: u64,
+    /// The queue's byte share of its node's staging budget. Atomic because
+    /// the demand-weighted quota re-split (`hetex_core::cost`) adjusts live
+    /// quotas on a cadence while producers are admitting.
+    quota: AtomicU64,
     /// Outstanding admitted bytes.
     outstanding: StdMutex<u64>,
-    /// Signalled whenever outstanding bytes shrink (or the queue closes).
+    /// Signalled whenever outstanding bytes shrink, the quota grows, or the
+    /// queue closes.
     drained_cv: Condvar,
+    /// Cumulative admitted bytes over the queue's lifetime — the demand
+    /// signal the quota re-split reads.
+    admitted_total: AtomicU64,
 }
 
 /// RAII receipt of one byte admission into a [`BlockQueue`]; dropping it
@@ -169,11 +175,36 @@ impl BlockQueue {
     /// state is shared by clones made afterwards).
     pub fn with_byte_quota(mut self, quota: u64) -> Self {
         self.staging = Some(Arc::new(QueueStaging {
-            quota: quota.max(1),
+            quota: AtomicU64::new(quota.max(1)),
             outstanding: StdMutex::new(0),
             drained_cv: Condvar::new(),
+            admitted_total: AtomicU64::new(0),
         }));
         self
+    }
+
+    /// Adjust a governed queue's byte quota in place (shared by all clones).
+    /// Growing the quota wakes producers parked in [`Self::admit`] so they
+    /// re-check against the new share; shrinking only affects future
+    /// admissions — already-admitted bytes are never revoked. No-op on an
+    /// ungoverned queue.
+    pub fn set_byte_quota(&self, quota: u64) {
+        if let Some(staging) = &self.staging {
+            staging.quota.store(quota.max(1), Ordering::SeqCst);
+            staging.drained_cv.notify_all();
+        }
+    }
+
+    /// The queue's current byte quota, or `None` when admission is
+    /// ungoverned.
+    pub fn byte_quota(&self) -> Option<u64> {
+        self.staging.as_ref().map(|s| s.quota.load(Ordering::SeqCst))
+    }
+
+    /// Cumulative bytes ever admitted into this queue — the demand signal of
+    /// the quota re-split. Zero on ungoverned queues.
+    pub fn admitted_bytes_total(&self) -> u64 {
+        self.staging.as_ref().map(|s| s.admitted_total.load(Ordering::Relaxed)).unwrap_or(0)
     }
 
     /// Record the memory node this queue is placed on (the consumer's local
@@ -222,8 +253,9 @@ impl BlockQueue {
             if self.core.closed.load(Ordering::SeqCst) {
                 return Err(HetError::Cancelled("block queue closed".into()));
             }
-            if *outstanding == 0 || *outstanding + bytes <= staging.quota {
+            if *outstanding == 0 || *outstanding + bytes <= staging.quota.load(Ordering::SeqCst) {
                 *outstanding += bytes;
+                staging.admitted_total.fetch_add(bytes, Ordering::Relaxed);
                 return Ok(Some(QueueSlot { bytes, staging: Arc::clone(staging) }));
             }
             let (guard, _) = staging
@@ -439,6 +471,16 @@ impl BlockQueue {
             out.push(handle);
         }
         out
+    }
+
+    /// Memory node of the block a thief would take ([`Self::steal`] removes
+    /// the tail), or `None` when nothing is buffered. Advisory: the tail can
+    /// change between the peek and the steal, so callers may only use it for
+    /// estimates (the steal profitability pre-check prices the relocation
+    /// route from here), never for correctness.
+    pub fn tail_location(&self) -> Option<MemoryNodeId> {
+        let inner = self.core.inner.lock().unwrap_or_else(|e| e.into_inner());
+        inner.buf.back().map(|h| h.meta().location)
     }
 
     /// Number of blocks currently buffered (completion signals are counters,
@@ -694,6 +736,40 @@ mod tests {
         // Zero-byte blocks and ungoverned queues admit freely.
         assert!(q.admit(0).unwrap().is_none());
         assert!(BlockQueue::new(1).admit(10).unwrap().is_none());
+    }
+
+    #[test]
+    fn quota_can_be_resized_live_and_releases_parked_producers() {
+        let q = BlockQueue::new(1).with_byte_quota(100);
+        assert_eq!(q.byte_quota(), Some(100));
+        assert_eq!(q.admitted_bytes_total(), 0);
+        let held = q.admit(100).unwrap().expect("governed");
+        assert_eq!(q.admitted_bytes_total(), 100);
+        // A producer parks against the exhausted quota…
+        let waiter = {
+            let q = q.clone();
+            thread::spawn(move || q.admit(60))
+        };
+        thread::sleep(Duration::from_millis(30));
+        assert!(!waiter.is_finished(), "admission over a full quota must park");
+        // …and a demand-driven quota grow admits it without any release.
+        q.set_byte_quota(200);
+        assert_eq!(q.byte_quota(), Some(200));
+        let slot = waiter.join().unwrap().unwrap().expect("grown quota admits");
+        assert_eq!(q.outstanding_bytes(), 160);
+        assert_eq!(q.admitted_bytes_total(), 160);
+        drop(slot);
+        drop(held);
+        // Shrinking never revokes admitted bytes, it only governs the future.
+        q.set_byte_quota(10);
+        let big = q.admit(64).unwrap().expect("empty account still admits");
+        drop(big);
+        // Clones share the quota cell; ungoverned queues report none.
+        assert_eq!(q.clone().byte_quota(), Some(10));
+        let ungoverned = BlockQueue::new(1);
+        ungoverned.set_byte_quota(50);
+        assert_eq!(ungoverned.byte_quota(), None);
+        assert_eq!(ungoverned.admitted_bytes_total(), 0);
     }
 
     #[test]

@@ -243,10 +243,12 @@ impl LoadEstimator {
     }
 
     /// Like [`Self::projected`], with an additive per-consumer `penalties[i]`
-    /// term and a `gate_ns` floor. The pipelined executor prices each
-    /// consumer node's staging-arena occupancy into the penalty, so the
-    /// least-loaded policy steers blocks away from memory-starved nodes
-    /// before their producers start parking on leases.
+    /// term and a `gate_ns` floor. This is a *mechanism*: the values of both
+    /// terms are produced by the unified cost model (`crate::cost`), which
+    /// prices each consumer node's staging-arena occupancy into the penalty
+    /// (so the least-loaded policy steers blocks away from memory-starved
+    /// nodes before their producers start parking on leases) and estimates
+    /// the gate from the dependency's critical path.
     ///
     /// `gate_ns` is the estimated opening time of the consumer stage's
     /// dependency gate (0 for ungated stages): none of a gated stage's

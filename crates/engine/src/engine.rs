@@ -36,6 +36,10 @@ pub struct QueryStats {
     /// Blocks adaptively re-routed (work-stealing) per stage; all zeros when
     /// `EngineConfig::steal_policy` is disabled or in stage-at-a-time mode.
     pub blocks_stolen: Vec<u64>,
+    /// Cross-node control-plane traffic: pushes that acquired a queue mutex
+    /// on a memory node other than the block's (pipelined mode only). The
+    /// cost model's control-plane term prices exactly these acquisitions.
+    pub remote_control_acquisitions: u64,
 }
 
 impl QueryStats {
@@ -161,6 +165,7 @@ impl Proteus {
                 wall_time: result.wall_time,
                 staging_peaks: result.staging_peaks,
                 blocks_stolen: result.blocks_stolen,
+                remote_control_acquisitions: result.remote_control_acquisitions,
             },
         })
     }

@@ -28,6 +28,7 @@
 
 use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
 use hetex_common::{BlockHandle, EngineConfig, ExecutionMode, HetError, MemoryNodeId, Result};
+use hetex_core::cost::{CostModel, DemandSplitter, StealQuery};
 use hetex_core::mem_move::MemMove;
 use hetex_core::plan::RouterPolicy;
 use hetex_core::queue::{BlockQueue, PopNext, ProducerGuard, QueueSlot};
@@ -36,7 +37,8 @@ use hetex_gpu_sim::GpuDevice;
 use hetex_jit::{ExecCtx, SharedState, TerminalStep};
 use hetex_storage::{BlockLease, BlockManagerSet, Catalog, ExhaustionPolicy, Segmenter};
 use hetex_topology::{
-    CostModel, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime, WorkProfile,
+    CostModel as WorkCost, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime,
+    WorkProfile,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -76,13 +78,6 @@ const STEAL_POLL: Duration = Duration::from_micros(500);
 /// loop). Bounds the wall-clock stall and guarantees progress even when no
 /// sibling ever finds the backlog profitable.
 const MAX_CLAIM_YIELDS: usize = 64;
-
-/// Observed-slowdown ratio (charged vs nominal busy time) above which a
-/// worker treats itself as a straggler and paces its claims so siblings can
-/// steal its backlog. Healthy devices price out at exactly 1.0 in this
-/// simulation; the threshold leaves room for estimator drift without letting
-/// ordinary imbalance trigger pacing.
-const STRAGGLER_RATIO: f64 = 1.5;
 
 /// Outcome of one steal attempt (see `Executor::steal_for`).
 enum StealOutcome {
@@ -153,13 +148,23 @@ pub struct ExecutionResult {
     /// queue) per stage; all zeros when stealing is disabled or in
     /// stage-at-a-time mode.
     pub blocks_stolen: Vec<u64>,
+    /// Cross-node control-plane traffic: block handles pushed into a queue
+    /// on a memory node other than the block's (a remote queue mutex
+    /// acquisition each). Measured in every pipelined run; *priced* into
+    /// routing only when the cost model's control-plane term is on.
+    pub remote_control_acquisitions: u64,
 }
 
 /// Executes stage graphs on a topology.
 pub struct Executor {
     topology: Arc<ServerTopology>,
     gpus: HashMap<DeviceId, Arc<GpuDevice>>,
-    cost: CostModel,
+    /// Work pricing only (toggle-independent `time_ns`). Deliberately the
+    /// bare topology model, *not* a [`CostModel`]: the estimation terms must
+    /// always come from the per-execution model built from the run's
+    /// `EngineConfig`, and this type makes calling them on the field
+    /// unrepresentable.
+    work_cost: WorkCost,
 }
 
 /// Routing state of one stage, shared by every producer pushing into it:
@@ -326,7 +331,7 @@ impl Executor {
                 (id, Arc::new(GpuDevice::new(id, profile)))
             })
             .collect();
-        Self { topology, gpus, cost: CostModel::new() }
+        Self { topology, gpus, work_cost: WorkCost::new() }
     }
 
     /// The simulated GPUs, keyed by device id.
@@ -473,6 +478,7 @@ impl Executor {
         routing: &StageRouting<'_>,
         handle: &BlockHandle,
         pending_gate_ns: Option<u64>,
+        cost: &CostModel,
     ) -> (Vec<u64>, Vec<u64>) {
         let rows = handle.rows() as u64;
         let bytes = handle.byte_size() as u64;
@@ -499,7 +505,7 @@ impl Executor {
                     continue;
                 }
             };
-            let mut block_ns = self.cost.time_ns(&est_work, device) as f64;
+            let mut block_ns = self.work_cost.time_ns(&est_work, device) as f64;
             let mut transfer_axis_ns = 0u64;
             if self.requires_dma(routing, i, handle.meta().location)
                 && routing.stage.mem_move != MemMoveMode::None
@@ -527,10 +533,10 @@ impl Executor {
                         // accumulated toward this consumer's node.
                         let node_backlog =
                             routing.node_load[routing.node_index[i]].load(Ordering::Relaxed);
-                        let spill =
-                            transfer_ns.saturating_sub(gate_ns.saturating_sub(node_backlog));
+                        let (spill, node_axis) =
+                            cost.gated_transfer_split(transfer_ns, gate_ns, node_backlog);
                         block_ns = block_ns.max(spill as f64);
-                        transfer_axis_ns = transfer_ns;
+                        transfer_axis_ns = node_axis;
                     }
                     None => block_ns = block_ns.max(transfer_ns as f64),
                 }
@@ -543,7 +549,12 @@ impl Executor {
                     (est_work.memory_node_bytes() / (node.bandwidth_gbps * 1e9) * 1e9) as u64
                 })
                 .unwrap_or(0);
-            node_ns.push(mem.saturating_add(transfer_axis_ns));
+            // Pushing to an off-node consumer acquires its queue mutex
+            // across the interconnect — control-plane traffic the cost
+            // model prices on the node axis (zero when the term is off).
+            let control_ns =
+                cost.control_plane_ns(routing.instance_nodes[i] != handle.meta().location);
+            node_ns.push(mem.saturating_add(transfer_axis_ns).saturating_add(control_ns));
         }
         (device_ns, node_ns)
     }
@@ -579,43 +590,33 @@ impl Executor {
         staging: Option<&BlockManagerSet>,
         gate_ns: u64,
         gate_pending: bool,
+        cost: &CostModel,
     ) -> Result<(usize, BlockHandle)> {
         if handle.meta().ready_at_ns < not_before.as_nanos() {
             handle.meta_mut().ready_at_ns = not_before.as_nanos();
         }
         let (device_ns, node_ns) =
-            self.block_costs(routing, &handle, gate_pending.then_some(gate_ns));
+            self.block_costs(routing, &handle, gate_pending.then_some(gate_ns), cost);
         // Price each consumer node's staging-arena occupancy: a block routed
         // to a starved node would park its producer on a lease, so its
-        // projected cost grows with the leased fraction of the arena. The
-        // penalty only engages above half occupancy — below that the arena
-        // cannot park anyone and pricing it would merely add wall-clock-
-        // dependent noise to otherwise stable routing decisions.
+        // projected cost grows with the leased fraction of the arena (the
+        // cost model keeps the penalty disengaged below half occupancy —
+        // below that the arena cannot park anyone).
         let penalties: Vec<u64> = routing
             .instance_nodes
             .iter()
             .enumerate()
             .map(|(i, node)| match staging.and_then(|s| s.manager(*node).ok()) {
-                Some(manager) => {
-                    let pressure = (manager.occupancy() - 0.5).max(0.0) * 2.0;
-                    (device_ns[i] as f64 * pressure) as u64
-                }
+                Some(manager) => cost.occupancy_penalty_ns(device_ns[i], manager.occupancy()),
                 None => 0,
             })
             .collect();
         let source = handle.meta().location;
-        // Project each consumer's completion as the later of its device
-        // backlog and its memory node's backlog — the same two clocks the
-        // executor charges (summing them would double-count and starve the
-        // node-bound consumers). A small device-backlog tie-breaker keeps the
-        // projection strictly increasing in the consumer's own backlog, so
-        // concurrent producers routing against a saturated node still spread
-        // blocks across its consumers instead of colliding on ties. In
-        // governed mode only — so the ungoverned and legacy baselines route
-        // exactly as before — a final +1 ns on non-local consumers breaks
-        // exact ties toward the block's current node, keeping control-plane
-        // traffic on-socket when the estimates cannot tell the consumers
-        // apart.
+        // Project each consumer's completion from its two backlogs (device
+        // and memory node — the same two clocks the executor charges); the
+        // composition, including the strictly-increasing device tie-breaker
+        // and the governed-mode NUMA nudge toward the block's current node,
+        // lives in the cost model.
         let numa_tiebreak = staging.is_some();
         let projected: Vec<u64> = routing
             .est
@@ -626,12 +627,12 @@ impl Executor {
                 let node = routing.node_load[routing.node_index[i]]
                     .load(Ordering::Relaxed)
                     .saturating_add(node_ns[i]);
-                let base = dev.max(node).saturating_add(dev >> 7);
-                if !numa_tiebreak || routing.instance_nodes[i] == source {
-                    base
-                } else {
-                    base.saturating_add(1)
-                }
+                cost.compose_projection(
+                    dev,
+                    node,
+                    routing.instance_nodes[i] == source,
+                    numa_tiebreak,
+                )
             })
             .collect();
         let pick = routing.router.route(handle.meta(), &projected)?;
@@ -711,6 +712,7 @@ impl Executor {
         mem_move: &MemMove,
         staging: Option<&BlockManagerSet>,
         staging_budget: u64,
+        cost: &CostModel,
     ) -> Result<StealOutcome> {
         let mut best: Option<(usize, usize)> = None;
         for (slot, queue) in queues.iter().enumerate() {
@@ -730,32 +732,65 @@ impl Executor {
         // relocation's link bandwidth), which measurably loses on healthy
         // workloads — and injects wall-clock-dependent noise into otherwise
         // deterministic simulated times.
-        if routing.observed_slowdown(victim) <= STRAGGLER_RATIO {
+        if !cost.is_straggler(routing.observed_slowdown(victim)) {
             return Ok(StealOutcome::Unprofitable);
         }
 
         // Feedback-driven profitability pre-check (see the doc comment),
-        // evaluated while the block is still safely queued.
+        // evaluated while the block is still safely queued. The rescue's
+        // relocation would queue behind any outstanding DMA on the route
+        // from where the block's data actually lives (the peeked tail's
+        // location — advisory, the tail can change before the steal, but a
+        // mis-peek only perturbs an estimate) to the thief's node; the cost
+        // model's link-congestion term prices that backlog into the thief's
+        // side (zero when the thief can address the data in place).
         let (Some(victim_avg), Some(thief_avg)) =
             (routing.observed_avg_cost(victim), routing.observed_avg_cost(thief))
         else {
             return Ok(StealOutcome::Unprofitable);
         };
-        let victim_clock_ns = device_clocks
-            .get(&routing.instance_devices[victim])
-            .map(|c| c.now().as_nanos())
-            .unwrap_or(0);
-        let victim_end = victim_clock_ns.saturating_add(victim_avg.saturating_mul(depth as u64));
-        let thief_end = thief_clock.now().as_nanos().saturating_add(thief_avg.saturating_mul(2));
+        let thief_clock_ns = thief_clock.now().as_nanos();
+        let data_location =
+            queues[victim].tail_location().unwrap_or(routing.instance_nodes[victim]);
+        let congestion_ns = if routing.stage.mem_move != MemMoveMode::None
+            && self.requires_dma(routing, thief, data_location)
+        {
+            cost.link_congestion_ns(
+                &self.topology,
+                data_location,
+                routing.instance_nodes[thief],
+                thief_clock_ns,
+            )
+        } else {
+            0
+        };
+        let query = StealQuery {
+            victim_clock_ns: device_clocks
+                .get(&routing.instance_devices[victim])
+                .map(|c| c.now().as_nanos())
+                .unwrap_or(0),
+            victim_avg_ns: victim_avg,
+            backlog_depth: depth as u64,
+            thief_clock_ns,
+            thief_avg_ns: thief_avg,
+            congestion_ns,
+        };
+        let profitable = cost.steal_profitable(&query);
         if std::env::var("HETEX_TRACE_STEAL").is_ok() {
             eprintln!(
-                "[steal] thief {thief} victim {victim} thief_end {thief_end} victim_end \
-                 {victim_end} depth {depth} slowdown {:.2} -> {}",
+                "[steal] thief {thief} victim {victim} {query:?} outstanding {:.0}B \
+                 slowdown {:.2} -> {}",
+                cost.outstanding_link_bytes(
+                    &self.topology,
+                    data_location,
+                    routing.instance_nodes[thief],
+                    thief_clock_ns,
+                ),
                 routing.observed_slowdown(victim),
-                if thief_end >= victim_end { "unprofitable" } else { "steal" }
+                if profitable { "steal" } else { "unprofitable" }
             );
         }
-        if thief_end >= victim_end {
+        if !profitable {
             return Ok(StealOutcome::Unprofitable);
         }
 
@@ -767,7 +802,7 @@ impl Executor {
         // slightly from the routing-time commit (the block was localized in
         // between), and decommit saturates, so drift only perturbs the
         // balancing heuristic.
-        let (device_ns, node_ns) = self.block_costs(routing, &block, None);
+        let (device_ns, node_ns) = self.block_costs(routing, &block, None, cost);
         routing.est.decommit(victim, device_ns[victim]);
         routing.est.commit(thief, device_ns[thief]);
         let _ = routing.node_load[routing.node_index[victim]].fetch_update(
@@ -839,8 +874,8 @@ impl Executor {
         // The straggler multiplier applies at charge time only: routing-time
         // estimates keep pricing the nominal profile, exactly the blind spot
         // adaptive re-routing exists to absorb.
-        let busy =
-            (self.cost.time_ns(work, device_profile) as f64 * device_profile.exec_slowdown) as u64;
+        let busy = (self.work_cost.time_ns(work, device_profile) as f64
+            * device_profile.exec_slowdown) as u64;
         let (_, end) = clock.reserve(not_before, busy);
         let mut final_end = end;
         if work.memory_node_bytes() > 0.0 {
@@ -913,6 +948,12 @@ impl Executor {
         let gpu_nodes = self.topology.gpu_memory_nodes();
         let trace = std::env::var("HETEX_TRACE_EXEC").is_ok();
 
+        // The run's unified cost model: every estimation term the router
+        // path, the queue-admission path and the steal path consult, with
+        // the per-term toggles this execution's config selects (§5 of
+        // DESIGN.md).
+        let cost = CostModel::from_config(config);
+
         let routing: Vec<StageRouting<'_>> =
             graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>()?;
 
@@ -966,6 +1007,31 @@ impl Executor {
                     .collect()
             })
             .collect();
+
+        // Demand-weighted quota re-split state (cost-model term 1): one
+        // splitter per memory node over the queues placed on it. The initial
+        // quotas above are the even PR 2 split (exactly what the cost model
+        // returns before any demand was observed); every
+        // `QUOTA_RESPLIT_CADENCE` admissions on a node, the splitter folds
+        // each queue's newly admitted bytes into its EWMA and the shares are
+        // re-applied — floored at one estimated maximum-size block so no
+        // active queue ever starves below a single block.
+        let mut quota_groups: Vec<(MemoryNodeId, Vec<(usize, usize)>)> = Vec::new();
+        if config.staging_bytes.is_some() && cost.config().demand_weighted_quotas {
+            for (stage_idx, r) in routing.iter().enumerate() {
+                for (slot_idx, node) in r.instance_nodes.iter().enumerate() {
+                    match quota_groups.iter_mut().find(|(n, _)| n == node) {
+                        Some((_, members)) => members.push((stage_idx, slot_idx)),
+                        None => quota_groups.push((*node, vec![(stage_idx, slot_idx)])),
+                    }
+                }
+            }
+        }
+        let splitters: Vec<Mutex<DemandSplitter>> = quota_groups
+            .iter()
+            .map(|(_, members)| Mutex::new(DemandSplitter::new(members.len())))
+            .collect();
+        let quota_floor = config.est_max_block_bytes();
 
         let gates: Vec<Gate> = graph.stages.iter().map(|s| Gate::new(s.depends_on.len())).collect();
         let progress: Vec<StageProgress> =
@@ -1023,6 +1089,13 @@ impl Executor {
         let graph_ref = graph;
         let staging_ref = staging.as_ref();
         let device_clocks = &device_clocks;
+        let cost = &cost;
+        let quota_groups = &quota_groups;
+        let splitters = &splitters;
+        // Cross-node control-plane traffic gauge (remote queue mutex
+        // acquisitions), reported in the execution result.
+        let remote_ctl = AtomicU64::new(0);
+        let remote_ctl = &remote_ctl;
 
         // Route one produced block to `consumer`'s stage and enqueue it for
         // the chosen instance — the single downstream hand-off path shared by
@@ -1041,6 +1114,10 @@ impl Executor {
                                  source: MemoryNodeId,
                                  handle: &mut BlockHandle|
               -> Result<()> {
+            let node = routing[consumer].instance_nodes[pick];
+            if node != source {
+                remote_ctl.fetch_add(1, Ordering::Relaxed);
+            }
             let Some(staging) = staging_ref else { return Ok(()) };
             handle.take_staging();
             // A block wider than the whole arena (possible: the budget floor
@@ -1056,11 +1133,31 @@ impl Executor {
             let slot = queues[consumer][pick].admit(bytes)?;
             let lease = staging.acquire(
                 source,
-                routing[consumer].instance_nodes[pick],
+                node,
                 bytes,
                 ExhaustionPolicy::Park(STAGING_PARK_TIMEOUT),
             )?;
             handle.attach_staging(Arc::new(StagingCharge { _slot: slot, _lease: lease }));
+            // Demand-weighted quota re-split (cost-model term 1): on the
+            // node's cadence boundary, fold the freshly admitted bytes into
+            // the per-queue demand EWMA and apply the new shares.
+            if let Some(group) = quota_groups.iter().position(|(n, _)| *n == node) {
+                let members = &quota_groups[group].1;
+                let shares = splitters[group].lock().on_admission(
+                    |i| {
+                        let (s, q) = members[i];
+                        queues[s][q].admitted_bytes_total()
+                    },
+                    staging_budget,
+                    quota_floor,
+                    cost,
+                );
+                if let Some(shares) = shares {
+                    for (&(s, q), &share) in members.iter().zip(&shares) {
+                        queues[s][q].set_byte_quota(share);
+                    }
+                }
+            }
             Ok(())
         };
         let stage_charge = &stage_charge;
@@ -1068,8 +1165,11 @@ impl Executor {
         // Estimated opening time of a stage's dependency gate (plus whether
         // it is still closed), consulted on every routing decision into that
         // stage: the partial floor of already-completed builds combined with
-        // the load-estimator projection of the builds still running.
-        // `(0, false)` for ungated stages, so their routing is unchanged.
+        // the cost model's estimate over the still-running builds — with
+        // the critical-path term on, a build's estimate extends over its
+        // whole transitive feed chain (the slowest feed's committed load),
+        // not only its own committed device load. `(0, false)` for ungated
+        // stages, so their routing is unchanged.
         let gate_estimate = move |consumer: usize| -> (u64, bool) {
             let deps = &graph_ref.stages[consumer].depends_on;
             if deps.is_empty() {
@@ -1078,10 +1178,12 @@ impl Executor {
             if gates[consumer].is_open() {
                 return (gates[consumer].floor_ns(), false);
             }
-            let mut ns = gates[consumer].floor_ns();
-            for &dep in deps {
-                ns = ns.max(routing[dep].est.max_load());
-            }
+            let ns = cost.gate_estimate_ns(
+                deps,
+                gates[consumer].floor_ns(),
+                &|stage| routing.get(stage).map(|r| r.est.max_load()).unwrap_or(0),
+                &graph_ref.wiring.feeds,
+            );
             (ns, true)
         };
         let gate_estimate = &gate_estimate;
@@ -1097,6 +1199,7 @@ impl Executor {
                 staging_ref,
                 gate_ns,
                 gate_pending,
+                cost,
             )?;
             stage_charge(consumer, pick, source, &mut localized)?;
             queues[consumer][pick].push(localized)
@@ -1175,6 +1278,7 @@ impl Executor {
                                 staging_ref,
                                 gate_ns,
                                 gate_pending,
+                                cost,
                             )?;
                             // Byte-budget admission (parks on a full arena)
                             // and the bounded queue both exert back-pressure
@@ -1253,7 +1357,7 @@ impl Executor {
                             let mut last_busy: u64 = 0;
                             let mut claim_yields: usize = 0;
                             let straggling =
-                                || routing[idx].observed_slowdown(slot_idx) > STRAGGLER_RATIO;
+                                || cost.is_straggler(routing[idx].observed_slowdown(slot_idx));
                             loop {
                                 // Claim pacing, part one: with backlog
                                 // already visible, a sim-behind worker
@@ -1314,6 +1418,7 @@ impl Executor {
                                                 mem_move,
                                                 staging_ref,
                                                 staging_budget,
+                                                cost,
                                             )? {
                                                 StealOutcome::Stolen(block) => {
                                                     progress[idx]
@@ -1369,7 +1474,7 @@ impl Executor {
                                 routing[idx].charged_busy[slot_idx]
                                     .fetch_add(busy, Ordering::Relaxed);
                                 routing[idx].nominal_busy[slot_idx].fetch_add(
-                                    self.cost.time_ns(&out.work, &device_profile),
+                                    self.work_cost.time_ns(&out.work, &device_profile),
                                     Ordering::Relaxed,
                                 );
                                 routing[idx].processed[slot_idx].fetch_add(1, Ordering::Relaxed);
@@ -1491,6 +1596,7 @@ impl Executor {
                 .iter()
                 .map(|p| p.blocks_stolen.load(Ordering::Relaxed))
                 .collect(),
+            remote_control_acquisitions: remote_ctl.load(Ordering::Relaxed),
         })
     }
 
@@ -1584,6 +1690,7 @@ impl Executor {
             stage_completion,
             staging_peaks: Vec::new(),
             blocks_stolen: vec![0; graph.stages.len()],
+            remote_control_acquisitions: 0,
         })
     }
 
@@ -1603,6 +1710,11 @@ impl Executor {
     ) -> Result<StageOutcome> {
         let routing = self.stage_routing(stage)?;
         let gpu_nodes = self.topology.gpu_memory_nodes();
+        // The legacy executor routes with every cost-model refinement off:
+        // stage-at-a-time is the bit-stable differential baseline the
+        // cost-model toggles are tested against, so its routing must not
+        // move when terms are toggled.
+        let cost = CostModel::legacy();
 
         // Routing pass: distribute block handles (control plane only), then
         // let mem-move localize the data for the chosen instance. Serial, and
@@ -1614,7 +1726,7 @@ impl Executor {
             // already floors the whole stage at its dependencies' completion,
             // so legacy routing stays exactly as it was.
             let (pick, localized) = self.route_and_localize(
-                &routing, mem_move, &gpu_nodes, handle, floor, None, 0, false,
+                &routing, mem_move, &gpu_nodes, handle, floor, None, 0, false, &cost,
             )?;
             instance_inputs[pick].push(localized);
         }
@@ -1996,6 +2108,27 @@ mod tests {
             stealing.sim_time,
             bound.sim_time
         );
+    }
+
+    #[test]
+    fn cost_model_toggles_preserve_rows_and_measure_control_plane_traffic() {
+        use hetex_common::CostModelConfig;
+        let config = EngineConfig::hybrid(4, 2);
+        let all_on = run(&config, 100_000);
+        // A hybrid pipelined run pushes blocks across nodes (CPU DRAM to GPU
+        // consumers at least), so control-plane traffic must be measured.
+        assert!(
+            all_on.remote_control_acquisitions > 0,
+            "hybrid pipelined run saw no remote queue acquisitions"
+        );
+        // Rows are invariant under the estimation toggles: the cost model
+        // only moves blocks between equivalent consumers.
+        let all_off = run(&config.clone().with_cost_model(CostModelConfig::disabled()), 100_000);
+        assert_eq!(all_on.rows, all_off.rows);
+        // The legacy mode neither measures nor prices control-plane traffic.
+        let saat = run(&config.with_execution_mode(ExecutionMode::StageAtATime), 100_000);
+        assert_eq!(saat.remote_control_acquisitions, 0);
+        assert_eq!(saat.rows, all_on.rows);
     }
 
     #[test]

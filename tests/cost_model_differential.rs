@@ -1,0 +1,206 @@
+//! Differential testing of the unified cost model (DESIGN.md §5).
+//!
+//! Every CostModel term — demand-weighted staging quotas, the cross-node
+//! control-plane charge, the critical-path gate estimate, the
+//! link-congestion steal term — only moves block handles between
+//! *equivalent* consumers of the same stage: none of them may ever change a
+//! query's result. This harness generates random server topologies (1–4
+//! sockets, 0–4 GPUs, random per-device slowdowns and PCIe link widths) and
+//! random small plans, then executes each plan pipelined under **every
+//! toggle configuration** (all-off, each term alone, all-on) and asserts the
+//! rows are byte-identical to the stage-at-a-time executor — the bit-stable
+//! legacy baseline that routes with every refinement off.
+//!
+//! Seeding: the vendored proptest derives a deterministic per-function seed
+//! from the property's name, so every run (local and CI) explores the same
+//! fixed case sequence and failures reproduce exactly. The case budget is
+//! `HETEX_DIFF_CASES` generated scenarios (default 48); each scenario runs
+//! six pipelined toggle configurations against one stage-at-a-time baseline,
+//! i.e. 48 × 6 = 288 differential toggle-cases per default run (the
+//! acceptance bar is 256+), sized to keep the suite well under three
+//! minutes.
+
+use hetexchange::common::{
+    ColumnData, CostModelConfig, DataType, EngineConfig, ExecutionMode, HetError,
+};
+use hetexchange::core_ops::RelNode;
+use hetexchange::engine::Proteus;
+use hetexchange::jit::{AggSpec, Expr};
+use hetexchange::storage::TableBuilder;
+use hetexchange::topology::{DeviceId, ServerTopology, TopologyBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Generated-case budget: `HETEX_DIFF_CASES` scenarios (default 48). CI pins
+/// the default; the knob exists so a local soak can raise it.
+fn case_budget() -> u32 {
+    std::env::var("HETEX_DIFF_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
+}
+
+/// Every toggle configuration the differential sweep runs: the PR 3
+/// baseline, each term isolated, and the all-on default.
+fn toggle_configs() -> Vec<(&'static str, CostModelConfig)> {
+    let off = CostModelConfig::disabled();
+    vec![
+        ("all_off", off),
+        ("demand_quotas", off.with_demand_weighted_quotas(true)),
+        ("control_plane", off.with_control_plane_term(true)),
+        ("gate_critical_path", off.with_gate_critical_path(true)),
+        ("link_congestion", off.with_link_congestion_term(true)),
+        ("all_on", CostModelConfig::default()),
+    ]
+}
+
+/// A random heterogeneous server: `sockets` sockets of `cores_per_socket`
+/// cores, `gpus` GPUs spread round-robin across sockets, a randomized PCIe
+/// width, and one randomly chosen device marked as a hidden straggler.
+fn random_topology(
+    sockets: usize,
+    cores_per_socket: usize,
+    gpus: usize,
+    pcie_gbps: f64,
+    slow_pick: usize,
+    slowdown: f64,
+) -> Result<Arc<ServerTopology>, HetError> {
+    let mut builder = TopologyBuilder::new();
+    for _ in 0..sockets {
+        builder.add_socket(cores_per_socket);
+    }
+    for gpu in 0..gpus {
+        builder.add_gpu(gpu % sockets);
+    }
+    builder.pcie_bandwidth_gbps(pcie_gbps);
+    let topology = Arc::new(builder.build()?);
+    if slowdown > 1.0 {
+        let device = DeviceId::new(slow_pick % topology.devices().len());
+        topology.with_device_slowdown(device, slowdown)
+    } else {
+        Ok(topology)
+    }
+}
+
+/// An engine with a fact table (`key`, `value`) and a quarter-sized
+/// dimension (`k`, `attr`) loaded on the topology's CPU nodes.
+fn engine_with_tables(topology: Arc<ServerTopology>, fact_rows: usize) -> Proteus {
+    let dim_rows = (fact_rows / 4).max(1);
+    let engine = Proteus::new(topology);
+    let nodes = engine.topology().cpu_memory_nodes();
+    let fact = TableBuilder::new("fact")
+        .column(
+            "key",
+            DataType::Int32,
+            ColumnData::Int32((0..fact_rows as i32).map(|i| i % dim_rows as i32).collect()),
+        )
+        .column("value", DataType::Int64, ColumnData::Int64((0..fact_rows as i64).collect()))
+        .build(&nodes, 256)
+        .unwrap();
+    let dim = TableBuilder::new("dim")
+        .column("k", DataType::Int32, ColumnData::Int32((0..dim_rows as i32).collect()))
+        .column(
+            "attr",
+            DataType::Int32,
+            ColumnData::Int32((0..dim_rows as i32).map(|i| i % 7).collect()),
+        )
+        .build(&nodes, 256)
+        .unwrap();
+    engine.register_table(fact);
+    engine.register_table(dim);
+    engine
+}
+
+/// One of three plan shapes: a filtered scan+reduce (ungated single
+/// pipeline), a hash join+reduce (gated probe — the critical-path and
+/// congestion terms engage), or a join+group-by (multi-row, key-sorted
+/// output so row comparison is order-stable).
+fn random_plan(plan_pick: usize, filter_lit: i64) -> RelNode {
+    match plan_pick % 3 {
+        0 => RelNode::scan("fact", &["key", "value"])
+            .filter(Expr::col(0).lt_lit(filter_lit * 100))
+            .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"]),
+        1 => {
+            let dim = RelNode::scan("dim", &["k", "attr"]).filter(Expr::col(1).lt_lit(filter_lit));
+            RelNode::scan("fact", &["key", "value"])
+                .hash_join(dim, 0, 0, &[1])
+                .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"])
+        }
+        _ => {
+            let dim = RelNode::scan("dim", &["k", "attr"]);
+            RelNode::scan("fact", &["key", "value"]).hash_join(dim, 0, 0, &[1]).group_by(
+                &[2],
+                vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+                &["s", "c"],
+            )
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(case_budget()))]
+
+    /// The test-archetype centerpiece: across random topologies and plans,
+    /// pipelined execution under every cost-model toggle configuration
+    /// produces byte-identical rows to the stage-at-a-time baseline.
+    #[test]
+    fn prop_every_toggle_configuration_matches_stage_at_a_time(
+        sockets in 1usize..5,
+        cores_per_socket in 2usize..5,
+        gpus in 0usize..5,
+        pcie_gbps_x10 in 40u64..160,
+        slow_pick in 0usize..64,
+        slowdown_x10 in 10u64..80,
+        fact_rows in 600usize..3_000,
+        plan_pick in 0usize..3,
+        filter_lit in 1i64..7,
+        cpu_dop_raw in 1usize..9,
+    ) {
+        let topology = random_topology(
+            sockets,
+            cores_per_socket,
+            gpus,
+            pcie_gbps_x10 as f64 / 10.0,
+            slow_pick,
+            slowdown_x10 as f64 / 10.0,
+        ).unwrap();
+        let engine = engine_with_tables(Arc::clone(&topology), fact_rows);
+        let plan = random_plan(plan_pick, filter_lit);
+
+        let cpu_dop = cpu_dop_raw.min(sockets * cores_per_socket);
+        let gpu_dop = gpus.min(2);
+        let mut config = if gpu_dop == 0 {
+            EngineConfig::cpu_only(cpu_dop)
+        } else {
+            EngineConfig::hybrid(cpu_dop, gpu_dop)
+        };
+        config.block_capacity = 256;
+        // A deliberately tight (but valid) budget so quota admission, leases
+        // and the demand re-split genuinely engage.
+        config.staging_bytes = Some(config.min_staging_bytes() * 2);
+
+        let baseline = engine
+            .execute(&plan, &config.clone().with_execution_mode(ExecutionMode::StageAtATime))
+            .unwrap();
+
+        for (label, toggles) in toggle_configs() {
+            let outcome = engine
+                .execute(&plan, &config.clone().with_cost_model(toggles))
+                .unwrap();
+            prop_assert_eq!(
+                &outcome.rows, &baseline.rows,
+                "toggle config `{}` changed the rows on sockets={} cores={} gpus={} \
+                 pcie={} slow=({}, {}) fact_rows={} plan={} dop=({}, {})",
+                label, sockets, cores_per_socket, gpus, pcie_gbps_x10, slow_pick,
+                slowdown_x10, fact_rows, plan_pick, cpu_dop, gpu_dop
+            );
+            // Governed runs must also stay within the staging budget in
+            // every toggle configuration (the demand re-split may never
+            // oversubscribe the arena).
+            for (node, peak) in &outcome.stats.staging_peaks {
+                prop_assert!(
+                    *peak <= config.staging_bytes.unwrap(),
+                    "toggle config `{}`: node {} peaked at {} > budget {}",
+                    label, node, peak, config.staging_bytes.unwrap()
+                );
+            }
+        }
+    }
+}
