@@ -1,28 +1,36 @@
 //! Bench-regression gate: compare freshly generated `BENCH_*.json` files
-//! against a snapshot of the committed baselines and fail (exit 1) when any
+//! against the committed baselines and fail (exit 1) when any
 //! simulated-time metric regressed by more than the tolerance.
 //!
 //! Usage: `bench_regression <baseline_dir> [current_dir] [tolerance_pct]`
 //!
-//! CI snapshots the checked-in `BENCH_*.json` files before re-running the
-//! bench bins (which overwrite them in place), then invokes this gate with
-//! the snapshot directory. Gated metrics carry **direction metadata**
-//! derived from the field suffix: fields ending in `_s` are simulated times
-//! (lower is better — a current value more than `tolerance_pct` *above* its
-//! baseline regresses), fields ending in `_gbps` are throughputs (higher is
-//! better — a value more than `tolerance_pct` *below* its baseline
-//! regresses). Without the direction split an improved throughput number
-//! would be flagged exactly like a slowed-down time. Metrics present only
-//! in the current files (new benchmarks) pass; metrics that *disappeared*
-//! fail, so a silently dropped workload cannot slip through. Workloads
-//! labelled `skewed` are reported but not gated: their timings depend on
-//! wall-clock thread scheduling (how many blocks get stolen before a
-//! straggler claims them varies with core count and load), so the committed
-//! number is not a stable baseline — the `steal_ab` bin enforces that
-//! workload's real acceptance bar (≥ 10% improvement) directly. The JSON is
-//! the hand-rolled one-object-per-line format the bench crate emits (the
-//! build has no JSON dependency), parsed with an equally small hand-rolled
+//! CI runs the bench bins with an output-directory argument (so the
+//! checked-in `BENCH_*.json` stay untouched), then invokes this gate with
+//! the repository as the baseline and the fresh output directory as
+//! current. Gated metrics carry **direction metadata** derived from the
+//! field suffix: fields ending in `_s` are simulated times (lower is better
+//! — a current value more than `tolerance_pct` *above* its baseline
+//! regresses), fields ending in `_gbps` are throughputs (higher is better —
+//! a value more than `tolerance_pct` *below* its baseline regresses).
+//! Without the direction split an improved throughput number would be
+//! flagged exactly like a slowed-down time. Metrics present only in the
+//! current files (new benchmarks) pass; metrics that *disappeared* — a
+//! dropped workload, a renamed field, a bench bin that silently stopped
+//! emitting a row — fail loudly, **including** in otherwise ungated
+//! workloads. Workloads labelled `skewed` have their *values* reported but
+//! not gated: their timings depend on wall-clock thread scheduling (how
+//! many blocks get stolen or diverted before a straggler claims them varies
+//! with core count and load), so the committed number is not a stable
+//! baseline — the `steal_ab`/`calib_ab` bins enforce those workloads' real
+//! acceptance bars (≥ 10% / ≥ 20% improvement) directly. The JSON is the
+//! hand-rolled one-object-per-line format the bench crate emits (the build
+//! has no JSON dependency), parsed with an equally small hand-rolled
 //! scanner.
+//!
+//! When `GITHUB_STEP_SUMMARY` is set (a GitHub Actions step), the gate also
+//! appends a per-metric markdown delta table to it, so regressions — and
+//! improvements — are visible from the workflow summary page without
+//! reading logs.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -109,6 +117,112 @@ fn field_str(line: &str, field: &str) -> Option<String> {
     Some(line[start..start + end].to_string())
 }
 
+/// Outcome of one baseline metric's comparison, feeding both the log lines
+/// and the step-summary table.
+#[derive(Debug, Clone, PartialEq)]
+struct Outcome {
+    file: String,
+    workload: String,
+    field: String,
+    direction: Direction,
+    baseline: f64,
+    /// The fresh run's value; `None` when the metric disappeared.
+    current: Option<f64>,
+    /// Whether the *value* is gated. Schedule-sensitive (skewed) workloads
+    /// are reported only — but their *presence* is always gated.
+    value_gated: bool,
+    regressed: bool,
+}
+
+/// True when a workload's values are too schedule-sensitive to gate against
+/// a committed number (see the module docs).
+fn schedule_sensitive(workload: &str) -> bool {
+    workload.contains("skewed") && !workload.contains("unskewed")
+}
+
+/// Compare every baseline metric of one file against the fresh run. Every
+/// baseline metric must still *exist* (a renamed or dropped metric is a
+/// regression even in ungated workloads — a gate that silently loses
+/// coverage is worse than a slow benchmark); values are gated only outside
+/// schedule-sensitive workloads.
+fn compare_metrics(
+    file: &str,
+    baseline: &[Metric],
+    current: &[Metric],
+    factor: f64,
+) -> Vec<Outcome> {
+    baseline
+        .iter()
+        .map(|(workload, field, base, direction)| {
+            let value_gated = !schedule_sensitive(workload);
+            let cur = current
+                .iter()
+                .find(|(w, f, _, _)| w == workload && f == field)
+                .map(|&(_, _, v, _)| v);
+            let regressed = match cur {
+                None => true,
+                Some(cur) => value_gated && regressed(*direction, *base, cur, factor),
+            };
+            Outcome {
+                file: file.to_string(),
+                workload: workload.clone(),
+                field: field.clone(),
+                direction: *direction,
+                baseline: *base,
+                current: cur,
+                value_gated,
+                regressed,
+            }
+        })
+        .collect()
+}
+
+/// Render the per-metric delta table (GitHub-flavoured markdown) the gate
+/// appends to `$GITHUB_STEP_SUMMARY`. Positive delta = better, in the
+/// metric's own direction.
+fn render_step_summary(outcomes: &[Outcome], tolerance_pct: f64) -> String {
+    let regressions = outcomes.iter().filter(|o| o.regressed).count();
+    let mut out = String::from("## Bench regression gate\n\n");
+    out.push_str(&format!(
+        "{} metric(s) compared at ±{tolerance_pct:.0}% tolerance — **{}**\n\n",
+        outcomes.len(),
+        if regressions == 0 {
+            "no regressions".to_string()
+        } else {
+            format!("{regressions} regression(s)")
+        }
+    ));
+    out.push_str("| file | workload | metric | baseline | current | Δ better | status |\n");
+    out.push_str("|---|---|---|---:|---:|---:|---|\n");
+    for o in outcomes {
+        let direction = match o.direction {
+            Direction::LowerIsBetter => "lower-is-better",
+            Direction::HigherIsBetter => "higher-is-better",
+        };
+        let (current, delta) = match o.current {
+            Some(cur) => (
+                format!("{cur:.6}"),
+                format!("{:+.1}%", improvement_pct(o.direction, o.baseline, cur)),
+            ),
+            None => ("—".to_string(), "—".to_string()),
+        };
+        let status = if o.current.is_none() {
+            "❌ missing".to_string()
+        } else if o.regressed {
+            format!("❌ regressed ({direction})")
+        } else if o.value_gated {
+            format!("✅ ok ({direction})")
+        } else {
+            "⏭️ reported only (schedule-sensitive)".to_string()
+        };
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.6} | {} | {} | {} |\n",
+            o.file, o.workload, o.field, o.baseline, current, delta, status
+        ));
+    }
+    out
+}
+
 fn bench_files(dir: &Path) -> Vec<PathBuf> {
     let mut files: Vec<PathBuf> = std::fs::read_dir(dir)
         .map(|entries| {
@@ -151,47 +265,86 @@ fn main() {
     }
 
     let mut regressions = 0usize;
-    let mut compared = 0usize;
+    let mut outcomes: Vec<Outcome> = Vec::new();
     for baseline_path in baselines {
         let name = baseline_path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
         let current_path = current_dir.join(&name);
         let Ok(baseline) = std::fs::read_to_string(&baseline_path) else { continue };
+        let baseline_metrics = parse_metrics(&baseline);
         let Ok(current) = std::fs::read_to_string(&current_path) else {
             eprintln!("REGRESSION {name}: baseline exists but no current file was generated");
-            regressions += 1;
-            continue;
-        };
-        let current_metrics = parse_metrics(&current);
-        for (workload, field, base, direction) in parse_metrics(&baseline) {
-            if workload.contains("skewed") && !workload.contains("unskewed") {
-                println!("skip {name} {workload}.{field}: schedule-sensitive, not gated");
-                continue;
-            }
-            compared += 1;
-            let Some((_, _, cur, _)) =
-                current_metrics.iter().find(|(w, f, _, _)| *w == workload && *f == field)
-            else {
-                eprintln!("REGRESSION {name} {workload}.{field}: metric disappeared");
-                regressions += 1;
-                continue;
-            };
-            let gain = improvement_pct(direction, base, *cur);
-            if regressed(direction, base, *cur, factor) {
-                eprintln!(
-                    "REGRESSION {name} {workload}.{field}: {cur:.6} vs baseline {base:.6} \
-                     ({:.1}% worse > {tolerance_pct:.0}%, {direction:?})",
-                    -gain
-                );
+            if baseline_metrics.is_empty() {
+                // No per-metric outcomes can carry this failure into the
+                // count (or the summary table) — count the file itself.
                 regressions += 1;
             } else {
+                // Every committed metric of the file is missing: emit one
+                // missing-metric outcome each, so the step-summary table
+                // shows the same failures the exit code reports.
+                outcomes.extend(compare_metrics(&name, &baseline_metrics, &[], factor));
+            }
+            continue;
+        };
+        outcomes.extend(compare_metrics(
+            &name,
+            &baseline_metrics,
+            &parse_metrics(&current),
+            factor,
+        ));
+    }
+
+    for o in &outcomes {
+        let label = format!("{} {}.{}", o.file, o.workload, o.field);
+        match o.current {
+            None => {
+                eprintln!(
+                    "REGRESSION {label}: baseline metric missing from the fresh run \
+                     (renamed or dropped? every committed metric must keep being emitted)"
+                );
+            }
+            Some(cur) if o.regressed => {
+                eprintln!(
+                    "REGRESSION {label}: {cur:.6} vs baseline {:.6} ({:.1}% worse > \
+                     {tolerance_pct:.0}%, {:?})",
+                    o.baseline,
+                    -improvement_pct(o.direction, o.baseline, cur),
+                    o.direction
+                );
+            }
+            Some(cur) if !o.value_gated => {
                 println!(
-                    "ok {name} {workload}.{field}: {cur:.6} vs {base:.6} \
-                     ({gain:+.1}% better, {direction:?})"
+                    "skip {label}: schedule-sensitive, value not gated ({cur:.6} vs {:.6})",
+                    o.baseline
+                );
+            }
+            Some(cur) => {
+                println!(
+                    "ok {label}: {cur:.6} vs {:.6} ({:+.1}% better, {:?})",
+                    o.baseline,
+                    improvement_pct(o.direction, o.baseline, cur),
+                    o.direction
                 );
             }
         }
     }
+    regressions += outcomes.iter().filter(|o| o.regressed).count();
+    let compared = outcomes.len();
     println!("compared {compared} metrics, {regressions} regression(s)");
+
+    // The per-metric delta table for the workflow summary page.
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        let table = render_step_summary(&outcomes, tolerance_pct);
+        match std::fs::OpenOptions::new().create(true).append(true).open(&summary_path) {
+            Ok(mut f) => {
+                if let Err(e) = f.write_all(table.as_bytes()) {
+                    eprintln!("could not append step summary to {summary_path}: {e}");
+                }
+            }
+            Err(e) => eprintln!("could not open step summary {summary_path}: {e}"),
+        }
+    }
+
     if compared == 0 {
         eprintln!("no comparable metrics found — treat as failure");
         exit(2);
@@ -281,6 +434,85 @@ mod tests {
         assert!((improvement_pct(Direction::HigherIsBetter, 40.0, 48.0) - 20.0).abs() < 1e-9);
         assert!((improvement_pct(Direction::HigherIsBetter, 40.0, 32.0) + 20.0).abs() < 1e-9);
         assert_eq!(improvement_pct(Direction::HigherIsBetter, 0.0, 5.0), 0.0);
+    }
+
+    #[test]
+    fn missing_metrics_regress_even_in_ungated_workloads() {
+        let baseline = parse_metrics(SAMPLE);
+        // The fresh run renamed `steal_s` away in the *skewed* workload and
+        // dropped the throughput row entirely.
+        let current = parse_metrics(
+            r#"{"workloads": [
+    {"workload": "skewed", "steal_sec": 5.3, "no_steal_s": 10.5},
+    {"workload": "unskewed", "steal_s": 2.1, "no_steal_s": 2.11}
+]}"#,
+        );
+        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10);
+        assert_eq!(outcomes.len(), baseline.len());
+        // The skewed `steal_s` disappeared: a regression despite the
+        // workload's values being schedule-sensitive (presence is always
+        // gated — a renamed metric must never silently pass).
+        let renamed =
+            outcomes.iter().find(|o| o.workload == "skewed" && o.field == "steal_s").unwrap();
+        assert_eq!(renamed.current, None);
+        assert!(renamed.regressed && !renamed.value_gated);
+        let dropped = outcomes.iter().find(|o| o.field == "throughput_gbps").unwrap();
+        assert!(dropped.regressed && dropped.current.is_none());
+        // Present, in-tolerance metrics pass; the skewed workload's present
+        // metric is reported but not value-gated.
+        let ok = outcomes.iter().find(|o| o.workload == "unskewed" && o.field == "steal_s");
+        assert!(!ok.unwrap().regressed);
+        let reported =
+            outcomes.iter().find(|o| o.workload == "skewed" && o.field == "no_steal_s").unwrap();
+        assert!(!reported.regressed && !reported.value_gated);
+    }
+
+    #[test]
+    fn schedule_sensitive_values_are_reported_but_not_value_gated() {
+        let baseline = parse_metrics(SAMPLE);
+        // A 3x slowdown of the skewed workload does not regress (values not
+        // gated), but the same slowdown of the unskewed workload does.
+        let current = parse_metrics(
+            r#"{"workloads": [
+    {"workload": "skewed", "steal_s": 15.9, "no_steal_s": 31.5},
+    {"workload": "unskewed", "steal_s": 6.3, "no_steal_s": 2.11},
+    {"workload": "scan_sweep", "throughput_gbps": 41.5}
+]}"#,
+        );
+        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10);
+        assert!(outcomes
+            .iter()
+            .filter(|o| o.workload == "skewed")
+            .all(|o| !o.regressed && !o.value_gated));
+        let slow = outcomes.iter().find(|o| o.workload == "unskewed" && o.field == "steal_s");
+        assert!(slow.unwrap().regressed);
+        assert!(schedule_sensitive("join_reduce_200k_skewed_gpu_8x"));
+        assert!(!schedule_sensitive("join_reduce_200k_unskewed"));
+    }
+
+    #[test]
+    fn step_summary_renders_a_delta_table() {
+        let baseline = parse_metrics(SAMPLE);
+        let current = parse_metrics(
+            r#"{"workloads": [
+    {"workload": "skewed", "steal_s": 5.3, "no_steal_s": 10.5},
+    {"workload": "unskewed", "steal_s": 1.9, "no_steal_s": 2.8}
+]}"#,
+        );
+        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10);
+        let summary = render_step_summary(&outcomes, 10.0);
+        // Header + one row per baseline metric, with markdown table syntax.
+        assert!(summary.starts_with("## Bench regression gate"));
+        assert!(summary.contains("| file | workload | metric |"));
+        assert_eq!(summary.matches("| BENCH_steal.json |").count(), baseline.len());
+        // An improvement renders a positive oriented delta, a regression and
+        // a missing metric are called out, and schedule-sensitive rows are
+        // marked reported-only.
+        assert!(summary.contains("+9.5%"), "{summary}");
+        assert!(summary.contains("❌ regressed"), "{summary}");
+        assert!(summary.contains("❌ missing"), "{summary}");
+        assert!(summary.contains("⏭️ reported only"), "{summary}");
+        assert!(summary.contains("2 regression(s)"), "{summary}");
     }
 
     #[test]

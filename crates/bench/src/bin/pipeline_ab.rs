@@ -1,5 +1,8 @@
 //! Emit `BENCH_pipeline.json`: pipelined vs stage-at-a-time A/B numbers for
 //! the join+reduce acceptance workload and the SSB queries.
+//!
+//! Usage: `pipeline_ab [out_dir]` — writes `BENCH_pipeline.json` into
+//! `out_dir` (default: the current directory).
 
 use hetex_bench::pipeline_ab;
 
@@ -15,7 +18,10 @@ fn main() {
             row.rows_identical
         );
     }
-    let path = "BENCH_pipeline.json";
-    std::fs::write(path, report.to_json()).expect("write BENCH_pipeline.json");
-    println!("wrote {path}");
+    let path = hetex_bench::bench_output_path(
+        std::env::args().nth(1).map(Into::into),
+        "BENCH_pipeline.json",
+    );
+    std::fs::write(&path, report.to_json()).expect("write BENCH_pipeline.json");
+    println!("wrote {}", path.display());
 }

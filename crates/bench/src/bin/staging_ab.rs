@@ -1,5 +1,8 @@
 //! Emit `BENCH_staging.json`: pipelined execution with vs without byte-budget
 //! staging governance on the join+reduce hybrid acceptance workload.
+//!
+//! Usage: `staging_ab [out_dir]` — writes `BENCH_staging.json` into
+//! `out_dir` (default: the current directory).
 
 use hetex_bench::staging_ab;
 
@@ -19,9 +22,12 @@ fn main() {
         );
         ok &= row.rows_identical && row.overhead_pct() <= 5.0;
     }
-    let path = "BENCH_staging.json";
-    std::fs::write(path, report.to_json()).expect("write BENCH_staging.json");
-    println!("wrote {path}");
+    let path = hetex_bench::bench_output_path(
+        std::env::args().nth(1).map(Into::into),
+        "BENCH_staging.json",
+    );
+    std::fs::write(&path, report.to_json()).expect("write BENCH_staging.json");
+    println!("wrote {}", path.display());
     if !ok {
         eprintln!(
             "staging governance A/B failed its acceptance bar (>5% overhead or row mismatch)"

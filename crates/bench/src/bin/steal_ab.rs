@@ -1,6 +1,9 @@
 //! Emit `BENCH_steal.json`: pipelined execution with adaptive re-routing
 //! (work stealing) on vs off, on a deliberately skewed hybrid workload (one
 //! hidden 8× straggler GPU) plus the unskewed control.
+//!
+//! Usage: `steal_ab [out_dir]` — writes `BENCH_steal.json` into `out_dir`
+//! (default: the current directory).
 
 use hetex_bench::steal_ab;
 
@@ -24,9 +27,10 @@ fn main() {
             ok &= row.improvement_pct() >= -2.0;
         }
     }
-    let path = "BENCH_steal.json";
-    std::fs::write(path, report.to_json()).expect("write BENCH_steal.json");
-    println!("wrote {path}");
+    let path =
+        hetex_bench::bench_output_path(std::env::args().nth(1).map(Into::into), "BENCH_steal.json");
+    std::fs::write(&path, report.to_json()).expect("write BENCH_steal.json");
+    println!("wrote {}", path.display());
     if !ok {
         eprintln!(
             "work-stealing A/B failed its acceptance bar (<10% skewed gain, >2% unskewed cost, \

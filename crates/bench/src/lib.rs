@@ -26,6 +26,7 @@
 //! modeled execution times scale to the nominal data size. EXPERIMENTS.md
 //! records the shape comparison against the paper's reported numbers.
 
+pub mod calib_ab;
 pub mod figures;
 pub mod micro;
 pub mod pipeline_ab;
@@ -38,3 +39,23 @@ pub mod workload;
 pub use report::{print_matrix, QueryTimeRow};
 pub use systems::System;
 pub use workload::SsbWorkload;
+
+/// Where a bench bin writes its `BENCH_*.json`: into `dir` (created if
+/// missing) when one is given, the current directory otherwise. The bins
+/// pass their first CLI argument — argument parsing stays in each `main`,
+/// this helper only resolves (and prepares) the path.
+///
+/// The directory argument exists so CI (and any comparison run) can
+/// generate fresh numbers *next to* the checked-in baselines instead of
+/// overwriting them in place: the old flow snapshotted the committed
+/// `BENCH_*.json` to a temporary directory before the bins clobbered them,
+/// and a bin that ran before the snapshot silently compared a file against
+/// itself.
+pub fn bench_output_path(dir: Option<std::path::PathBuf>, file: &str) -> std::path::PathBuf {
+    let dir = dir.unwrap_or_default();
+    if !dir.as_os_str().is_empty() {
+        std::fs::create_dir_all(&dir)
+            .unwrap_or_else(|e| panic!("create bench output dir {}: {e}", dir.display()));
+    }
+    dir.join(file)
+}

@@ -151,6 +151,58 @@ impl CostModelConfig {
     }
 }
 
+/// Toggles of the online-calibration subsystem (`hetex-core`'s
+/// `Calibration` machinery): the estimate→observe→correct loop that feeds
+/// *measured* device and interconnect behaviour back into routing
+/// projections, instead of trusting declared profiles forever.
+///
+/// The cost-model toggles ([`CostModelConfig`]) select which estimation
+/// *terms* exist; this group selects where their *inputs* come from. Both
+/// default on; `CalibrationConfig::disabled()` reproduces the pre-calibration
+/// (PR 4) behaviour bit-for-bit — nominal device speeds, the QPI-default
+/// control-plane constant and the declared PCIe link widths.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CalibrationConfig {
+    /// Feed each device's observed-slowdown EWMA (charged vs nominal busy
+    /// time, updated at block completion) back into routing projections:
+    /// the device-axis term of a consumer's projection is multiplied by its
+    /// device's observed slowdown, so a hidden straggler stops *receiving*
+    /// new blocks instead of only having them stolen back.
+    pub slowdown_feedback: bool,
+    /// Use the constants measured by the topology micro-probe at engine
+    /// construction (cross-node round-trip for the control-plane charge,
+    /// per-link bandwidth for transfer estimates) instead of the hard-coded
+    /// QPI default and the links' declared widths.
+    pub measured_constants: bool,
+}
+
+impl Default for CalibrationConfig {
+    fn default() -> Self {
+        Self { slowdown_feedback: true, measured_constants: true }
+    }
+}
+
+impl CalibrationConfig {
+    /// Every calibration input disabled — the PR 4 behaviour (nominal
+    /// profiles, declared constants), the baseline the differential tests
+    /// toggle against.
+    pub fn disabled() -> Self {
+        Self { slowdown_feedback: false, measured_constants: false }
+    }
+
+    /// Toggle the observed-slowdown routing feedback.
+    pub fn with_slowdown_feedback(mut self, on: bool) -> Self {
+        self.slowdown_feedback = on;
+        self
+    }
+
+    /// Toggle the probed control-plane/link constants.
+    pub fn with_measured_constants(mut self, on: bool) -> Self {
+        self.measured_constants = on;
+        self
+    }
+}
+
 /// Initial placement of base-table data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPlacement {
@@ -204,6 +256,9 @@ pub struct EngineConfig {
     /// Per-term toggles of the unified cost model driving routing
     /// projections, staging quota splits and steal profitability.
     pub cost_model: CostModelConfig,
+    /// Online-calibration toggles: whether routing projections consume the
+    /// observed-slowdown feedback and the probed topology constants.
+    pub calibration: CalibrationConfig,
 }
 
 impl Default for EngineConfig {
@@ -222,6 +277,7 @@ impl Default for EngineConfig {
             staging_bytes: Some(DEFAULT_STAGING_BYTES),
             steal_policy: StealPolicy::default(),
             cost_model: CostModelConfig::default(),
+            calibration: CalibrationConfig::default(),
         }
     }
 }
@@ -300,6 +356,12 @@ impl EngineConfig {
     /// Select which cost-model terms are active.
     pub fn with_cost_model(mut self, cost_model: CostModelConfig) -> Self {
         self.cost_model = cost_model;
+        self
+    }
+
+    /// Select which calibration inputs feed the cost model.
+    pub fn with_calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.calibration = calibration;
         self
     }
 
@@ -430,6 +492,24 @@ mod tests {
         assert!(!one.control_plane_term && !one.demand_weighted_quotas);
         let cfg = cfg.with_cost_model(off);
         assert_eq!(cfg.cost_model, CostModelConfig::disabled());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn calibration_defaults_on_and_toggles_individually() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.calibration, CalibrationConfig::default());
+        assert!(cfg.calibration.slowdown_feedback);
+        assert!(cfg.calibration.measured_constants);
+        let off = CalibrationConfig::disabled();
+        assert!(!off.slowdown_feedback && !off.measured_constants);
+        // Each input toggles independently of the other.
+        let one = CalibrationConfig::disabled().with_slowdown_feedback(true);
+        assert!(one.slowdown_feedback && !one.measured_constants);
+        let other = CalibrationConfig::disabled().with_measured_constants(true);
+        assert!(!other.slowdown_feedback && other.measured_constants);
+        let cfg = cfg.with_calibration(off);
+        assert_eq!(cfg.calibration, CalibrationConfig::disabled());
         cfg.validate().unwrap();
     }
 

@@ -28,14 +28,33 @@
 //!    queue behind outstanding DMA on the route is priced honestly, so
 //!    near-equilibrium steals stay safe with stealing enabled.
 //!
+//! On top of the four terms sits the **`Calibration` subsystem** (PR 5),
+//! which closes the estimate→observe→correct loop for *routing*, not just
+//! stealing, through two inputs toggled by
+//! [`CalibrationConfig`](hetex_common::CalibrationConfig):
+//!
+//! * **Observed-slowdown feedback** ([`SlowdownObserver`],
+//!   [`CostModel::observed_device_slowdown`]) — a shared, lock-free EWMA of
+//!   each device's charged-vs-nominal busy ratio, updated at block
+//!   completion; routing multiplies it into the device-axis term of the
+//!   projection, so a hidden 8× straggler stops *receiving* new blocks
+//!   instead of only having them stolen back.
+//! * **Measured topology constants** ([`CostModel::control_plane_ns`],
+//!   [`CostModel::link_transfer_ns`]) — a micro-probe at engine
+//!   construction (`hetex_topology::probe`) replaces the hard-coded QPI
+//!   control-plane default and the declared link widths with measured
+//!   figures.
+//!
 //! Work pricing itself (a `WorkProfile` on a `DeviceProfile`) stays in
 //! `hetex-topology`'s `CostModel`, deliberately *outside* this type: the
 //! executor keeps a bare work-pricing model for charging and builds one of
 //! these per execution for estimation, so the two concerns cannot be mixed
 //! up.
 
-use hetex_common::{CostModelConfig, EngineConfig, MemoryNodeId};
-use hetex_topology::ServerTopology;
+use hetex_common::{CalibrationConfig, CostModelConfig, EngineConfig, MemoryNodeId};
+use hetex_topology::{CalibratedConstants, LinkSpec, ServerTopology};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 /// Observed-slowdown ratio (charged vs nominal busy time) above which a
 /// consumer is treated as a straggler: only observed stragglers are
@@ -51,10 +70,13 @@ pub const STRAGGLER_RATIO: f64 = 1.5;
 /// achieves while paying an extra relocation.
 pub const STEAL_HYSTERESIS_BLOCKS: u64 = 2;
 
-/// Calibrated cost of acquiring a remote queue's mutex: one interconnect
-/// round trip (QPI/UPI latency ~500 ns) plus the bounce of the queue's
-/// cache lines. Charged per pushed block, so it is *not* scaled by the
-/// block's weight — control-plane traffic is per handle, not per byte.
+/// Default cost of acquiring a remote queue's mutex: one interconnect round
+/// trip (QPI/UPI latency ~500 ns) plus the bounce of the queue's cache
+/// lines. Charged per pushed block, so it is *not* scaled by the block's
+/// weight — control-plane traffic is per handle, not per byte. With
+/// `CalibrationConfig::measured_constants` on, the topology micro-probe's
+/// measured round trip replaces this declared figure (see
+/// [`CostModel::control_plane_ns`]).
 pub const REMOTE_CONTROL_PLANE_NS: u64 = 700;
 
 /// Arena occupancy below which the staging-pressure penalty stays disengaged:
@@ -70,6 +92,13 @@ pub const QUOTA_RESPLIT_CADENCE: u64 = 32;
 /// EWMA smoothing factor of the per-queue demand signal (weight of the most
 /// recent re-split interval).
 pub const DEMAND_EWMA_ALPHA: f64 = 0.5;
+
+/// EWMA smoothing factor of the per-device observed-slowdown signal (weight
+/// of the most recent block). A quarter keeps one noisy block from whipping
+/// the routing multiplier around, while a genuine straggler still converges
+/// within a handful of completions — early enough that most of the stream is
+/// still unrouted when the feedback engages.
+pub const SLOWDOWN_EWMA_ALPHA: f64 = 0.25;
 
 /// Inputs of one steal profitability decision (see
 /// [`CostModel::steal_profitable`]). All times are simulated nanoseconds;
@@ -92,12 +121,82 @@ pub struct StealQuery {
     pub congestion_ns: u64,
 }
 
+/// The shared observed-slowdown feedback of one execution: a lock-free EWMA
+/// per device slot of the charged-vs-nominal busy ratio, updated by every
+/// worker at block completion and read by every producer's routing decision.
+/// This is the straggler detector's signal (PR 3 kept it per stage-slot,
+/// consumed only by stealing) promoted to a device-wide observable that
+/// routing projections multiply into the device axis: a device that
+/// straggles in one stage straggles in all of them, and the feedback should
+/// divert *new* blocks everywhere, not only rescue already-routed ones.
+///
+/// Lock-free: each slot is one `AtomicU64` holding the EWMA's `f64` bits
+/// (zero bits encode "no observation yet" — a real EWMA is always ≥ 1.0,
+/// whose bits are non-zero — and read as a nominal 1.0). Updates CAS-loop;
+/// a lost race folds in one sample late, which only delays the estimate by
+/// one block.
+#[derive(Debug)]
+pub struct SlowdownObserver {
+    ewma_bits: Vec<AtomicU64>,
+}
+
+impl SlowdownObserver {
+    /// An observer over `slots` device slots with no observations yet
+    /// (every slot reads as a nominal 1.0).
+    pub fn new(slots: usize) -> Self {
+        Self { ewma_bits: (0..slots).map(|_| AtomicU64::new(0)).collect() }
+    }
+
+    /// Fold one completed block into `slot`'s EWMA: `charged_ns` is what the
+    /// device clock was actually charged, `nominal_ns` what the nominal cost
+    /// model prices for the same work. The per-block sample is floored at
+    /// 1.0 — healthy devices price out at exactly nominal in this
+    /// simulation, and a below-nominal fluke must not make a device look
+    /// *faster* than its profile (the estimates stay conservative). The
+    /// first observation seeds the EWMA at the sample itself, so a hidden
+    /// straggler engages the feedback after its very first block.
+    pub fn record(&self, slot: usize, charged_ns: u64, nominal_ns: u64) {
+        if nominal_ns == 0 {
+            return;
+        }
+        let Some(bits) = self.ewma_bits.get(slot) else { return };
+        let sample = (charged_ns as f64 / nominal_ns as f64).max(1.0);
+        let _ = bits.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |old_bits| {
+            let next = if old_bits == 0 {
+                sample
+            } else {
+                SLOWDOWN_EWMA_ALPHA * sample
+                    + (1.0 - SLOWDOWN_EWMA_ALPHA) * f64::from_bits(old_bits)
+            };
+            Some(next.to_bits())
+        });
+    }
+
+    /// `slot`'s current observed-slowdown EWMA (1.0 until observed).
+    pub fn slowdown(&self, slot: usize) -> f64 {
+        match self.ewma_bits.get(slot).map(|b| b.load(Ordering::Relaxed)).unwrap_or(0) {
+            0 => 1.0,
+            bits => f64::from_bits(bits),
+        }
+    }
+
+    /// Every slot's current EWMA (1.0 for never-observed slots) — the
+    /// per-slot observability surface `ExecutionResult` reports.
+    pub fn snapshot(&self) -> Vec<f64> {
+        (0..self.ewma_bits.len()).map(|i| self.slowdown(i)).collect()
+    }
+}
+
 /// The unified cost model. Cheap to construct (per execution) and immutable;
 /// the mutable demand state lives in [`DemandSplitter`]s owned by the
-/// executor.
-#[derive(Debug, Clone, Copy)]
+/// executor, and the mutable feedback state in the shared
+/// [`SlowdownObserver`] this model reads.
+#[derive(Debug, Clone)]
 pub struct CostModel {
     cfg: CostModelConfig,
+    calib: CalibrationConfig,
+    constants: Option<Arc<CalibratedConstants>>,
+    observer: Option<Arc<SlowdownObserver>>,
 }
 
 impl Default for CostModel {
@@ -107,14 +206,19 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// A cost model with the given term toggles.
+    /// A cost model with the given term toggles and no calibration inputs
+    /// (nominal profiles, declared constants).
     pub fn new(cfg: CostModelConfig) -> Self {
-        Self { cfg }
+        Self { cfg, calib: CalibrationConfig::disabled(), constants: None, observer: None }
     }
 
-    /// The cost model an engine configuration selects.
+    /// The cost model an engine configuration selects: the config's term
+    /// toggles plus its calibration toggles. The calibration *inputs* (the
+    /// probed constants, the per-execution observer) are attached by the
+    /// executor via [`Self::with_constants`] / [`Self::with_observer`];
+    /// until they are, a toggled-on input degrades to the nominal behaviour.
     pub fn from_config(config: &EngineConfig) -> Self {
-        Self::new(config.cost_model)
+        Self { calib: config.calibration, ..Self::new(config.cost_model) }
     }
 
     /// A model with every refinement off — the PR 3 estimation behaviour
@@ -124,9 +228,66 @@ impl CostModel {
         Self::new(CostModelConfig::disabled())
     }
 
+    /// Attach the topology micro-probe's measured constants (consumed only
+    /// when `calibration.measured_constants` is on).
+    pub fn with_constants(mut self, constants: Arc<CalibratedConstants>) -> Self {
+        self.constants = Some(constants);
+        self
+    }
+
+    /// Attach the execution's shared slowdown observer. Observations are
+    /// *recorded* through the model unconditionally (the EWMAs are an
+    /// always-on observable, like `remote_control_acquisitions`); they are
+    /// *priced* into projections only when `calibration.slowdown_feedback`
+    /// is on.
+    pub fn with_observer(mut self, observer: Arc<SlowdownObserver>) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+
     /// The active term toggles.
     pub fn config(&self) -> CostModelConfig {
         self.cfg
+    }
+
+    /// The active calibration toggles.
+    pub fn calibration(&self) -> CalibrationConfig {
+        self.calib
+    }
+
+    // ------------------------------------------------------------------
+    // Calibration inputs
+    // ------------------------------------------------------------------
+
+    /// Record one completed block into the attached observer (no-op when
+    /// none is attached). Always recorded, regardless of the feedback
+    /// toggle — measurement is free, pricing is the policy decision.
+    pub fn observe(&self, device_slot: usize, charged_ns: u64, nominal_ns: u64) {
+        if let Some(observer) = &self.observer {
+            observer.record(device_slot, charged_ns, nominal_ns);
+        }
+    }
+
+    /// The observed-slowdown multiplier routing applies to `device_slot`'s
+    /// device-axis term: the observer's EWMA with the feedback toggle on,
+    /// exactly 1.0 otherwise (or before any observation), so the toggled-off
+    /// projection math never leaves the integer domain.
+    pub fn observed_device_slowdown(&self, device_slot: usize) -> f64 {
+        match &self.observer {
+            Some(observer) if self.calib.slowdown_feedback => observer.slowdown(device_slot),
+            _ => 1.0,
+        }
+    }
+
+    /// Estimated time to move `bytes` over `link`: the probe's measured
+    /// effective rate when `calibration.measured_constants` is on (and the
+    /// constants are attached), the link's declared width otherwise — the
+    /// PR 4 behaviour bit-for-bit.
+    pub fn link_transfer_ns(&self, link: &LinkSpec, bytes: f64) -> u64 {
+        match &self.constants {
+            Some(constants) if self.calib.measured_constants => constants.transfer_ns(link, bytes),
+            _ => link.transfer_ns(bytes),
+        }
     }
 
     // ------------------------------------------------------------------
@@ -143,17 +304,22 @@ impl CostModel {
         (device_ns as f64 * pressure) as u64
     }
 
-    /// Control-plane cost of pushing one block handle to a consumer:
-    /// [`REMOTE_CONTROL_PLANE_NS`] when the producer's node and the
-    /// consumer's node differ (the push acquires a remote queue mutex),
-    /// zero otherwise or when the term is toggled off. Charged on the
-    /// consumer's *node* axis — it is traffic on the path to that node's
-    /// memory, not work on the consumer's device.
+    /// Control-plane cost of pushing one block handle to a consumer: the
+    /// per-acquisition charge when the producer's node and the consumer's
+    /// node differ (the push acquires a remote queue mutex), zero otherwise
+    /// or when the term is toggled off. Charged on the consumer's *node*
+    /// axis — it is traffic on the path to that node's memory, not work on
+    /// the consumer's device. With `calibration.measured_constants` on (and
+    /// the probe's constants attached) the charge is the topology's
+    /// *measured* cross-socket round trip instead of the
+    /// [`REMOTE_CONTROL_PLANE_NS`] QPI default.
     pub fn control_plane_ns(&self, remote: bool) -> u64 {
-        if remote && self.cfg.control_plane_term {
-            REMOTE_CONTROL_PLANE_NS
-        } else {
-            0
+        if !(remote && self.cfg.control_plane_term) {
+            return 0;
+        }
+        match &self.constants {
+            Some(constants) if self.calib.measured_constants => constants.control_plane_ns,
+            _ => REMOTE_CONTROL_PLANE_NS,
         }
     }
 
@@ -660,6 +826,99 @@ mod tests {
         let model = all_on();
         assert_eq!(model.config(), CostModelConfig::default());
         assert_eq!(CostModel::legacy().config(), CostModelConfig::disabled());
-        assert!(CostModel::from_config(&EngineConfig::default()).config().gate_critical_path);
+        let from_config = CostModel::from_config(&EngineConfig::default());
+        assert!(from_config.config().gate_critical_path);
+        // The engine default also carries the calibration toggles; a bare
+        // `new` leaves calibration off (the PR 4 behaviour).
+        assert!(from_config.calibration().slowdown_feedback);
+        assert!(!model.calibration().measured_constants);
+        assert_eq!(CostModel::legacy().calibration(), CalibrationConfig::disabled());
+    }
+
+    #[test]
+    fn slowdown_observer_seeds_converges_and_floors() {
+        let observer = SlowdownObserver::new(2);
+        // Unobserved slots read nominal.
+        assert_eq!(observer.slowdown(0), 1.0);
+        assert_eq!(observer.snapshot(), vec![1.0, 1.0]);
+        // The first sample seeds the EWMA directly (no blend with 1.0)…
+        observer.record(0, 8_000, 1_000);
+        assert_eq!(observer.slowdown(0), 8.0);
+        // …and further samples blend at SLOWDOWN_EWMA_ALPHA.
+        observer.record(0, 4_000, 1_000);
+        let expected = SLOWDOWN_EWMA_ALPHA * 4.0 + (1.0 - SLOWDOWN_EWMA_ALPHA) * 8.0;
+        assert!((observer.slowdown(0) - expected).abs() < 1e-12);
+        // Below-nominal samples floor at 1.0: a device never looks *faster*
+        // than its profile.
+        observer.record(1, 500, 1_000);
+        assert_eq!(observer.slowdown(1), 1.0);
+        // Degenerate inputs are ignored rather than panicking or poisoning.
+        observer.record(0, 100, 0);
+        observer.record(99, 100, 100);
+        assert!((observer.slowdown(0) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn slowdown_observer_is_safe_under_concurrent_recording() {
+        let observer = Arc::new(SlowdownObserver::new(1));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let observer = Arc::clone(&observer);
+                scope.spawn(move || {
+                    for _ in 0..1_000 {
+                        observer.record(0, 4_000, 1_000);
+                    }
+                });
+            }
+        });
+        // Every sample was 4.0, so whatever interleaving happened the EWMA
+        // is exactly 4.0.
+        assert_eq!(observer.slowdown(0), 4.0);
+    }
+
+    #[test]
+    fn feedback_multiplier_requires_toggle_and_observer() {
+        let observer = Arc::new(SlowdownObserver::new(1));
+        observer.record(0, 8_000, 1_000);
+        // Toggle off (even with an observer attached): nominal.
+        let off = CostModel::default().with_observer(Arc::clone(&observer));
+        assert_eq!(off.observed_device_slowdown(0), 1.0);
+        // Toggle on, observer attached: the EWMA.
+        let config = EngineConfig::default();
+        let on = CostModel::from_config(&config).with_observer(Arc::clone(&observer));
+        assert_eq!(on.observed_device_slowdown(0), 8.0);
+        // Toggle on, no observer (stage-at-a-time): nominal.
+        assert_eq!(CostModel::from_config(&config).observed_device_slowdown(0), 1.0);
+        // Recording through the model reaches the shared observer.
+        on.observe(0, 1_000, 1_000);
+        assert!(observer.slowdown(0) < 8.0);
+    }
+
+    #[test]
+    fn measured_constants_replace_the_declared_figures_only_when_on() {
+        let topology = ServerTopology::paper_server();
+        let constants = Arc::new(hetex_topology::probe::probe(&topology));
+        let link = &topology.links()[0];
+        let config = EngineConfig::default();
+        let calibrated = CostModel::from_config(&config).with_constants(Arc::clone(&constants));
+        // The measured round trip replaces the 700 ns QPI default…
+        assert_eq!(calibrated.control_plane_ns(true), constants.control_plane_ns);
+        assert_ne!(calibrated.control_plane_ns(true), REMOTE_CONTROL_PLANE_NS);
+        assert_eq!(calibrated.control_plane_ns(false), 0);
+        // …and transfer estimates use the measured effective rate.
+        assert_eq!(calibrated.link_transfer_ns(link, 1e9), constants.transfer_ns(link, 1e9));
+        // Calibration off (or constants not attached): declared figures,
+        // bit-for-bit.
+        let nominal =
+            CostModel::from_config(&config.clone().with_calibration(CalibrationConfig::disabled()))
+                .with_constants(Arc::clone(&constants));
+        assert_eq!(nominal.control_plane_ns(true), REMOTE_CONTROL_PLANE_NS);
+        assert_eq!(nominal.link_transfer_ns(link, 1e9), link.transfer_ns(1e9));
+        let unattached = CostModel::from_config(&config);
+        assert_eq!(unattached.control_plane_ns(true), REMOTE_CONTROL_PLANE_NS);
+        assert_eq!(unattached.link_transfer_ns(link, 1e9), link.transfer_ns(1e9));
+        // The control-plane *term* toggle still gates the charge entirely.
+        let term_off = CostModel::new(CostModelConfig::disabled()).with_constants(constants);
+        assert_eq!(term_off.control_plane_ns(true), 0);
     }
 }

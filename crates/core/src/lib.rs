@@ -39,7 +39,7 @@ pub mod queue;
 pub mod router;
 pub mod traits;
 
-pub use cost::{CostModel, DemandSplitter, StealQuery};
+pub use cost::{CostModel, DemandSplitter, SlowdownObserver, StealQuery};
 pub use device_crossing::{Cpu2Gpu, Gpu2Cpu};
 pub use mem_move::MemMove;
 pub use pack::{Packer, Unpacker};

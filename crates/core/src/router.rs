@@ -265,15 +265,45 @@ impl LoadEstimator {
         penalties: &[u64],
         gate_ns: u64,
     ) -> Vec<u64> {
+        self.projected_with_feedback(costs, penalties, gate_ns, &[])
+    }
+
+    /// Like [`Self::projected_with_penalty`], with each consumer's
+    /// device-axis term — its committed backlog plus this block's cost, the
+    /// part of the projection its *device* must work off — multiplied by
+    /// `slowdowns[i]`, the consumer's observed-slowdown EWMA (see
+    /// `crate::cost::SlowdownObserver`). This is the routing half of the
+    /// calibration loop: committed loads keep pricing the *nominal* profile
+    /// (exactly what was committed), and the observed charged-vs-nominal
+    /// ratio re-scales the whole device term at projection time, so a hidden
+    /// 8× straggler's projections grow 8× and it stops receiving new blocks.
+    /// The gate floor (shared by every consumer) and the staging-occupancy
+    /// penalty (memory pressure, not device speed) stay un-scaled.
+    ///
+    /// An empty `slowdowns` (or a slowdown of exactly 1.0 — healthy devices
+    /// and toggled-off feedback both read exactly 1.0) keeps the projection
+    /// in the integer domain, bit-identical to the pre-calibration math.
+    pub fn projected_with_feedback(
+        &self,
+        costs: &[u64],
+        penalties: &[u64],
+        gate_ns: u64,
+        slowdowns: &[f64],
+    ) -> Vec<u64> {
         self.loads
             .iter()
             .zip(costs)
             .zip(penalties)
-            .map(|((load, &cost), &penalty)| {
-                gate_ns
-                    .saturating_add(load.load(Ordering::Relaxed))
-                    .saturating_add(cost)
-                    .saturating_add(penalty)
+            .enumerate()
+            .map(|(i, ((load, &cost), &penalty))| {
+                let device_ns = load.load(Ordering::Relaxed).saturating_add(cost);
+                let slowdown = slowdowns.get(i).copied().unwrap_or(1.0);
+                let device_ns = if slowdown == 1.0 {
+                    device_ns
+                } else {
+                    (device_ns as f64 * slowdown.max(1.0)) as u64
+                };
+                gate_ns.saturating_add(device_ns).saturating_add(penalty)
             })
             .collect()
     }
@@ -466,6 +496,30 @@ mod tests {
         assert!(
             est.projected_with_penalty(&[10, 300, 300], &[0, 0, 0], 500)[0]
                 > est.projected_with_penalty(&[10, 300, 300], &[0, 0, 0], 500)[1]
+        );
+    }
+
+    #[test]
+    fn feedback_scales_the_device_axis_only() {
+        let est = LoadEstimator::new(3);
+        est.commit(0, 400);
+        est.commit(1, 400);
+        // Unit slowdowns (and an empty vector) are bit-identical to the
+        // penalty projection.
+        assert_eq!(
+            est.projected_with_feedback(&[100, 100, 100], &[0, 7, 0], 50, &[1.0, 1.0, 1.0]),
+            est.projected_with_penalty(&[100, 100, 100], &[0, 7, 0], 50)
+        );
+        // An observed 8x straggler's backlog-plus-block term scales by 8,
+        // while the gate floor and the occupancy penalty stay un-scaled.
+        let projected =
+            est.projected_with_feedback(&[100, 100, 100], &[0, 7, 0], 50, &[8.0, 1.0, 1.0]);
+        assert_eq!(projected, vec![50 + 500 * 8, 50 + 500 + 7, 50 + 100]);
+        // Sub-nominal slowdowns are clamped: feedback never makes a device
+        // look faster than its profile.
+        assert_eq!(
+            est.projected_with_feedback(&[100, 100, 100], &[0, 0, 0], 0, &[0.5, 1.0, 1.0])[0],
+            500
         );
     }
 

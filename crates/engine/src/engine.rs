@@ -13,7 +13,7 @@ use hetex_common::config::DEFAULT_STAGING_BYTES;
 use hetex_common::{EngineConfig, MemoryNodeId, Result};
 use hetex_core::{parallelize, HetNode, RelNode};
 use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
-use hetex_topology::{DeviceKind, ServerTopology, SimTime};
+use hetex_topology::{CalibratedConstants, DeviceKind, ServerTopology, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -40,12 +40,29 @@ pub struct QueryStats {
     /// on a memory node other than the block's (pipelined mode only). The
     /// cost model's control-plane term prices exactly these acquisitions.
     pub remote_control_acquisitions: u64,
+    /// Observed-slowdown EWMA per device slot (charged vs nominal busy
+    /// time, 1.0 = healthy), indexed like the topology's device list.
+    /// Measured in every pipelined run; priced into routing only when
+    /// `CalibrationConfig::slowdown_feedback` is on. Empty in
+    /// stage-at-a-time mode.
+    pub observed_slowdowns: Vec<f64>,
+    /// Constants the topology micro-probe measured at engine construction
+    /// (control-plane round trip ns, per-link effective GB/s). `None` in
+    /// stage-at-a-time mode.
+    pub probed_constants: Option<Arc<CalibratedConstants>>,
 }
 
 impl QueryStats {
     /// Total blocks stolen across all stages.
     pub fn total_blocks_stolen(&self) -> u64 {
         self.blocks_stolen.iter().sum()
+    }
+
+    /// The largest observed-slowdown EWMA of any device slot (1.0 when
+    /// nothing straggled or nothing was observed) — the headline straggler
+    /// signal benches and diagnostics report.
+    pub fn max_observed_slowdown(&self) -> f64 {
+        self.observed_slowdowns.iter().copied().fold(1.0, f64::max)
     }
 }
 
@@ -166,6 +183,8 @@ impl Proteus {
                 staging_peaks: result.staging_peaks,
                 blocks_stolen: result.blocks_stolen,
                 remote_control_acquisitions: result.remote_control_acquisitions,
+                observed_slowdowns: result.observed_slowdowns,
+                probed_constants: result.probed_constants,
             },
         })
     }

@@ -28,7 +28,7 @@
 
 use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
 use hetex_common::{BlockHandle, EngineConfig, ExecutionMode, HetError, MemoryNodeId, Result};
-use hetex_core::cost::{CostModel, DemandSplitter, StealQuery};
+use hetex_core::cost::{CostModel, DemandSplitter, SlowdownObserver, StealQuery};
 use hetex_core::mem_move::MemMove;
 use hetex_core::plan::RouterPolicy;
 use hetex_core::queue::{BlockQueue, PopNext, ProducerGuard, QueueSlot};
@@ -37,8 +37,8 @@ use hetex_gpu_sim::GpuDevice;
 use hetex_jit::{ExecCtx, SharedState, TerminalStep};
 use hetex_storage::{BlockLease, BlockManagerSet, Catalog, ExhaustionPolicy, Segmenter};
 use hetex_topology::{
-    CostModel as WorkCost, DeviceId, DeviceKind, DmaEngine, ResourceClock, ServerTopology, SimTime,
-    WorkProfile,
+    CalibratedConstants, CostModel as WorkCost, DeviceId, DeviceKind, DmaEngine, ResourceClock,
+    ServerTopology, SimTime, WorkProfile,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
@@ -153,6 +153,17 @@ pub struct ExecutionResult {
     /// acquisition each). Measured in every pipelined run; *priced* into
     /// routing only when the cost model's control-plane term is on.
     pub remote_control_acquisitions: u64,
+    /// Observed-slowdown EWMA per device slot (charged vs nominal busy
+    /// time, 1.0 = healthy), indexed like the topology's device list.
+    /// Measured in every pipelined run; *priced* into routing projections
+    /// only when `CalibrationConfig::slowdown_feedback` is on. Empty in
+    /// stage-at-a-time mode.
+    pub observed_slowdowns: Vec<f64>,
+    /// The constants the engine-construction topology micro-probe measured
+    /// (control-plane round trip, per-link effective bandwidth). `None` in
+    /// stage-at-a-time mode; present in pipelined runs whether or not
+    /// `CalibrationConfig::measured_constants` let routing consume them.
+    pub probed_constants: Option<Arc<CalibratedConstants>>,
 }
 
 /// Executes stage graphs on a topology.
@@ -165,6 +176,12 @@ pub struct Executor {
     /// `EngineConfig`, and this type makes calling them on the field
     /// unrepresentable.
     work_cost: WorkCost,
+    /// Constants the topology micro-probe measured at construction
+    /// (`hetex_topology::probe`): the control-plane round trip and each
+    /// link's effective bandwidth. Attached to every pipelined execution's
+    /// cost model; whether routing *consumes* them is the run's
+    /// `CalibrationConfig::measured_constants` toggle.
+    probed_constants: Arc<CalibratedConstants>,
 }
 
 /// Routing state of one stage, shared by every producer pushing into it:
@@ -331,7 +348,17 @@ impl Executor {
                 (id, Arc::new(GpuDevice::new(id, profile)))
             })
             .collect();
-        Self { topology, gpus, work_cost: WorkCost::new() }
+        // The topology micro-probe runs once per executor, against scratch
+        // clocks (it never perturbs the topology's own clocks): a handful of
+        // reservations measuring the cross-socket round trip and each
+        // link's effective bandwidth.
+        let probed_constants = Arc::new(hetex_topology::probe::probe(&topology));
+        Self { topology, gpus, work_cost: WorkCost::new(), probed_constants }
+    }
+
+    /// The constants the construction-time topology micro-probe measured.
+    pub fn probed_constants(&self) -> &Arc<CalibratedConstants> {
+        &self.probed_constants
     }
 
     /// The simulated GPUs, keyed by device id.
@@ -513,7 +540,9 @@ impl Executor {
                 // Price the DMA at the bottleneck link of the actual route
                 // (successive blocks pipeline across hops, so the sustained
                 // rate is the slowest link's, not the hop-latency sum). This
-                // respects per-link bandwidth overrides in the topology.
+                // respects per-link bandwidth overrides in the topology, and
+                // — with measured constants on — uses each link's *probed*
+                // effective rate instead of its declared width.
                 let transfer_ns = self
                     .topology
                     .route(handle.meta().location, routing.instance_nodes[i])
@@ -521,7 +550,7 @@ impl Executor {
                         links
                             .iter()
                             .filter_map(|&l| self.topology.link(l).ok())
-                            .map(|link| link.transfer_ns(handle.weighted_bytes()))
+                            .map(|link| cost.link_transfer_ns(link, handle.weighted_bytes()))
                             .max()
                             .unwrap_or(0)
                     })
@@ -612,6 +641,22 @@ impl Executor {
             })
             .collect();
         let source = handle.meta().location;
+        // Observed-slowdown feedback (the calibration loop's routing half):
+        // each consumer's device-axis term is multiplied by its device's
+        // observed charged-vs-nominal EWMA, so a consumer whose device has
+        // been seen straggling projects honestly expensive and stops
+        // receiving new blocks — exactly 1.0 (and bit-identical integer
+        // math) for healthy devices. With the toggle off the empty slice
+        // skips even the per-block allocation on this hot path.
+        let slowdowns: Vec<f64> = if cost.calibration().slowdown_feedback {
+            routing
+                .instance_devices
+                .iter()
+                .map(|device| cost.observed_device_slowdown(device.index()))
+                .collect()
+        } else {
+            Vec::new()
+        };
         // Project each consumer's completion from its two backlogs (device
         // and memory node — the same two clocks the executor charges); the
         // composition, including the strictly-increasing device tie-breaker
@@ -620,7 +665,7 @@ impl Executor {
         let numa_tiebreak = staging.is_some();
         let projected: Vec<u64> = routing
             .est
-            .projected_with_penalty(&device_ns, &penalties, gate_ns)
+            .projected_with_feedback(&device_ns, &penalties, gate_ns, &slowdowns)
             .into_iter()
             .enumerate()
             .map(|(i, dev)| {
@@ -948,11 +993,20 @@ impl Executor {
         let gpu_nodes = self.topology.gpu_memory_nodes();
         let trace = std::env::var("HETEX_TRACE_EXEC").is_ok();
 
+        // The run's shared slowdown observer (one EWMA slot per device):
+        // workers record every completed block's charged-vs-nominal ratio
+        // into it, routing reads it back. Always measured; priced into
+        // projections only when the calibration's feedback toggle is on.
+        let observer = Arc::new(SlowdownObserver::new(self.topology.devices().len()));
+
         // The run's unified cost model: every estimation term the router
         // path, the queue-admission path and the steal path consult, with
         // the per-term toggles this execution's config selects (§5 of
-        // DESIGN.md).
-        let cost = CostModel::from_config(config);
+        // DESIGN.md) and the calibration inputs (§6): the construction-time
+        // probe's measured constants and the observer above.
+        let cost = CostModel::from_config(config)
+            .with_constants(Arc::clone(&self.probed_constants))
+            .with_observer(Arc::clone(&observer));
 
         let routing: Vec<StageRouting<'_>> =
             graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>()?;
@@ -1470,13 +1524,17 @@ impl Executor {
                                 claim_yields = 0;
                                 // Feed the straggler detector: what this
                                 // block actually cost vs what the nominal
-                                // model prices for the same work.
+                                // model prices for the same work. The same
+                                // observation feeds the shared per-device
+                                // slowdown EWMA that routing projections
+                                // consume (the calibration loop).
+                                let nominal_ns =
+                                    self.work_cost.time_ns(&out.work, &device_profile);
+                                cost.observe(device_id.index(), busy, nominal_ns);
                                 routing[idx].charged_busy[slot_idx]
                                     .fetch_add(busy, Ordering::Relaxed);
-                                routing[idx].nominal_busy[slot_idx].fetch_add(
-                                    self.work_cost.time_ns(&out.work, &device_profile),
-                                    Ordering::Relaxed,
-                                );
+                                routing[idx].nominal_busy[slot_idx]
+                                    .fetch_add(nominal_ns, Ordering::Relaxed);
                                 routing[idx].processed[slot_idx].fetch_add(1, Ordering::Relaxed);
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
@@ -1597,6 +1655,8 @@ impl Executor {
                 .map(|p| p.blocks_stolen.load(Ordering::Relaxed))
                 .collect(),
             remote_control_acquisitions: remote_ctl.load(Ordering::Relaxed),
+            observed_slowdowns: observer.snapshot(),
+            probed_constants: Some(Arc::clone(&self.probed_constants)),
         })
     }
 
@@ -1691,6 +1751,8 @@ impl Executor {
             staging_peaks: Vec::new(),
             blocks_stolen: vec![0; graph.stages.len()],
             remote_control_acquisitions: 0,
+            observed_slowdowns: Vec::new(),
+            probed_constants: None,
         })
     }
 
@@ -2111,6 +2173,56 @@ mod tests {
     }
 
     #[test]
+    fn feedback_routing_diverts_new_blocks_from_a_hidden_straggler() {
+        use hetex_common::CalibrationConfig;
+        // One GPU is a hidden 8x straggler and stealing is disabled, so the
+        // only defence is the calibration loop: the straggler's observed
+        // slowdown must grow past the detector threshold, and feedback
+        // routing must beat nominal routing end-to-end with identical rows.
+        let topology = ServerTopology::paper_server();
+        let slow_gpu = topology.gpus()[1];
+        let skewed = topology.with_device_slowdown(slow_gpu, 8.0).unwrap();
+        let catalog = catalog_with_data(&skewed, 200_000);
+        let mut config = EngineConfig::hybrid(8, 2);
+        config.scale_weight = 20_000.0;
+        config.steal_policy = hetex_common::StealPolicy::Disabled;
+        let het = parallelize(&join_sum_plan(), &config).unwrap();
+        let executor = Executor::new(Arc::clone(&skewed));
+
+        let graph = compile(&het, &config, &skewed).unwrap();
+        let calibrated = executor.execute(&graph, &catalog, &config).unwrap();
+        let nominal_cfg = config.clone().with_calibration(CalibrationConfig::disabled());
+        let graph = compile(&het, &nominal_cfg, &skewed).unwrap();
+        let nominal = executor.execute(&graph, &catalog, &nominal_cfg).unwrap();
+
+        let (sum, cnt) = expected(200_000);
+        assert_eq!(calibrated.rows, vec![vec![sum, cnt]]);
+        assert_eq!(nominal.rows, calibrated.rows);
+        assert!(
+            calibrated.sim_time < nominal.sim_time,
+            "feedback routing ({}) must beat nominal routing ({}) on a skewed topology",
+            calibrated.sim_time,
+            nominal.sim_time
+        );
+        // The straggler's EWMA is observed in both runs (measurement is
+        // always on; only the pricing is toggled).
+        for result in [&calibrated, &nominal] {
+            let observed = result.observed_slowdowns[slow_gpu.index()];
+            assert!(observed > 1.5, "straggler EWMA {observed} never rose");
+        }
+        // Every healthy device reads exactly nominal.
+        for (idx, &ewma) in calibrated.observed_slowdowns.iter().enumerate() {
+            if DeviceId::new(idx) != slow_gpu {
+                assert_eq!(ewma, 1.0, "device {idx} falsely observed as slow");
+            }
+        }
+        // Pipelined runs surface the probe's constants; on the two-socket
+        // paper server the measured round trip is non-zero.
+        let constants = calibrated.probed_constants.as_ref().expect("probed constants");
+        assert!(constants.control_plane_ns > 0);
+    }
+
+    #[test]
     fn cost_model_toggles_preserve_rows_and_measure_control_plane_traffic() {
         use hetex_common::CostModelConfig;
         let config = EngineConfig::hybrid(4, 2);
@@ -2125,10 +2237,16 @@ mod tests {
         // only moves blocks between equivalent consumers.
         let all_off = run(&config.clone().with_cost_model(CostModelConfig::disabled()), 100_000);
         assert_eq!(all_on.rows, all_off.rows);
-        // The legacy mode neither measures nor prices control-plane traffic.
+        // The legacy mode neither measures nor prices control-plane traffic,
+        // and carries no calibration observables either.
         let saat = run(&config.with_execution_mode(ExecutionMode::StageAtATime), 100_000);
         assert_eq!(saat.remote_control_acquisitions, 0);
+        assert!(saat.observed_slowdowns.is_empty());
+        assert!(saat.probed_constants.is_none());
         assert_eq!(saat.rows, all_on.rows);
+        // Pipelined runs always surface the per-device EWMAs (healthy here).
+        assert!(!all_on.observed_slowdowns.is_empty());
+        assert!(all_on.observed_slowdowns.iter().all(|&s| s >= 1.0));
     }
 
     #[test]

@@ -31,6 +31,7 @@ pub mod cost;
 pub mod device;
 pub mod interconnect;
 pub mod memory;
+pub mod probe;
 pub mod topology;
 pub mod transfer;
 
@@ -40,5 +41,6 @@ pub use cost::{CostModel, WorkProfile};
 pub use device::{DeviceId, DeviceKind, DeviceProfile};
 pub use interconnect::{LinkId, LinkKind, LinkSpec};
 pub use memory::MemoryNodeSpec;
+pub use probe::CalibratedConstants;
 pub use topology::{ServerTopology, TopologyBuilder};
 pub use transfer::{DmaEngine, TransferTicket};

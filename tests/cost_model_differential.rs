@@ -11,18 +11,29 @@
 //! rows are byte-identical to the stage-at-a-time executor — the bit-stable
 //! legacy baseline that routes with every refinement off.
 //!
+//! PR 5 extends the sweep with the **calibration toggle group**
+//! (`CalibrationConfig`): observed-slowdown feedback routing and the
+//! measured topology constants each run isolated (on top of the all-off
+//! cost model) and combined in the all-on configuration. Neither input may
+//! change rows either — feedback only re-ranks equivalent consumers, and
+//! measured constants only re-price the same projections. The all-off
+//! configuration (every cost-model term *and* every calibration input off)
+//! remains byte-identical to the PR 4 baseline sweep: it runs exactly the
+//! pre-calibration code paths (integer projections, declared constants).
+//!
 //! Seeding: the vendored proptest derives a deterministic per-function seed
 //! from the property's name, so every run (local and CI) explores the same
 //! fixed case sequence and failures reproduce exactly. The case budget is
 //! `HETEX_DIFF_CASES` generated scenarios (default 48); each scenario runs
-//! six pipelined toggle configurations against one stage-at-a-time baseline,
-//! i.e. 48 × 6 = 288 differential toggle-cases per default run (the
-//! acceptance bar is 256+), sized to keep the suite well under three
+//! nine pipelined toggle configurations against one stage-at-a-time
+//! baseline, i.e. 48 × 9 = 432 differential toggle-cases per default run
+//! (the acceptance bar is 256+), sized to keep the suite well under three
 //! minutes.
 
 use hetexchange::common::{
-    ColumnData, CostModelConfig, DataType, EngineConfig, ExecutionMode, HetError,
+    CalibrationConfig, ColumnData, CostModelConfig, DataType, EngineConfig, ExecutionMode, HetError,
 };
+use hetexchange::core_ops::cost::{SlowdownObserver, SLOWDOWN_EWMA_ALPHA};
 use hetexchange::core_ops::RelNode;
 use hetexchange::engine::Proteus;
 use hetexchange::jit::{AggSpec, Expr};
@@ -38,16 +49,27 @@ fn case_budget() -> u32 {
 }
 
 /// Every toggle configuration the differential sweep runs: the PR 3
-/// baseline, each term isolated, and the all-on default.
-fn toggle_configs() -> Vec<(&'static str, CostModelConfig)> {
+/// baseline, each cost-model term isolated, each calibration input
+/// isolated, and the all-on default (every term and every input).
+fn toggle_configs() -> Vec<(&'static str, CostModelConfig, CalibrationConfig)> {
     let off = CostModelConfig::disabled();
+    let calib_off = CalibrationConfig::disabled();
     vec![
-        ("all_off", off),
-        ("demand_quotas", off.with_demand_weighted_quotas(true)),
-        ("control_plane", off.with_control_plane_term(true)),
-        ("gate_critical_path", off.with_gate_critical_path(true)),
-        ("link_congestion", off.with_link_congestion_term(true)),
-        ("all_on", CostModelConfig::default()),
+        ("all_off", off, calib_off),
+        ("demand_quotas", off.with_demand_weighted_quotas(true), calib_off),
+        ("control_plane", off.with_control_plane_term(true), calib_off),
+        ("gate_critical_path", off.with_gate_critical_path(true), calib_off),
+        ("link_congestion", off.with_link_congestion_term(true), calib_off),
+        ("slowdown_feedback", off, calib_off.with_slowdown_feedback(true)),
+        ("measured_constants", off, calib_off.with_measured_constants(true)),
+        // The measured control-plane constant only matters where the term
+        // pricing it is on — exercise the interaction explicitly.
+        (
+            "control_plane_measured",
+            off.with_control_plane_term(true),
+            calib_off.with_measured_constants(true),
+        ),
+        ("all_on", CostModelConfig::default(), CalibrationConfig::default()),
     ]
 }
 
@@ -180,9 +202,12 @@ proptest! {
             .execute(&plan, &config.clone().with_execution_mode(ExecutionMode::StageAtATime))
             .unwrap();
 
-        for (label, toggles) in toggle_configs() {
+        for (label, toggles, calibration) in toggle_configs() {
             let outcome = engine
-                .execute(&plan, &config.clone().with_cost_model(toggles))
+                .execute(
+                    &plan,
+                    &config.clone().with_cost_model(toggles).with_calibration(calibration),
+                )
                 .unwrap();
             prop_assert_eq!(
                 &outcome.rows, &baseline.rows,
@@ -202,5 +227,70 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// Calibration-loop soundness: the `SlowdownObserver` EWMA is monotone
+    /// in the injected `exec_slowdown` — a device hidden-slowed by a larger
+    /// factor can never be *observed* as less slow, whatever the nominal
+    /// per-block costs and however many blocks were folded in. (The routing
+    /// multiplier inherits the monotonicity, so feedback can never rank a
+    /// worse straggler as the better consumer on identical backlogs.)
+    #[test]
+    fn prop_slowdown_observer_ewma_is_monotone_in_injected_slowdown(
+        nominal_ns in 1u64..2_000_000,
+        blocks in 1usize..48,
+        slowdowns_x10 in proptest::collection::vec(5u64..120, 2..8),
+    ) {
+        let mut sorted = slowdowns_x10.clone();
+        sorted.sort_unstable();
+        let mut previous: Option<(u64, f64)> = None;
+        for &sx10 in &sorted {
+            let slowdown = sx10 as f64 / 10.0;
+            // One observer per injected factor, fed the same block stream:
+            // every block is charged `nominal × slowdown`, exactly how the
+            // executor's charge path applies `DeviceProfile::exec_slowdown`.
+            let observer = SlowdownObserver::new(1);
+            for _ in 0..blocks {
+                observer.record(0, (nominal_ns as f64 * slowdown) as u64, nominal_ns);
+            }
+            let ewma = observer.slowdown(0);
+            // Identical samples keep the EWMA at the (floored) sample…
+            let sample = ((nominal_ns as f64 * slowdown) as u64 as f64
+                / nominal_ns as f64).max(1.0);
+            prop_assert!(
+                (ewma - sample).abs() < 1e-9 * sample.max(1.0),
+                "uniform stream must converge to its sample: {ewma} vs {sample}"
+            );
+            // …and a larger injected slowdown never observes smaller.
+            if let Some((prev_sx10, prev_ewma)) = previous {
+                prop_assert!(
+                    ewma >= prev_ewma,
+                    "slowdown {sx10}/10 observed {ewma} < {prev_ewma} at {prev_sx10}/10"
+                );
+            }
+            previous = Some((sx10, ewma));
+        }
+        // A mixed stream stays between the extremes: fold the smallest and
+        // largest factors alternately and check the EWMA lands within the
+        // bracket scaled by the smoothing factor's reach.
+        let low = sorted[0] as f64 / 10.0;
+        let high = sorted[sorted.len() - 1] as f64 / 10.0;
+        let observer = SlowdownObserver::new(1);
+        for i in 0..blocks * 2 {
+            let s = if i % 2 == 0 { high } else { low };
+            observer.record(0, (nominal_ns as f64 * s) as u64, nominal_ns);
+        }
+        let mixed = observer.slowdown(0);
+        // Every folded sample is within [low, high] after integer truncation
+        // of the charge and the ≥1.0 floor, so the EWMA must stay within the
+        // same bracket — with any smoothing factor in (0, 1], which pins
+        // SLOWDOWN_EWMA_ALPHA's range.
+        prop_assert!((0.0..=1.0).contains(&SLOWDOWN_EWMA_ALPHA));
+        let ratio = |s: f64| ((nominal_ns as f64 * s) as u64 as f64 / nominal_ns as f64).max(1.0);
+        let (low_f, high_f) = (ratio(low), ratio(high));
+        prop_assert!(
+            mixed + 1e-9 >= low_f && mixed <= high_f + 1e-9,
+            "mixed EWMA {mixed} escaped the sample bracket [{low_f}, {high_f}]"
+        );
     }
 }
