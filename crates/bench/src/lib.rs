@@ -27,6 +27,7 @@
 //! records the shape comparison against the paper's reported numbers.
 
 pub mod calib_ab;
+pub mod fault_ab;
 pub mod figures;
 pub mod micro;
 pub mod pipeline_ab;

@@ -174,11 +174,17 @@ pub struct CalibrationConfig {
     /// per-link bandwidth for transfer estimates) instead of the hard-coded
     /// QPI default and the links' declared widths.
     pub measured_constants: bool,
+    /// Feed the observed-slowdown EWMA into the steal-profitability victim
+    /// time estimate: a victim whose device is an observed straggler is
+    /// priced at its *observed* per-block cost (nominal cost times the EWMA)
+    /// when deciding whether a steal pays off, so rescues from hidden
+    /// stragglers are recognized as profitable earlier.
+    pub steal_feedback: bool,
 }
 
 impl Default for CalibrationConfig {
     fn default() -> Self {
-        Self { slowdown_feedback: true, measured_constants: true }
+        Self { slowdown_feedback: true, measured_constants: true, steal_feedback: true }
     }
 }
 
@@ -187,7 +193,7 @@ impl CalibrationConfig {
     /// profiles, declared constants), the baseline the differential tests
     /// toggle against.
     pub fn disabled() -> Self {
-        Self { slowdown_feedback: false, measured_constants: false }
+        Self { slowdown_feedback: false, measured_constants: false, steal_feedback: false }
     }
 
     /// Toggle the observed-slowdown routing feedback.
@@ -199,6 +205,76 @@ impl CalibrationConfig {
     /// Toggle the probed control-plane/link constants.
     pub fn with_measured_constants(mut self, on: bool) -> Self {
         self.measured_constants = on;
+        self
+    }
+
+    /// Toggle the observed-slowdown steal-victim pricing.
+    pub fn with_steal_feedback(mut self, on: bool) -> Self {
+        self.steal_feedback = on;
+        self
+    }
+}
+
+/// Toggles of the fault-tolerance machinery in the pipelined executor.
+///
+/// All machinery is additionally gated on a `FaultPlan` being attached to the
+/// topology — a healthy run (no plan) takes none of these paths and charges
+/// no simulated time to any of them, so the fault subsystem is free when
+/// unused. These toggles select how much of the recovery ladder engages when
+/// faults *do* fire; `FaultConfig::disabled()` reproduces the PR 1 behaviour
+/// (any failure poison-cascades the whole query).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultConfig {
+    /// Retry transient kernel failures in place with bounded, sim-charged
+    /// exponential backoff before escalating to a quarantine.
+    pub transient_retry: bool,
+    /// Quarantine a permanently failed device: stop routing to it, drain its
+    /// queued anonymous blocks to surviving same-stage siblings, and restart
+    /// from the gate when its blocks were semantically bound (hash/target).
+    pub quarantine: bool,
+    /// Per-stage watchdog that converts a wedged (no-progress) worker into a
+    /// quarantine instead of an unbounded hang.
+    pub watchdog: bool,
+    /// Engine-level degraded restart: when a query still fails with a
+    /// structured `DeviceLost`/`Wedged` error, re-plan and re-execute on the
+    /// surviving devices (CPU-only if every GPU is gone).
+    pub degraded_restart: bool,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        Self { transient_retry: true, quarantine: true, watchdog: true, degraded_restart: true }
+    }
+}
+
+impl FaultConfig {
+    /// Every recovery path disabled — the PR 1 poison-cascade behaviour:
+    /// the first failure aborts the query with a structured error.
+    pub fn disabled() -> Self {
+        Self { transient_retry: false, quarantine: false, watchdog: false, degraded_restart: false }
+    }
+
+    /// Toggle in-place transient retries.
+    pub fn with_transient_retry(mut self, on: bool) -> Self {
+        self.transient_retry = on;
+        self
+    }
+
+    /// Toggle device quarantine and block re-routing.
+    pub fn with_quarantine(mut self, on: bool) -> Self {
+        self.quarantine = on;
+        self
+    }
+
+    /// Toggle the per-stage no-progress watchdog.
+    pub fn with_watchdog(mut self, on: bool) -> Self {
+        self.watchdog = on;
+        self
+    }
+
+    /// Toggle the engine-level degraded restart.
+    pub fn with_degraded_restart(mut self, on: bool) -> Self {
+        self.degraded_restart = on;
         self
     }
 }
@@ -259,6 +335,10 @@ pub struct EngineConfig {
     /// Online-calibration toggles: whether routing projections consume the
     /// observed-slowdown feedback and the probed topology constants.
     pub calibration: CalibrationConfig,
+    /// Fault-tolerance toggles: how much of the recovery ladder (retry,
+    /// quarantine, watchdog, degraded restart) engages when injected or real
+    /// faults fire. Inert when the topology carries no fault plan.
+    pub fault: FaultConfig,
 }
 
 impl Default for EngineConfig {
@@ -278,6 +358,7 @@ impl Default for EngineConfig {
             steal_policy: StealPolicy::default(),
             cost_model: CostModelConfig::default(),
             calibration: CalibrationConfig::default(),
+            fault: FaultConfig::default(),
         }
     }
 }
@@ -362,6 +443,12 @@ impl EngineConfig {
     /// Select which calibration inputs feed the cost model.
     pub fn with_calibration(mut self, calibration: CalibrationConfig) -> Self {
         self.calibration = calibration;
+        self
+    }
+
+    /// Select which fault-recovery paths are active.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = fault;
         self
     }
 
@@ -501,15 +588,38 @@ mod tests {
         assert_eq!(cfg.calibration, CalibrationConfig::default());
         assert!(cfg.calibration.slowdown_feedback);
         assert!(cfg.calibration.measured_constants);
+        assert!(cfg.calibration.steal_feedback);
         let off = CalibrationConfig::disabled();
-        assert!(!off.slowdown_feedback && !off.measured_constants);
-        // Each input toggles independently of the other.
+        assert!(!off.slowdown_feedback && !off.measured_constants && !off.steal_feedback);
+        // Each input toggles independently of the others.
         let one = CalibrationConfig::disabled().with_slowdown_feedback(true);
-        assert!(one.slowdown_feedback && !one.measured_constants);
+        assert!(one.slowdown_feedback && !one.measured_constants && !one.steal_feedback);
         let other = CalibrationConfig::disabled().with_measured_constants(true);
         assert!(!other.slowdown_feedback && other.measured_constants);
+        let third = CalibrationConfig::disabled().with_steal_feedback(true);
+        assert!(third.steal_feedback && !third.slowdown_feedback);
         let cfg = cfg.with_calibration(off);
         assert_eq!(cfg.calibration, CalibrationConfig::disabled());
+        cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn fault_recovery_defaults_on_and_toggles_individually() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.fault, FaultConfig::default());
+        assert!(cfg.fault.transient_retry && cfg.fault.quarantine);
+        assert!(cfg.fault.watchdog && cfg.fault.degraded_restart);
+        let off = FaultConfig::disabled();
+        assert!(!off.transient_retry && !off.quarantine);
+        assert!(!off.watchdog && !off.degraded_restart);
+        let one = FaultConfig::disabled().with_quarantine(true);
+        assert!(one.quarantine && !one.transient_retry && !one.watchdog);
+        let two = FaultConfig::disabled().with_watchdog(true).with_transient_retry(true);
+        assert!(two.watchdog && two.transient_retry && !two.degraded_restart);
+        let three = FaultConfig::default().with_degraded_restart(false);
+        assert!(!three.degraded_restart && three.quarantine);
+        let cfg = cfg.with_fault(off);
+        assert_eq!(cfg.fault, FaultConfig::disabled());
         cfg.validate().unwrap();
     }
 

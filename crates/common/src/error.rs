@@ -36,6 +36,37 @@ pub enum HetError {
     Config(String),
     /// The query was cancelled or a channel closed unexpectedly.
     Cancelled(String),
+    /// An execution device was lost permanently mid-query (it aborted, or
+    /// crossed its transient-retry budget and was quarantined) while holding
+    /// work the executor could not re-route: `block` is the queue depth (plus
+    /// any claimed block) stranded on the device at stage `stage`. The engine
+    /// catches this variant and restarts the query on the surviving devices.
+    DeviceLost {
+        /// Raw index of the lost device.
+        device: usize,
+        /// Stage whose work was stranded on the device.
+        stage: usize,
+        /// Number of blocks stranded (in-queue plus claimed).
+        block: usize,
+    },
+    /// A worker stopped making progress and the per-stage watchdog converted
+    /// the hang into a structured failure: stage `stage`, consumer slot
+    /// `slot`. Like [`HetError::DeviceLost`], the engine treats this as a
+    /// permanent device failure and degrades to the surviving devices.
+    Wedged {
+        /// Stage whose worker wedged.
+        stage: usize,
+        /// Consumer slot (instance index within the stage) that wedged.
+        slot: usize,
+    },
+    /// A kernel invocation failed transiently on a device (an injected
+    /// launch fault, a recoverable ECC event). The executor retries in place
+    /// with bounded sim-charged backoff; only after the retry budget is
+    /// exhausted does the failure escalate to [`HetError::DeviceLost`].
+    KernelTransient {
+        /// Raw index of the device whose kernel invocation failed.
+        device: usize,
+    },
 }
 
 impl HetError {
@@ -55,7 +86,18 @@ impl HetError {
             HetError::Unsupported(_) => "unsupported",
             HetError::Config(_) => "config",
             HetError::Cancelled(_) => "cancelled",
+            HetError::DeviceLost { .. } => "device-lost",
+            HetError::Wedged { .. } => "wedged",
+            HetError::KernelTransient { .. } => "kernel-transient",
         }
+    }
+
+    /// True for failures the executor may retry in place (with bounded,
+    /// sim-charged backoff) rather than escalate. Everything else is
+    /// permanent from the executor's point of view: either a clean abort or
+    /// a device loss the engine handles by degrading to survivors.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, HetError::KernelTransient { .. })
     }
 }
 
@@ -73,6 +115,17 @@ impl fmt::Display for HetError {
             HetError::Unsupported(m) => write!(f, "unsupported: {m}"),
             HetError::Config(m) => write!(f, "configuration error: {m}"),
             HetError::Cancelled(m) => write!(f, "cancelled: {m}"),
+            HetError::DeviceLost { device, stage, block } => write!(
+                f,
+                "device lost: dev{device} failed permanently at stage {stage} \
+                 with {block} block(s) stranded"
+            ),
+            HetError::Wedged { stage, slot } => {
+                write!(f, "wedged: stage {stage} slot {slot} stopped making progress")
+            }
+            HetError::KernelTransient { device } => {
+                write!(f, "transient kernel failure on dev{device}")
+            }
         }
     }
 }
@@ -94,6 +147,25 @@ mod tests {
     fn category_is_stable() {
         assert_eq!(HetError::Transfer(String::new()).category(), "transfer");
         assert_eq!(HetError::Unsupported(String::new()).category(), "unsupported");
+    }
+
+    #[test]
+    fn fault_variants_are_structured_and_classified() {
+        let lost = HetError::DeviceLost { device: 3, stage: 1, block: 4 };
+        assert_eq!(lost.category(), "device-lost");
+        assert!(!lost.is_transient());
+        assert!(lost.to_string().contains("dev3"));
+        assert!(lost.to_string().contains("stage 1"));
+
+        let wedged = HetError::Wedged { stage: 2, slot: 5 };
+        assert_eq!(wedged.category(), "wedged");
+        assert!(!wedged.is_transient());
+        assert!(wedged.to_string().contains("slot 5"));
+
+        let transient = HetError::KernelTransient { device: 1 };
+        assert_eq!(transient.category(), "kernel-transient");
+        assert!(transient.is_transient());
+        assert!(!HetError::Memory(String::new()).is_transient());
     }
 
     #[test]

@@ -20,7 +20,9 @@ pub mod types;
 
 pub use block::{Block, BlockHandle, BlockMeta, StagingToken};
 pub use column::{Column, ColumnData, DictionaryBuilder};
-pub use config::{CalibrationConfig, CostModelConfig, EngineConfig, ExecutionMode, StealPolicy};
+pub use config::{
+    CalibrationConfig, CostModelConfig, EngineConfig, ExecutionMode, FaultConfig, StealPolicy,
+};
 pub use error::{HetError, Result};
 pub use ids::{BlockId, ColumnId, MemoryNodeId, PipelineId, QueryId, TableId};
 pub use schema::{Field, Schema};

@@ -279,6 +279,30 @@ impl CostModel {
         }
     }
 
+    /// The per-block cost the steal-profitability check prices the victim
+    /// at. The victim's own observed average (charged busy / processed) is
+    /// the base estimate; with `calibration.steal_feedback` on (and an
+    /// observer attached) it is floored at the nominal average times the
+    /// victim *device's* observed-slowdown EWMA, so a victim whose few local
+    /// samples happened to be cheap is still priced as slow when its device
+    /// is a known straggler — the EWMA aggregates every instance on the
+    /// device, not just this queue's history. Toggled off, the base estimate
+    /// passes through untouched (the PR 5 behaviour bit-for-bit).
+    pub fn steal_victim_avg_ns(
+        &self,
+        observed_avg_ns: u64,
+        nominal_avg_ns: u64,
+        victim_slot: usize,
+    ) -> u64 {
+        match &self.observer {
+            Some(observer) if self.calib.steal_feedback => {
+                let ewma = observer.slowdown(victim_slot);
+                observed_avg_ns.max((nominal_avg_ns as f64 * ewma) as u64)
+            }
+            _ => observed_avg_ns,
+        }
+    }
+
     /// Estimated time to move `bytes` over `link`: the probe's measured
     /// effective rate when `calibration.measured_constants` is on (and the
     /// constants are attached), the link's declared width otherwise — the
@@ -750,6 +774,33 @@ mod tests {
             congestion_ns: 0,
         };
         assert!(!model.steal_profitable(&tight));
+    }
+
+    #[test]
+    fn steal_feedback_prices_the_victim_by_its_device_ewma() {
+        let observer = Arc::new(SlowdownObserver::new(4));
+        // Device slot 2 is an observed 4x straggler.
+        observer.record(2, 4_000, 1_000);
+        let on = CostModel::from_config(
+            &EngineConfig::default()
+                .with_calibration(CalibrationConfig::disabled().with_steal_feedback(true)),
+        )
+        .with_observer(Arc::clone(&observer));
+        // The EWMA floors the victim estimate: 500 observed, but nominal 600
+        // at a 4x device reads 2400.
+        assert_eq!(on.steal_victim_avg_ns(500, 600, 2), 2_400);
+        // A healthy device (slot 0) passes the observed average through.
+        assert_eq!(on.steal_victim_avg_ns(500, 600, 0), 600);
+        assert_eq!(on.steal_victim_avg_ns(700, 600, 0), 700);
+        // Toggled off — or with no observer attached — the base estimate is
+        // untouched (the PR 5 behaviour bit-for-bit).
+        let off = CostModel::from_config(
+            &EngineConfig::default().with_calibration(CalibrationConfig::disabled()),
+        )
+        .with_observer(observer);
+        assert_eq!(off.steal_victim_avg_ns(500, 600, 2), 500);
+        let detached = CostModel::default();
+        assert_eq!(detached.steal_victim_avg_ns(500, 600, 2), 500);
     }
 
     #[test]

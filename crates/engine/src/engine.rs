@@ -9,11 +9,11 @@
 
 use crate::codegen::compile;
 use crate::executor::{DeviceKindStats, Executor};
-use hetex_common::config::DEFAULT_STAGING_BYTES;
-use hetex_common::{EngineConfig, MemoryNodeId, Result};
+use hetex_common::config::{ExecutionTarget, DEFAULT_STAGING_BYTES};
+use hetex_common::{EngineConfig, HetError, MemoryNodeId, Result};
 use hetex_core::{parallelize, HetNode, RelNode};
 use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
-use hetex_topology::{CalibratedConstants, DeviceKind, ServerTopology, SimTime};
+use hetex_topology::{CalibratedConstants, DeviceId, DeviceKind, ServerTopology, SimTime};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -50,6 +50,20 @@ pub struct QueryStats {
     /// (control-plane round trip ns, per-link effective GB/s). `None` in
     /// stage-at-a-time mode.
     pub probed_constants: Option<Arc<CalibratedConstants>>,
+    /// Transient kernel failures absorbed by bounded in-place retry (zero
+    /// without an injected fault plan).
+    pub transient_retries: u64,
+    /// Blocks re-executed on a surviving sibling after a device quarantine
+    /// (zero without an injected fault plan).
+    pub recovered_blocks: u64,
+    /// Staging bytes still leased when execution finished; zero on every
+    /// clean run (the fault suite's leak invariant).
+    pub staging_leaked_bytes: u64,
+    /// Devices excluded by degraded restarts of this query, in exclusion
+    /// order (topology device indices). Empty when the query ran healthy.
+    pub excluded_devices: Vec<usize>,
+    /// Degraded restarts (device-loss replans) this query needed.
+    pub degraded_restarts: usize,
 }
 
 impl QueryStats {
@@ -165,12 +179,37 @@ impl Proteus {
     }
 
     /// Execute a sequential physical plan under the given configuration.
+    ///
+    /// The last rung of the fault-recovery ladder lives here: when execution
+    /// fails with a structured [`HetError::DeviceLost`] (a bound stage lost
+    /// its consumer, or a whole stage died) and `config.fault.degraded_restart`
+    /// is on, the lost device is excluded from the topology, the degrees of
+    /// parallelism are clamped to the surviving devices — a query losing its
+    /// last GPU degrades to CPU-only — and the query is re-planned and
+    /// re-executed from scratch. Results are exact either way; the reported
+    /// simulated time is that of the final (successful) attempt.
     pub fn execute(&self, plan: &RelNode, config: &EngineConfig) -> Result<QueryOutcome> {
         config.validate()?;
+        match self.execute_attempt(&self.topology, &self.executor, plan, config) {
+            Err(HetError::DeviceLost { device, .. }) if config.fault.degraded_restart => {
+                self.execute_degraded(plan, config, device)
+            }
+            other => other,
+        }
+    }
+
+    /// One plan→compile→execute attempt against `topology`/`executor`.
+    fn execute_attempt(
+        &self,
+        topology: &Arc<ServerTopology>,
+        executor: &Executor,
+        plan: &RelNode,
+        config: &EngineConfig,
+    ) -> Result<QueryOutcome> {
         let het = parallelize(plan, config)?;
         hetex_core::traits::check_relational_requirements(&het)?;
-        let graph = compile(&het, config, &self.topology)?;
-        let result = self.executor.execute(&graph, &self.catalog, config)?;
+        let graph = compile(&het, config, topology)?;
+        let result = executor.execute(&graph, &self.catalog, config)?;
         Ok(QueryOutcome {
             rows: result.rows,
             sim_time: result.sim_time,
@@ -185,8 +224,75 @@ impl Proteus {
                 remote_control_acquisitions: result.remote_control_acquisitions,
                 observed_slowdowns: result.observed_slowdowns,
                 probed_constants: result.probed_constants,
+                transient_retries: result.transient_retries,
+                recovered_blocks: result.recovered_blocks,
+                staging_leaked_bytes: result.staging_leaked_bytes,
+                excluded_devices: Vec::new(),
+                degraded_restarts: 0,
             },
         })
+    }
+
+    /// Degraded restarts after a structured device loss, bounded by the
+    /// device count: each round excludes the lost device, clamps the
+    /// parallelism degrees to the survivors (retargeting to CPU-only when no
+    /// GPU survives) and replans. Another `DeviceLost` excludes the next
+    /// device; any other error — or running out of devices — surfaces.
+    fn execute_degraded(
+        &self,
+        plan: &RelNode,
+        config: &EngineConfig,
+        first_lost: usize,
+    ) -> Result<QueryOutcome> {
+        let mut topology = Arc::clone(&self.topology);
+        let mut lost = first_lost;
+        let mut excluded: Vec<usize> = Vec::new();
+        for _ in 0..self.topology.devices().len() {
+            topology = topology.with_device_excluded(DeviceId::new(lost))?;
+            excluded.push(lost);
+            let gpus = topology.gpus().len();
+            let cpus = topology.cpu_cores().len();
+            if gpus == 0 && cpus == 0 {
+                break;
+            }
+            let mut cfg = config.clone();
+            cfg.gpu_dop = cfg.gpu_dop.min(gpus);
+            cfg.cpu_dop = cfg.cpu_dop.min(cpus);
+            if cfg.gpu_dop == 0
+                && matches!(cfg.target, ExecutionTarget::GpuOnly | ExecutionTarget::Hybrid)
+            {
+                // Every GPU is gone (or the config never had GPU lanes):
+                // degrade to CPU-only, with at least one core of
+                // parallelism — graceful degradation, not a validation
+                // error about a device class that no longer exists.
+                cfg.target = ExecutionTarget::CpuOnly;
+                cfg.gpu_dop = 0;
+                cfg.cpu_dop = cfg.cpu_dop.max(1).min(cpus);
+            }
+            if cfg.cpu_dop == 0 && cfg.target == ExecutionTarget::CpuOnly {
+                break;
+            }
+            cfg.validate()?;
+            // A fresh executor: its device clocks, simulated GPUs and probe
+            // run against the shrunken topology, and placement never sees
+            // the excluded devices.
+            let executor = Executor::new(Arc::clone(&topology));
+            match self.execute_attempt(&topology, &executor, plan, &cfg) {
+                Ok(mut outcome) => {
+                    outcome.stats.degraded_restarts = excluded.len();
+                    outcome.stats.excluded_devices = excluded;
+                    return Ok(outcome);
+                }
+                Err(HetError::DeviceLost { device, .. }) if !excluded.contains(&device) => {
+                    lost = device;
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        Err(HetError::Execution(format!(
+            "degraded restart exhausted: no surviving device can run the query \
+             (excluded devices {excluded:?})"
+        )))
     }
 }
 
@@ -198,7 +304,11 @@ mod tests {
     use hetex_storage::TableBuilder;
 
     fn engine_with_table(rows: usize) -> Proteus {
-        let engine = Proteus::on_paper_server();
+        engine_on(ServerTopology::paper_server(), rows)
+    }
+
+    fn engine_on(topology: Arc<ServerTopology>, rows: usize) -> Proteus {
+        let engine = Proteus::new(topology);
         let nodes = engine.topology().cpu_memory_nodes();
         let table = TableBuilder::new("t")
             .column(
@@ -275,6 +385,57 @@ mod tests {
     fn invalid_config_is_rejected_before_execution() {
         let engine = engine_with_table(100);
         assert!(engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(0)).is_err());
+    }
+
+    #[test]
+    fn losing_every_gpu_degrades_the_query_to_cpu_only() {
+        use hetex_topology::FaultPlan;
+        // Both GPUs are dead from t=0 but the query is pinned GPU-only: the
+        // first attempt loses a device, the restart ladder excludes it, the
+        // retry loses the other one, and the final restart retargets the
+        // query to CPU-only. Rows must be exact throughout.
+        let topology = ServerTopology::paper_server();
+        let gpus: Vec<DeviceId> = topology.gpus();
+        let faulted = topology
+            .with_fault_plan(
+                FaultPlan::new()
+                    .abort_device(gpus[0], SimTime::ZERO)
+                    .abort_device(gpus[1], SimTime::ZERO),
+            )
+            .unwrap();
+        let engine = engine_on(faulted, 100_000);
+        let outcome = engine.execute(&sum_where_plan(), &EngineConfig::gpu_only(2)).unwrap();
+        assert_eq!(outcome.rows, vec![vec![expected_sum(100_000)]]);
+        assert!(
+            outcome.stats.degraded_restarts >= 1,
+            "a GPU-only query with no live GPU cannot succeed without restarting"
+        );
+        assert_eq!(outcome.stats.excluded_devices.len(), outcome.stats.degraded_restarts);
+        assert!(outcome.stats.excluded_devices.iter().all(|d| gpus.contains(&DeviceId::new(*d))));
+        // The surviving run really is CPU-only.
+        assert!(outcome.stats.per_kind.contains_key(&DeviceKind::CpuCore));
+        let gpu_blocks = outcome.stats.per_kind.get(&DeviceKind::Gpu).map_or(0, |s| s.blocks);
+        assert_eq!(gpu_blocks, 0, "no block may be charged to a dead GPU");
+        assert_eq!(outcome.stats.staging_leaked_bytes, 0);
+    }
+
+    #[test]
+    fn degraded_restart_can_be_disabled() {
+        use hetex_common::FaultConfig;
+        use hetex_topology::FaultPlan;
+        let topology = ServerTopology::paper_server();
+        let gpus = topology.gpus();
+        let faulted = topology
+            .with_fault_plan(
+                FaultPlan::new()
+                    .abort_device(gpus[0], SimTime::ZERO)
+                    .abort_device(gpus[1], SimTime::ZERO),
+            )
+            .unwrap();
+        let engine = engine_on(faulted, 10_000);
+        let config = EngineConfig::gpu_only(2).with_fault(FaultConfig::disabled());
+        let err = engine.execute(&sum_where_plan(), &config).unwrap_err();
+        assert_eq!(err.category(), "device-lost", "got: {err}");
     }
 
     #[test]

@@ -34,15 +34,15 @@ use hetex_core::plan::RouterPolicy;
 use hetex_core::queue::{BlockQueue, PopNext, ProducerGuard, QueueSlot};
 use hetex_core::router::{LoadEstimator, Router};
 use hetex_gpu_sim::GpuDevice;
-use hetex_jit::{ExecCtx, SharedState, TerminalStep};
+use hetex_jit::{CompiledPipeline, ExecCtx, SharedState, TerminalStep};
 use hetex_storage::{BlockLease, BlockManagerSet, Catalog, ExhaustionPolicy, Segmenter};
 use hetex_topology::{
-    CalibratedConstants, CostModel as WorkCost, DeviceId, DeviceKind, DmaEngine, ResourceClock,
-    ServerTopology, SimTime, WorkProfile,
+    CalibratedConstants, CostModel as WorkCost, DeviceId, DeviceKind, DmaEngine, FaultPlan,
+    ResourceClock, ServerTopology, SimTime, WorkProfile,
 };
 use parking_lot::Mutex;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Condvar, Mutex as StdMutex};
 use std::time::{Duration, Instant};
 
@@ -78,6 +78,32 @@ const STEAL_POLL: Duration = Duration::from_micros(500);
 /// loop). Bounds the wall-clock stall and guarantees progress even when no
 /// sibling ever finds the backlog profitable.
 const MAX_CLAIM_YIELDS: usize = 64;
+
+/// Base simulated backoff charged before re-running a transiently failed
+/// kernel invocation; doubles with every consecutive retry of the same block.
+const TRANSIENT_RETRY_BASE_NS: u64 = 50_000;
+
+/// Consecutive transient failures of one block before the in-place retry
+/// gives up and the device is declared lost (quarantined or, with recovery
+/// off, surfaced as a structured `DeviceLost`).
+const TRANSIENT_RETRY_BUDGET: u32 = 3;
+
+/// Wall-clock cadence of the fault watchdog thread, and of a wedged worker's
+/// quarantine recheck. Wall-clock only — the stall-detection *cost* is
+/// charged in simulated time separately (see `WATCHDOG_DETECT_NS`).
+const WATCHDOG_POLL: Duration = Duration::from_millis(5);
+
+/// Consecutive watchdog polls a wedge-scripted device must show zero block
+/// progress past its scripted onset before it is declared wedged. Multiple
+/// polls distinguish "wedged" from "momentarily between blocks".
+const WATCHDOG_STALL_POLLS: u32 = 3;
+
+/// Floor of the simulated detection budget the watchdog charges a wedged
+/// device before quarantining it. The actual budget is the larger of this
+/// floor and two observed average block costs of the device — a watchdog
+/// cannot call a device wedged faster than it could tell silence from one
+/// slow block.
+const WATCHDOG_DETECT_NS: u64 = 1_000_000;
 
 /// Outcome of one steal attempt (see `Executor::steal_for`).
 enum StealOutcome {
@@ -164,6 +190,68 @@ pub struct ExecutionResult {
     /// stage-at-a-time mode; present in pipelined runs whether or not
     /// `CalibrationConfig::measured_constants` let routing consume them.
     pub probed_constants: Option<Arc<CalibratedConstants>>,
+    /// Transient kernel failures absorbed by bounded in-place retry (zero
+    /// without an injected fault plan).
+    pub transient_retries: u64,
+    /// Blocks re-executed on a surviving sibling after a device quarantine
+    /// (zero without an injected fault plan).
+    pub recovered_blocks: u64,
+    /// Staging bytes still leased when the execution finished, measured
+    /// after remote caches were flushed back to their home arenas. Zero on
+    /// every clean run — the fault-invariant suite's leak check.
+    pub staging_leaked_bytes: u64,
+}
+
+/// Per-execution fault-recovery state, created only when the topology
+/// carries a [`FaultPlan`]. Healthy runs carry `None` and skip every check
+/// — the recovery machinery costs them nothing, simulated or wall-clock.
+struct FaultState {
+    plan: Arc<FaultPlan>,
+    /// One quarantine flag per device (topology device order). Set once and
+    /// never cleared: a quarantined device takes no further work this run.
+    quarantined: Vec<AtomicBool>,
+    /// Kernel-invocation counter per device — the index of the fault plan's
+    /// deterministic transient-failure draw.
+    invocations: Vec<AtomicU64>,
+    /// Blocks completed per device — the progress signal the watchdog's
+    /// stall detector compares across polls.
+    progressed: Vec<AtomicU64>,
+    /// Blocks re-executed on a survivor after a quarantine (observability).
+    recovered: AtomicU64,
+    /// Transient failures absorbed by in-place retry (observability).
+    retries: AtomicU64,
+}
+
+impl FaultState {
+    fn new(plan: Arc<FaultPlan>, devices: usize) -> Self {
+        Self {
+            plan,
+            quarantined: (0..devices).map(|_| AtomicBool::new(false)).collect(),
+            invocations: (0..devices).map(|_| AtomicU64::new(0)).collect(),
+            progressed: (0..devices).map(|_| AtomicU64::new(0)).collect(),
+            recovered: AtomicU64::new(0),
+            retries: AtomicU64::new(0),
+        }
+    }
+
+    fn is_quarantined(&self, device: DeviceId) -> bool {
+        self.quarantined[device.index()].load(Ordering::Acquire)
+    }
+
+    /// Quarantine `device` (idempotent): routing stops projecting onto it,
+    /// siblings may steal its backlog at any depth, and its own worker
+    /// re-homes its remaining stream the next time it looks at the flag.
+    fn quarantine(&self, device: DeviceId) {
+        self.quarantined[device.index()].store(true, Ordering::Release);
+    }
+
+    fn next_invocation(&self, device: DeviceId) -> u64 {
+        self.invocations[device.index()].fetch_add(1, Ordering::Relaxed)
+    }
+
+    fn note_progress(&self, device: DeviceId) {
+        self.progressed[device.index()].fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// Executes stage graphs on a topology.
@@ -607,6 +695,14 @@ impl Executor {
     /// gated probe stages stop collecting pre-gate blocks they cannot start
     /// anyway.
     ///
+    /// With a [`FaultState`] present, quarantined consumers are poisoned out
+    /// of the projection and a pick that still lands on one (round-robin
+    /// ignores projections) is redirected to the cheapest surviving sibling
+    /// — when the stage routes anonymously. A bound stage (hash-partitioned
+    /// or broadcast-target blocks) whose consumer died cannot re-home the
+    /// block, so routing surfaces a structured [`HetError::DeviceLost`] and
+    /// the engine's degraded-restart ladder takes over.
+    ///
     /// Returns `(consumer index, localized handle)`.
     #[allow(clippy::too_many_arguments)]
     fn route_and_localize(
@@ -620,6 +716,8 @@ impl Executor {
         gate_ns: u64,
         gate_pending: bool,
         cost: &CostModel,
+        stage_idx: usize,
+        fault: Option<&FaultState>,
     ) -> Result<(usize, BlockHandle)> {
         if handle.meta().ready_at_ns < not_before.as_nanos() {
             handle.meta_mut().ready_at_ns = not_before.as_nanos();
@@ -663,7 +761,7 @@ impl Executor {
         // and the governed-mode NUMA nudge toward the block's current node,
         // lives in the cost model.
         let numa_tiebreak = staging.is_some();
-        let projected: Vec<u64> = routing
+        let mut projected: Vec<u64> = routing
             .est
             .projected_with_feedback(&device_ns, &penalties, gate_ns, &slowdowns)
             .into_iter()
@@ -680,7 +778,45 @@ impl Executor {
                 )
             })
             .collect();
-        let pick = routing.router.route(handle.meta(), &projected)?;
+        // Quarantined consumers project as unusable — the load estimator's
+        // u64::MAX convention for devices routing must steer around.
+        if let Some(fault) = fault {
+            for (i, p) in projected.iter_mut().enumerate() {
+                if fault.is_quarantined(routing.instance_devices[i]) {
+                    *p = u64::MAX;
+                }
+            }
+        }
+        let mut pick = routing.router.route(handle.meta(), &projected)?;
+        if let Some(fault) = fault {
+            if fault.is_quarantined(routing.instance_devices[pick]) {
+                // Round-robin ignores projections entirely, and even the
+                // least-loaded policy must pick *something* when every
+                // consumer is poisoned. An anonymously routed block is
+                // redirected to the cheapest surviving consumer; a bound
+                // block (hash partition, broadcast target, union lane) has
+                // nowhere sound to go.
+                let anonymous = matches!(
+                    routing.stage.policy,
+                    RouterPolicy::RoundRobin | RouterPolicy::LeastLoaded
+                );
+                pick = anonymous
+                    .then(|| {
+                        projected
+                            .iter()
+                            .enumerate()
+                            .filter(|&(_, &p)| p != u64::MAX)
+                            .min_by_key(|&(_, &p)| p)
+                            .map(|(i, _)| i)
+                    })
+                    .flatten()
+                    .ok_or(HetError::DeviceLost {
+                        device: routing.instance_devices[pick].index(),
+                        stage: stage_idx,
+                        block: 0,
+                    })?;
+            }
+        }
         routing.est.commit(pick, device_ns[pick]);
         routing.node_load[routing.node_index[pick]].fetch_add(node_ns[pick], Ordering::Relaxed);
 
@@ -758,85 +894,111 @@ impl Executor {
         staging: Option<&BlockManagerSet>,
         staging_budget: u64,
         cost: &CostModel,
+        fault: Option<&FaultState>,
     ) -> Result<StealOutcome> {
+        let dead =
+            |slot: usize| fault.is_some_and(|f| f.is_quarantined(routing.instance_devices[slot]));
         let mut best: Option<(usize, usize)> = None;
         for (slot, queue) in queues.iter().enumerate() {
             if slot == thief {
                 continue;
             }
+            // A quarantined sibling's backlog would never complete on its
+            // own, so any depth is stealable from it — even the head block
+            // its consumer would otherwise pop next.
+            let min_depth = if dead(slot) { 1 } else { STEAL_MIN_DEPTH };
             let depth = queue.len();
-            if depth >= STEAL_MIN_DEPTH && best.is_none_or(|(_, d)| depth > d) {
+            if depth >= min_depth && best.is_none_or(|(_, d)| depth > d) {
                 best = Some((slot, depth));
             }
         }
         let Some((victim, depth)) = best else { return Ok(StealOutcome::Nothing) };
 
-        // Only observed stragglers are worth stealing from. A backlog on a
-        // healthy consumer is ordinary routing imbalance: rescuing it wins a
-        // thin per-block margin but pays an un-modeled shared cost (the
-        // relocation's link bandwidth), which measurably loses on healthy
-        // workloads — and injects wall-clock-dependent noise into otherwise
-        // deterministic simulated times.
-        if !cost.is_straggler(routing.observed_slowdown(victim)) {
-            return Ok(StealOutcome::Unprofitable);
-        }
+        // Rescuing a dead sibling is unconditionally profitable: the victim
+        // will never process the block, so every comparison against its
+        // clock is moot. Everything below prices live stragglers only.
+        if !dead(victim) {
+            // Only observed stragglers are worth stealing from. A backlog on
+            // a healthy consumer is ordinary routing imbalance: rescuing it
+            // wins a thin per-block margin but pays an un-modeled shared
+            // cost (the relocation's link bandwidth), which measurably loses
+            // on healthy workloads — and injects wall-clock-dependent noise
+            // into otherwise deterministic simulated times.
+            if !cost.is_straggler(routing.observed_slowdown(victim)) {
+                return Ok(StealOutcome::Unprofitable);
+            }
 
-        // Feedback-driven profitability pre-check (see the doc comment),
-        // evaluated while the block is still safely queued. The rescue's
-        // relocation would queue behind any outstanding DMA on the route
-        // from where the block's data actually lives (the peeked tail's
-        // location — advisory, the tail can change before the steal, but a
-        // mis-peek only perturbs an estimate) to the thief's node; the cost
-        // model's link-congestion term prices that backlog into the thief's
-        // side (zero when the thief can address the data in place).
-        let (Some(victim_avg), Some(thief_avg)) =
-            (routing.observed_avg_cost(victim), routing.observed_avg_cost(thief))
-        else {
-            return Ok(StealOutcome::Unprofitable);
-        };
-        let thief_clock_ns = thief_clock.now().as_nanos();
-        let data_location =
-            queues[victim].tail_location().unwrap_or(routing.instance_nodes[victim]);
-        let congestion_ns = if routing.stage.mem_move != MemMoveMode::None
-            && self.requires_dma(routing, thief, data_location)
-        {
-            cost.link_congestion_ns(
-                &self.topology,
-                data_location,
-                routing.instance_nodes[thief],
-                thief_clock_ns,
-            )
-        } else {
-            0
-        };
-        let query = StealQuery {
-            victim_clock_ns: device_clocks
-                .get(&routing.instance_devices[victim])
-                .map(|c| c.now().as_nanos())
-                .unwrap_or(0),
-            victim_avg_ns: victim_avg,
-            backlog_depth: depth as u64,
-            thief_clock_ns,
-            thief_avg_ns: thief_avg,
-            congestion_ns,
-        };
-        let profitable = cost.steal_profitable(&query);
-        if std::env::var("HETEX_TRACE_STEAL").is_ok() {
-            eprintln!(
-                "[steal] thief {thief} victim {victim} {query:?} outstanding {:.0}B \
-                 slowdown {:.2} -> {}",
-                cost.outstanding_link_bytes(
+            // Feedback-driven profitability pre-check (see the doc comment),
+            // evaluated while the block is still safely queued. The rescue's
+            // relocation would queue behind any outstanding DMA on the route
+            // from where the block's data actually lives (the peeked tail's
+            // location — advisory, the tail can change before the steal, but
+            // a mis-peek only perturbs an estimate) to the thief's node; the
+            // cost model's link-congestion term prices that backlog into the
+            // thief's side (zero when the thief can address the data in
+            // place).
+            let (Some(victim_avg), Some(thief_avg)) =
+                (routing.observed_avg_cost(victim), routing.observed_avg_cost(thief))
+            else {
+                return Ok(StealOutcome::Unprofitable);
+            };
+            // Fold the shared slowdown EWMA into the victim's price (the
+            // calibration loop's steal half, `steal_feedback`): a victim
+            // whose *device* has been observed straggling in other stages
+            // too is priced by that history, not only this stage's average.
+            let victim_nominal_avg = routing.nominal_busy[victim]
+                .load(Ordering::Relaxed)
+                .checked_div(routing.processed[victim].load(Ordering::Relaxed))
+                .unwrap_or(0);
+            let victim_avg = cost.steal_victim_avg_ns(
+                victim_avg,
+                victim_nominal_avg,
+                routing.instance_devices[victim].index(),
+            );
+            let thief_clock_ns = thief_clock.now().as_nanos();
+            let data_location =
+                queues[victim].tail_location().unwrap_or(routing.instance_nodes[victim]);
+            let congestion_ns = if routing.stage.mem_move != MemMoveMode::None
+                && self.requires_dma(routing, thief, data_location)
+            {
+                cost.link_congestion_ns(
                     &self.topology,
                     data_location,
                     routing.instance_nodes[thief],
                     thief_clock_ns,
-                ),
-                routing.observed_slowdown(victim),
-                if profitable { "steal" } else { "unprofitable" }
-            );
-        }
-        if !profitable {
-            return Ok(StealOutcome::Unprofitable);
+                )
+            } else {
+                0
+            };
+            let query = StealQuery {
+                victim_clock_ns: device_clocks
+                    .get(&routing.instance_devices[victim])
+                    .map(|c| c.now().as_nanos())
+                    .unwrap_or(0),
+                victim_avg_ns: victim_avg,
+                backlog_depth: depth as u64,
+                thief_clock_ns,
+                thief_avg_ns: thief_avg,
+                congestion_ns,
+            };
+            let profitable = cost.steal_profitable(&query);
+            if std::env::var("HETEX_TRACE_STEAL").is_ok() {
+                eprintln!(
+                    "[steal] thief {thief} victim {victim} {query:?} outstanding {:.0}B \
+                     slowdown {:.2} -> {}",
+                    cost.outstanding_link_bytes(
+                        &self.topology,
+                        data_location,
+                        routing.instance_nodes[thief],
+                        thief_clock_ns,
+                    ),
+                    routing.observed_slowdown(victim),
+                    if profitable { "steal" } else { "unprofitable" }
+                );
+            }
+            if !profitable {
+                return Ok(StealOutcome::Unprofitable);
+            }
         }
 
         // The victim may have drained (or been closed) since the scan; a
@@ -887,6 +1049,203 @@ impl Executor {
             }
         }
         Ok(StealOutcome::Stolen(block))
+    }
+
+    /// Graceful degradation after a device quarantine: the lost worker's
+    /// remaining stream — the block it may already hold plus everything its
+    /// queue still buffers or receives — is re-executed on the least-loaded
+    /// surviving sibling of the same stage, charged to the survivor's clock
+    /// and profile. Crucially the lost worker *keeps consuming its own
+    /// queue* (it merely executes on borrowed silicon), so the stage's
+    /// exactly-once termination protocol — producer counts, finished
+    /// sweeps, the completion fan-in — is untouched; pushing the backlog
+    /// into sibling queues instead could race a sibling that already
+    /// observed termination and silently drop rows. Each re-homed block
+    /// follows the §4.2 lease-ordering rule across the device crossing:
+    /// release the charge on the lost node, relocate, then acquire on the
+    /// survivor's node.
+    ///
+    /// Only anonymously routed streams can be re-homed. Bound streams
+    /// (hash-partitioned or broadcast-target blocks, union lanes) and
+    /// stages with no surviving sibling escalate with a structured
+    /// [`HetError::DeviceLost`]; the engine's degraded-restart rung then
+    /// replans the query on the surviving devices.
+    #[allow(clippy::too_many_arguments)]
+    fn drain_on_survivor(
+        &self,
+        fault: &FaultState,
+        routing: &StageRouting<'_>,
+        stage_idx: usize,
+        lost_slot: usize,
+        anonymous: bool,
+        in_hand: Option<BlockHandle>,
+        lost_pipeline: &CompiledPipeline,
+        lost_ctx: &mut ExecCtx,
+        queue: &BlockQueue,
+        device_clocks: &HashMap<DeviceId, ResourceClock>,
+        mem_move: &MemMove,
+        staging: Option<&BlockManagerSet>,
+        staging_budget: u64,
+        cost: &CostModel,
+        config: &EngineConfig,
+        state: &SharedState,
+        per_kind: &Mutex<HashMap<DeviceKind, DeviceKindStats>>,
+        feeds: Option<usize>,
+        push: &dyn Fn(usize, BlockHandle) -> Result<()>,
+        floor: SimTime,
+    ) -> Result<SimTime> {
+        let lost_device = routing.instance_devices[lost_slot];
+        let lost_node = routing.instance_nodes[lost_slot];
+        let stranded = queue.len() + usize::from(in_hand.is_some());
+        let lost = || HetError::DeviceLost {
+            device: lost_device.index(),
+            stage: stage_idx,
+            block: stranded,
+        };
+        if !config.fault.quarantine || !anonymous {
+            return Err(lost());
+        }
+        // The least-loaded surviving sibling (by simulated clock) takes
+        // over. None surviving → the whole stage is dead, escalate.
+        let survivor = (0..routing.instance_devices.len())
+            .filter(|&s| s != lost_slot && !fault.is_quarantined(routing.instance_devices[s]))
+            .min_by_key(|&s| {
+                device_clocks
+                    .get(&routing.instance_devices[s])
+                    .map(|c| c.now().as_nanos())
+                    .unwrap_or(u64::MAX)
+            })
+            .ok_or_else(lost)?;
+        let s_device = routing.instance_devices[survivor];
+        let s_kind = routing.stage.consumers[survivor].kind;
+        let s_node = routing.instance_nodes[survivor];
+        let s_profile = self.topology.device(s_device)?.clone();
+        let s_clock = device_clocks.get(&s_device).ok_or_else(lost)?.clone();
+        let s_pipeline = routing.stage.template(s_kind).clone();
+        let mut s_ctx = match s_kind {
+            DeviceKind::Gpu => {
+                let gpu = self.gpus.get(&s_device).cloned().ok_or_else(lost)?;
+                ExecCtx::gpu(gpu, config.block_capacity)
+            }
+            DeviceKind::CpuCore => ExecCtx::cpu(s_node, config.block_capacity),
+        };
+
+        let mut last_end = floor;
+        let mut stats = DeviceKindStats::default();
+        let flush = |out: hetex_jit::PipelineOutput,
+                     last_end: &mut SimTime,
+                     stats: &mut DeviceKindStats|
+         -> Result<()> {
+            if !out.work.is_empty() {
+                let (end, busy) = self.charge(&s_clock, &s_profile, &out.work, *last_end);
+                *last_end = (*last_end).max(end);
+                stats.busy_ns += busy;
+            }
+            for mut produced in out.blocks {
+                produced.meta_mut().ready_at_ns = last_end.as_nanos();
+                if let Some(consumer) = feeds {
+                    push(consumer, produced)?;
+                }
+            }
+            Ok(())
+        };
+
+        // First, flush the lost lane's partially packed outputs. Completed
+        // work lives in managed host-visible staging in this fault model
+        // (kernels are transactional at block granularity and their packed
+        // outputs survive the device), so only the flush itself is charged
+        // — to the survivor, the device actually doing it.
+        let out = lost_pipeline.finalize_instance(lost_ctx)?;
+        flush(out, &mut last_end, &mut stats)?;
+
+        // Then drain: the claimed block first, then the queue to exhaustion
+        // (the producers still push into it and terminate it normally).
+        let mut next = in_hand;
+        loop {
+            let mut block = match next.take() {
+                Some(block) => block,
+                None => match queue.pop() {
+                    Some(block) => block,
+                    None => break,
+                },
+            };
+            if fault.is_quarantined(s_device) {
+                // The survivor died while we were draining onto it. The
+                // ladder still holds — escalate and let the restart rung
+                // replan on whatever is left.
+                return Err(HetError::DeviceLost {
+                    device: s_device.index(),
+                    stage: stage_idx,
+                    block: queue.len() + 1,
+                });
+            }
+            // Steal-style hand-off bookkeeping: the routing-time commit
+            // moves from the lost slot to the survivor so subsequent
+            // routing sees the re-balanced world, and the staging charge is
+            // released on the lost node before the survivor's is acquired.
+            let (device_ns, node_ns) = self.block_costs(routing, &block, None, cost);
+            routing.est.decommit(lost_slot, device_ns[lost_slot]);
+            routing.est.commit(survivor, device_ns[survivor]);
+            let _ = routing.node_load[routing.node_index[lost_slot]].fetch_update(
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+                |v| Some(v.saturating_sub(node_ns[lost_slot])),
+            );
+            routing.node_load[routing.node_index[survivor]]
+                .fetch_add(node_ns[survivor], Ordering::Relaxed);
+            block.take_staging();
+            if routing.stage.mem_move != MemMoveMode::None
+                && self.requires_dma(routing, survivor, block.meta().location)
+            {
+                block = mem_move.relocate(&block, s_node)?;
+            }
+            if let Some(staging) = staging {
+                let bytes = (block.byte_size() as u64).min(staging_budget);
+                if bytes > 0 {
+                    let lease = staging.acquire(
+                        lost_node,
+                        s_node,
+                        bytes,
+                        ExhaustionPolicy::Park(STAGING_PARK_TIMEOUT),
+                    )?;
+                    block.attach_staging(Arc::new(StagingCharge { _slot: None, _lease: lease }));
+                }
+            }
+            let ready = SimTime::from_nanos(block.meta().ready_at_ns).max(floor);
+            let out = s_pipeline.process_block(&block, state, &mut s_ctx)?;
+            let (end, busy) = self.charge(&s_clock, &s_profile, &out.work, ready);
+            last_end = last_end.max(end);
+            let nominal_ns = self.work_cost.time_ns(&out.work, &s_profile);
+            cost.observe(s_device.index(), busy, nominal_ns);
+            routing.charged_busy[survivor].fetch_add(busy, Ordering::Relaxed);
+            routing.nominal_busy[survivor].fetch_add(nominal_ns, Ordering::Relaxed);
+            routing.processed[survivor].fetch_add(1, Ordering::Relaxed);
+            fault.note_progress(s_device);
+            fault.recovered.fetch_add(1, Ordering::Relaxed);
+            stats.busy_ns += busy;
+            stats.blocks += 1;
+            stats.bytes_scanned += out.work.bytes_scanned;
+            // Lease-ordering rule: release the input's staging before
+            // acquiring charges for its outputs (see the worker loop).
+            drop(block);
+            for mut produced in out.blocks {
+                produced.meta_mut().ready_at_ns = end.as_nanos();
+                if let Some(consumer) = feeds {
+                    push(consumer, produced)?;
+                }
+            }
+        }
+
+        // Flush the survivor lane too: it packed the re-homed rows.
+        let out = s_pipeline.finalize_instance(&mut s_ctx)?;
+        flush(out, &mut last_end, &mut stats)?;
+
+        let mut kinds = per_kind.lock();
+        let entry = kinds.entry(s_kind).or_default();
+        entry.blocks += stats.blocks;
+        entry.busy_ns += stats.busy_ns;
+        entry.bytes_scanned += stats.bytes_scanned;
+        Ok(last_end)
     }
 
     /// The input segments of a table-scan stage.
@@ -1011,6 +1370,16 @@ impl Executor {
         let routing: Vec<StageRouting<'_>> =
             graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>()?;
 
+        // Fault-recovery state: `Some` only when the topology carries a
+        // non-empty injected fault plan. `None` short-circuits every
+        // checkpoint below, so healthy runs execute the exact pre-fault
+        // code path — zero overhead, simulated or wall-clock.
+        let fault_state = self
+            .topology
+            .fault_plan()
+            .filter(|p| !p.is_empty())
+            .map(|p| FaultState::new(Arc::clone(p), self.topology.devices().len()));
+
         // Staging governance (§4.3): one byte-denominated arena per memory
         // node, sized by the configured per-node budget, created per
         // execution so peaks are per-query observables. `None` reproduces
@@ -1106,6 +1475,19 @@ impl Executor {
             })
             .collect();
 
+        // Recovery eligibility per stage — the same anonymity condition as
+        // stealing but independent of the steal toggle: a quarantined
+        // worker may re-home its stream exactly when any sibling could have
+        // been routed the same blocks.
+        let stage_anonymous: Vec<bool> = graph
+            .stages
+            .iter()
+            .map(|s| {
+                s.consumers.len() > 1
+                    && matches!(s.policy, RouterPolicy::RoundRobin | RouterPolicy::LeastLoaded)
+            })
+            .collect();
+
         // Register each producing stage as ONE logical producer on each of
         // its consumer's queues: blocks flow from any worker at any time, and
         // the registration is released when the stage completes (after the
@@ -1135,6 +1517,8 @@ impl Executor {
         let gates = &gates;
         let progress = &progress;
         let stage_steals = &stage_steals;
+        let stage_anonymous = &stage_anonymous;
+        let fault_ref = fault_state.as_ref();
         let per_kind = &per_kind;
         let result_rows = &result_rows;
         let record_error = &record_error;
@@ -1254,6 +1638,8 @@ impl Executor {
                 gate_ns,
                 gate_pending,
                 cost,
+                consumer,
+                fault_ref,
             )?;
             stage_charge(consumer, pick, source, &mut localized)?;
             queues[consumer][pick].push(localized)
@@ -1306,6 +1692,126 @@ impl Executor {
         let worker_finished = &worker_finished;
 
         std::thread::scope(|scope| {
+            // Fault watchdog: spawned only when a plan is injected (healthy
+            // runs pay nothing). Two jobs: (a) convert a wedged worker —
+            // scripted onset passed, zero block progress across several
+            // polls — into a quarantine after charging a simulated
+            // detection budget, or into a structured `Wedged` error when
+            // quarantine is disabled; (b) drive scripted arena bursts, the
+            // co-tenant suddenly leasing staging out from under the query.
+            if let Some(f) = fault_ref {
+                scope.spawn(move || {
+                    let mut stall: HashMap<usize, (u64, u32)> = HashMap::new();
+                    let mut bursts: Vec<(usize, BlockLease)> = Vec::new();
+                    while !progress.iter().all(|p| p.remaining.load(Ordering::Acquire) == 0) {
+                        let frontier = device_clocks
+                            .values()
+                            .map(|c| c.now())
+                            .fold(SimTime::ZERO, SimTime::max);
+                        if config.fault.watchdog {
+                            for dev_idx in 0..f.quarantined.len() {
+                                let device = DeviceId::new(dev_idx);
+                                let Some(at) = f.plan.wedge_at(device) else { continue };
+                                if f.is_quarantined(device) {
+                                    continue;
+                                }
+                                let Some(clock) = device_clocks.get(&device) else { continue };
+                                if clock.now() < at {
+                                    stall.remove(&dev_idx);
+                                    continue;
+                                }
+                                let progressed = f.progressed[dev_idx].load(Ordering::Relaxed);
+                                let entry = stall.entry(dev_idx).or_insert((progressed, 0));
+                                if entry.0 == progressed {
+                                    entry.1 += 1;
+                                } else {
+                                    *entry = (progressed, 0);
+                                }
+                                if entry.1 < WATCHDOG_STALL_POLLS {
+                                    continue;
+                                }
+                                // Stalled past the onset long enough to
+                                // call it wedged. Charge the detection
+                                // budget in simulated time — a watchdog
+                                // cannot tell silence from one slow block
+                                // faster than two observed block costs —
+                                // then quarantine (recovery) or surface the
+                                // structured error (diagnosis only).
+                                let avg = routing
+                                    .iter()
+                                    .flat_map(|r| {
+                                        r.instance_devices.iter().enumerate().filter_map(
+                                            |(s, d)| {
+                                                (*d == device)
+                                                    .then(|| r.observed_avg_cost(s))
+                                                    .flatten()
+                                            },
+                                        )
+                                    })
+                                    .max()
+                                    .unwrap_or(0);
+                                let budget = WATCHDOG_DETECT_NS.max(2 * avg);
+                                clock.reserve(at.add_nanos(budget), 0);
+                                if config.fault.quarantine {
+                                    f.quarantine(device);
+                                } else {
+                                    let mut reported = false;
+                                    for (si, r) in routing.iter().enumerate() {
+                                        for (sl, d) in r.instance_devices.iter().enumerate() {
+                                            if *d != device {
+                                                continue;
+                                            }
+                                            if !reported {
+                                                reported = true;
+                                                record_error(HetError::Wedged {
+                                                    stage: si,
+                                                    slot: sl,
+                                                });
+                                            }
+                                            // Cascade: closing the wedged
+                                            // slots' queues releases parked
+                                            // producers and the spinning
+                                            // worker itself.
+                                            queues[si][sl].close();
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        if let Some(staging) = staging_ref {
+                            for (i, burst) in f.plan.arena_bursts().iter().enumerate() {
+                                let active = bursts.iter().any(|(b, _)| *b == i);
+                                if !active && frontier >= burst.from && frontier < burst.until {
+                                    if let Ok(manager) = staging.manager(burst.node) {
+                                        // A burst takes what the arena has,
+                                        // up to its scripted size: the
+                                        // co-tenant competes for staging,
+                                        // it does not deadlock the arena.
+                                        let free = manager
+                                            .capacity_bytes()
+                                            .saturating_sub(manager.leased_bytes());
+                                        let take = burst.bytes.min(free);
+                                        if take > 0 {
+                                            if let Ok(lease) = manager.acquire_local_labeled(
+                                                take,
+                                                ExhaustionPolicy::Error,
+                                                "fault:burst",
+                                            ) {
+                                                bursts.push((i, lease));
+                                            }
+                                        }
+                                    }
+                                }
+                            }
+                            bursts.retain(|(i, _)| frontier < f.plan.arena_bursts()[*i].until);
+                        }
+                        std::thread::sleep(WATCHDOG_POLL);
+                    }
+                    // Leases drop here: a burst never outlives the run.
+                    drop(bursts);
+                });
+            }
+
             // Source pumps: segment each scanned table and route its blocks
             // inline, the moment they exist. Transfers to (e.g.) GPU memory
             // are scheduled immediately, so they overlap whatever the gated
@@ -1333,6 +1839,8 @@ impl Executor {
                                 gate_ns,
                                 gate_pending,
                                 cost,
+                                idx,
+                                fault_ref,
                             )?;
                             // Byte-budget admission (parks on a full arena)
                             // and the bounded queue both exert back-pressure
@@ -1395,6 +1903,19 @@ impl Executor {
                             let mut local_stats = DeviceKindStats::default();
                             let mut processed_any = false;
                             let steal_here = stage_steals[idx];
+                            // Fault checkpoints engage only when an injected
+                            // plan targets this worker's device; onsets are
+                            // judged against the device's simulated clock.
+                            let fault_here =
+                                fault_ref.filter(|f| f.plan.targets_device(device_id));
+                            let abort_at = fault_here.and_then(|f| f.plan.abort_at(device_id));
+                            // A wedge is only observable (and survivable)
+                            // through the watchdog; with the watchdog off
+                            // the fault is not injected at all, so no
+                            // configuration can turn it into a hang.
+                            let wedge_at = fault_here
+                                .filter(|_| config.fault.watchdog)
+                                .and_then(|f| f.plan.wedge_at(device_id));
                             // Sim-paced claiming (steal-enabled stages only).
                             // Functional execution runs at wall speed, so a
                             // device that is slow on the *simulated* clock
@@ -1413,6 +1934,76 @@ impl Executor {
                             let straggling =
                                 || cost.is_straggler(routing[idx].observed_slowdown(slot_idx));
                             loop {
+                                // Fault ladder, pre-claim: a dying device
+                                // must not claim a block it cannot finish.
+                                if let Some(f) = fault_here {
+                                    if !f.is_quarantined(device_id)
+                                        && abort_at.is_some_and(|at| clock.now() >= at)
+                                    {
+                                        // Permanent abort: the device dies
+                                        // the moment its clock crosses the
+                                        // scripted onset.
+                                        f.quarantine(device_id);
+                                    }
+                                    if !f.is_quarantined(device_id)
+                                        && wedge_at.is_some_and(|at| clock.now() >= at)
+                                    {
+                                        // Wedged: silently stop making
+                                        // progress. Only the watchdog's
+                                        // stall detector quarantines us out
+                                        // of this spin; a run that fails
+                                        // elsewhere releases the worker
+                                        // through the error cascade with a
+                                        // structured diagnosis.
+                                        while !f.is_quarantined(device_id) {
+                                            if queue.is_closed()
+                                                || first_error.lock().is_some()
+                                            {
+                                                return Err(HetError::Wedged {
+                                                    stage: idx,
+                                                    slot: slot_idx,
+                                                });
+                                            }
+                                            std::thread::sleep(WATCHDOG_POLL);
+                                        }
+                                    }
+                                    if f.is_quarantined(device_id) {
+                                        // Bank what this device completed,
+                                        // then re-home the rest of its
+                                        // stream on a surviving sibling (or
+                                        // escalate to a degraded restart).
+                                        {
+                                            let mut kinds = per_kind.lock();
+                                            let entry = kinds.entry(kind).or_default();
+                                            entry.blocks += local_stats.blocks;
+                                            entry.busy_ns += local_stats.busy_ns;
+                                            entry.bytes_scanned += local_stats.bytes_scanned;
+                                        }
+                                        last_end = self.drain_on_survivor(
+                                            f,
+                                            &routing[idx],
+                                            idx,
+                                            slot_idx,
+                                            stage_anonymous[idx],
+                                            None,
+                                            &pipeline,
+                                            &mut ctx,
+                                            &queue,
+                                            device_clocks,
+                                            mem_move,
+                                            staging_ref,
+                                            staging_budget,
+                                            cost,
+                                            config,
+                                            state,
+                                            per_kind,
+                                            graph_ref.wiring.feeds[idx],
+                                            &|c, b| push_downstream(c, b),
+                                            last_end,
+                                        )?;
+                                        return Ok(());
+                                    }
+                                }
                                 // Claim pacing, part one: with backlog
                                 // already visible, a sim-behind worker
                                 // sleeps *without touching the queue* — the
@@ -1473,6 +2064,7 @@ impl Executor {
                                                 staging_ref,
                                                 staging_budget,
                                                 cost,
+                                                fault_ref,
                                             )? {
                                                 StealOutcome::Stolen(block) => {
                                                     progress[idx]
@@ -1516,6 +2108,73 @@ impl Executor {
                                 }
                                 let ready =
                                     SimTime::from_nanos(block.meta().ready_at_ns).max(gate_floor);
+                                // Fault ladder, per-invocation: transient
+                                // kernel failures draw deterministically
+                                // from the plan, *before* the kernel runs —
+                                // kernels are transactional at block
+                                // granularity, so a failed invocation left
+                                // no partial state and the block simply
+                                // re-runs. Each retry charges a doubling
+                                // slice of simulated backoff; past the
+                                // budget the device is declared lost and
+                                // the claimed block leads the re-homed
+                                // stream.
+                                if let Some(f) = fault_here {
+                                    let mut attempt = 0u32;
+                                    loop {
+                                        let invocation = f.next_invocation(device_id);
+                                        if !f.plan.transient_failure(
+                                            device_id,
+                                            clock.now(),
+                                            invocation,
+                                        ) {
+                                            break;
+                                        }
+                                        if !config.fault.transient_retry
+                                            || attempt >= TRANSIENT_RETRY_BUDGET
+                                        {
+                                            f.quarantine(device_id);
+                                            break;
+                                        }
+                                        f.retries.fetch_add(1, Ordering::Relaxed);
+                                        let backoff = TRANSIENT_RETRY_BASE_NS << attempt;
+                                        let (_, end) = clock.reserve(SimTime::ZERO, backoff);
+                                        last_end = last_end.max(end);
+                                        attempt += 1;
+                                    }
+                                    if f.is_quarantined(device_id) {
+                                        {
+                                            let mut kinds = per_kind.lock();
+                                            let entry = kinds.entry(kind).or_default();
+                                            entry.blocks += local_stats.blocks;
+                                            entry.busy_ns += local_stats.busy_ns;
+                                            entry.bytes_scanned += local_stats.bytes_scanned;
+                                        }
+                                        last_end = self.drain_on_survivor(
+                                            f,
+                                            &routing[idx],
+                                            idx,
+                                            slot_idx,
+                                            stage_anonymous[idx],
+                                            Some(block),
+                                            &pipeline,
+                                            &mut ctx,
+                                            &queue,
+                                            device_clocks,
+                                            mem_move,
+                                            staging_ref,
+                                            staging_budget,
+                                            cost,
+                                            config,
+                                            state,
+                                            per_kind,
+                                            graph_ref.wiring.feeds[idx],
+                                            &|c, b| push_downstream(c, b),
+                                            last_end,
+                                        )?;
+                                        return Ok(());
+                                    }
+                                }
                                 let out = pipeline.process_block(&block, state, &mut ctx)?;
                                 let (end, busy) =
                                     self.charge(&clock, &device_profile, &out.work, ready);
@@ -1536,6 +2195,11 @@ impl Executor {
                                 routing[idx].nominal_busy[slot_idx]
                                     .fetch_add(nominal_ns, Ordering::Relaxed);
                                 routing[idx].processed[slot_idx].fetch_add(1, Ordering::Relaxed);
+                                if let Some(f) = fault_here {
+                                    // The watchdog's stall detector reads
+                                    // this: a wedged device stops ticking.
+                                    f.note_progress(device_id);
+                                }
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
                                 local_stats.bytes_scanned += out.work.bytes_scanned;
@@ -1641,6 +2305,10 @@ impl Executor {
                 s.peaks()
             })
             .unwrap_or_default();
+        // Leak check (after the flush): every handle was dropped and every
+        // cached lease went home, so any byte still leased was stranded by
+        // a recovery path — the chaos suite asserts this stays zero.
+        let staging_leaked_bytes = staging.as_ref().map(|s| s.leased_bytes_total()).unwrap_or(0);
         Ok(ExecutionResult {
             rows,
             sim_time,
@@ -1657,6 +2325,15 @@ impl Executor {
             remote_control_acquisitions: remote_ctl.load(Ordering::Relaxed),
             observed_slowdowns: observer.snapshot(),
             probed_constants: Some(Arc::clone(&self.probed_constants)),
+            transient_retries: fault_state
+                .as_ref()
+                .map(|f| f.retries.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            recovered_blocks: fault_state
+                .as_ref()
+                .map(|f| f.recovered.load(Ordering::Relaxed))
+                .unwrap_or(0),
+            staging_leaked_bytes,
         })
     }
 
@@ -1753,6 +2430,9 @@ impl Executor {
             remote_control_acquisitions: 0,
             observed_slowdowns: Vec::new(),
             probed_constants: None,
+            transient_retries: 0,
+            recovered_blocks: 0,
+            staging_leaked_bytes: 0,
         })
     }
 
@@ -1787,8 +2467,12 @@ impl Executor {
             // No gate term (0, not pending): the materialization barrier
             // already floors the whole stage at its dependencies' completion,
             // so legacy routing stays exactly as it was.
+            // No fault plan either: stage-at-a-time is the bit-identical
+            // correctness baseline fault recovery is verified against, so
+            // it must never observe injected faults.
             let (pick, localized) = self.route_and_localize(
-                &routing, mem_move, &gpu_nodes, handle, floor, None, 0, false, &cost,
+                &routing, mem_move, &gpu_nodes, handle, floor, None, 0, false, &cost, stage_idx,
+                None,
             )?;
             instance_inputs[pick].push(localized);
         }
@@ -2334,5 +3018,166 @@ mod tests {
             "stage-at-a-time: build must start only after the scan finished"
         );
         assert_eq!(pipelined.rows, saat.rows);
+    }
+
+    /// `SELECT SUM(value), COUNT(*) FROM fact` — one anonymous routed stage,
+    /// so every consumer is interchangeable and a quarantined worker's
+    /// backlog can always be drained on a sibling.
+    fn scan_sum_plan() -> RelNode {
+        RelNode::scan("fact", &["key", "value"])
+            .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"])
+    }
+
+    fn run_faulted(
+        topology: &Arc<ServerTopology>,
+        plan: &FaultPlan,
+        config: &EngineConfig,
+        rel: &RelNode,
+        rows: usize,
+    ) -> Result<ExecutionResult> {
+        let faulted = topology.with_fault_plan(plan.clone()).unwrap();
+        let catalog = catalog_with_data(&faulted, rows);
+        let het = parallelize(rel, config).unwrap();
+        let graph = compile(&het, config, &faulted).unwrap();
+        Executor::new(faulted).execute(&graph, &catalog, config)
+    }
+
+    #[test]
+    fn an_aborted_worker_is_quarantined_and_its_backlog_drained_on_a_sibling() {
+        let topology = ServerTopology::paper_server();
+        let dead = topology.gpus()[1];
+        // Abort after the first block: the worker's clock crosses 1ns as soon
+        // as it has processed anything, leaving the rest of its queue to be
+        // re-executed on the surviving GPU. Stealing is disabled so the
+        // takeover drain is the only rescue path.
+        let plan = FaultPlan::new().abort_device(dead, SimTime::from_nanos(1));
+        let config =
+            EngineConfig::gpu_only(2).with_steal_policy(hetex_common::StealPolicy::Disabled);
+        let faulted = run_faulted(&topology, &plan, &config, &scan_sum_plan(), 50_000).unwrap();
+        let healthy =
+            run_faulted(&topology, &FaultPlan::new(), &config, &scan_sum_plan(), 50_000).unwrap();
+        let sum: i64 = (0..50_000i64).sum();
+        assert_eq!(faulted.rows, vec![vec![sum, 50_000]]);
+        assert_eq!(faulted.rows, healthy.rows, "recovery must be byte-identical");
+        assert!(
+            faulted.recovered_blocks > 0,
+            "the dead core's backlog should have been re-executed on the survivor"
+        );
+        assert_eq!(faulted.staging_leaked_bytes, 0, "recovery must not leak leases");
+        assert_eq!(healthy.recovered_blocks, 0);
+        assert_eq!(healthy.transient_retries, 0);
+    }
+
+    #[test]
+    fn transient_kernel_failures_retry_in_place_and_preserve_rows() {
+        let topology = ServerTopology::paper_server();
+        let flaky = topology.cpu_cores()[0];
+        // Every kernel invocation on the flaky core fails with p=0.5 for the
+        // whole run; the retry budget absorbs almost all of them, and the
+        // rare streak that exhausts it escalates to quarantine + drain — rows
+        // are exact either way.
+        let plan = FaultPlan::new().transient_window(
+            flaky,
+            SimTime::ZERO,
+            SimTime::from_millis(60_000),
+            0.5,
+            42,
+        );
+        let config = EngineConfig::cpu_only(2);
+        let faulted = run_faulted(&topology, &plan, &config, &scan_sum_plan(), 200_000).unwrap();
+        let sum: i64 = (0..200_000i64).sum();
+        assert_eq!(faulted.rows, vec![vec![sum, 200_000]]);
+        assert!(faulted.transient_retries > 0, "p=0.5 over ~50 blocks must hit at least once");
+        assert_eq!(faulted.staging_leaked_bytes, 0);
+
+        // With in-place retry switched off, the first transient failure
+        // escalates straight to quarantine; the drain still saves the rows.
+        let no_retry_cfg = config
+            .clone()
+            .with_fault(hetex_common::FaultConfig::default().with_transient_retry(false));
+        let escalated =
+            run_faulted(&topology, &plan, &no_retry_cfg, &scan_sum_plan(), 200_000).unwrap();
+        assert_eq!(escalated.rows, faulted.rows);
+        assert_eq!(escalated.transient_retries, 0);
+    }
+
+    #[test]
+    fn a_wedged_worker_is_detected_by_the_watchdog_and_drained() {
+        let topology = ServerTopology::paper_server();
+        let stuck = topology.gpus()[1];
+        let plan = FaultPlan::new().wedge_worker(stuck, SimTime::from_nanos(1));
+        let config =
+            EngineConfig::gpu_only(2).with_steal_policy(hetex_common::StealPolicy::Disabled);
+        let recovered = run_faulted(&topology, &plan, &config, &scan_sum_plan(), 50_000).unwrap();
+        let sum: i64 = (0..50_000i64).sum();
+        assert_eq!(recovered.rows, vec![vec![sum, 50_000]]);
+        assert_eq!(recovered.staging_leaked_bytes, 0);
+
+        // Same wedge with quarantine off: the watchdog can only convert the
+        // hang into a structured `Wedged` failure.
+        let no_quarantine = config.clone().with_fault(
+            hetex_common::FaultConfig::default()
+                .with_quarantine(false)
+                .with_degraded_restart(false),
+        );
+        let err =
+            run_faulted(&topology, &plan, &no_quarantine, &scan_sum_plan(), 50_000).unwrap_err();
+        assert_eq!(err.category(), "wedged", "got: {err}");
+
+        // With the watchdog disabled the wedge is never injected at all: no
+        // configuration of the fault ladder may turn into an untestable hang.
+        let no_watchdog =
+            config.clone().with_fault(hetex_common::FaultConfig::default().with_watchdog(false));
+        let untouched =
+            run_faulted(&topology, &plan, &no_watchdog, &scan_sum_plan(), 50_000).unwrap();
+        assert_eq!(untouched.rows, recovered.rows);
+    }
+
+    #[test]
+    fn device_loss_without_quarantine_is_a_structured_error() {
+        let topology = ServerTopology::paper_server();
+        let dead = topology.gpus()[1];
+        let plan = FaultPlan::new().abort_device(dead, SimTime::ZERO);
+        let config = EngineConfig::gpu_only(2).with_fault(hetex_common::FaultConfig::disabled());
+        let err = run_faulted(&topology, &plan, &config, &scan_sum_plan(), 50_000).unwrap_err();
+        match err {
+            HetError::DeviceLost { device, .. } => assert_eq!(device, dead.index()),
+            other => panic!("expected DeviceLost, got: {other}"),
+        }
+    }
+
+    #[test]
+    fn gpu_loss_mid_join_recovers_on_the_surviving_devices() {
+        let topology = ServerTopology::paper_server();
+        let dead = topology.gpus()[1];
+        let plan = FaultPlan::new().abort_device(dead, SimTime::from_nanos(1));
+        let mut config = EngineConfig::hybrid(8, 2);
+        config.scale_weight = 20_000.0;
+        let faulted = run_faulted(&topology, &plan, &config, &join_sum_plan(), 200_000).unwrap();
+        let (sum, cnt) = expected(200_000);
+        assert_eq!(faulted.rows, vec![vec![sum, cnt]]);
+        assert_eq!(faulted.staging_leaked_bytes, 0);
+    }
+
+    #[test]
+    fn an_arena_burst_squeezes_staging_without_corrupting_rows() {
+        let topology = ServerTopology::paper_server();
+        let node = topology.cpu_memory_nodes()[0];
+        let mut config = EngineConfig::hybrid(4, 2);
+        config.block_capacity = 1024;
+        let budget = config.min_staging_bytes() * 4;
+        config.staging_bytes = Some(budget);
+        // The burst grabs up to half the arena for the first simulated 50ms;
+        // producers park, the clocks advance past the window, the watchdog
+        // releases the hostage lease and the pipeline drains normally.
+        let plan =
+            FaultPlan::new().arena_burst(node, budget / 2, SimTime::ZERO, SimTime::from_millis(50));
+        let squeezed = run_faulted(&topology, &plan, &config, &join_sum_plan(), 100_000).unwrap();
+        let (sum, cnt) = expected(100_000);
+        assert_eq!(squeezed.rows, vec![vec![sum, cnt]]);
+        assert_eq!(squeezed.staging_leaked_bytes, 0, "the burst lease must be released");
+        for (n, peak) in &squeezed.staging_peaks {
+            assert!(peak <= &budget, "node {n} peaked at {peak} > budget {budget}");
+        }
     }
 }

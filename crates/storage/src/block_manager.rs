@@ -44,6 +44,13 @@ use std::time::{Duration, Instant};
 /// requests for block acquisition and release from remote nodes).
 pub const REMOTE_BATCH: usize = 8;
 
+/// How many top lease holders (aggregated by label) a Park-timeout
+/// `HetError::Memory` message names.
+pub const TOP_HOLDERS_REPORTED: usize = 3;
+
+/// Label recorded for leases acquired through the unlabeled entry points.
+pub const ANON_HOLDER: &str = "anon";
+
 /// What an acquisition does when the arena cannot serve it immediately.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExhaustionPolicy {
@@ -90,7 +97,7 @@ impl BlockLease {
 
     fn release_inner(&mut self) {
         if !self.released {
-            self.manager.release(self.bytes);
+            self.manager.release(self.id, self.bytes);
             self.released = true;
         }
     }
@@ -121,6 +128,32 @@ struct Arena {
     available: u64,
     next_id: usize,
     peak_leased: u64,
+    /// Live leases by id: bytes held and the acquirer's label. Feeds the
+    /// top-holders diagnostic a Park timeout reports — "timed out" alone
+    /// cannot tell a wedged consumer from a co-tenant burst.
+    holders: HashMap<BlockId, (u64, String)>,
+}
+
+impl Arena {
+    /// The top lease holders by total bytes, aggregated by label, rendered
+    /// as `label:bytes` — the diagnostic payload of a Park timeout.
+    fn top_holders(&self, n: usize) -> String {
+        let mut by_label: HashMap<&str, u64> = HashMap::new();
+        for (bytes, label) in self.holders.values() {
+            *by_label.entry(label.as_str()).or_default() += bytes;
+        }
+        let mut ranked: Vec<(&str, u64)> = by_label.into_iter().collect();
+        ranked.sort_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(b.0)));
+        ranked.truncate(n);
+        if ranked.is_empty() {
+            return "none".into();
+        }
+        ranked
+            .into_iter()
+            .map(|(label, bytes)| format!("{label}:{bytes}"))
+            .collect::<Vec<_>>()
+            .join(", ")
+    }
 }
 
 #[derive(Debug)]
@@ -145,7 +178,7 @@ struct Acquired {
 }
 
 impl NodeState {
-    fn acquire(&self, bytes: u64, policy: ExhaustionPolicy) -> Result<Acquired> {
+    fn acquire(&self, bytes: u64, policy: ExhaustionPolicy, label: &str) -> Result<Acquired> {
         if bytes > self.capacity {
             return Err(HetError::Memory(format!(
                 "staging request of {bytes} bytes can never fit the arena on {} ({} bytes)",
@@ -169,8 +202,11 @@ impl NodeState {
             if now >= deadline {
                 return Err(HetError::Memory(format!(
                     "parked staging acquisition timed out on {} ({} of {} bytes free, \
-                     {bytes} requested)",
-                    self.node, arena.available, self.capacity
+                     {bytes} requested; top holders by bytes: {})",
+                    self.node,
+                    arena.available,
+                    self.capacity,
+                    arena.top_holders(TOP_HOLDERS_REPORTED)
                 )));
             }
             parked = true;
@@ -185,6 +221,7 @@ impl NodeState {
         self.leased.store(self.capacity - arena.available, Ordering::Relaxed);
         let id = BlockId::new(arena.next_id);
         arena.next_id += 1;
+        arena.holders.insert(id, (bytes, label.to_owned()));
         Ok(Acquired { id, parked })
     }
 
@@ -192,7 +229,7 @@ impl NodeState {
     /// while the arena stays comfortably supplied (at least half the capacity
     /// free after the grab) — prefetching for a remote cache must not hoard
     /// the last bytes other producers are parked on.
-    fn try_take_extra(&self, n: usize, bytes: u64) -> Vec<BlockId> {
+    fn try_take_extra(&self, n: usize, bytes: u64, label: &str) -> Vec<BlockId> {
         if bytes == 0 {
             return Vec::new();
         }
@@ -206,16 +243,19 @@ impl NodeState {
             arena.available = after;
             arena.peak_leased = arena.peak_leased.max(self.capacity - arena.available);
             self.leased.store(self.capacity - arena.available, Ordering::Relaxed);
-            ids.push(BlockId::new(arena.next_id));
+            let id = BlockId::new(arena.next_id);
             arena.next_id += 1;
+            arena.holders.insert(id, (bytes, label.to_owned()));
+            ids.push(id);
         }
         ids
     }
 
-    fn release(&self, bytes: u64) {
+    fn release(&self, id: BlockId, bytes: u64) {
         let mut arena = self.arena.lock().unwrap_or_else(|e| e.into_inner());
         arena.available = (arena.available + bytes).min(self.capacity);
         self.leased.store(self.capacity - arena.available, Ordering::Relaxed);
+        arena.holders.remove(&id);
         drop(arena);
         self.released_cv.notify_all();
     }
@@ -240,7 +280,12 @@ impl BlockManager {
             state: Arc::new(NodeState {
                 node,
                 capacity: arena_bytes,
-                arena: StdMutex::new(Arena { available: arena_bytes, next_id: 0, peak_leased: 0 }),
+                arena: StdMutex::new(Arena {
+                    available: arena_bytes,
+                    next_id: 0,
+                    peak_leased: 0,
+                    holders: HashMap::new(),
+                }),
                 released_cv: Condvar::new(),
                 leased: AtomicU64::new(0),
             }),
@@ -285,7 +330,19 @@ impl BlockManager {
 
     /// Acquire `bytes` of staging from the local arena (local devices only).
     pub fn acquire_local(&self, bytes: u64, policy: ExhaustionPolicy) -> Result<BlockLease> {
-        let acquired = self.state.acquire(bytes, policy)?;
+        self.acquire_local_labeled(bytes, policy, ANON_HOLDER)
+    }
+
+    /// Like [`Self::acquire_local`], but records `label` as the lease's
+    /// holder so a later Park timeout on this arena can name who held the
+    /// bytes (the executor labels by stage/slot; fault injection by burst).
+    pub fn acquire_local_labeled(
+        &self,
+        bytes: u64,
+        policy: ExhaustionPolicy,
+        label: &str,
+    ) -> Result<BlockLease> {
+        let acquired = self.state.acquire(bytes, policy, label)?;
         {
             let mut stats = self.stats.lock();
             stats.local_acquires += 1;
@@ -344,9 +401,22 @@ impl BlockManagerSet {
         bytes: u64,
         policy: ExhaustionPolicy,
     ) -> Result<BlockLease> {
+        self.acquire_labeled(local, target, bytes, policy, ANON_HOLDER)
+    }
+
+    /// Like [`Self::acquire`], but records `label` as the lease's holder for
+    /// the Park-timeout top-holders diagnostic.
+    pub fn acquire_labeled(
+        &self,
+        local: MemoryNodeId,
+        target: MemoryNodeId,
+        bytes: u64,
+        policy: ExhaustionPolicy,
+        label: &str,
+    ) -> Result<BlockLease> {
         if local == target {
             let mgr = self.manager(local)?;
-            return match mgr.acquire_local(bytes, ExhaustionPolicy::Error) {
+            return match mgr.acquire_local_labeled(bytes, ExhaustionPolicy::Error, label) {
                 Ok(lease) => Ok(lease),
                 Err(_) if matches!(policy, ExhaustionPolicy::Park(_)) => {
                     // Before parking, call in the batched *release* half of
@@ -354,7 +424,7 @@ impl BlockManagerSet {
                     // this arena go home, so a producer never waits on bytes
                     // that are merely stranded in a prefetch cache.
                     self.reclaim_cached_for(target);
-                    mgr.acquire_local(bytes, policy)
+                    mgr.acquire_local_labeled(bytes, policy, label)
                 }
                 Err(e) => Err(e),
             };
@@ -381,15 +451,15 @@ impl BlockManagerSet {
         // Cache miss: one "small task launched to the remote node". The first
         // lease may park per `policy`; the rest of the batch is opportunistic
         // and never waits.
-        let first = match target_mgr.state.acquire(bytes, ExhaustionPolicy::Error) {
+        let first = match target_mgr.state.acquire(bytes, ExhaustionPolicy::Error, label) {
             Ok(first) => first,
             Err(_) if matches!(policy, ExhaustionPolicy::Park(_)) => {
                 self.reclaim_cached_for(target);
-                target_mgr.state.acquire(bytes, policy)?
+                target_mgr.state.acquire(bytes, policy, label)?
             }
             Err(e) => return Err(e),
         };
-        let extras = target_mgr.state.try_take_extra(REMOTE_BATCH - 1, bytes);
+        let extras = target_mgr.state.try_take_extra(REMOTE_BATCH - 1, bytes, label);
         {
             let mut stats = local_mgr.stats.lock();
             stats.remote_batches += 1;
@@ -428,6 +498,14 @@ impl BlockManagerSet {
     /// staging-invariant tests assert against.
     pub fn peaks(&self) -> Vec<(MemoryNodeId, u64)> {
         self.managers.iter().map(|m| (m.node(), m.peak_leased_bytes())).collect()
+    }
+
+    /// Bytes currently leased across every node's arena. After an execution
+    /// has dropped its handles and flushed the remote caches this must be
+    /// zero — the fault-invariant suite's leak check: no recovery path may
+    /// strand a lease.
+    pub fn leased_bytes_total(&self) -> u64 {
+        self.managers.iter().map(|m| m.leased_bytes()).sum()
     }
 
     /// Drop every cached remote lease, returning the bytes to their home
@@ -524,6 +602,43 @@ mod tests {
             mgr.acquire_local(KB, ExhaustionPolicy::Park(Duration::from_millis(30))).unwrap_err();
         assert_eq!(err.category(), "memory");
         assert!(err.to_string().contains("timed out"), "{err}");
+    }
+
+    #[test]
+    fn park_timeout_names_the_top_holders_by_bytes() {
+        let mgr = BlockManager::new(MemoryNodeId::new(0), 10 * KB);
+        // Four labels; "stage1/slot0" holds the most bytes across two leases.
+        let _a =
+            mgr.acquire_local_labeled(3 * KB, ExhaustionPolicy::Error, "stage1/slot0").unwrap();
+        let _b =
+            mgr.acquire_local_labeled(2 * KB, ExhaustionPolicy::Error, "stage1/slot0").unwrap();
+        let _c = mgr.acquire_local_labeled(3 * KB, ExhaustionPolicy::Error, "fault:burst").unwrap();
+        let _d =
+            mgr.acquire_local_labeled(3 * KB / 2, ExhaustionPolicy::Error, "stage0/pump").unwrap();
+        let _e = mgr.acquire_local(KB / 2, ExhaustionPolicy::Error).unwrap();
+        let err = mgr
+            .acquire_local_labeled(KB, ExhaustionPolicy::Park(Duration::from_millis(20)), "me")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains("top holders by bytes"), "{msg}");
+        // Only the top TOP_HOLDERS_REPORTED labels are named, ranked by
+        // total held bytes; the smallest holder is omitted.
+        assert!(msg.contains(&format!("stage1/slot0:{}", 5 * KB)), "{msg}");
+        assert!(msg.contains(&format!("fault:burst:{}", 3 * KB)), "{msg}");
+        assert!(msg.contains(&format!("stage0/pump:{}", 3 * KB / 2)), "{msg}");
+        assert!(!msg.contains(ANON_HOLDER), "{msg}");
+        let pos_big = msg.find("stage1/slot0").unwrap();
+        let pos_mid = msg.find("fault:burst").unwrap();
+        assert!(pos_big < pos_mid, "holders must rank by bytes: {msg}");
+        // Released leases leave the registry: once everything except the
+        // anonymous lease is dropped, a fresh timeout names only "anon".
+        drop((_a, _b, _c, _d));
+        let err = mgr
+            .acquire_local_labeled(10 * KB, ExhaustionPolicy::Park(Duration::from_millis(20)), "me")
+            .unwrap_err();
+        let msg = err.to_string();
+        assert!(msg.contains(&format!("{ANON_HOLDER}:{}", KB / 2)), "{msg}");
+        assert!(!msg.contains("stage1/slot0"), "released leases must leave the registry: {msg}");
     }
 
     #[test]

@@ -29,6 +29,7 @@ pub mod affinity;
 pub mod clock;
 pub mod cost;
 pub mod device;
+pub mod fault;
 pub mod interconnect;
 pub mod memory;
 pub mod probe;
@@ -39,6 +40,7 @@ pub use affinity::Affinity;
 pub use clock::{ResourceClock, SimTime};
 pub use cost::{CostModel, WorkProfile};
 pub use device::{DeviceId, DeviceKind, DeviceProfile};
+pub use fault::{ArenaBurst, DeviceFault, FaultPlan};
 pub use interconnect::{LinkId, LinkKind, LinkSpec};
 pub use memory::MemoryNodeSpec;
 pub use probe::CalibratedConstants;

@@ -9,10 +9,11 @@
 
 use crate::clock::ResourceClock;
 use crate::device::{DeviceId, DeviceKind, DeviceProfile};
+use crate::fault::FaultPlan;
 use crate::interconnect::{LinkId, LinkKind, LinkSpec};
 use crate::memory::{MemoryNodeKind, MemoryNodeSpec};
 use hetex_common::{HetError, MemoryNodeId, Result};
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 
 /// A complete description of a heterogeneous server.
@@ -29,6 +30,14 @@ pub struct ServerTopology {
     /// Availability clocks of the interconnect links.
     link_clocks: Vec<ResourceClock>,
     sockets: usize,
+    /// Scripted fault schedule consulted by the executor, if any.
+    fault_plan: Option<Arc<FaultPlan>>,
+    /// Devices excluded from placement (lost in an earlier execution
+    /// attempt). They keep their [`DeviceId`]s — profiles, local memory and
+    /// routes stay addressable — but the placement accessors ([`Self::gpus`],
+    /// [`Self::cpu_cores`], [`Self::cpu_cores_interleaved`]) no longer offer
+    /// them, so a degraded re-plan lands only on survivors.
+    excluded: HashSet<DeviceId>,
 }
 
 impl ServerTopology {
@@ -77,6 +86,52 @@ impl ServerTopology {
         Ok(Arc::new(topology))
     }
 
+    /// A copy of this topology carrying a scripted [`FaultPlan`]. Like
+    /// [`Self::with_device_slowdown`], the plan is attached at construction
+    /// and consulted against sim clocks at run time, so the injected schedule
+    /// is perfectly reproducible. Devices named by the plan must exist.
+    pub fn with_fault_plan(&self, plan: FaultPlan) -> Result<Arc<Self>> {
+        for (device, _) in plan.device_faults() {
+            self.device(*device)?;
+        }
+        for burst in plan.arena_bursts() {
+            self.memory_node(burst.node)?;
+        }
+        let mut topology = self.clone();
+        topology.fault_plan = Some(Arc::new(plan));
+        Ok(Arc::new(topology))
+    }
+
+    /// The scripted fault plan, if one is attached.
+    pub fn fault_plan(&self) -> Option<&Arc<FaultPlan>> {
+        self.fault_plan.as_ref()
+    }
+
+    /// A copy of this topology with `device` excluded from placement: its id,
+    /// profile and routes stay addressable (in-flight bookkeeping keeps
+    /// working), but [`Self::gpus`], [`Self::cpu_cores`] and
+    /// [`Self::cpu_cores_interleaved`] stop offering it, so a re-plan lands
+    /// only on surviving devices. Used by the engine's degraded restart after
+    /// a [`hetex_common::HetError::DeviceLost`].
+    pub fn with_device_excluded(&self, device: DeviceId) -> Result<Arc<Self>> {
+        self.device(device)?;
+        let mut topology = self.clone();
+        topology.excluded.insert(device);
+        Ok(Arc::new(topology))
+    }
+
+    /// True when `device` has been excluded from placement.
+    pub fn is_excluded(&self, device: DeviceId) -> bool {
+        self.excluded.contains(&device)
+    }
+
+    /// Devices currently excluded from placement, in id order.
+    pub fn excluded_devices(&self) -> Vec<DeviceId> {
+        let mut out: Vec<DeviceId> = self.excluded.iter().copied().collect();
+        out.sort();
+        out
+    }
+
     /// All memory nodes.
     pub fn memory_nodes(&self) -> &[MemoryNodeSpec] {
         &self.memory_nodes
@@ -105,7 +160,7 @@ impl ServerTopology {
     pub fn cpu_cores_interleaved(&self) -> Vec<DeviceId> {
         let mut per_socket: Vec<Vec<DeviceId>> = vec![Vec::new(); self.sockets.max(1)];
         for (idx, dev) in self.devices.iter().enumerate() {
-            if dev.kind == DeviceKind::CpuCore {
+            if dev.kind == DeviceKind::CpuCore && !self.excluded.contains(&DeviceId::new(idx)) {
                 per_socket[dev.socket].push(DeviceId::new(idx));
             }
         }
@@ -121,22 +176,27 @@ impl ServerTopology {
         out
     }
 
-    /// All GPU device ids.
+    /// All placeable GPU device ids (excluded devices omitted).
     pub fn gpus(&self) -> Vec<DeviceId> {
         self.devices
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.kind == DeviceKind::Gpu)
+            .filter(|(i, d)| {
+                d.kind == DeviceKind::Gpu && !self.excluded.contains(&DeviceId::new(*i))
+            })
             .map(|(i, _)| DeviceId::new(i))
             .collect()
     }
 
-    /// All CPU core device ids in declaration order.
+    /// All placeable CPU core device ids in declaration order (excluded
+    /// devices omitted).
     pub fn cpu_cores(&self) -> Vec<DeviceId> {
         self.devices
             .iter()
             .enumerate()
-            .filter(|(_, d)| d.kind == DeviceKind::CpuCore)
+            .filter(|(i, d)| {
+                d.kind == DeviceKind::CpuCore && !self.excluded.contains(&DeviceId::new(*i))
+            })
             .map(|(i, _)| DeviceId::new(i))
             .collect()
     }
@@ -361,6 +421,8 @@ impl TopologyBuilder {
             memory_clocks,
             link_clocks,
             sockets: n_sockets,
+            fault_plan: None,
+            excluded: HashSet::new(),
         })
     }
 }
@@ -464,6 +526,54 @@ mod tests {
             }
         }
         assert!(t.with_device_slowdown(DeviceId::new(999), 2.0).is_err());
+    }
+
+    #[test]
+    fn fault_plan_attaches_and_validates_devices() {
+        use crate::fault::FaultPlan;
+        let t = ServerTopology::paper_server();
+        assert!(t.fault_plan().is_none());
+        let gpu = t.gpus()[0];
+        let plan = FaultPlan::new().abort_device(gpu, crate::clock::SimTime::from_nanos(1_000));
+        let faulty = t.with_fault_plan(plan).unwrap();
+        let attached = faulty.fault_plan().expect("plan attached");
+        assert_eq!(attached.abort_at(gpu), Some(crate::clock::SimTime::from_nanos(1_000)));
+        // The original topology is untouched.
+        assert!(t.fault_plan().is_none());
+        // Plans naming unknown devices or nodes are rejected.
+        let bad =
+            FaultPlan::new().abort_device(DeviceId::new(999), crate::clock::SimTime::from_nanos(1));
+        assert!(t.with_fault_plan(bad).is_err());
+        let bad_node = FaultPlan::new().arena_burst(
+            MemoryNodeId::new(99),
+            1,
+            crate::clock::SimTime::ZERO,
+            crate::clock::SimTime::from_nanos(1),
+        );
+        assert!(t.with_fault_plan(bad_node).is_err());
+    }
+
+    #[test]
+    fn excluded_devices_leave_placement_but_stay_addressable() {
+        let t = ServerTopology::paper_server();
+        let gpu = t.gpus()[0];
+        let degraded = t.with_device_excluded(gpu).unwrap();
+        assert!(degraded.is_excluded(gpu));
+        assert_eq!(degraded.excluded_devices(), vec![gpu]);
+        assert_eq!(degraded.gpus().len(), t.gpus().len() - 1);
+        assert!(!degraded.gpus().contains(&gpu));
+        // Profiles and local memory keep resolving for in-flight bookkeeping.
+        assert!(degraded.device(gpu).is_ok());
+        assert!(degraded.local_memory_of(gpu).is_ok());
+        // CPU cores are excludable the same way, including from the
+        // interleaved placement order.
+        let core = t.cpu_cores()[0];
+        let no_core = t.with_device_excluded(core).unwrap();
+        assert_eq!(no_core.cpu_cores().len(), t.cpu_cores().len() - 1);
+        assert!(!no_core.cpu_cores_interleaved().contains(&core));
+        // Unknown devices are rejected; the original topology is untouched.
+        assert!(t.with_device_excluded(DeviceId::new(999)).is_err());
+        assert!(!t.is_excluded(gpu));
     }
 
     #[test]
