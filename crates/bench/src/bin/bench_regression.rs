@@ -31,6 +31,17 @@
 //! appends a per-metric markdown delta table to it, so regressions — and
 //! improvements — are visible from the workflow summary page without
 //! reading logs.
+//!
+//! **New baselines**: a PR that commits a brand-new `BENCH_*.json` has no
+//! prior run to compare against — if its bench bin is not yet wired into
+//! the pipeline (or runs behind this gate), the missing current file would
+//! fail the build exactly like a dropped benchmark. Setting
+//! `HETEX_NEW_BASELINES` to a comma-separated list of baseline *file
+//! names* (e.g. `BENCH_kernel.json`) downgrades missing-current-file and
+//! missing-metric failures **for those files only** to an accepted
+//! "new baseline" outcome. Present metrics of a listed file are still
+//! value-gated normally, so the escape hatch cannot hide a real
+//! regression in a file that did run.
 
 use std::path::{Path, PathBuf};
 use std::process::exit;
@@ -131,7 +142,17 @@ struct Outcome {
     /// Whether the *value* is gated. Schedule-sensitive (skewed) workloads
     /// are reported only — but their *presence* is always gated.
     value_gated: bool,
+    /// Whether the file is a declared new baseline (`HETEX_NEW_BASELINES`):
+    /// a missing current metric is accepted instead of failing.
+    new_baseline: bool,
     regressed: bool,
+}
+
+/// Parse the `HETEX_NEW_BASELINES` value: comma-separated baseline file
+/// names, whitespace-tolerant, empty entries dropped.
+fn new_baseline_set(raw: Option<&str>) -> std::collections::HashSet<String> {
+    raw.map(|v| v.split(',').map(str::trim).filter(|s| !s.is_empty()).map(str::to_string).collect())
+        .unwrap_or_default()
 }
 
 /// True when a workload's values are too schedule-sensitive to gate against
@@ -150,6 +171,7 @@ fn compare_metrics(
     baseline: &[Metric],
     current: &[Metric],
     factor: f64,
+    new_baseline: bool,
 ) -> Vec<Outcome> {
     baseline
         .iter()
@@ -160,7 +182,9 @@ fn compare_metrics(
                 .find(|(w, f, _, _)| w == workload && f == field)
                 .map(|&(_, _, v, _)| v);
             let regressed = match cur {
-                None => true,
+                // A declared new baseline has no prior run to be missing
+                // from — accept the hole instead of failing it.
+                None => !new_baseline,
                 Some(cur) => value_gated && regressed(*direction, *base, cur, factor),
             };
             Outcome {
@@ -171,6 +195,7 @@ fn compare_metrics(
                 baseline: *base,
                 current: cur,
                 value_gated,
+                new_baseline,
                 regressed,
             }
         })
@@ -206,7 +231,9 @@ fn render_step_summary(outcomes: &[Outcome], tolerance_pct: f64) -> String {
             ),
             None => ("—".to_string(), "—".to_string()),
         };
-        let status = if o.current.is_none() {
+        let status = if o.current.is_none() && o.new_baseline {
+            "🆕 new baseline (no prior run)".to_string()
+        } else if o.current.is_none() {
             "❌ missing".to_string()
         } else if o.regressed {
             format!("❌ regressed ({direction})")
@@ -264,24 +291,35 @@ fn main() {
         exit(2);
     }
 
+    let new_baselines = new_baseline_set(std::env::var("HETEX_NEW_BASELINES").ok().as_deref());
+
     let mut regressions = 0usize;
     let mut outcomes: Vec<Outcome> = Vec::new();
     for baseline_path in baselines {
         let name = baseline_path.file_name().and_then(|n| n.to_str()).unwrap_or("?").to_string();
+        let is_new = new_baselines.contains(&name);
         let current_path = current_dir.join(&name);
         let Ok(baseline) = std::fs::read_to_string(&baseline_path) else { continue };
         let baseline_metrics = parse_metrics(&baseline);
         let Ok(current) = std::fs::read_to_string(&current_path) else {
-            eprintln!("REGRESSION {name}: baseline exists but no current file was generated");
+            if is_new {
+                println!(
+                    "new baseline {name}: accepted without a prior-run comparison \
+                     (HETEX_NEW_BASELINES)"
+                );
+            } else {
+                eprintln!("REGRESSION {name}: baseline exists but no current file was generated");
+            }
             if baseline_metrics.is_empty() {
                 // No per-metric outcomes can carry this failure into the
                 // count (or the summary table) — count the file itself.
-                regressions += 1;
+                regressions += usize::from(!is_new);
             } else {
                 // Every committed metric of the file is missing: emit one
                 // missing-metric outcome each, so the step-summary table
-                // shows the same failures the exit code reports.
-                outcomes.extend(compare_metrics(&name, &baseline_metrics, &[], factor));
+                // shows the same failures (or accepted new-baseline holes)
+                // the exit code reports.
+                outcomes.extend(compare_metrics(&name, &baseline_metrics, &[], factor, is_new));
             }
             continue;
         };
@@ -290,12 +328,16 @@ fn main() {
             &baseline_metrics,
             &parse_metrics(&current),
             factor,
+            is_new,
         ));
     }
 
     for o in &outcomes {
         let label = format!("{} {}.{}", o.file, o.workload, o.field);
         match o.current {
+            None if o.new_baseline => {
+                println!("new {label}: fresh baseline, no prior-run value to compare");
+            }
             None => {
                 eprintln!(
                     "REGRESSION {label}: baseline metric missing from the fresh run \
@@ -447,7 +489,7 @@ mod tests {
     {"workload": "unskewed", "steal_s": 2.1, "no_steal_s": 2.11}
 ]}"#,
         );
-        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10);
+        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10, false);
         assert_eq!(outcomes.len(), baseline.len());
         // The skewed `steal_s` disappeared: a regression despite the
         // workload's values being schedule-sensitive (presence is always
@@ -479,7 +521,7 @@ mod tests {
     {"workload": "scan_sweep", "throughput_gbps": 41.5}
 ]}"#,
         );
-        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10);
+        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10, false);
         assert!(outcomes
             .iter()
             .filter(|o| o.workload == "skewed")
@@ -491,6 +533,60 @@ mod tests {
     }
 
     #[test]
+    fn new_baseline_set_parses_the_env_shape() {
+        assert!(new_baseline_set(None).is_empty());
+        assert!(new_baseline_set(Some("")).is_empty());
+        let set = new_baseline_set(Some("BENCH_kernel.json, BENCH_other.json ,,"));
+        assert_eq!(set.len(), 2);
+        assert!(set.contains("BENCH_kernel.json"));
+        assert!(set.contains("BENCH_other.json"));
+    }
+
+    #[test]
+    fn a_declared_new_baseline_accepts_a_missing_current_file() {
+        // The new-file path: a freshly committed BENCH_kernel.json with no
+        // fresh run at all (every metric missing) must not regress when the
+        // file is declared via HETEX_NEW_BASELINES…
+        let baseline = parse_metrics(
+            r#"{"workloads": [
+    {"workload": "filter_heavy_400k_low_sel", "vectorized_s": 1.68, "tuple_at_a_time_s": 3.36},
+    {"workload": "group_by_200k_64_groups", "vectorized_s": 26.59, "tuple_at_a_time_s": 26.59}
+]}"#,
+        );
+        let accepted = compare_metrics("BENCH_kernel.json", &baseline, &[], 1.10, true);
+        assert_eq!(accepted.len(), baseline.len());
+        assert!(accepted.iter().all(|o| !o.regressed && o.current.is_none() && o.new_baseline));
+        let summary = render_step_summary(&accepted, 10.0);
+        assert!(summary.contains("🆕 new baseline"), "{summary}");
+        assert!(summary.contains("no regressions"), "{summary}");
+
+        // …while the same hole without the declaration still fails loudly.
+        let gated = compare_metrics("BENCH_kernel.json", &baseline, &[], 1.10, false);
+        assert!(gated.iter().all(|o| o.regressed));
+    }
+
+    #[test]
+    fn a_new_baseline_that_did_run_is_still_value_gated() {
+        // The escape hatch only covers *holes*: metrics the fresh run did
+        // emit are compared normally, so a declared new baseline cannot
+        // smuggle a real regression past the gate.
+        let baseline = parse_metrics(r#"{"workloads": [{"workload": "w", "vectorized_s": 1.0}]}"#);
+        let current = parse_metrics(r#"{"workloads": [{"workload": "w", "vectorized_s": 2.0}]}"#);
+        let outcomes = compare_metrics("BENCH_kernel.json", &baseline, &current, 1.10, true);
+        assert_eq!(outcomes.len(), 1);
+        assert!(outcomes[0].regressed, "a 2x slowdown must regress even for a new baseline");
+        // An in-tolerance run of a new baseline passes as usual.
+        let ok =
+            compare_metrics("BENCH_kernel.json", &baseline, &baseline_to_current(), 1.10, true);
+        assert!(!ok[0].regressed);
+    }
+
+    /// An identical fresh run for the one-metric baseline above.
+    fn baseline_to_current() -> Vec<Metric> {
+        parse_metrics(r#"{"workloads": [{"workload": "w", "vectorized_s": 1.0}]}"#)
+    }
+
+    #[test]
     fn step_summary_renders_a_delta_table() {
         let baseline = parse_metrics(SAMPLE);
         let current = parse_metrics(
@@ -499,7 +595,7 @@ mod tests {
     {"workload": "unskewed", "steal_s": 1.9, "no_steal_s": 2.8}
 ]}"#,
         );
-        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10);
+        let outcomes = compare_metrics("BENCH_steal.json", &baseline, &current, 1.10, false);
         let summary = render_step_summary(&outcomes, 10.0);
         // Header + one row per baseline metric, with markdown table syntax.
         assert!(summary.starts_with("## Bench regression gate"));

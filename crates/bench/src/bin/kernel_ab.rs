@@ -1,0 +1,82 @@
+//! Emit `BENCH_kernel.json`: the vectorized (selection-vector) CPU kernel
+//! vs the tuple-at-a-time legacy kernel on filter-heavy (low and high
+//! selectivity), join-probe and group-by workloads.
+//!
+//! Usage: `kernel_ab [out_dir]` — writes `BENCH_kernel.json` into `out_dir`
+//! (default: the current directory). When `GITHUB_STEP_SUMMARY` is set, a
+//! per-case markdown table (including chunk size and selectivity) is
+//! appended to the workflow summary.
+
+use hetex_bench::kernel_ab;
+use hetex_jit::VEC_CHUNK;
+
+fn main() {
+    let report = kernel_ab::run_all(400_000).expect("kernel A/B suite failed");
+    let mut ok = true;
+    for row in &report.rows {
+        println!(
+            "{:<32} vectorized {:>9.4}s  tuple-at-a-time {:>9.4}s  improvement {:>6.2}%  \
+             selectivity {:>5.3}  chunk {}  rows_identical {}",
+            row.workload,
+            row.vectorized_s,
+            row.tuple_at_a_time_s,
+            row.improvement_pct(),
+            row.selectivity,
+            VEC_CHUNK,
+            row.rows_identical
+        );
+        ok &= row.rows_identical;
+        if row.workload.starts_with("filter_heavy") {
+            // Acceptance bar: the vectorized kernel must be >= 20% faster on
+            // the filter-heavy shapes (ISSUE 7 / ROADMAP item 3).
+            ok &= row.improvement_pct() >= 20.0;
+        } else {
+            // Random-access-bound shapes carry no speedup bar, but
+            // vectorization must never cost meaningful simulated time
+            // (2% headroom for wall-clock scheduling jitter).
+            ok &= row.vectorized_s <= row.tuple_at_a_time_s * kernel_ab::NO_REGRESSION_FACTOR;
+        }
+    }
+    let path = hetex_bench::bench_output_path(
+        std::env::args().nth(1).map(Into::into),
+        "BENCH_kernel.json",
+    );
+    std::fs::write(&path, report.to_json()).expect("write BENCH_kernel.json");
+    println!("wrote {}", path.display());
+
+    // Per-case summary table for the workflow summary page: the delta table
+    // the regression gate renders has no chunk/selectivity columns, so the
+    // kernel A/B appends its own.
+    if let Ok(summary_path) = std::env::var("GITHUB_STEP_SUMMARY") {
+        use std::io::Write;
+        let mut table = String::from("## Kernel A/B (vectorized vs tuple-at-a-time)\n\n");
+        table.push_str("| workload | chunk | selectivity | vectorized | tuple-at-a-time | improvement | rows identical |\n");
+        table.push_str("|---|---:|---:|---:|---:|---:|---|\n");
+        for row in &report.rows {
+            table.push_str(&format!(
+                "| {} | {} | {:.3} | {:.4}s | {:.4}s | {:+.1}% | {} |\n",
+                row.workload,
+                VEC_CHUNK,
+                row.selectivity,
+                row.vectorized_s,
+                row.tuple_at_a_time_s,
+                row.improvement_pct(),
+                if row.rows_identical { "✅" } else { "❌" }
+            ));
+        }
+        if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(&summary_path)
+        {
+            if let Err(e) = f.write_all(table.as_bytes()) {
+                eprintln!("could not append step summary to {summary_path}: {e}");
+            }
+        }
+    }
+
+    if !ok {
+        eprintln!(
+            "kernel A/B failed its acceptance bar (<20% filter-heavy gain, a slower \
+             random-access shape, or row mismatch)"
+        );
+        std::process::exit(1);
+    }
+}

@@ -73,6 +73,41 @@ impl StealPolicy {
     }
 }
 
+/// How the CPU lowering executes a compiled pipeline's fused step chain.
+///
+/// The GPU lowering is unaffected: it already amortizes dispatch across a
+/// whole grid-stride kernel, so both modes consume the identical step IR and
+/// only the CPU specialization changes shape (one blueprint, N
+/// specializations — the HetExchange property this knob preserves).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum KernelMode {
+    /// Chunked, selection-vector execution: fixed-size chunks of tuples flow
+    /// through the step chain column-at-a-time, filters refine a `u32`
+    /// selection index array in autovectorizable tight loops, and terminals
+    /// consume the surviving selection in one pass. This is the default.
+    #[default]
+    Vectorized,
+    /// Legacy per-tuple interpretation: every tuple pays the branchy step
+    /// dispatch and per-step intermediate handling. Kept selectable as the
+    /// differential baseline and the kernel A/B's comparison arm.
+    TupleAtATime,
+}
+
+impl KernelMode {
+    /// Human-readable label used by benches and step summaries.
+    pub fn label(self) -> &'static str {
+        match self {
+            KernelMode::Vectorized => "vectorized",
+            KernelMode::TupleAtATime => "tuple-at-a-time",
+        }
+    }
+
+    /// True for the chunked selection-vector path.
+    pub fn is_vectorized(self) -> bool {
+        self == KernelMode::Vectorized
+    }
+}
+
 /// Per-term toggles of the unified routing/admission/steal cost model
 /// (`hetex-core`'s `CostModel`).
 ///
@@ -101,6 +136,12 @@ pub struct CostModelConfig {
     /// is folded into the steal profitability check, so a rescue that would
     /// queue behind saturated links is priced honestly.
     pub link_congestion_term: bool,
+    /// Term 5 — routing block-cost estimates price CPU blocks with the
+    /// chunk/selection cost shape of the *executed* kernel mode instead of
+    /// always assuming per-tuple dispatch. Off, estimates fall back to the
+    /// tuple-at-a-time shape (the pre-vectorization behaviour), overcharging
+    /// vectorized blocks uniformly — rows are unaffected either way.
+    pub vectorized_cost: bool,
 }
 
 impl Default for CostModelConfig {
@@ -110,6 +151,7 @@ impl Default for CostModelConfig {
             control_plane_term: true,
             gate_critical_path: true,
             link_congestion_term: true,
+            vectorized_cost: true,
         }
     }
 }
@@ -123,6 +165,7 @@ impl CostModelConfig {
             control_plane_term: false,
             gate_critical_path: false,
             link_congestion_term: false,
+            vectorized_cost: false,
         }
     }
 
@@ -147,6 +190,12 @@ impl CostModelConfig {
     /// Toggle the link-congestion steal term.
     pub fn with_link_congestion_term(mut self, on: bool) -> Self {
         self.link_congestion_term = on;
+        self
+    }
+
+    /// Toggle the kernel-mode-aware block-cost estimate.
+    pub fn with_vectorized_cost(mut self, on: bool) -> Self {
+        self.vectorized_cost = on;
         self
     }
 }
@@ -339,6 +388,11 @@ pub struct EngineConfig {
     /// quarantine, watchdog, degraded restart) engages when injected or real
     /// faults fire. Inert when the topology carries no fault plan.
     pub fault: FaultConfig,
+    /// How CPU pipeline instances execute their fused step chain: the
+    /// chunked selection-vector lowering (default) or the legacy per-tuple
+    /// loop. Result rows are byte-identical in both modes; only the hot-path
+    /// shape (and therefore the charged compute work) differs.
+    pub kernel_mode: KernelMode,
 }
 
 impl Default for EngineConfig {
@@ -359,6 +413,7 @@ impl Default for EngineConfig {
             cost_model: CostModelConfig::default(),
             calibration: CalibrationConfig::default(),
             fault: FaultConfig::default(),
+            kernel_mode: KernelMode::default(),
         }
     }
 }
@@ -449,6 +504,12 @@ impl EngineConfig {
     /// Select which fault-recovery paths are active.
     pub fn with_fault(mut self, fault: FaultConfig) -> Self {
         self.fault = fault;
+        self
+    }
+
+    /// Select the CPU kernel execution mode.
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
         self
     }
 
@@ -571,8 +632,12 @@ mod tests {
         assert!(cfg.cost_model.control_plane_term);
         assert!(cfg.cost_model.gate_critical_path);
         assert!(cfg.cost_model.link_congestion_term);
+        assert!(cfg.cost_model.vectorized_cost);
         let off = CostModelConfig::disabled();
         assert!(!off.demand_weighted_quotas && !off.link_congestion_term);
+        assert!(!off.vectorized_cost);
+        let vec_only = CostModelConfig::disabled().with_vectorized_cost(true);
+        assert!(vec_only.vectorized_cost && !vec_only.demand_weighted_quotas);
         // Each term toggles independently of the others.
         let one = CostModelConfig::disabled().with_gate_critical_path(true);
         assert!(one.gate_critical_path);
@@ -637,5 +702,17 @@ mod tests {
     fn labels_match_paper_naming() {
         assert_eq!(ExecutionTarget::CpuOnly.label(), "Proteus CPUs");
         assert_eq!(ExecutionTarget::Hybrid.label(), "Proteus Hybrid");
+    }
+
+    #[test]
+    fn kernel_mode_defaults_vectorized_and_is_selectable() {
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.kernel_mode, KernelMode::Vectorized);
+        assert!(cfg.kernel_mode.is_vectorized());
+        assert_eq!(cfg.kernel_mode.label(), "vectorized");
+        let legacy = cfg.with_kernel_mode(KernelMode::TupleAtATime);
+        assert!(!legacy.kernel_mode.is_vectorized());
+        assert_eq!(legacy.kernel_mode.label(), "tuple-at-a-time");
+        legacy.validate().unwrap();
     }
 }

@@ -51,7 +51,7 @@
 //! these per execution for estimation, so the two concerns cannot be mixed
 //! up.
 
-use hetex_common::{CalibrationConfig, CostModelConfig, EngineConfig, MemoryNodeId};
+use hetex_common::{CalibrationConfig, CostModelConfig, EngineConfig, KernelMode, MemoryNodeId};
 use hetex_topology::{CalibratedConstants, LinkSpec, ServerTopology};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -195,6 +195,7 @@ impl SlowdownObserver {
 pub struct CostModel {
     cfg: CostModelConfig,
     calib: CalibrationConfig,
+    kernel_mode: KernelMode,
     constants: Option<Arc<CalibratedConstants>>,
     observer: Option<Arc<SlowdownObserver>>,
 }
@@ -209,16 +210,28 @@ impl CostModel {
     /// A cost model with the given term toggles and no calibration inputs
     /// (nominal profiles, declared constants).
     pub fn new(cfg: CostModelConfig) -> Self {
-        Self { cfg, calib: CalibrationConfig::disabled(), constants: None, observer: None }
+        Self {
+            cfg,
+            calib: CalibrationConfig::disabled(),
+            kernel_mode: KernelMode::TupleAtATime,
+            constants: None,
+            observer: None,
+        }
     }
 
     /// The cost model an engine configuration selects: the config's term
-    /// toggles plus its calibration toggles. The calibration *inputs* (the
-    /// probed constants, the per-execution observer) are attached by the
-    /// executor via [`Self::with_constants`] / [`Self::with_observer`];
-    /// until they are, a toggled-on input degrades to the nominal behaviour.
+    /// toggles plus its calibration toggles and the configured CPU kernel
+    /// mode (consumed by [`Self::estimate_kernel_mode`]). The calibration
+    /// *inputs* (the probed constants, the per-execution observer) are
+    /// attached by the executor via [`Self::with_constants`] /
+    /// [`Self::with_observer`]; until they are, a toggled-on input degrades
+    /// to the nominal behaviour.
     pub fn from_config(config: &EngineConfig) -> Self {
-        Self { calib: config.calibration, ..Self::new(config.cost_model) }
+        Self {
+            calib: config.calibration,
+            kernel_mode: config.kernel_mode,
+            ..Self::new(config.cost_model)
+        }
     }
 
     /// A model with every refinement off — the PR 3 estimation behaviour
@@ -253,6 +266,23 @@ impl CostModel {
     /// The active calibration toggles.
     pub fn calibration(&self) -> CalibrationConfig {
         self.calib
+    }
+
+    /// The kernel mode block-cost *estimates* should price CPU work at.
+    ///
+    /// With the `vectorized_cost` term on, estimates use the mode the CPU
+    /// lowering will actually execute (chunked selection-vector dispatch is
+    /// cheaper per tuple, so charging the tuple-at-a-time shape would
+    /// overcharge vectorized blocks and skew routing toward the GPU).
+    /// Toggled off — including [`Self::legacy`], whose config disables every
+    /// term — estimates fall back to the tuple-at-a-time shape, the
+    /// bit-stable pre-vectorization baseline.
+    pub fn estimate_kernel_mode(&self) -> KernelMode {
+        if self.cfg.vectorized_cost {
+            self.kernel_mode
+        } else {
+            KernelMode::TupleAtATime
+        }
     }
 
     // ------------------------------------------------------------------
@@ -636,6 +666,30 @@ mod tests {
 
     fn all_on() -> CostModel {
         CostModel::default()
+    }
+
+    #[test]
+    fn estimate_kernel_mode_follows_config_gated_by_vectorized_cost_term() {
+        // Default config: vectorized kernels + vectorized_cost term on, so
+        // estimates price the executed mode.
+        let config = EngineConfig::default();
+        assert_eq!(CostModel::from_config(&config).estimate_kernel_mode(), KernelMode::Vectorized);
+
+        // Term toggled off: estimates fall back to the tuple-at-a-time shape
+        // even though execution stays vectorized.
+        let toggled =
+            EngineConfig { cost_model: config.cost_model.with_vectorized_cost(false), ..config };
+        assert_eq!(
+            CostModel::from_config(&toggled).estimate_kernel_mode(),
+            KernelMode::TupleAtATime
+        );
+
+        // Legacy kernels estimate as legacy regardless of the term.
+        let taat = EngineConfig::default().with_kernel_mode(KernelMode::TupleAtATime);
+        assert_eq!(CostModel::from_config(&taat).estimate_kernel_mode(), KernelMode::TupleAtATime);
+
+        // The legacy model (stage-at-a-time baseline) never prices vectorized.
+        assert_eq!(CostModel::legacy().estimate_kernel_mode(), KernelMode::TupleAtATime);
     }
 
     #[test]

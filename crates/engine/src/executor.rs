@@ -27,7 +27,9 @@
 //!   comparison and the correctness gate stay honest.
 
 use crate::codegen::{MemMoveMode, Stage, StageGraph, StageSource};
-use hetex_common::{BlockHandle, EngineConfig, ExecutionMode, HetError, MemoryNodeId, Result};
+use hetex_common::{
+    BlockHandle, EngineConfig, ExecutionMode, HetError, KernelMode, MemoryNodeId, Result,
+};
 use hetex_core::cost::{CostModel, DemandSplitter, SlowdownObserver, StealQuery};
 use hetex_core::mem_move::MemMove;
 use hetex_core::plan::RouterPolicy;
@@ -605,10 +607,21 @@ impl Executor {
             bytes_in: bytes,
             ..Default::default()
         };
-        let est_work = routing
-            .stage
-            .template(DeviceKind::CpuCore)
-            .work_profile(&counters, handle.meta().weight);
+        // Estimate CPU consumers at the kernel mode they will execute (the
+        // vectorized lowering dispatches per chunk, not per tuple) and GPU
+        // consumers always at the tuple-at-a-time shape — the SIMT lowering
+        // is unchanged and still charges per-tuple ops. Pricing both kinds
+        // with one shape would skew the device comparison: a vectorized
+        // estimate under-prices GPUs (which never get cheaper), steering
+        // blocks onto them that cost more than projected.
+        let template = routing.stage.template(DeviceKind::CpuCore);
+        let est_cpu_work =
+            template.work_profile_for(&counters, handle.meta().weight, cost.estimate_kernel_mode());
+        let est_gpu_work = if cost.estimate_kernel_mode() == KernelMode::TupleAtATime {
+            est_cpu_work
+        } else {
+            template.work_profile_for(&counters, handle.meta().weight, KernelMode::TupleAtATime)
+        };
         let mut device_ns = Vec::with_capacity(routing.stage.consumers.len());
         let mut node_ns = Vec::with_capacity(routing.stage.consumers.len());
         for i in 0..routing.stage.consumers.len() {
@@ -620,7 +633,11 @@ impl Executor {
                     continue;
                 }
             };
-            let mut block_ns = self.work_cost.time_ns(&est_work, device) as f64;
+            let est_work = match routing.stage.consumers[i].kind {
+                DeviceKind::CpuCore => &est_cpu_work,
+                DeviceKind::Gpu => &est_gpu_work,
+            };
+            let mut block_ns = self.work_cost.time_ns(est_work, device) as f64;
             let mut transfer_axis_ns = 0u64;
             if self.requires_dma(routing, i, handle.meta().location)
                 && routing.stage.mem_move != MemMoveMode::None
@@ -1128,7 +1145,8 @@ impl Executor {
                 ExecCtx::gpu(gpu, config.block_capacity)
             }
             DeviceKind::CpuCore => ExecCtx::cpu(s_node, config.block_capacity),
-        };
+        }
+        .with_kernel_mode(config.kernel_mode);
 
         let mut last_end = floor;
         let mut stats = DeviceKindStats::default();
@@ -1318,7 +1336,8 @@ impl Executor {
             return Ok((Vec::new(), Vec::new()));
         }
         let node = self.topology.cpu_memory_nodes()[0];
-        let mut ctx = ExecCtx::cpu(node, config.block_capacity);
+        let mut ctx =
+            ExecCtx::cpu(node, config.block_capacity).with_kernel_mode(config.kernel_mode);
         let emitted = stage.template(DeviceKind::CpuCore).emit_state_results(state, &mut ctx)?;
         let mut rows = Vec::new();
         for handle in &emitted.blocks {
@@ -1898,7 +1917,8 @@ impl Executor {
                                 DeviceKind::CpuCore => {
                                     ExecCtx::cpu(out_node, config.block_capacity)
                                 }
-                            };
+                            }
+                            .with_kernel_mode(config.kernel_mode);
 
                             let mut local_stats = DeviceKindStats::default();
                             let mut processed_any = false;
@@ -2509,6 +2529,7 @@ impl Executor {
                 let kind = slot.kind;
                 let out_node = routing.instance_nodes[slot_idx];
                 let block_capacity = config.block_capacity;
+                let kernel_mode = config.kernel_mode;
 
                 scope.spawn(move || {
                     let mut ctx = match kind {
@@ -2522,7 +2543,8 @@ impl Executor {
                             }
                         },
                         DeviceKind::CpuCore => ExecCtx::cpu(out_node, block_capacity),
-                    };
+                    }
+                    .with_kernel_mode(kernel_mode);
 
                     let mut local_stats = DeviceKindStats::default();
                     let mut local_outputs: Vec<BlockHandle> = Vec::new();

@@ -13,6 +13,11 @@
 //!
 //! * [`lower_cpu`] — a single-threaded, tuple-at-a-time loop with thread-local
 //!   accumulators, the shape of Figure 3's CPU specialization;
+//! * [`lower_cpu_vec`] — a chunked, selection-vector CPU lowering (the default,
+//!   see [`hetex_common::KernelMode`]): filters refine a `u32` selection index
+//!   array in tight autovectorizable loops, expressions evaluate
+//!   column-at-a-time into pooled scratch, and terminals consume the surviving
+//!   selection in one pass — same IR, same rows, fewer per-tuple dispatches;
 //! * [`lower_gpu`] — a SIMT kernel on the simulated GPU (`hetex-gpu-sim`) with
 //!   a grid-stride loop, thread-local accumulators, warp-level "neighborhood"
 //!   reduction and one device atomic per warp — the shape of Listing 1's
@@ -28,14 +33,16 @@ pub mod codegen;
 pub mod expr;
 pub mod ir;
 pub mod lower_cpu;
+pub mod lower_cpu_vec;
 pub mod lower_gpu;
 pub mod pipeline;
 pub mod provider;
 pub mod state;
 
 pub use codegen::CodegenContext;
-pub use expr::Expr;
+pub use expr::{Expr, ScratchPool};
 pub use ir::{AggFunc, AggSpec, StateSlot, Step, TerminalStep};
+pub use lower_cpu_vec::{refine_selection, VEC_CHUNK};
 pub use pipeline::{BlockCounters, CompiledPipeline, ExecCtx, PipelineOutput};
 pub use provider::{CpuProvider, DeviceProvider, GpuProvider};
 pub use state::{SharedState, StateObject};

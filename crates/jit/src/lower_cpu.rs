@@ -203,13 +203,21 @@ pub(crate) fn accumulate_local(aggs: &[AggSpec], regs: &[i64], partials: &mut [i
 mod tests {
     use super::*;
     use crate::expr::Expr;
-    use hetex_common::{Block, BlockId, BlockMeta, ColumnData, MemoryNodeId, PipelineId};
+    use hetex_common::{
+        Block, BlockId, BlockMeta, ColumnData, KernelMode, MemoryNodeId, PipelineId,
+    };
     use hetex_topology::DeviceKind;
 
     fn block_of(a: Vec<i64>, b: Vec<i64>) -> BlockHandle {
         let rows = a.len();
         let block = Block::new(vec![ColumnData::Int64(a), ColumnData::Int64(b)], rows).unwrap();
         BlockHandle::new(block, BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0)))
+    }
+
+    // These tests pin the *tuple-at-a-time* lowering (the dispatch default is
+    // vectorized; `lower_cpu_vec`'s differential tests cover that path).
+    fn taat_ctx(node: usize, capacity: usize) -> ExecCtx {
+        ExecCtx::cpu(MemoryNodeId::new(node), capacity).with_kernel_mode(KernelMode::TupleAtATime)
     }
 
     #[test]
@@ -229,7 +237,7 @@ mod tests {
             TerminalStep::Reduce { aggs: vec![AggSpec::sum(Expr::col(1))], slot },
         )
         .unwrap();
-        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
+        let mut ctx = taat_ctx(0, 64);
         let out = pipeline.process_block(&block_of(a, b), &state, &mut ctx).unwrap();
         assert!(out.blocks.is_empty());
         assert_eq!(state.accumulators(slot).unwrap().values(), vec![expected]);
@@ -259,7 +267,7 @@ mod tests {
         )
         .unwrap();
         let build_block = block_of((0..10).collect(), (0..10).map(|i| i * 100).collect());
-        let mut bctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
+        let mut bctx = taat_ctx(0, 64);
         build.process_block(&build_block, &state, &mut bctx).unwrap();
         assert_eq!(state.hash_table(ht).unwrap().len(), 10);
 
@@ -276,7 +284,7 @@ mod tests {
         )
         .unwrap();
         let probe_block = block_of((0..1000).collect(), vec![0; 1000]);
-        let mut pctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
+        let mut pctx = taat_ctx(0, 64);
         let out = probe.process_block(&probe_block, &state, &mut pctx).unwrap();
         assert_eq!(out.counters.probes, 1000);
         assert_eq!(out.counters.probe_matches, 10);
@@ -302,7 +310,7 @@ mod tests {
             TerminalStep::Reduce { aggs: vec![AggSpec::count()], slot: acc },
         )
         .unwrap();
-        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
+        let mut ctx = taat_ctx(0, 64);
         let out =
             probe.process_block(&block_of(vec![7, 8, 7], vec![0, 0, 0]), &state, &mut ctx).unwrap();
         assert_eq!(out.counters.probe_matches, 4);
@@ -324,7 +332,7 @@ mod tests {
             },
         )
         .unwrap();
-        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 8);
+        let mut ctx = taat_ctx(0, 8);
         let a: Vec<i64> = (0..100).collect();
         let b: Vec<i64> = (0..100).map(|i| i * 2).collect();
         let mut out = pipeline.process_block(&block_of(a, b), &state, &mut ctx).unwrap();
@@ -356,7 +364,7 @@ mod tests {
             TerminalStep::GroupBy { keys: vec![Expr::col(0)], aggs: aggs.clone(), slot },
         )
         .unwrap();
-        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
+        let mut ctx = taat_ctx(0, 64);
         let a: Vec<i64> = (0..100).map(|i| i % 5).collect();
         let b: Vec<i64> = (0..100).collect();
         pipeline.process_block(&block_of(a, b), &state, &mut ctx).unwrap();
@@ -381,7 +389,7 @@ mod tests {
             TerminalStep::Reduce { aggs: vec![AggSpec::sum(Expr::col(0))], slot },
         )
         .unwrap();
-        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 64);
+        let mut ctx = taat_ctx(0, 64);
         pipeline
             .process_block(&block_of(vec![2, 3, 4], vec![10, 10, 10]), &state, &mut ctx)
             .unwrap();

@@ -1,0 +1,557 @@
+//! The vectorized CPU lowering: chunked, selection-vector execution.
+//!
+//! Where [`crate::lower_cpu`] interprets the step chain per tuple (branchy
+//! enum dispatch, a register `Vec` per row), this lowering executes the same
+//! fused IR over fixed-size chunks of [`VEC_CHUNK`] tuples:
+//!
+//! * the chunk's registers are *columns* (`Vec<i64>` per register), gathered
+//!   once from the input block;
+//! * `Step::Filter` evaluates its predicate column-at-a-time into a dense
+//!   flag buffer and refines a `u32` **selection vector** with a tight,
+//!   branch-light compaction loop ([`refine_selection`]) — no tuples move;
+//! * `Step::Map` and `Step::HashJoinProbe` evaluate column-at-a-time over the
+//!   surviving selection into reusable chunk-local scratch (rented from an
+//!   [`ScratchPool`]), producing a dense chunk and resetting the selection to
+//!   the identity — there is no per-step block materialization;
+//! * the terminal consumes the final selection in one pass with chunk-local
+//!   accumulators that are merged into shared state once per *block*, exactly
+//!   like the tuple-at-a-time lowering (same atomics count, same rows).
+//!
+//! Row-order equivalence: tuples are visited in ascending selection order and
+//! a probe appends its matches in probe order, which is exactly the
+//! depth-first order of the recursive tuple-at-a-time interpreter — so output
+//! rows are byte-identical between the two modes (the kernel differential
+//! suite pins this).
+//!
+//! The GPU lowering is untouched: a grid-stride SIMT kernel already amortizes
+//! dispatch across the whole launch, so only the CPU specialization needed a
+//! second shape — the IR stays the single operator blueprint.
+
+use crate::expr::ScratchPool;
+use crate::ir::{Step, TerminalStep};
+use crate::pipeline::{BlockCounters, CompiledPipeline, ExecCtx};
+use crate::state::SharedState;
+use hetex_common::{BlockHandle, Result};
+use std::collections::HashMap;
+
+/// Tuples per chunk. Sized so a handful of `i64` register columns plus
+/// scratch (~tens of KiB) stay L1/L2-resident while still amortizing
+/// per-chunk setup over a thousand tuples — the classic vectorized-execution
+/// sweet spot between tuple-at-a-time interpretation overhead and full-block
+/// materialization.
+pub const VEC_CHUNK: usize = 1024;
+
+/// Refine a selection vector in place: keep `sel[j]` exactly when
+/// `flags[j] != 0` (`flags` is dense, aligned with `sel`). The compaction is
+/// order-preserving and monotone — the result is a subsequence of the input —
+/// and runs as a tight data-dependent loop with no index recomputation.
+pub fn refine_selection(sel: &mut Vec<u32>, flags: &[i64]) {
+    debug_assert_eq!(sel.len(), flags.len());
+    let mut kept = 0usize;
+    for j in 0..sel.len() {
+        let idx = sel[j];
+        sel[kept] = idx;
+        kept += (flags[j] != 0) as usize;
+    }
+    sel.truncate(kept);
+}
+
+/// Chunk-local scratch reused across every chunk of a block: register
+/// columns, the selection vector, flag/key buffers and the expression pool.
+/// Everything grows to chunk size once and is reused, so the steady-state
+/// chunk loop allocates nothing.
+struct VecScratch {
+    /// The chunk's register columns (dense after a map/probe, gathered from
+    /// the input otherwise).
+    regs: Vec<Vec<i64>>,
+    /// Surviving selection: row indexes into `regs`, ascending.
+    sel: Vec<u32>,
+    /// Dense predicate / key / aggregate buffers.
+    flags: Vec<i64>,
+    /// Rentable intermediate buffers for expression evaluation.
+    pool: ScratchPool,
+}
+
+impl VecScratch {
+    fn new() -> Self {
+        Self { regs: Vec::new(), sel: Vec::new(), flags: Vec::new(), pool: ScratchPool::new() }
+    }
+
+    /// Rent `n` cleared columns from the pool.
+    fn rent_columns(&mut self, n: usize) -> Vec<Vec<i64>> {
+        (0..n).map(|_| self.pool.acquire()).collect()
+    }
+
+    /// Replace the chunk's registers with `cols`, returning the old columns
+    /// to the pool, and reset the selection to the identity over `len` dense
+    /// lanes.
+    fn install_dense(&mut self, cols: Vec<Vec<i64>>, len: usize) {
+        for old in self.regs.drain(..) {
+            self.pool.release(old);
+        }
+        self.regs = cols;
+        self.sel.clear();
+        self.sel.extend(0..len as u32);
+    }
+}
+
+/// Process one block with the vectorized CPU specialization. Functionally
+/// identical to [`crate::lower_cpu::process_block`] — same output rows in the
+/// same order, same counters — but the hot path is chunked and
+/// column-at-a-time instead of per-tuple.
+pub(crate) fn process_block(
+    pipeline: &CompiledPipeline,
+    block: &BlockHandle,
+    state: &SharedState,
+    ctx: &mut ExecCtx,
+) -> Result<(Vec<BlockHandle>, BlockCounters)> {
+    let rows = block.rows();
+    let data = block.block();
+    let columns = data.columns();
+    let mut counters = BlockCounters {
+        rows_in: rows as u64,
+        bytes_in: data.byte_size() as u64,
+        ..Default::default()
+    };
+
+    // Block-local terminal state, merged into shared state once per block
+    // (the CPU provider's worker-scoped atomic — identical to lower_cpu).
+    let mut partials: Vec<i64> = match pipeline.terminal() {
+        TerminalStep::Reduce { aggs, .. } => aggs.iter().map(|a| a.func.identity()).collect(),
+        _ => Vec::new(),
+    };
+    let mut local_groups: HashMap<Vec<i64>, Vec<i64>> = HashMap::new();
+    let mut outputs: Vec<BlockHandle> = Vec::new();
+
+    let mut probes = 0u64;
+    let mut probe_matches = 0u64;
+    let mut rows_terminal = 0u64;
+    let mut rows_emitted = 0u64;
+    let mut bytes_out = 0u64;
+    let mut build_inserts = 0u64;
+
+    let steps = pipeline.steps();
+    let terminal = pipeline.terminal();
+    let mut scratch = VecScratch::new();
+
+    let mut base = 0usize;
+    while base < rows {
+        let len = (rows - base).min(VEC_CHUNK);
+
+        // Gather the chunk's input registers column-at-a-time.
+        let mut in_cols = scratch.rent_columns(columns.len());
+        for (c, col) in columns.iter().enumerate() {
+            in_cols[c].extend((base..base + len).map(|r| col.get_i64(r).unwrap_or(0)));
+        }
+        scratch.install_dense(in_cols, len);
+
+        // The fused step chain over the chunk.
+        let mut width = pipeline.input_width();
+        for step in steps {
+            if scratch.sel.is_empty() {
+                break;
+            }
+            match step {
+                Step::Filter { predicate } => {
+                    let mut flags = std::mem::take(&mut scratch.flags);
+                    predicate.eval_batch(
+                        &scratch.regs,
+                        &scratch.sel,
+                        &mut flags,
+                        &mut scratch.pool,
+                    );
+                    refine_selection(&mut scratch.sel, &flags);
+                    scratch.flags = flags;
+                }
+                Step::Map { exprs } => {
+                    let lanes = scratch.sel.len();
+                    let mut mapped = scratch.rent_columns(exprs.len());
+                    for (e, expr) in exprs.iter().enumerate() {
+                        expr.eval_batch(
+                            &scratch.regs,
+                            &scratch.sel,
+                            &mut mapped[e],
+                            &mut scratch.pool,
+                        );
+                    }
+                    scratch.install_dense(mapped, lanes);
+                    width = exprs.len();
+                }
+                Step::HashJoinProbe { key, slot, payload_width } => {
+                    let mut keys = std::mem::take(&mut scratch.flags);
+                    key.eval_batch(&scratch.regs, &scratch.sel, &mut keys, &mut scratch.pool);
+                    let table = state.hash_table(*slot)?;
+                    let mut out_cols = scratch.rent_columns(width + payload_width);
+                    let mut fanned = 0usize;
+                    for (j, &row) in scratch.sel.iter().enumerate() {
+                        probes += 1;
+                        // Matches append in probe order — the depth-first
+                        // order of the tuple-at-a-time recursion.
+                        let regs = &scratch.regs;
+                        let found = table.probe(keys[j], |payload| {
+                            for c in 0..width {
+                                out_cols[c].push(regs[c][row as usize]);
+                            }
+                            for (p, v) in payload.iter().enumerate() {
+                                out_cols[width + p].push(*v);
+                            }
+                        });
+                        probe_matches += found as u64;
+                        fanned += found;
+                    }
+                    scratch.flags = keys;
+                    scratch.install_dense(out_cols, fanned);
+                    width += payload_width;
+                }
+            }
+        }
+
+        // Terminal: consume the surviving selection in one pass.
+        rows_terminal += scratch.sel.len() as u64;
+        if !scratch.sel.is_empty() {
+            match terminal {
+                TerminalStep::Pack { exprs, partition_by, partitions } => {
+                    let mut out_cols = scratch.rent_columns(exprs.len());
+                    for (e, expr) in exprs.iter().enumerate() {
+                        expr.eval_batch(
+                            &scratch.regs,
+                            &scratch.sel,
+                            &mut out_cols[e],
+                            &mut scratch.pool,
+                        );
+                    }
+                    let mut parts = scratch.pool.acquire();
+                    if let Some(p) = partition_by {
+                        p.eval_batch(&scratch.regs, &scratch.sel, &mut parts, &mut scratch.pool);
+                    }
+                    let out_width = exprs.len();
+                    for j in 0..scratch.sel.len() {
+                        let out_row: Vec<i64> = out_cols.iter().map(|c| c[j]).collect();
+                        let p = if partition_by.is_some() {
+                            (parts[j].unsigned_abs() % (*partitions).max(1) as u64) as usize
+                        } else {
+                            0
+                        };
+                        let bucket = ctx.open_partitions.entry(p).or_default();
+                        bucket.push(out_row);
+                        if bucket.len() >= ctx.out_capacity {
+                            let full = ctx.open_partitions.remove(&p).unwrap_or_default();
+                            rows_emitted += full.len() as u64;
+                            bytes_out += (full.len() * out_width * 8) as u64;
+                            let tag = partition_by.as_ref().map(|_| p);
+                            outputs.push(ctx.build_block(&full, tag)?);
+                        }
+                    }
+                    scratch.pool.release(parts);
+                    for col in out_cols {
+                        scratch.pool.release(col);
+                    }
+                }
+                TerminalStep::HashJoinBuild { key, payload, slot } => {
+                    let mut keys = std::mem::take(&mut scratch.flags);
+                    key.eval_batch(&scratch.regs, &scratch.sel, &mut keys, &mut scratch.pool);
+                    let mut pay_cols = scratch.rent_columns(payload.len());
+                    for (e, expr) in payload.iter().enumerate() {
+                        expr.eval_batch(
+                            &scratch.regs,
+                            &scratch.sel,
+                            &mut pay_cols[e],
+                            &mut scratch.pool,
+                        );
+                    }
+                    let table = state.hash_table(*slot)?;
+                    for j in 0..scratch.sel.len() {
+                        table.insert(keys[j], pay_cols.iter().map(|c| c[j]).collect());
+                        build_inserts += 1;
+                    }
+                    scratch.flags = keys;
+                    for col in pay_cols {
+                        scratch.pool.release(col);
+                    }
+                }
+                TerminalStep::Reduce { aggs, .. } => {
+                    let mut values = std::mem::take(&mut scratch.flags);
+                    for (i, agg) in aggs.iter().enumerate() {
+                        agg.expr.eval_batch(
+                            &scratch.regs,
+                            &scratch.sel,
+                            &mut values,
+                            &mut scratch.pool,
+                        );
+                        // Dense fold into the block-local partial.
+                        let mut acc = partials[i];
+                        for &v in &values {
+                            acc = agg.func.accumulate(acc, v);
+                        }
+                        partials[i] = acc;
+                    }
+                    scratch.flags = values;
+                }
+                TerminalStep::GroupBy { keys, aggs, .. } => {
+                    let mut key_cols = scratch.rent_columns(keys.len());
+                    for (e, expr) in keys.iter().enumerate() {
+                        expr.eval_batch(
+                            &scratch.regs,
+                            &scratch.sel,
+                            &mut key_cols[e],
+                            &mut scratch.pool,
+                        );
+                    }
+                    let mut agg_cols = scratch.rent_columns(aggs.len());
+                    for (e, agg) in aggs.iter().enumerate() {
+                        agg.expr.eval_batch(
+                            &scratch.regs,
+                            &scratch.sel,
+                            &mut agg_cols[e],
+                            &mut scratch.pool,
+                        );
+                    }
+                    for j in 0..scratch.sel.len() {
+                        let key: Vec<i64> = key_cols.iter().map(|c| c[j]).collect();
+                        let entry = local_groups
+                            .entry(key)
+                            .or_insert_with(|| aggs.iter().map(|a| a.func.identity()).collect());
+                        for (i, agg) in aggs.iter().enumerate() {
+                            entry[i] = agg.func.accumulate(entry[i], agg_cols[i][j]);
+                        }
+                    }
+                    for col in key_cols.into_iter().chain(agg_cols) {
+                        scratch.pool.release(col);
+                    }
+                }
+            }
+        }
+        base += len;
+    }
+
+    // One shared-state merge per block — identical synchronization (and
+    // atomics accounting) to the tuple-at-a-time lowering.
+    match terminal {
+        TerminalStep::Reduce { aggs, slot } => {
+            state.accumulators(*slot)?.merge_partials(&partials);
+            counters.atomics += aggs.len() as u64;
+        }
+        TerminalStep::GroupBy { slot, .. } => {
+            if !local_groups.is_empty() {
+                state.group_by(*slot)?.merge_batch(local_groups.drain());
+                counters.atomics += 1;
+            }
+        }
+        TerminalStep::HashJoinBuild { .. } => {
+            counters.atomics += build_inserts;
+        }
+        TerminalStep::Pack { .. } => {}
+    }
+
+    counters.probes = probes;
+    counters.probe_matches = probe_matches;
+    counters.rows_terminal = rows_terminal;
+    counters.rows_emitted = rows_emitted;
+    counters.bytes_out = bytes_out;
+    Ok((outputs, counters))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::ir::{AggSpec, StateSlot};
+    use hetex_common::{Block, BlockId, BlockMeta, ColumnData, MemoryNodeId, PipelineId};
+    use hetex_topology::DeviceKind;
+
+    fn block_of(cols: Vec<Vec<i64>>) -> BlockHandle {
+        let rows = cols[0].len();
+        let block = Block::new(cols.into_iter().map(ColumnData::Int64).collect(), rows).unwrap();
+        BlockHandle::new(block, BlockMeta::new(BlockId::new(0), MemoryNodeId::new(0)))
+    }
+
+    /// Run the same pipeline shape through both CPU lowerings and require
+    /// byte-identical outputs (blocks, order, counters).
+    fn assert_modes_agree(
+        steps: Vec<Step>,
+        terminal: TerminalStep,
+        cols: Vec<Vec<i64>>,
+        mk_state: impl Fn() -> SharedState,
+        check: impl Fn(&SharedState, &[BlockHandle]),
+    ) {
+        let width = cols.len();
+        let pipeline =
+            CompiledPipeline::new(PipelineId::new(77), DeviceKind::CpuCore, width, steps, terminal)
+                .unwrap();
+        let block = block_of(cols);
+
+        let run = |vectorized: bool| {
+            let state = mk_state();
+            let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 100);
+            let (mut blocks, counters) = if vectorized {
+                process_block(&pipeline, &block, &state, &mut ctx).unwrap()
+            } else {
+                crate::lower_cpu::process_block(&pipeline, &block, &state, &mut ctx).unwrap()
+            };
+            let tail = pipeline.finalize_instance(&mut ctx).unwrap();
+            blocks.extend(tail.blocks);
+            (state, blocks, counters)
+        };
+        let (vstate, vblocks, vcount) = run(true);
+        let (tstate, tblocks, tcount) = run(false);
+
+        assert_eq!(vcount, tcount, "counters diverged");
+        assert_eq!(vblocks.len(), tblocks.len(), "block count diverged");
+        for (vb, tb) in vblocks.iter().zip(&tblocks) {
+            assert_eq!(vb.rows(), tb.rows());
+            assert_eq!(vb.meta().hash_partition, tb.meta().hash_partition);
+            for c in 0..vb.block().width() {
+                for r in 0..vb.rows() {
+                    assert_eq!(
+                        vb.block().column(c).unwrap().get_i64(r),
+                        tb.block().column(c).unwrap().get_i64(r),
+                        "col {c} row {r}"
+                    );
+                }
+            }
+        }
+        check(&vstate, &vblocks);
+        check(&tstate, &tblocks);
+    }
+
+    #[test]
+    fn refine_selection_keeps_flagged_lanes_in_order() {
+        let mut sel: Vec<u32> = vec![0, 3, 4, 9, 11];
+        refine_selection(&mut sel, &[1, 0, 7, 0, -2]);
+        assert_eq!(sel, vec![0, 4, 11]);
+        refine_selection(&mut sel, &[0, 0, 0]);
+        assert!(sel.is_empty());
+        // Refining an empty selection is a no-op.
+        refine_selection(&mut sel, &[]);
+        assert!(sel.is_empty());
+    }
+
+    #[test]
+    fn filtered_reduce_matches_tuple_at_a_time_across_chunk_boundaries() {
+        // > VEC_CHUNK rows so the chunk loop actually iterates; odd tail.
+        let n = VEC_CHUNK * 2 + 345;
+        let a: Vec<i64> = (0..n as i64).map(|i| i % 97).collect();
+        let b: Vec<i64> = (0..n as i64).map(|i| i * 3 - 1000).collect();
+        assert_modes_agree(
+            vec![Step::Filter { predicate: Expr::col(0).between(10, 60) }],
+            TerminalStep::Reduce {
+                aggs: vec![
+                    AggSpec::sum(Expr::col(1)),
+                    AggSpec::count(),
+                    AggSpec::min(Expr::col(1)),
+                    AggSpec::max(Expr::col(1)),
+                ],
+                slot: StateSlot(0),
+            },
+            vec![a, b],
+            || {
+                let mut s = SharedState::new();
+                s.add_accumulators(&[
+                    AggSpec::sum(Expr::col(1)),
+                    AggSpec::count(),
+                    AggSpec::min(Expr::col(1)),
+                    AggSpec::max(Expr::col(1)),
+                ]);
+                s
+            },
+            |state, _| {
+                let vals = state.accumulators(StateSlot(0)).unwrap().values();
+                assert_eq!(
+                    vals[1],
+                    (0..(VEC_CHUNK * 2 + 345) as i64)
+                        .filter(|i| (10..=60).contains(&(i % 97)))
+                        .count() as i64
+                );
+            },
+        );
+    }
+
+    #[test]
+    fn probe_fan_out_and_group_by_match_tuple_at_a_time() {
+        let n = VEC_CHUNK + 200;
+        let keys: Vec<i64> = (0..n as i64).map(|i| i % 50).collect();
+        let vals: Vec<i64> = (0..n as i64).collect();
+        let mk_state = || {
+            let mut s = SharedState::new();
+            let ht = s.add_hash_table(1);
+            // Key 7 fans out to two build rows; keys >= 40 have no match.
+            for k in 0..40 {
+                s.hash_table(ht).unwrap().insert(k, vec![k * 10]);
+            }
+            s.hash_table(ht).unwrap().insert(7, vec![70_000]);
+            s.add_group_by(&[AggSpec::sum(Expr::col(2)), AggSpec::count()]);
+            s
+        };
+        assert_modes_agree(
+            vec![
+                Step::HashJoinProbe { key: Expr::col(0), slot: StateSlot(0), payload_width: 1 },
+                Step::Filter { predicate: Expr::col(2).gt_lit(-1) },
+            ],
+            TerminalStep::GroupBy {
+                keys: vec![Expr::col(0)],
+                aggs: vec![AggSpec::sum(Expr::col(2)), AggSpec::count()],
+                slot: StateSlot(1),
+            },
+            vec![keys, vals],
+            mk_state,
+            |state, _| {
+                let groups = state.group_by(StateSlot(1)).unwrap().snapshot();
+                assert_eq!(groups.len(), 40);
+            },
+        );
+    }
+
+    #[test]
+    fn map_and_hash_pack_match_tuple_at_a_time() {
+        let n = VEC_CHUNK + 77;
+        let a: Vec<i64> = (0..n as i64).collect();
+        let b: Vec<i64> = (0..n as i64).map(|i| i % 11).collect();
+        assert_modes_agree(
+            vec![
+                Step::Filter { predicate: Expr::col(1).in_list(vec![1, 3, 5, 7, 9]) },
+                Step::Map { exprs: vec![Expr::col(0).mul(Expr::col(1)), Expr::col(1)] },
+            ],
+            TerminalStep::Pack {
+                exprs: vec![Expr::col(0), Expr::col(1)],
+                partition_by: Some(Expr::col(1)),
+                partitions: 3,
+            },
+            vec![a, b],
+            SharedState::new,
+            |_, blocks| {
+                assert!(!blocks.is_empty());
+                for h in blocks {
+                    let p = h.meta().hash_partition.expect("hash-pack tags blocks");
+                    let keys = h.block().column(1).unwrap();
+                    for r in 0..h.rows() {
+                        assert_eq!(keys.get_i64(r).unwrap().unsigned_abs() % 3, p);
+                    }
+                }
+            },
+        );
+    }
+
+    #[test]
+    fn hash_join_build_matches_tuple_at_a_time() {
+        let n = 500;
+        let k: Vec<i64> = (0..n as i64).collect();
+        let v: Vec<i64> = (0..n as i64).map(|i| i * 2).collect();
+        assert_modes_agree(
+            vec![Step::Filter { predicate: Expr::col(0).lt_lit(100) }],
+            TerminalStep::HashJoinBuild {
+                key: Expr::col(0),
+                payload: vec![Expr::col(1)],
+                slot: StateSlot(0),
+            },
+            vec![k, v],
+            || {
+                let mut s = SharedState::new();
+                s.add_hash_table(1);
+                s
+            },
+            |state, _| {
+                assert_eq!(state.hash_table(StateSlot(0)).unwrap().len(), 100);
+            },
+        );
+    }
+}

@@ -15,10 +15,12 @@
 
 use crate::ir::{Step, TerminalStep};
 use crate::lower_cpu;
+use crate::lower_cpu_vec::{self, VEC_CHUNK};
 use crate::lower_gpu;
 use crate::state::SharedState;
 use hetex_common::{
-    Block, BlockHandle, BlockId, BlockMeta, ColumnData, HetError, MemoryNodeId, PipelineId, Result,
+    Block, BlockHandle, BlockId, BlockMeta, ColumnData, HetError, KernelMode, MemoryNodeId,
+    PipelineId, Result,
 };
 use hetex_gpu_sim::{GpuDevice, LaunchConfig};
 use hetex_topology::{DeviceKind, WorkProfile};
@@ -89,6 +91,9 @@ pub struct ExecCtx {
     pub out_capacity: usize,
     /// Memory node output blocks are produced on (local to this instance).
     pub out_node: MemoryNodeId,
+    /// How CPU instances execute the step chain (vectorized chunks vs the
+    /// legacy per-tuple loop). Ignored by the GPU lowering.
+    pub kernel_mode: KernelMode,
     /// Partially filled pack outputs, keyed by partition.
     pub(crate) open_partitions: HashMap<usize, Vec<Vec<i64>>>,
     /// Weight inherited by produced blocks (set from the last input block).
@@ -105,6 +110,7 @@ impl ExecCtx {
             launch_config: LaunchConfig::new(1, 1),
             out_capacity,
             out_node,
+            kernel_mode: KernelMode::default(),
             open_partitions: HashMap::new(),
             current_weight: 1.0,
             next_block_id: 0,
@@ -120,10 +126,17 @@ impl ExecCtx {
             launch_config: LaunchConfig::default_for_device(),
             out_capacity,
             out_node,
+            kernel_mode: KernelMode::default(),
             open_partitions: HashMap::new(),
             current_weight: 1.0,
             next_block_id: 0,
         }
+    }
+
+    /// Select the CPU kernel execution mode for this instance.
+    pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.kernel_mode = mode;
+        self
     }
 
     /// Allocate the next output block id for this instance.
@@ -232,12 +245,29 @@ impl CompiledPipeline {
             )));
         }
         ctx.current_weight = block.meta().weight;
-        let (blocks, counters) = match self.device {
-            DeviceKind::CpuCore => lower_cpu::process_block(self, block, state, ctx)?,
-            DeviceKind::Gpu => lower_gpu::process_block(self, block, state, ctx)?,
+        let (blocks, counters) = match (self.device, ctx.kernel_mode) {
+            (DeviceKind::CpuCore, KernelMode::Vectorized) => {
+                lower_cpu_vec::process_block(self, block, state, ctx)?
+            }
+            (DeviceKind::CpuCore, KernelMode::TupleAtATime) => {
+                lower_cpu::process_block(self, block, state, ctx)?
+            }
+            // The GPU lowering has exactly one shape: a grid-stride kernel
+            // already amortizes dispatch, so the kernel mode is a CPU knob.
+            (DeviceKind::Gpu, _) => lower_gpu::process_block(self, block, state, ctx)?,
         };
-        let work = self.work_profile(&counters, ctx.current_weight);
+        let work = self.work_profile_for(&counters, ctx.current_weight, self.charge_mode(ctx));
         Ok(PipelineOutput { blocks, counters, work })
+    }
+
+    /// The kernel mode this pipeline's work is charged (and executed) under:
+    /// the context's mode on CPU, always tuple-at-a-time on the GPU (whose
+    /// kernel shape — and therefore cost shape — is unchanged).
+    fn charge_mode(&self, ctx: &ExecCtx) -> KernelMode {
+        match self.device {
+            DeviceKind::CpuCore => ctx.kernel_mode,
+            DeviceKind::Gpu => KernelMode::TupleAtATime,
+        }
     }
 
     /// Flush this instance's partially filled pack outputs.
@@ -258,7 +288,7 @@ impl CompiledPipeline {
             };
             blocks.push(ctx.build_block(&rows, partition)?);
         }
-        let work = self.work_profile(&counters, ctx.current_weight);
+        let work = self.work_profile_for(&counters, ctx.current_weight, self.charge_mode(ctx));
         Ok(PipelineOutput { blocks, counters, work })
     }
 
@@ -295,10 +325,35 @@ impl CompiledPipeline {
         Ok(PipelineOutput { blocks, counters, work })
     }
 
-    /// Convert functional counters into modeled work, scaled by `weight`.
+    /// Convert functional counters into modeled work, scaled by `weight`,
+    /// priced with the tuple-at-a-time kernel shape (the historical charge;
+    /// also the GPU pipelines' shape).
     pub fn work_profile(&self, counters: &BlockCounters, weight: f64) -> WorkProfile {
-        let transform_ops: f64 = self.steps.iter().map(Step::ops_per_tuple).sum();
-        let terminal_ops = self.terminal.ops_per_tuple();
+        self.work_profile_for(counters, weight, KernelMode::TupleAtATime)
+    }
+
+    /// Convert functional counters into modeled work, scaled by `weight` and
+    /// priced for `mode`'s kernel shape.
+    ///
+    /// Tuple-at-a-time charges one dispatch op per input tuple (the branchy
+    /// per-tuple step match plus register handling) on top of the
+    /// interpreted expression ops. Vectorized replaces that with
+    /// [`VEC_TUPLE_DISPATCH_OPS`] per tuple (selection-vector bookkeeping)
+    /// plus [`VEC_CHUNK_OVERHEAD_OPS`] per [`VEC_CHUNK`]-tuple chunk (chunk
+    /// setup/gather amortized across a thousand tuples), and the per-step
+    /// ops themselves shrink via
+    /// [`Step::ops_per_tuple_for`] / [`TerminalStep::ops_per_tuple_for`].
+    /// Memory terms (scan/write/random bytes) are identical in both modes —
+    /// vectorization changes how tuples are dispatched, not how many bytes
+    /// move.
+    pub fn work_profile_for(
+        &self,
+        counters: &BlockCounters,
+        weight: f64,
+        mode: KernelMode,
+    ) -> WorkProfile {
+        let transform_ops: f64 = self.steps.iter().map(|s| s.ops_per_tuple_for(mode)).sum();
+        let terminal_ops = self.terminal.ops_per_tuple_for(mode);
         let probe_random_bytes: f64 = self
             .steps
             .iter()
@@ -312,7 +367,14 @@ impl CompiledPipeline {
 
         let rows_in = counters.rows_in as f64;
         let rows_terminal = counters.rows_terminal as f64;
-        let ops = rows_in * (1.0 + transform_ops) + rows_terminal * terminal_ops;
+        let dispatch_ops = match mode {
+            KernelMode::TupleAtATime => rows_in,
+            KernelMode::Vectorized => {
+                let chunks = counters.rows_in.div_ceil(VEC_CHUNK as u64) as f64;
+                rows_in * VEC_TUPLE_DISPATCH_OPS + chunks * VEC_CHUNK_OVERHEAD_OPS
+            }
+        };
+        let ops = dispatch_ops + rows_in * transform_ops + rows_terminal * terminal_ops;
         let random = counters.probes as f64 * probe_random_bytes
             + rows_terminal * self.terminal.random_bytes_per_tuple();
 
@@ -326,6 +388,17 @@ impl CompiledPipeline {
         work.scaled(weight.max(0.0)).with_launches(counters.launches)
     }
 }
+
+/// Per-tuple dispatch charge of the vectorized CPU lowering: maintaining the
+/// selection vector and flag lanes costs a fraction of an op per tuple —
+/// versus the full op the tuple-at-a-time interpreter pays for its per-tuple
+/// step dispatch and register `Vec` handling.
+pub const VEC_TUPLE_DISPATCH_OPS: f64 = 0.125;
+
+/// Fixed per-chunk overhead of the vectorized lowering (gather setup,
+/// selection reset, scratch bookkeeping), amortized over [`VEC_CHUNK`]
+/// tuples — ~0.03 ops/tuple at full chunks.
+pub const VEC_CHUNK_OVERHEAD_OPS: f64 = 32.0;
 
 /// Helper trait so `scaled` keeps the launch count (launches are fixed
 /// overheads — a physically smaller block standing in for a larger one is
@@ -422,6 +495,78 @@ mod tests {
         assert!((w10.ops - 10.0 * w1.ops).abs() < 1e-6);
         assert_eq!(w1.kernel_launches, 1);
         assert_eq!(w10.kernel_launches, 1);
+    }
+
+    #[test]
+    fn vectorized_charge_is_cheaper_on_cpu_and_unchanged_on_gpu() {
+        let cpu = CompiledPipeline::new(
+            PipelineId::new(11),
+            DeviceKind::CpuCore,
+            2,
+            vec![Step::Filter {
+                predicate: Expr::col(0).between(5, 500).and(Expr::col(1).gt_lit(3)),
+            }],
+            TerminalStep::Reduce { aggs: vec![AggSpec::sum(Expr::col(1))], slot: StateSlot(0) },
+        )
+        .unwrap();
+        let counters = BlockCounters {
+            rows_in: 10_000,
+            rows_terminal: 4_000,
+            bytes_in: 160_000,
+            atomics: 1,
+            ..Default::default()
+        };
+        let taat = cpu.work_profile_for(&counters, 1.0, KernelMode::TupleAtATime);
+        let vec = cpu.work_profile_for(&counters, 1.0, KernelMode::Vectorized);
+        assert!(vec.ops < taat.ops, "vectorized ops {} !< tuple-at-a-time {}", vec.ops, taat.ops);
+        // Memory terms do not change: vectorization moves no extra bytes.
+        assert_eq!(vec.bytes_scanned, taat.bytes_scanned);
+        assert_eq!(vec.random_bytes, taat.random_bytes);
+        // The legacy entry point stays the tuple-at-a-time charge.
+        assert_eq!(cpu.work_profile(&counters, 1.0).ops, taat.ops);
+
+        // A GPU pipeline charges the same work regardless of the context's
+        // kernel mode (charge_mode pins it to the kernel's one shape).
+        let gpu = CompiledPipeline::new(
+            PipelineId::new(12),
+            DeviceKind::Gpu,
+            2,
+            vec![Step::Filter { predicate: Expr::col(0).gt_lit(10) }],
+            TerminalStep::Reduce { aggs: vec![AggSpec::count()], slot: StateSlot(0) },
+        )
+        .unwrap();
+        let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 16);
+        assert_eq!(gpu.charge_mode(&ctx), KernelMode::TupleAtATime);
+        ctx.kernel_mode = KernelMode::TupleAtATime;
+        assert_eq!(cpu.charge_mode(&ctx), KernelMode::TupleAtATime);
+    }
+
+    #[test]
+    fn cpu_dispatch_selects_the_kernel_mode() {
+        // The same pipeline + block under both ExecCtx kernel modes produces
+        // identical state results (the lowerings are functionally equal).
+        let run = |mode: KernelMode| {
+            let mut state = SharedState::new();
+            let slot = state.add_accumulators(&[AggSpec::sum(Expr::col(1)), AggSpec::count()]);
+            let p = CompiledPipeline::new(
+                PipelineId::new(13),
+                DeviceKind::CpuCore,
+                2,
+                vec![Step::Filter { predicate: Expr::col(0).gt_lit(400) }],
+                TerminalStep::Reduce {
+                    aggs: vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+                    slot,
+                },
+            )
+            .unwrap();
+            let mut ctx = ExecCtx::cpu(MemoryNodeId::new(0), 64).with_kernel_mode(mode);
+            let out = p.process_block(&input_block(2000), &state, &mut ctx).unwrap();
+            (state.accumulators(slot).unwrap().values(), out.work.ops)
+        };
+        let (vec_rows, vec_ops) = run(KernelMode::Vectorized);
+        let (taat_rows, taat_ops) = run(KernelMode::TupleAtATime);
+        assert_eq!(vec_rows, taat_rows);
+        assert!(vec_ops < taat_ops, "vectorized must be charged fewer ops");
     }
 
     #[test]

@@ -21,6 +21,13 @@
 //! remains byte-identical to the PR 4 baseline sweep: it runs exactly the
 //! pre-calibration code paths (integer projections, declared constants).
 //!
+//! PR 7 adds the **kernel-mode axis**: the same randomized scenario space
+//! must yield byte-identical rows whether the CPU pipelines execute the
+//! vectorized (chunked selection-vector) lowering or the legacy
+//! tuple-at-a-time loop, under both the all-off and the all-on toggle
+//! configurations — plus a standalone property pinning the selection-vector
+//! refinement primitive (ordered-subset, monotone shrinking, in-bounds).
+//!
 //! Seeding: the vendored proptest derives a deterministic per-function seed
 //! from the property's name, so every run (local and CI) explores the same
 //! fixed case sequence and failures reproduce exactly. The case budget is
@@ -31,7 +38,8 @@
 //! minutes.
 
 use hetexchange::common::{
-    CalibrationConfig, ColumnData, CostModelConfig, DataType, EngineConfig, ExecutionMode, HetError,
+    CalibrationConfig, ColumnData, CostModelConfig, DataType, EngineConfig, ExecutionMode,
+    HetError, KernelMode,
 };
 use hetexchange::core_ops::cost::{SlowdownObserver, SLOWDOWN_EWMA_ALPHA};
 use hetexchange::core_ops::RelNode;
@@ -227,6 +235,125 @@ proptest! {
                 );
             }
         }
+    }
+
+    /// The kernel-mode axis (PR 7): across the same randomized topology /
+    /// plan / config space, the vectorized CPU lowering and the legacy
+    /// tuple-at-a-time lowering must produce byte-identical rows — under
+    /// the all-off toggle configuration (the PR 3 estimation baseline) and
+    /// the all-on default (where the `vectorized_cost` term also reshapes
+    /// the routing estimates). The stage-at-a-time run under
+    /// `TupleAtATime` is the bit-stable legacy anchor all four pipelined
+    /// combinations are compared against.
+    #[test]
+    fn prop_kernel_modes_produce_identical_rows(
+        sockets in 1usize..4,
+        cores_per_socket in 2usize..5,
+        gpus in 0usize..4,
+        pcie_gbps_x10 in 40u64..160,
+        slow_pick in 0usize..64,
+        slowdown_x10 in 10u64..80,
+        fact_rows in 600usize..3_000,
+        plan_pick in 0usize..3,
+        filter_lit in 1i64..7,
+        cpu_dop_raw in 1usize..9,
+    ) {
+        let topology = random_topology(
+            sockets,
+            cores_per_socket,
+            gpus,
+            pcie_gbps_x10 as f64 / 10.0,
+            slow_pick,
+            slowdown_x10 as f64 / 10.0,
+        ).unwrap();
+        let engine = engine_with_tables(Arc::clone(&topology), fact_rows);
+        let plan = random_plan(plan_pick, filter_lit);
+
+        let cpu_dop = cpu_dop_raw.min(sockets * cores_per_socket);
+        let gpu_dop = gpus.min(2);
+        let mut config = if gpu_dop == 0 {
+            EngineConfig::cpu_only(cpu_dop)
+        } else {
+            EngineConfig::hybrid(cpu_dop, gpu_dop)
+        };
+        config.block_capacity = 256;
+        config.staging_bytes = Some(config.min_staging_bytes() * 2);
+
+        let baseline = engine
+            .execute(
+                &plan,
+                &config
+                    .clone()
+                    .with_execution_mode(ExecutionMode::StageAtATime)
+                    .with_kernel_mode(KernelMode::TupleAtATime),
+            )
+            .unwrap();
+
+        for (toggle_label, toggles, calibration) in [
+            ("all_off", CostModelConfig::disabled(), CalibrationConfig::disabled()),
+            ("all_on", CostModelConfig::default(), CalibrationConfig::default()),
+        ] {
+            for mode in [KernelMode::Vectorized, KernelMode::TupleAtATime] {
+                let outcome = engine
+                    .execute(
+                        &plan,
+                        &config
+                            .clone()
+                            .with_cost_model(toggles)
+                            .with_calibration(calibration)
+                            .with_kernel_mode(mode),
+                    )
+                    .unwrap();
+                prop_assert_eq!(
+                    &outcome.rows, &baseline.rows,
+                    "kernel mode {:?} under `{}` changed the rows on sockets={} cores={} \
+                     gpus={} pcie={} slow=({}, {}) fact_rows={} plan={} dop=({}, {})",
+                    mode, toggle_label, sockets, cores_per_socket, gpus, pcie_gbps_x10,
+                    slow_pick, slowdown_x10, fact_rows, plan_pick, cpu_dop, gpu_dop
+                );
+            }
+        }
+    }
+
+    /// Selection-vector refinement invariants (the vectorized kernel's one
+    /// nontrivial primitive): refining a selection by a flag vector keeps
+    /// exactly the flagged lanes, **in order** — the surviving selection is
+    /// the order-preserving subset of the input, it never grows, and no
+    /// index outside the input selection can appear. Row-order equivalence
+    /// of the whole vectorized lowering rests on this.
+    #[test]
+    fn prop_selection_refinement_is_an_ordered_subset(
+        base in proptest::collection::vec(0u32..10_000, 0..600),
+        flag_seed in proptest::collection::vec(0u32..2, 0..600),
+    ) {
+        // A selection is a strictly increasing index list (as produced by
+        // the identity selection and preserved by every refinement).
+        let mut sel: Vec<u32> = base.clone();
+        sel.sort_unstable();
+        sel.dedup();
+        let flags: Vec<i64> = sel
+            .iter()
+            .enumerate()
+            .map(|(j, _)| flag_seed.get(j % flag_seed.len().max(1)).copied().unwrap_or(0) as i64)
+            .collect();
+        let before = sel.clone();
+        hetexchange::jit::refine_selection(&mut sel, &flags);
+
+        // Monotone shrinking: never more lanes than before.
+        prop_assert!(sel.len() <= before.len());
+        // Exactly the flagged lanes survive, in their original order.
+        let expected: Vec<u32> = before
+            .iter()
+            .zip(&flags)
+            .filter(|(_, &f)| f != 0)
+            .map(|(&idx, _)| idx)
+            .collect();
+        prop_assert_eq!(&sel, &expected);
+        // No index outside the input selection appears (subset property),
+        // and the output stays strictly increasing (order-preserving over a
+        // strictly increasing input).
+        prop_assert!(sel.iter().all(|idx| before.binary_search(idx).is_ok()));
+        prop_assert!(sel.windows(2).all(|w| w[0] < w[1]));
     }
 
     /// Calibration-loop soundness: the `SlowdownObserver` EWMA is monotone
