@@ -42,6 +42,23 @@ pub enum ExecutionMode {
     StageAtATime,
 }
 
+/// What the engine does with the findings of the pre-execution static
+/// analysis pass (the `hetex-analysis` crate) it runs over every compiled
+/// query.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum AnalysisMode {
+    /// Error-severity diagnostics reject the query before execution;
+    /// warnings are printed to stderr. This is the default.
+    #[default]
+    Deny,
+    /// All diagnostics (errors included) are printed to stderr and the
+    /// query executes anyway — an escape hatch for debugging the analyzer
+    /// itself or deliberately running a flagged plan.
+    Warn,
+    /// The analysis pass is skipped entirely.
+    Off,
+}
+
 /// Whether (and how) idle pipelined workers re-route queued blocks away from
 /// overloaded siblings of the same stage.
 ///
@@ -393,6 +410,9 @@ pub struct EngineConfig {
     /// loop. Result rows are byte-identical in both modes; only the hot-path
     /// shape (and therefore the charged compute work) differs.
     pub kernel_mode: KernelMode,
+    /// What to do with the findings of the pre-execution static analysis
+    /// pass: reject on errors (default), warn-and-run, or skip the pass.
+    pub analysis: AnalysisMode,
 }
 
 impl Default for EngineConfig {
@@ -414,6 +434,7 @@ impl Default for EngineConfig {
             calibration: CalibrationConfig::default(),
             fault: FaultConfig::default(),
             kernel_mode: KernelMode::default(),
+            analysis: AnalysisMode::default(),
         }
     }
 }
@@ -510,6 +531,12 @@ impl EngineConfig {
     /// Select the CPU kernel execution mode.
     pub fn with_kernel_mode(mut self, mode: KernelMode) -> Self {
         self.kernel_mode = mode;
+        self
+    }
+
+    /// Select what the engine does with static-analysis findings.
+    pub fn with_analysis(mut self, mode: AnalysisMode) -> Self {
+        self.analysis = mode;
         self
     }
 

@@ -21,8 +21,8 @@ pub mod types;
 pub use block::{Block, BlockHandle, BlockMeta, StagingToken};
 pub use column::{Column, ColumnData, DictionaryBuilder};
 pub use config::{
-    CalibrationConfig, CostModelConfig, EngineConfig, ExecutionMode, FaultConfig, KernelMode,
-    StealPolicy,
+    AnalysisMode, CalibrationConfig, CostModelConfig, EngineConfig, ExecutionMode, FaultConfig,
+    KernelMode, StealPolicy,
 };
 pub use error::{HetError, Result};
 pub use ids::{BlockId, ColumnId, MemoryNodeId, PipelineId, QueryId, TableId};

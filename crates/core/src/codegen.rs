@@ -10,9 +10,9 @@
 //! version of the pipeline per device" (§4.2), a stage holds one compiled
 //! pipeline *template per device type* and the executor instantiates them.
 
+use crate::plan::{DeviceTarget, HetNode, RouterPolicy};
+use crate::router::{ConsumerSlot, Router};
 use hetex_common::{EngineConfig, HetError, PipelineId, Result};
-use hetex_core::plan::{DeviceTarget, HetNode, RouterPolicy};
-use hetex_core::router::{ConsumerSlot, Router};
 use hetex_jit::{
     CodegenContext, CompiledPipeline, Expr, SharedState, StateSlot, Step, TerminalStep,
 };
@@ -448,7 +448,7 @@ struct OpenBody {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use hetex_core::{parallelize, RelNode};
+    use crate::{parallelize, RelNode};
     use hetex_jit::AggSpec;
 
     fn ssb_like_plan() -> RelNode {

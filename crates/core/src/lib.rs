@@ -29,6 +29,7 @@
 //! * [`queue`] — the asynchronous block-handle queues used by routers and by
 //!   gpu2cpu.
 
+pub mod codegen;
 pub mod cost;
 pub mod device_crossing;
 pub mod mem_move;
@@ -39,6 +40,7 @@ pub mod queue;
 pub mod router;
 pub mod traits;
 
+pub use codegen::{compile, MemMoveMode, Stage, StageGraph, StageSource, StageWiring};
 pub use cost::{CostModel, DemandSplitter, SlowdownObserver, StealQuery};
 pub use device_crossing::{Cpu2Gpu, Gpu2Cpu};
 pub use mem_move::MemMove;

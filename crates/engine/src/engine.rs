@@ -10,7 +10,7 @@
 use crate::codegen::compile;
 use crate::executor::{DeviceKindStats, Executor};
 use hetex_common::config::{ExecutionTarget, DEFAULT_STAGING_BYTES};
-use hetex_common::{EngineConfig, HetError, MemoryNodeId, Result};
+use hetex_common::{AnalysisMode, EngineConfig, HetError, MemoryNodeId, Result};
 use hetex_core::{parallelize, HetNode, RelNode};
 use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
 use hetex_topology::{CalibratedConstants, DeviceId, DeviceKind, ServerTopology, SimTime};
@@ -64,12 +64,25 @@ pub struct QueryStats {
     pub excluded_devices: Vec<usize>,
     /// Degraded restarts (device-loss replans) this query needed.
     pub degraded_restarts: usize,
+    /// Simulated time reached by every attempt of this query, in attempt
+    /// order: the time each failed attempt had simulated when its error
+    /// surfaced, then the final (successful) attempt's `sim_time`. A healthy
+    /// query has exactly one entry, equal to `QueryOutcome::sim_time`.
+    pub attempt_sim_times: Vec<SimTime>,
 }
 
 impl QueryStats {
     /// Total blocks stolen across all stages.
     pub fn total_blocks_stolen(&self) -> u64 {
         self.blocks_stolen.iter().sum()
+    }
+
+    /// End-to-end simulated time including every failed attempt: the sum of
+    /// [`Self::attempt_sim_times`]. Equal to `QueryOutcome::sim_time` for a
+    /// healthy query; strictly larger after a degraded restart (the time the
+    /// lost attempts burned before the loss surfaced is paid, not hidden).
+    pub fn total_sim_time(&self) -> SimTime {
+        self.attempt_sim_times.iter().fold(SimTime::ZERO, |acc, t| acc.add_nanos(t.as_nanos()))
     }
 
     /// The largest observed-slowdown EWMA of any device slot (1.0 when
@@ -187,12 +200,14 @@ impl Proteus {
     /// parallelism are clamped to the surviving devices — a query losing its
     /// last GPU degrades to CPU-only — and the query is re-planned and
     /// re-executed from scratch. Results are exact either way; the reported
-    /// simulated time is that of the final (successful) attempt.
+    /// simulated time is that of the final (successful) attempt, with the time
+    /// each failed attempt burned recorded in `QueryStats::attempt_sim_times`.
     pub fn execute(&self, plan: &RelNode, config: &EngineConfig) -> Result<QueryOutcome> {
         config.validate()?;
         match self.execute_attempt(&self.topology, &self.executor, plan, config) {
             Err(HetError::DeviceLost { device, .. }) if config.fault.degraded_restart => {
-                self.execute_degraded(plan, config, device)
+                let burned = self.executor.take_failed_sim_time().unwrap_or(SimTime::ZERO);
+                self.execute_degraded(plan, config, device, vec![burned])
             }
             other => other,
         }
@@ -209,6 +224,7 @@ impl Proteus {
         let het = parallelize(plan, config)?;
         hetex_core::traits::check_relational_requirements(&het)?;
         let graph = compile(&het, config, topology)?;
+        Self::verify(&graph, config, topology)?;
         let result = executor.execute(&graph, &self.catalog, config)?;
         Ok(QueryOutcome {
             rows: result.rows,
@@ -229,8 +245,37 @@ impl Proteus {
                 staging_leaked_bytes: result.staging_leaked_bytes,
                 excluded_devices: Vec::new(),
                 degraded_restarts: 0,
+                attempt_sim_times: vec![result.sim_time],
             },
         })
+    }
+
+    /// The pre-execution static analysis pass: verify the compiled stage
+    /// graph against the config and topology (`hetex-analysis`), honouring
+    /// `config.analysis` — reject on error-severity diagnostics under
+    /// [`AnalysisMode::Deny`], print-and-run under [`AnalysisMode::Warn`],
+    /// skip under [`AnalysisMode::Off`]. Pure host-side work: it charges no
+    /// simulated time.
+    fn verify(
+        graph: &crate::codegen::StageGraph,
+        config: &EngineConfig,
+        topology: &Arc<ServerTopology>,
+    ) -> Result<()> {
+        if config.analysis == AnalysisMode::Off {
+            return Ok(());
+        }
+        let report = hetex_analysis::analyze(graph, config, topology);
+        if report.is_clean() {
+            return Ok(());
+        }
+        if config.analysis == AnalysisMode::Deny && report.has_errors() {
+            return Err(HetError::Plan(format!(
+                "static analysis rejected the plan:\n{}",
+                report.render()
+            )));
+        }
+        eprintln!("static analysis findings (executing anyway):\n{report}");
+        Ok(())
     }
 
     /// Degraded restarts after a structured device loss, bounded by the
@@ -243,6 +288,7 @@ impl Proteus {
         plan: &RelNode,
         config: &EngineConfig,
         first_lost: usize,
+        mut attempt_sim_times: Vec<SimTime>,
     ) -> Result<QueryOutcome> {
         let mut topology = Arc::clone(&self.topology);
         let mut lost = first_lost;
@@ -281,10 +327,14 @@ impl Proteus {
                 Ok(mut outcome) => {
                     outcome.stats.degraded_restarts = excluded.len();
                     outcome.stats.excluded_devices = excluded;
+                    attempt_sim_times.push(outcome.sim_time);
+                    outcome.stats.attempt_sim_times = attempt_sim_times;
                     return Ok(outcome);
                 }
                 Err(HetError::DeviceLost { device, .. }) if !excluded.contains(&device) => {
                     lost = device;
+                    attempt_sim_times
+                        .push(executor.take_failed_sim_time().unwrap_or(SimTime::ZERO));
                 }
                 Err(e) => return Err(e),
             }

@@ -272,6 +272,10 @@ pub struct Executor {
     /// cost model; whether routing *consumes* them is the run's
     /// `CalibrationConfig::measured_constants` toggle.
     probed_constants: Arc<CalibratedConstants>,
+    /// Simulated time the most recent *failed* execution had reached when its
+    /// error surfaced — the progress a degraded restart throws away. The
+    /// engine takes (and clears) this when accounting a failed attempt.
+    failed_sim_time: Mutex<Option<SimTime>>,
 }
 
 /// Routing state of one stage, shared by every producer pushing into it:
@@ -443,12 +447,25 @@ impl Executor {
         // reservations measuring the cross-socket round trip and each
         // link's effective bandwidth.
         let probed_constants = Arc::new(hetex_topology::probe::probe(&topology));
-        Self { topology, gpus, work_cost: WorkCost::new(), probed_constants }
+        Self {
+            topology,
+            gpus,
+            work_cost: WorkCost::new(),
+            probed_constants,
+            failed_sim_time: Mutex::new(None),
+        }
     }
 
     /// The constants the construction-time topology micro-probe measured.
     pub fn probed_constants(&self) -> &Arc<CalibratedConstants> {
         &self.probed_constants
+    }
+
+    /// The simulated time the last failed execution had reached when its
+    /// error surfaced, clearing the record. `None` when nothing failed since
+    /// the last take (or the failure happened before any work was simulated).
+    pub fn take_failed_sim_time(&self) -> Option<SimTime> {
+        self.failed_sim_time.lock().take()
     }
 
     /// The simulated GPUs, keyed by device id.
@@ -2304,6 +2321,15 @@ impl Executor {
         });
 
         if let Some(err) = first_error.lock().take() {
+            // Account the progress this attempt burned before failing — the
+            // same completion fold the success path reports — so a degraded
+            // restart can report honest all-attempt simulated time.
+            let mut reached =
+                progress.iter().map(|p| *p.completion.lock()).fold(SimTime::ZERO, SimTime::max);
+            if graph.stages.iter().any(|s| s.has_router) {
+                reached = reached.add_nanos(ROUTER_INIT_OVERHEAD.as_nanos());
+            }
+            *self.failed_sim_time.lock() = Some(reached);
             return Err(err);
         }
 
@@ -2628,6 +2654,12 @@ impl Executor {
         });
 
         if let Some(err) = first_error.lock().take() {
+            // How far this attempt simulated before failing (the stage floor
+            // already folds in every completed stage), for the engine's
+            // per-attempt accounting.
+            let reached = *completion.lock();
+            let mut failed = self.failed_sim_time.lock();
+            *failed = Some(failed.map_or(reached, |t| t.max(reached)));
             return Err(err);
         }
 

@@ -22,12 +22,13 @@
 //!
 //! [`EngineConfig`]: hetex_common::EngineConfig
 
-pub mod codegen;
+pub use hetex_core::codegen;
+
 pub mod engine;
 pub mod executor;
 pub mod reference;
 
-pub use codegen::{compile, MemMoveMode, Stage, StageGraph, StageSource};
 pub use engine::{Proteus, QueryOutcome, QueryStats};
 pub use executor::Executor;
+pub use hetex_core::codegen::{compile, MemMoveMode, Stage, StageGraph, StageSource};
 pub use reference::reference_execute;

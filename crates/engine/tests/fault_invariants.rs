@@ -193,6 +193,30 @@ fn run_case(case: u64, seed: u64) {
                 "unbounded simulated time {} — {label}",
                 outcome.sim_time
             );
+            // Per-attempt accounting: one entry per attempt (restarts + the
+            // final success), the last entry is the reported sim time, and
+            // the total is their sum.
+            let attempts = &outcome.stats.attempt_sim_times;
+            assert_eq!(
+                attempts.len(),
+                outcome.stats.degraded_restarts + 1,
+                "attempt count disagrees with restarts — {label}"
+            );
+            assert_eq!(
+                attempts.last().copied(),
+                Some(outcome.sim_time),
+                "last attempt time is not the reported sim time — {label}"
+            );
+            let sum = attempts.iter().fold(SimTime::ZERO, |acc, t| acc.add_nanos(t.as_nanos()));
+            assert_eq!(
+                outcome.stats.total_sim_time(),
+                sum,
+                "total_sim_time is not the attempt sum — {label}"
+            );
+            assert!(
+                outcome.stats.total_sim_time() >= outcome.sim_time,
+                "total below final-attempt time — {label}"
+            );
         }
         Err(e) => {
             // A clean structured failure is acceptable; silent corruption or

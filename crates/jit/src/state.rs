@@ -235,6 +235,12 @@ impl SharedState {
         self.slots.is_empty()
     }
 
+    /// The raw state object in `slot`, if any — structural inspection for
+    /// static analysis (the typed accessors below are what executors use).
+    pub fn object(&self, slot: StateSlot) -> Option<&StateObject> {
+        self.slots.get(slot.index())
+    }
+
     /// The hash table in `slot`.
     pub fn hash_table(&self, slot: StateSlot) -> Result<&JoinHashTable> {
         match self.slots.get(slot.index()) {
