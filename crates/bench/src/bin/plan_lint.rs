@@ -15,7 +15,7 @@
 use hetex_analysis::analyze;
 use hetex_bench::micro::{MicroQuery, MicroWorkload};
 use hetex_bench::SsbWorkload;
-use hetex_common::EngineConfig;
+use hetex_common::{EngineConfig, ServeConfig};
 use hetex_core::{compile, parallelize, RelNode};
 use hetex_topology::ServerTopology;
 use std::process::exit;
@@ -42,6 +42,7 @@ fn lint(
     config: &EngineConfig,
     topology: &Arc<ServerTopology>,
 ) -> Result<LintRow, String> {
+    config.validate().map_err(|e| format!("{name} [{target}]: {e}"))?;
     let het = parallelize(plan, config).map_err(|e| format!("{name} [{target}]: {e}"))?;
     hetex_core::traits::check_relational_requirements(&het)
         .map_err(|e| format!("{name} [{target}]: {e}"))?;
@@ -57,12 +58,15 @@ fn lint(
     })
 }
 
-/// The three execution targets the figure harnesses sweep.
-fn targets() -> [(&'static str, EngineConfig); 3] {
+/// The three execution targets the figure harnesses sweep, plus the serving
+/// configuration `serve_ab` runs under (serving enabled: the lint proves a
+/// plan admitted by the `QueryServer` also validates and analyzes cleanly).
+fn targets() -> [(&'static str, EngineConfig); 4] {
     [
         ("cpu", EngineConfig::cpu_only(8)),
         ("gpu", EngineConfig::gpu_only(2)),
         ("hybrid", EngineConfig::hybrid(8, 2)),
+        ("serve", EngineConfig::hybrid(6, 1).with_serve(ServeConfig::serving())),
     ]
 }
 

@@ -33,6 +33,7 @@ pub mod kernel_ab;
 pub mod micro;
 pub mod pipeline_ab;
 pub mod report;
+pub mod serve_ab;
 pub mod staging_ab;
 pub mod steal_ab;
 pub mod systems;

@@ -1,0 +1,200 @@
+//! A/B harness for the multi-query serving layer: N concurrent SSB query
+//! streams through one [`QueryServer`] vs the same queries executed serially
+//! back-to-back.
+//!
+//! Every stream submits the full thirteen-query SSB flight up front
+//! (open-loop batch: all sessions arrive at virtual time zero), at hybrid
+//! CPU+GPU placement with stealing disabled so the isolated simulated times
+//! — and therefore the fair timeline built from them — are deterministic and
+//! regression-gateable. The serving layer overlaps queries up to the
+//! admission budget and the worker pool; the **served** time is the fair
+//! timeline's makespan and the **serial** baseline is the sum of the
+//! isolated times (back-to-back execution pays every query's full demand).
+//!
+//! Acceptance bars (enforced by the `serve_ab` bin):
+//!
+//! * rows of every served query byte-identical to its single-query run;
+//! * aggregate speedup of serving over serial ≥ 1.5× at four streams;
+//! * admission peaks never exceed the per-node byte budget;
+//! * zero staging bytes leaked by any served query.
+//!
+//! `cargo run --release -p hetex-bench --bin serve_ab [out_dir]` emits
+//! `BENCH_serve.json`.
+
+use crate::workload::{physical_sf_from_env, SsbWorkload};
+use hetex_common::{EngineConfig, Result, ServeConfig, StealPolicy};
+use hetex_engine::QueryServer;
+use std::sync::Arc;
+
+/// Concurrent query streams the acceptance bar is defined at.
+pub const DEFAULT_STREAMS: usize = 4;
+
+/// Aggregate speedup the served batch must reach over serial execution.
+pub const SPEEDUP_BAR: f64 = 1.5;
+
+/// The serve-vs-serial measurement.
+#[derive(Debug, Clone)]
+pub struct ServeAbReport {
+    /// Workload label.
+    pub workload: String,
+    /// Concurrent streams served.
+    pub streams: usize,
+    /// Total query sessions (streams × SSB queries).
+    pub sessions: usize,
+    /// Simulated seconds of the serial back-to-back baseline (Σ isolated).
+    pub serial_s: f64,
+    /// Simulated seconds of the served batch (fair-timeline makespan).
+    pub served_s: f64,
+    /// Median served latency (simulated seconds).
+    pub p50_latency_s: f64,
+    /// 99th-percentile served latency (simulated seconds).
+    pub p99_latency_s: f64,
+    /// Whether every served query's rows were byte-identical to its
+    /// single-query run.
+    pub rows_identical: bool,
+    /// Largest admission bytes ever held on any node.
+    pub peak_admitted_bytes: u64,
+    /// The per-node admission budget the peaks are bounded by.
+    pub admission_budget_bytes: u64,
+    /// Staging bytes leaked by any served query (must be zero).
+    pub staging_leaked_bytes: u64,
+}
+
+impl ServeAbReport {
+    /// Aggregate speedup of serving over the serial baseline.
+    pub fn speedup(&self) -> f64 {
+        if self.served_s <= 0.0 {
+            return 1.0;
+        }
+        self.serial_s / self.served_s
+    }
+
+    /// Serialize as pretty-printed JSON (hand-rolled; the build has no JSON
+    /// dependency).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n  \"benchmark\": \"multi_query_serving_ab\",\n");
+        out.push_str("  \"metric\": \"simulated_seconds\",\n  \"workloads\": [\n");
+        out.push_str(&format!(
+            "    {{\"workload\": \"{}\", \"streams\": {}, \"sessions\": {}, \
+             \"serial_s\": {:.9}, \"served_s\": {:.9}, \"speedup\": {:.3}, \
+             \"p50_latency_s\": {:.9}, \"p99_latency_s\": {:.9}, \
+             \"rows_identical\": {}, \"peak_admitted_bytes\": {}, \
+             \"admission_budget_bytes\": {}, \"staging_leaked_bytes\": {}}}\n",
+            self.workload,
+            self.streams,
+            self.sessions,
+            self.serial_s,
+            self.served_s,
+            self.speedup(),
+            self.p50_latency_s,
+            self.p99_latency_s,
+            self.rows_identical,
+            self.peak_admitted_bytes,
+            self.admission_budget_bytes,
+            self.staging_leaked_bytes,
+        ));
+        out.push_str("  ]\n}\n");
+        out
+    }
+}
+
+/// Serve `streams` concurrent SSB flights and compare against serial
+/// back-to-back execution of the same queries.
+pub fn run(streams: usize) -> Result<ServeAbReport> {
+    let workload = SsbWorkload::build(physical_sf_from_env(), 100.0, false)?;
+    let mut config = workload.config(EngineConfig::hybrid(6, 1));
+    config.steal_policy = StealPolicy::Disabled;
+    let queries = workload.queries.clone();
+    let engine = Arc::new(workload.engine_cpu_data);
+
+    // Single-query ground truth: rows for the byte-identity check. (The
+    // serial *time* baseline comes from the served sessions' own isolated
+    // times — identical by the private-clock determinism the serving test
+    // suite asserts.)
+    let expected: Vec<Vec<Vec<i64>>> = queries
+        .iter()
+        .map(|q| Ok(engine.execute(&q.plan, &config)?.rows))
+        .collect::<Result<Vec<_>>>()?;
+
+    // Budget for every stream at once: the worker pool and device
+    // capacities, not admission, bound this batch.
+    let footprint = config.est_serve_footprint_bytes();
+    let serve = ServeConfig::serving()
+        .with_workers(streams)
+        .with_admission_bytes(Some(streams as u64 * footprint));
+    let budget = serve.effective_admission_bytes();
+    let mut server = QueryServer::new(Arc::clone(&engine), serve)?;
+
+    // Open-loop batch: every stream's full flight submitted up front,
+    // round-robin across streams so co-runners are a mix of queries.
+    let mut tickets = Vec::new();
+    for _ in 0..streams {
+        for query in &queries {
+            tickets.push(server.submit(query.plan.clone(), config.clone())?);
+        }
+    }
+    let mut rows_identical = true;
+    let mut staging_leaked = 0u64;
+    for (i, ticket) in tickets.into_iter().enumerate() {
+        let outcome = ticket.wait()?;
+        rows_identical &= outcome.rows == expected[i % queries.len()];
+        staging_leaked += outcome.stats.staging_leaked_bytes;
+    }
+    let report = server.shutdown()?;
+
+    let peak_admitted_bytes = report.admission_peaks.iter().map(|(_, p)| *p).max().unwrap_or(0);
+    Ok(ServeAbReport {
+        workload: format!("ssb_sf100_{streams}streams_hybrid"),
+        streams,
+        sessions: report.sessions.len(),
+        serial_s: report.serial.as_secs_f64(),
+        served_s: report.makespan.as_secs_f64(),
+        p50_latency_s: report.latency_quantile(0.50).as_secs_f64(),
+        p99_latency_s: report.latency_quantile(0.99).as_secs_f64(),
+        rows_identical,
+        peak_admitted_bytes,
+        admission_budget_bytes: budget,
+        staging_leaked_bytes: staging_leaked,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn two_streams_serve_faster_than_serial_with_exact_rows() {
+        // The debug-build smoke pass runs two streams; the release bin
+        // enforces the full four-stream ≥ 1.5× bar.
+        let report = run(2).unwrap();
+        assert!(report.rows_identical, "served rows must match single-query runs");
+        assert_eq!(report.staging_leaked_bytes, 0);
+        assert_eq!(report.sessions, 2 * 13);
+        assert!(report.peak_admitted_bytes <= report.admission_budget_bytes);
+        assert!(report.served_s < report.serial_s, "two streams must overlap somewhere");
+        assert!(report.p50_latency_s <= report.p99_latency_s);
+        assert!(report.p99_latency_s <= report.served_s + 1e-12);
+    }
+
+    #[test]
+    fn report_json_shape() {
+        let report = ServeAbReport {
+            workload: "w".into(),
+            streams: 4,
+            sessions: 52,
+            serial_s: 4.0,
+            served_s: 2.0,
+            p50_latency_s: 1.0,
+            p99_latency_s: 1.9,
+            rows_identical: true,
+            peak_admitted_bytes: 1024,
+            admission_budget_bytes: 4096,
+            staging_leaked_bytes: 0,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"speedup\": 2.000"));
+        assert!(json.contains("\"serial_s\": 4.000000000"));
+        assert!(json.contains("\"workload\": \"w\""));
+        assert!(json.contains("\"staging_leaked_bytes\": 0"));
+    }
+}

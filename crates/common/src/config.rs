@@ -345,6 +345,123 @@ impl FaultConfig {
     }
 }
 
+/// Priority class of a query session submitted to the serving layer.
+///
+/// Admission is strict-priority with FIFO order inside each class: a waiting
+/// `High` session is always admitted before any waiting `Normal` one, and no
+/// session bypasses an earlier peer of its own class (so admission order is
+/// deterministic and starvation within a class is impossible). The running
+/// set shares devices by weighted fairness, where each class contributes its
+/// [`Self::weight`] as the base multiplier.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Priority {
+    /// Latency-sensitive sessions: admitted first, largest fairness weight.
+    High,
+    /// The default class.
+    #[default]
+    Normal,
+    /// Background sessions: admitted last, smallest fairness weight.
+    Low,
+}
+
+impl Priority {
+    /// Admission rank — lower admits first.
+    pub fn rank(self) -> usize {
+        match self {
+            Priority::High => 0,
+            Priority::Normal => 1,
+            Priority::Low => 2,
+        }
+    }
+
+    /// Base fairness-weight multiplier of the class (scaled at run time by
+    /// the query's estimated remaining cost).
+    pub fn weight(self) -> f64 {
+        match self {
+            Priority::High => 4.0,
+            Priority::Normal => 2.0,
+            Priority::Low => 1.0,
+        }
+    }
+
+    /// Human-readable label used by benches and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            Priority::High => "high",
+            Priority::Normal => "normal",
+            Priority::Low => "low",
+        }
+    }
+}
+
+/// Configuration of the multi-query serving layer (`hetex-engine`'s
+/// `QueryServer`).
+///
+/// Default **off**: a plain [`EngineConfig::default`] never engages the
+/// serving machinery, so the single-query `Proteus::execute` path stays
+/// bit-identical to the pre-serving engine (asserted by the differential
+/// suite). `ServeConfig::serving()` turns it on with the default pool and
+/// admission budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServeConfig {
+    /// Master switch of the serving layer.
+    pub enabled: bool,
+    /// Size of the shared worker pool: the maximum number of query sessions
+    /// executing concurrently (admission may hold it lower).
+    pub workers: usize,
+    /// Per-memory-node admission byte budget. Every admitted session holds a
+    /// staging lease of its estimated peak footprint on every node for its
+    /// whole run — the admission token — so the sum of running sessions'
+    /// footprints never exceeds this budget on any node. `None` sizes the
+    /// budget to [`DEFAULT_SERVE_ADMISSION_BYTES`].
+    pub admission_bytes: Option<u64>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl ServeConfig {
+    /// The serving layer switched off — the default, single-query behaviour.
+    pub fn disabled() -> Self {
+        Self { enabled: false, workers: DEFAULT_SERVE_WORKERS, admission_bytes: None }
+    }
+
+    /// The serving layer switched on with the default worker pool and
+    /// admission budget.
+    pub fn serving() -> Self {
+        Self { enabled: true, ..Self::disabled() }
+    }
+
+    /// Set the shared worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = workers;
+        self
+    }
+
+    /// Set (or reset to the default, with `None`) the per-node admission
+    /// byte budget.
+    pub fn with_admission_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.admission_bytes = bytes;
+        self
+    }
+
+    /// The effective per-node admission budget.
+    pub fn effective_admission_bytes(&self) -> u64 {
+        self.admission_bytes.unwrap_or(DEFAULT_SERVE_ADMISSION_BYTES)
+    }
+}
+
+/// Default shared worker-pool size of the serving layer.
+pub const DEFAULT_SERVE_WORKERS: usize = 4;
+
+/// Default per-memory-node admission byte budget of the serving layer:
+/// four default staging budgets, so four default-configured sessions can
+/// hold admission tokens concurrently on every node.
+pub const DEFAULT_SERVE_ADMISSION_BYTES: u64 = 4 * DEFAULT_STAGING_BYTES;
+
 /// Initial placement of base-table data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPlacement {
@@ -413,6 +530,10 @@ pub struct EngineConfig {
     /// What to do with the findings of the pre-execution static analysis
     /// pass: reject on errors (default), warn-and-run, or skip the pass.
     pub analysis: AnalysisMode,
+    /// Multi-query serving toggles: admission budget and shared worker pool
+    /// of the `QueryServer` session layer. Off by default — the single-query
+    /// `Proteus::execute` path never consults this group.
+    pub serve: ServeConfig,
 }
 
 impl Default for EngineConfig {
@@ -435,6 +556,7 @@ impl Default for EngineConfig {
             fault: FaultConfig::default(),
             kernel_mode: KernelMode::default(),
             analysis: AnalysisMode::default(),
+            serve: ServeConfig::default(),
         }
     }
 }
@@ -540,6 +662,21 @@ impl EngineConfig {
         self
     }
 
+    /// Select the multi-query serving toggles.
+    pub fn with_serve(mut self, serve: ServeConfig) -> Self {
+        self.serve = serve;
+        self
+    }
+
+    /// Estimated peak per-node staging footprint of one query under this
+    /// configuration — the byte size of the admission token the serving
+    /// layer holds for the query's whole run. Equal to the query's own
+    /// per-node staging budget when governance is on (the executor's arenas
+    /// cannot lease more than that), the staging floor otherwise.
+    pub fn est_serve_footprint_bytes(&self) -> u64 {
+        self.staging_bytes.unwrap_or_else(|| self.min_staging_bytes())
+    }
+
     /// Estimated size in bytes of a maximum-size block under this
     /// configuration ([`EST_MAX_TUPLE_BYTES`] per tuple).
     pub fn est_max_block_bytes(&self) -> u64 {
@@ -577,6 +714,22 @@ impl EngineConfig {
             }
             _ if self.queue_capacity == Some(0) => {
                 Err(HetError::Config("queue_capacity must be positive when bounded".into()))
+            }
+            _ if self.serve.enabled && self.serve.workers == 0 => {
+                Err(HetError::Config("serving requires at least one worker".into()))
+            }
+            _ if self.serve.enabled && self.serve.admission_bytes == Some(0) => {
+                Err(HetError::Config("serving admission budget must be positive".into()))
+            }
+            _ if self.serve.enabled
+                && self.serve.effective_admission_bytes() < self.est_serve_footprint_bytes() =>
+            {
+                Err(HetError::Config(format!(
+                    "serving admission budget ({}) cannot admit even one query of this \
+                     configuration (estimated peak staging footprint {} bytes per node)",
+                    self.serve.effective_admission_bytes(),
+                    self.est_serve_footprint_bytes()
+                )))
             }
             _ if self.staging_bytes.is_some_and(|b| b < self.min_staging_bytes()) => {
                 Err(HetError::Config(format!(
@@ -713,6 +866,61 @@ mod tests {
         let cfg = cfg.with_fault(off);
         assert_eq!(cfg.fault, FaultConfig::disabled());
         cfg.validate().unwrap();
+    }
+
+    #[test]
+    fn serving_defaults_off_and_toggles_independently() {
+        // Default off: a plain config never engages the serving layer.
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.serve, ServeConfig::disabled());
+        assert!(!cfg.serve.enabled);
+        cfg.validate().unwrap();
+        // Switched on: defaults are a valid pool and budget.
+        let on = EngineConfig::default().with_serve(ServeConfig::serving());
+        assert!(on.serve.enabled);
+        assert_eq!(on.serve.workers, DEFAULT_SERVE_WORKERS);
+        assert_eq!(on.serve.effective_admission_bytes(), DEFAULT_SERVE_ADMISSION_BYTES);
+        on.validate().unwrap();
+        // Knobs toggle independently.
+        let tuned = ServeConfig::serving().with_workers(2).with_admission_bytes(Some(1 << 30));
+        assert!(tuned.enabled && tuned.workers == 2);
+        assert_eq!(tuned.effective_admission_bytes(), 1 << 30);
+        // Invalid serving configs are rejected — but only when enabled.
+        let zero_workers =
+            EngineConfig::default().with_serve(ServeConfig::serving().with_workers(0));
+        assert_eq!(zero_workers.validate().unwrap_err().category(), "config");
+        let no_budget = EngineConfig::default()
+            .with_serve(ServeConfig::serving().with_admission_bytes(Some(0)));
+        assert_eq!(no_budget.validate().unwrap_err().category(), "config");
+        let off_zero_workers =
+            EngineConfig::default().with_serve(ServeConfig::disabled().with_workers(0));
+        off_zero_workers.validate().unwrap();
+        // A budget that cannot admit even one query is rejected.
+        let starved = EngineConfig::default()
+            .with_serve(ServeConfig::serving().with_admission_bytes(Some(1024)));
+        let err = starved.validate().unwrap_err();
+        assert!(err.to_string().contains("cannot admit"), "descriptive: {err}");
+    }
+
+    #[test]
+    fn priority_classes_rank_and_weigh() {
+        assert_eq!(Priority::default(), Priority::Normal);
+        assert!(Priority::High.rank() < Priority::Normal.rank());
+        assert!(Priority::Normal.rank() < Priority::Low.rank());
+        assert!(Priority::High.weight() > Priority::Normal.weight());
+        assert!(Priority::Normal.weight() > Priority::Low.weight());
+        assert_eq!(Priority::High.label(), "high");
+        assert_eq!(Priority::Low.label(), "low");
+    }
+
+    #[test]
+    fn serve_footprint_follows_the_staging_budget() {
+        let cfg = EngineConfig::hybrid(8, 2);
+        assert_eq!(cfg.est_serve_footprint_bytes(), DEFAULT_STAGING_BYTES);
+        let tight = cfg.clone().with_staging_bytes(Some(cfg.min_staging_bytes()));
+        assert_eq!(tight.est_serve_footprint_bytes(), cfg.min_staging_bytes());
+        let ungoverned = cfg.with_staging_bytes(None);
+        assert_eq!(ungoverned.est_serve_footprint_bytes(), ungoverned.min_staging_bytes());
     }
 
     #[test]

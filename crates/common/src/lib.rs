@@ -22,7 +22,7 @@ pub use block::{Block, BlockHandle, BlockMeta, StagingToken};
 pub use column::{Column, ColumnData, DictionaryBuilder};
 pub use config::{
     AnalysisMode, CalibrationConfig, CostModelConfig, EngineConfig, ExecutionMode, FaultConfig,
-    KernelMode, StealPolicy,
+    KernelMode, Priority, ServeConfig, StealPolicy,
 };
 pub use error::{HetError, Result};
 pub use ids::{BlockId, ColumnId, MemoryNodeId, PipelineId, QueryId, TableId};

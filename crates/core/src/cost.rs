@@ -51,7 +51,9 @@
 //! these per execution for estimation, so the two concerns cannot be mixed
 //! up.
 
-use hetex_common::{CalibrationConfig, CostModelConfig, EngineConfig, KernelMode, MemoryNodeId};
+use hetex_common::{
+    CalibrationConfig, CostModelConfig, EngineConfig, KernelMode, MemoryNodeId, Priority,
+};
 use hetex_topology::{CalibratedConstants, LinkSpec, ServerTopology};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -342,6 +344,18 @@ impl CostModel {
             Some(constants) if self.calib.measured_constants => constants.transfer_ns(link, bytes),
             _ => link.transfer_ns(bytes),
         }
+    }
+
+    /// Serving-layer fairness weight of a running query session: the
+    /// priority class's base weight scaled by the estimated remaining
+    /// simulated cost (in seconds, to keep the magnitudes tame). Weighted
+    /// max-min sharing under these weights balances *completion*: a query
+    /// with more work left draws a proportionally larger rate, so co-runners
+    /// of one class converge on finishing together instead of the
+    /// nearly-done query hoarding devices it barely needs — while the
+    /// priority classes keep their configured base ratios throughout.
+    pub fn fairness_weight(&self, priority: Priority, remaining_ns: u64) -> f64 {
+        priority.weight() * (remaining_ns.max(1) as f64 / 1e9)
     }
 
     // ------------------------------------------------------------------

@@ -28,6 +28,10 @@
 //!   block-at-a-time movement and tuple-at-a-time execution.
 //! * [`queue`] — the asynchronous block-handle queues used by routers and by
 //!   gpu2cpu.
+//! * [`serve`] — the deterministic multi-query fairness timeline
+//!   ([`serve::FairTimeline`]): admitted sessions replayed as fluid flows
+//!   over the device capacities under weighted max-min fairness, the model
+//!   behind the serving layer's latencies and makespan.
 
 pub mod codegen;
 pub mod cost;
@@ -38,6 +42,7 @@ pub mod parallelizer;
 pub mod plan;
 pub mod queue;
 pub mod router;
+pub mod serve;
 pub mod traits;
 
 pub use codegen::{compile, MemMoveMode, Stage, StageGraph, StageSource, StageWiring};
@@ -49,4 +54,5 @@ pub use parallelizer::parallelize;
 pub use plan::{DeviceTarget, HetNode, RelNode, RouterPolicy};
 pub use queue::BlockQueue;
 pub use router::Router;
+pub use serve::{FairTimeline, ServeSchedule, ServeSession, SessionSchedule};
 pub use traits::PlanTraits;

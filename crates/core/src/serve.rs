@@ -1,0 +1,418 @@
+//! Deterministic multi-query fairness timeline.
+//!
+//! The serving layer executes query sessions *functionally* on host threads
+//! (rows are exact), but — like everything else in this reproduction —
+//! accounts shared-server *time* on a model, not on wall clocks. This module
+//! is that model: a discrete-event replay of the admitted sessions as fluid
+//! flows over the server's device capacities, under weighted max-min
+//! fairness. Because the replay is a pure function of the session specs
+//! (isolated demand, per-kind busy time, priority, admission footprint), the
+//! served latencies and the makespan are bit-reproducible regardless of how
+//! the worker pool's threads happened to interleave on the wall clock.
+//!
+//! The model, per session `q` and device kind `k`:
+//!
+//! * **demand** `d_q` — the query's simulated completion time when executed
+//!   in isolation (its critical path; measured, not estimated);
+//! * **utilization** `u_{q,k} = busy_{q,k} / d_q` — device-seconds of kind
+//!   `k` the query consumes per second of its own progress. Each device's
+//!   busy time is at most the completion time, so `u_{q,k}` never exceeds
+//!   the kind's device count: a session running alone always progresses at
+//!   full rate;
+//! * **rate** `r_q ∈ (0, 1]` — the session's progress per unit of virtual
+//!   time. The cap at 1 is the critical path: co-running queries can only
+//!   slow each other down, never accelerate one query beyond its isolated
+//!   time;
+//! * **capacity** `C_k` — devices of kind `k`; feasibility requires
+//!   `Σ_q r_q · u_{q,k} ≤ C_k` at every instant.
+//!
+//! Rates are the weighted water-filling solution `r_q = min(1, θ · w_q)`
+//! with `θ` maximal subject to every capacity constraint — work-conserving
+//! weighted max-min fairness. Weights come from
+//! [`CostModel::fairness_weight`]: the priority class's base weight scaled
+//! by the estimated remaining cost, so progress balances across the running
+//! set (a nearly-finished query cedes bandwidth to one with more left)
+//! while priority classes keep their configured ratios.
+//!
+//! Admission mirrors the serving layer's staging tokens: a session becomes
+//! runnable only when its per-node footprint fits in the remaining admission
+//! budget and a worker slot is free, in strict priority order with FIFO
+//! inside each class and no bypass — so the replay's admission sequence is
+//! exactly the `QueryServer`'s.
+
+use crate::cost::CostModel;
+use hetex_common::{HetError, Priority, Result};
+use hetex_topology::SimTime;
+use std::collections::VecDeque;
+
+/// One query session submitted to the fair timeline, in submission order.
+#[derive(Debug, Clone)]
+pub struct ServeSession {
+    /// Simulated completion time of the query executed in isolation.
+    pub isolated: SimTime,
+    /// Busy nanoseconds per device kind (slot-indexed, same slots as the
+    /// timeline's capacities) of the isolated execution.
+    pub busy_ns: Vec<u64>,
+    /// Priority class (admission order and base fairness weight).
+    pub priority: Priority,
+    /// Admission-token size: the session's estimated peak staging footprint,
+    /// held on every node for its whole run.
+    pub footprint_bytes: u64,
+}
+
+/// When one session was admitted and finished on the virtual timeline.
+#[derive(Debug, Clone, Copy)]
+pub struct SessionSchedule {
+    /// Virtual time the session's admission token was granted.
+    pub admitted_at: SimTime,
+    /// Virtual time the session completed.
+    pub finished_at: SimTime,
+}
+
+impl SessionSchedule {
+    /// Served latency: submission (all sessions arrive at zero) to finish.
+    pub fn latency(&self) -> SimTime {
+        self.finished_at
+    }
+}
+
+/// The resolved timeline of a served batch.
+#[derive(Debug, Clone)]
+pub struct ServeSchedule {
+    /// Per-session schedule, in submission order.
+    pub sessions: Vec<SessionSchedule>,
+    /// Completion time of the last session.
+    pub makespan: SimTime,
+    /// Largest admission bytes ever held concurrently (identical on every
+    /// node: tokens are acquired on all nodes together). Never exceeds the
+    /// timeline's budget — asserted during replay.
+    pub peak_admitted_bytes: u64,
+}
+
+/// Remaining work below this many nanoseconds counts as finished (absorbs
+/// floating-point drift of the fluid integration).
+const FINISH_EPS_NS: f64 = 1e-3;
+
+/// The deterministic weighted-fair fluid scheduler.
+#[derive(Debug, Clone)]
+pub struct FairTimeline {
+    /// Device count per kind slot.
+    capacities: Vec<f64>,
+    /// Per-node admission byte budget.
+    admission_budget: u64,
+    /// Worker-pool bound: sessions running concurrently, at most.
+    max_concurrent: usize,
+    /// Weight policy (priority × estimated remaining cost).
+    cost: CostModel,
+}
+
+/// One running session's fluid state.
+struct Run {
+    session: usize,
+    remaining_ns: f64,
+    /// `u_{q,k}`: device-seconds of kind `k` per second of progress.
+    utilization: Vec<f64>,
+    priority: Priority,
+    footprint: u64,
+}
+
+impl FairTimeline {
+    /// A timeline over `capacities` devices per kind slot, a per-node
+    /// `admission_budget`, at most `max_concurrent` running sessions, and
+    /// `cost` as the fairness-weight policy.
+    pub fn new(
+        capacities: Vec<f64>,
+        admission_budget: u64,
+        max_concurrent: usize,
+        cost: CostModel,
+    ) -> Self {
+        Self { capacities, admission_budget, max_concurrent: max_concurrent.max(1), cost }
+    }
+
+    /// Replay `sessions` (in submission order, all arriving at virtual time
+    /// zero) and resolve every admission and finish instant.
+    pub fn replay(&self, sessions: &[ServeSession]) -> Result<ServeSchedule> {
+        for (idx, s) in sessions.iter().enumerate() {
+            if s.footprint_bytes > self.admission_budget {
+                return Err(HetError::Config(format!(
+                    "session {idx} footprint ({} bytes) exceeds the admission budget \
+                     ({} bytes): it can never be admitted",
+                    s.footprint_bytes, self.admission_budget
+                )));
+            }
+            if s.busy_ns.len() != self.capacities.len() {
+                return Err(HetError::Config(format!(
+                    "session {idx} reports {} device kinds, timeline has {}",
+                    s.busy_ns.len(),
+                    self.capacities.len()
+                )));
+            }
+        }
+
+        // Admission order: strict priority, FIFO inside each class. The sort
+        // is stable, so submission order is preserved within a class.
+        let mut order: Vec<usize> = (0..sessions.len()).collect();
+        order.sort_by_key(|&i| sessions[i].priority.rank());
+        let mut waiting: VecDeque<usize> = order.into();
+
+        let mut schedule: Vec<Option<SessionSchedule>> = vec![None; sessions.len()];
+        let mut running: Vec<Run> = Vec::new();
+        let mut now_ns = 0.0f64;
+        let mut admitted_bytes = 0u64;
+        let mut peak_admitted = 0u64;
+
+        loop {
+            // Admit from the head only — no bypass: a class-mate behind a
+            // too-big head waits with it, which is what makes the admission
+            // order deterministic and starvation-free within a class.
+            while let Some(&head) = waiting.front() {
+                let s = &sessions[head];
+                if running.len() >= self.max_concurrent
+                    || admitted_bytes + s.footprint_bytes > self.admission_budget
+                {
+                    break;
+                }
+                waiting.pop_front();
+                admitted_bytes += s.footprint_bytes;
+                peak_admitted = peak_admitted.max(admitted_bytes);
+                debug_assert!(admitted_bytes <= self.admission_budget);
+                let isolated_ns = s.isolated.as_nanos().max(1) as f64;
+                schedule[head] = Some(SessionSchedule {
+                    admitted_at: SimTime::from_nanos(now_ns.round() as u64),
+                    finished_at: SimTime::ZERO,
+                });
+                running.push(Run {
+                    session: head,
+                    remaining_ns: isolated_ns,
+                    utilization: s.busy_ns.iter().map(|&b| b as f64 / isolated_ns).collect(),
+                    priority: s.priority,
+                    footprint: s.footprint_bytes,
+                });
+            }
+            if running.is_empty() {
+                break;
+            }
+
+            let rates = self.fair_rates(&running);
+
+            // Next event: the earliest finish under the current rates.
+            let mut dt = f64::INFINITY;
+            for (run, &rate) in running.iter().zip(&rates) {
+                if rate > 0.0 {
+                    dt = dt.min(run.remaining_ns / rate);
+                }
+            }
+            debug_assert!(dt.is_finite(), "at least one running session must progress");
+            now_ns += dt;
+            for (run, &rate) in running.iter_mut().zip(&rates) {
+                run.remaining_ns = (run.remaining_ns - rate * dt).max(0.0);
+            }
+            running.retain(|run| {
+                if run.remaining_ns > FINISH_EPS_NS {
+                    return true;
+                }
+                admitted_bytes -= run.footprint;
+                let entry = schedule[run.session].as_mut().expect("running session was admitted");
+                entry.finished_at = SimTime::from_nanos(now_ns.round() as u64);
+                false
+            });
+        }
+
+        let sessions: Vec<SessionSchedule> = schedule
+            .into_iter()
+            .map(|s| s.expect("every session is eventually admitted"))
+            .collect();
+        let makespan = sessions.iter().map(|s| s.finished_at).fold(SimTime::ZERO, SimTime::max);
+        Ok(ServeSchedule { sessions, makespan, peak_admitted_bytes: peak_admitted })
+    }
+
+    /// Weighted water-filling: the largest `θ` with `r_q = min(1, θ·w_q)`
+    /// feasible under every per-kind capacity constraint. Monotone in `θ`,
+    /// so a fixed-iteration bisection resolves it deterministically.
+    fn fair_rates(&self, running: &[Run]) -> Vec<f64> {
+        let weights: Vec<f64> = running
+            .iter()
+            .map(|run| {
+                self.cost
+                    .fairness_weight(run.priority, run.remaining_ns.round() as u64)
+                    .max(f64::MIN_POSITIVE)
+            })
+            .collect();
+        let feasible = |theta: f64| -> bool {
+            for (k, &cap) in self.capacities.iter().enumerate() {
+                let load: f64 = running
+                    .iter()
+                    .zip(&weights)
+                    .map(|(run, &w)| (theta * w).min(1.0) * run.utilization[k])
+                    .sum();
+                // Tiny tolerance: a single session saturating a kind must
+                // still run at full rate.
+                if load > cap * (1.0 + 1e-9) {
+                    return false;
+                }
+            }
+            true
+        };
+        // θ_hi caps every rate at 1; if that is feasible the schedule is not
+        // capacity-bound and everyone runs at full rate.
+        let theta_hi = weights.iter().fold(0.0f64, |acc, &w| acc.max(1.0 / w));
+        if feasible(theta_hi) {
+            return vec![1.0; running.len()];
+        }
+        let (mut lo, mut hi) = (0.0f64, theta_hi);
+        for _ in 0..64 {
+            let mid = 0.5 * (lo + hi);
+            if feasible(mid) {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        weights.iter().map(|&w| (lo * w).min(1.0)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cost() -> CostModel {
+        CostModel::default()
+    }
+
+    fn session(ms: u64, busy_ms: &[u64], priority: Priority) -> ServeSession {
+        ServeSession {
+            isolated: SimTime::from_millis(ms),
+            busy_ns: busy_ms.iter().map(|&b| SimTime::from_millis(b).as_nanos()).collect(),
+            priority,
+            footprint_bytes: 64,
+        }
+    }
+
+    #[test]
+    fn lone_session_runs_at_its_isolated_time() {
+        let timeline = FairTimeline::new(vec![24.0, 2.0], 1024, 8, cost());
+        // Huge spare capacity — but the critical-path cap keeps the finish
+        // exactly at the isolated time, never earlier.
+        let schedule = timeline.replay(&[session(100, &[400, 50], Priority::Normal)]).unwrap();
+        assert_eq!(schedule.sessions[0].admitted_at, SimTime::ZERO);
+        assert_eq!(schedule.sessions[0].finished_at, SimTime::from_millis(100));
+        assert_eq!(schedule.makespan, SimTime::from_millis(100));
+        assert_eq!(schedule.peak_admitted_bytes, 64);
+    }
+
+    #[test]
+    fn uncontended_sessions_overlap_fully() {
+        // Four identical sessions, each using 4 of 24 cpu-device-seconds per
+        // second: total load 16 < 24, so all four finish at the isolated
+        // time — aggregate throughput 4x serial.
+        let timeline = FairTimeline::new(vec![24.0], 1 << 20, 8, cost());
+        let sessions: Vec<_> = (0..4).map(|_| session(100, &[400], Priority::Normal)).collect();
+        let schedule = timeline.replay(&sessions).unwrap();
+        for s in &schedule.sessions {
+            assert_eq!(s.finished_at, SimTime::from_millis(100));
+        }
+        assert_eq!(schedule.makespan, SimTime::from_millis(100));
+    }
+
+    #[test]
+    fn capacity_bound_sessions_share_fairly_and_finish_together() {
+        // Two identical sessions each saturating the single-device kind:
+        // weighted fair share halves both rates, both finish at 2x isolated
+        // — exactly the serial total, the fluid model is work-conserving.
+        let timeline = FairTimeline::new(vec![1.0], 1 << 20, 8, cost());
+        let sessions: Vec<_> = (0..2).map(|_| session(100, &[100], Priority::Normal)).collect();
+        let schedule = timeline.replay(&sessions).unwrap();
+        let finish = SimTime::from_millis(200);
+        for s in &schedule.sessions {
+            let got = s.finished_at.as_nanos() as i64;
+            assert!((got - finish.as_nanos() as i64).abs() < 1_000, "finish {got}");
+        }
+    }
+
+    #[test]
+    fn admission_budget_serializes_oversized_pairs() {
+        // Budget fits one footprint at a time: the second session is
+        // admitted only when the first finishes.
+        let timeline = FairTimeline::new(vec![8.0], 100, 8, cost());
+        let mut sessions: Vec<_> = (0..2).map(|_| session(50, &[100], Priority::Normal)).collect();
+        for s in &mut sessions {
+            s.footprint_bytes = 60;
+        }
+        let schedule = timeline.replay(&sessions).unwrap();
+        assert_eq!(schedule.sessions[0].admitted_at, SimTime::ZERO);
+        assert_eq!(schedule.sessions[0].finished_at, SimTime::from_millis(50));
+        assert_eq!(schedule.sessions[1].admitted_at, SimTime::from_millis(50));
+        assert_eq!(schedule.sessions[1].finished_at, SimTime::from_millis(100));
+        assert_eq!(schedule.peak_admitted_bytes, 60);
+        assert!(schedule.peak_admitted_bytes <= 100);
+    }
+
+    #[test]
+    fn worker_pool_bounds_virtual_concurrency() {
+        let timeline = FairTimeline::new(vec![64.0], 1 << 20, 1, cost());
+        let sessions: Vec<_> = (0..3).map(|_| session(10, &[10], Priority::Normal)).collect();
+        let schedule = timeline.replay(&sessions).unwrap();
+        // One worker: pure serial, despite abundant capacity and budget.
+        assert_eq!(schedule.sessions[2].admitted_at, SimTime::from_millis(20));
+        assert_eq!(schedule.makespan, SimTime::from_millis(30));
+    }
+
+    #[test]
+    fn high_priority_is_admitted_first_without_class_bypass() {
+        // Budget admits one at a time. Submission order: low, low, high.
+        // Admission order must be: high, then the two lows in FIFO order.
+        let timeline = FairTimeline::new(vec![8.0], 100, 8, cost());
+        let mut sessions = vec![
+            session(10, &[10], Priority::Low),
+            session(10, &[10], Priority::Low),
+            session(10, &[10], Priority::High),
+        ];
+        for s in &mut sessions {
+            s.footprint_bytes = 100;
+        }
+        let schedule = timeline.replay(&sessions).unwrap();
+        assert_eq!(schedule.sessions[2].admitted_at, SimTime::ZERO);
+        assert_eq!(schedule.sessions[0].admitted_at, SimTime::from_millis(10));
+        assert_eq!(schedule.sessions[1].admitted_at, SimTime::from_millis(20));
+    }
+
+    #[test]
+    fn remaining_cost_weighting_lets_the_longer_query_catch_up() {
+        // Same priority, one query twice the demand, capacity bound: the
+        // remaining-cost weighting gives the longer query the larger share,
+        // so both finish at the work-conserving total (300ms), not one
+        // after the other.
+        let timeline = FairTimeline::new(vec![1.0], 1 << 20, 8, cost());
+        let sessions =
+            vec![session(100, &[100], Priority::Normal), session(200, &[200], Priority::Normal)];
+        let schedule = timeline.replay(&sessions).unwrap();
+        let makespan = schedule.makespan.as_nanos() as f64;
+        assert!(
+            (makespan - 3.0e8).abs() < 1e6,
+            "work-conserving makespan ~300ms, got {makespan}ns"
+        );
+        // Completion balancing: remaining-cost weighting splits the rates
+        // 1:2, so both queries finish together at the makespan — neither is
+        // starved behind the other.
+        let gap = schedule.sessions[1].finished_at.as_nanos() as i64
+            - schedule.sessions[0].finished_at.as_nanos() as i64;
+        assert!(gap.abs() < 1_000, "both finish together, gap {gap}ns");
+    }
+
+    #[test]
+    fn oversized_footprint_is_rejected() {
+        let timeline = FairTimeline::new(vec![1.0], 100, 8, cost());
+        let mut s = session(10, &[10], Priority::Normal);
+        s.footprint_bytes = 101;
+        let err = timeline.replay(&[s]).unwrap_err();
+        assert_eq!(err.category(), "config");
+    }
+
+    #[test]
+    fn mismatched_kind_count_is_rejected() {
+        let timeline = FairTimeline::new(vec![1.0, 1.0], 1024, 8, cost());
+        let err = timeline.replay(&[session(10, &[10], Priority::Normal)]).unwrap_err();
+        assert_eq!(err.category(), "config");
+    }
+}

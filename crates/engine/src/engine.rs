@@ -11,7 +11,7 @@ use crate::codegen::compile;
 use crate::executor::{DeviceKindStats, Executor};
 use hetex_common::config::{ExecutionTarget, DEFAULT_STAGING_BYTES};
 use hetex_common::{AnalysisMode, EngineConfig, HetError, MemoryNodeId, Result};
-use hetex_core::{parallelize, HetNode, RelNode};
+use hetex_core::{parallelize, HetNode, RelNode, SlowdownObserver};
 use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
 use hetex_topology::{CalibratedConstants, DeviceId, DeviceKind, ServerTopology, SimTime};
 use std::collections::HashMap;
@@ -125,7 +125,12 @@ impl QueryOutcome {
 pub struct Proteus {
     topology: Arc<ServerTopology>,
     catalog: Catalog,
-    executor: Executor,
+    /// Constants the topology micro-probe measured exactly once, at engine
+    /// construction. Every per-query executor (including degraded-restart
+    /// attempts) reuses this `Arc`: device exclusion never changes links or
+    /// sockets, so the measurement stays valid for the engine's lifetime —
+    /// and the shared pointer is what the probe-once test asserts on.
+    probed_constants: Arc<CalibratedConstants>,
     block_managers: BlockManagerSet,
     memory_managers: MemoryManagerSet,
 }
@@ -141,11 +146,11 @@ impl Proteus {
         let nodes: Vec<_> = topology.memory_nodes().iter().map(|m| m.id).collect();
         let capacities: Vec<_> =
             topology.memory_nodes().iter().map(|m| (m.id, m.capacity)).collect();
-        let executor = Executor::new(Arc::clone(&topology));
+        let probed_constants = Arc::new(hetex_topology::probe::probe(&topology));
         Self {
             topology,
             catalog: Catalog::new(),
-            executor,
+            probed_constants,
             block_managers: BlockManagerSet::new(&nodes, DEFAULT_STAGING_BYTES),
             memory_managers: MemoryManagerSet::new(&capacities),
         }
@@ -154,6 +159,12 @@ impl Proteus {
     /// The server topology.
     pub fn topology(&self) -> &Arc<ServerTopology> {
         &self.topology
+    }
+
+    /// The constants the construction-time topology micro-probe measured —
+    /// shared (by `Arc`) with every query this engine executes.
+    pub fn probed_constants(&self) -> &Arc<CalibratedConstants> {
+        &self.probed_constants
     }
 
     /// The table catalog.
@@ -203,13 +214,47 @@ impl Proteus {
     /// simulated time is that of the final (successful) attempt, with the time
     /// each failed attempt burned recorded in `QueryStats::attempt_sim_times`.
     pub fn execute(&self, plan: &RelNode, config: &EngineConfig) -> Result<QueryOutcome> {
+        self.execute_observed(plan, config, None)
+    }
+
+    /// [`Self::execute`] with an optional server-lifetime slowdown observer
+    /// shared across queries (the serving layer's calibration reuse). `None`
+    /// gives every query a fresh observer — the single-query behaviour.
+    pub fn execute_observed(
+        &self,
+        plan: &RelNode,
+        config: &EngineConfig,
+        observer: Option<Arc<SlowdownObserver>>,
+    ) -> Result<QueryOutcome> {
         config.validate()?;
-        match self.execute_attempt(&self.topology, &self.executor, plan, config) {
+        let executor = self.query_executor(&self.topology, observer.clone());
+        match self.execute_attempt(&self.topology, &executor, plan, config) {
             Err(HetError::DeviceLost { device, .. }) if config.fault.degraded_restart => {
-                let burned = self.executor.take_failed_sim_time().unwrap_or(SimTime::ZERO);
-                self.execute_degraded(plan, config, device, vec![burned])
+                let burned = executor
+                    .take_failed_sim_time()
+                    .expect("executor error paths record burned sim time");
+                self.execute_degraded(plan, config, device, vec![burned], observer)
             }
             other => other,
+        }
+    }
+
+    /// A fresh executor for one query (or one degraded attempt): private
+    /// memory/link clocks, so concurrent queries never corrupt each other's
+    /// simulated accounting, and the engine's construction-time probed
+    /// constants, so the micro-probe never re-runs.
+    fn query_executor(
+        &self,
+        topology: &Arc<ServerTopology>,
+        observer: Option<Arc<SlowdownObserver>>,
+    ) -> Executor {
+        let executor = Executor::with_constants(
+            topology.with_private_clocks(),
+            Arc::clone(&self.probed_constants),
+        );
+        match observer {
+            Some(observer) => executor.with_shared_observer(observer),
+            None => executor,
         }
     }
 
@@ -289,6 +334,7 @@ impl Proteus {
         config: &EngineConfig,
         first_lost: usize,
         mut attempt_sim_times: Vec<SimTime>,
+        observer: Option<Arc<SlowdownObserver>>,
     ) -> Result<QueryOutcome> {
         let mut topology = Arc::clone(&self.topology);
         let mut lost = first_lost;
@@ -319,10 +365,12 @@ impl Proteus {
                 break;
             }
             cfg.validate()?;
-            // A fresh executor: its device clocks, simulated GPUs and probe
-            // run against the shrunken topology, and placement never sees
-            // the excluded devices.
-            let executor = Executor::new(Arc::clone(&topology));
+            // A fresh executor: its device clocks and simulated GPUs run
+            // against the shrunken topology, placement never sees the
+            // excluded devices, and the engine's construction-time probed
+            // constants are reused (exclusion changes no link or socket,
+            // so the measurement stays valid — and the probe never re-runs).
+            let executor = self.query_executor(&topology, observer.clone());
             match self.execute_attempt(&topology, &executor, plan, &cfg) {
                 Ok(mut outcome) => {
                     outcome.stats.degraded_restarts = excluded.len();
@@ -333,8 +381,11 @@ impl Proteus {
                 }
                 Err(HetError::DeviceLost { device, .. }) if !excluded.contains(&device) => {
                     lost = device;
-                    attempt_sim_times
-                        .push(executor.take_failed_sim_time().unwrap_or(SimTime::ZERO));
+                    attempt_sim_times.push(
+                        executor
+                            .take_failed_sim_time()
+                            .expect("executor error paths record burned sim time"),
+                    );
                 }
                 Err(e) => return Err(e),
             }

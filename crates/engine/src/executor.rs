@@ -272,6 +272,12 @@ pub struct Executor {
     /// cost model; whether routing *consumes* them is the run's
     /// `CalibrationConfig::measured_constants` toggle.
     probed_constants: Arc<CalibratedConstants>,
+    /// An externally owned slowdown observer shared across executions (the
+    /// serving layer's server-lifetime EWMAs: one query's observed straggler
+    /// informs the next query's routing). `None` — the default — makes every
+    /// pipelined execution create its own fresh observer, the single-query
+    /// behaviour.
+    shared_observer: Option<Arc<SlowdownObserver>>,
     /// Simulated time the most recent *failed* execution had reached when its
     /// error surfaced — the progress a degraded restart throws away. The
     /// engine takes (and clears) this when accounting a failed attempt.
@@ -434,6 +440,23 @@ impl Executor {
     /// An executor for the given topology, creating one simulated GPU per GPU
     /// device in the topology.
     pub fn new(topology: Arc<ServerTopology>) -> Self {
+        // The topology micro-probe runs once per executor, against scratch
+        // clocks (it never perturbs the topology's own clocks): a handful of
+        // reservations measuring the cross-socket round trip and each
+        // link's effective bandwidth.
+        let probed_constants = Arc::new(hetex_topology::probe::probe(&topology));
+        Self::with_constants(topology, probed_constants)
+    }
+
+    /// An executor reusing already-probed constants instead of re-running the
+    /// topology micro-probe. The engine probes once at construction and hands
+    /// the same `Arc` to every per-query (and per-degraded-attempt) executor:
+    /// exclusion never changes links or sockets, so the measured constants
+    /// stay valid for the whole engine lifetime.
+    pub fn with_constants(
+        topology: Arc<ServerTopology>,
+        probed_constants: Arc<CalibratedConstants>,
+    ) -> Self {
         let gpus = topology
             .gpus()
             .into_iter()
@@ -442,18 +465,22 @@ impl Executor {
                 (id, Arc::new(GpuDevice::new(id, profile)))
             })
             .collect();
-        // The topology micro-probe runs once per executor, against scratch
-        // clocks (it never perturbs the topology's own clocks): a handful of
-        // reservations measuring the cross-socket round trip and each
-        // link's effective bandwidth.
-        let probed_constants = Arc::new(hetex_topology::probe::probe(&topology));
         Self {
             topology,
             gpus,
             work_cost: WorkCost::new(),
             probed_constants,
+            shared_observer: None,
             failed_sim_time: Mutex::new(None),
         }
+    }
+
+    /// Attach a server-lifetime slowdown observer shared across executions:
+    /// pipelined runs record into (and read from) it instead of a fresh
+    /// per-run observer, so observed stragglers carry over between queries.
+    pub fn with_shared_observer(mut self, observer: Arc<SlowdownObserver>) -> Self {
+        self.shared_observer = Some(observer);
+        self
     }
 
     /// The constants the construction-time topology micro-probe measured.
@@ -474,16 +501,31 @@ impl Executor {
     }
 
     /// Execute a stage graph in the configured scheduling mode.
+    ///
+    /// Error contract: every `Err` return leaves [`Self::take_failed_sim_time`]
+    /// holding `Some` — the simulated time this execution burned before its
+    /// error surfaced ([`SimTime::ZERO`] for failures preceding any simulated
+    /// work). The record is cleared at entry, so a take after an error is
+    /// unambiguously *this* execution's, never a stale one.
     pub fn execute(
         &self,
         graph: &StageGraph,
         catalog: &Catalog,
         config: &EngineConfig,
     ) -> Result<ExecutionResult> {
+        *self.failed_sim_time.lock() = None;
         match config.execution_mode {
             ExecutionMode::Pipelined => self.execute_pipelined(graph, catalog, config),
             ExecutionMode::StageAtATime => self.execute_stage_at_a_time(graph, catalog, config),
         }
+    }
+
+    /// Record the simulated time a failing execution path burned, keeping the
+    /// largest value when several paths report (a stage worker's completion
+    /// fold, then the caller's materialization barrier).
+    fn record_burned(&self, reached: SimTime) {
+        let mut failed = self.failed_sim_time.lock();
+        *failed = Some(failed.map_or(reached, |prev| prev.max(reached)));
     }
 
     // ------------------------------------------------------------------
@@ -1392,7 +1434,12 @@ impl Executor {
         // workers record every completed block's charged-vs-nominal ratio
         // into it, routing reads it back. Always measured; priced into
         // projections only when the calibration's feedback toggle is on.
-        let observer = Arc::new(SlowdownObserver::new(self.topology.devices().len()));
+        // A serving layer substitutes its server-lifetime observer here so
+        // one query's straggler observation informs the next query.
+        let observer = self
+            .shared_observer
+            .clone()
+            .unwrap_or_else(|| Arc::new(SlowdownObserver::new(self.topology.devices().len())));
 
         // The run's unified cost model: every estimation term the router
         // path, the queue-admission path and the steal path consult, with
@@ -1404,7 +1451,16 @@ impl Executor {
             .with_observer(Arc::clone(&observer));
 
         let routing: Vec<StageRouting<'_>> =
-            graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>()?;
+            match graph.stages.iter().map(|s| self.stage_routing(s)).collect::<Result<Vec<_>>>() {
+                Ok(routing) => routing,
+                Err(e) => {
+                    // Setup failure before any simulated work: the attempt
+                    // burned exactly zero, recorded explicitly so the engine's
+                    // attempt accounting never has to guess.
+                    self.record_burned(SimTime::ZERO);
+                    return Err(e);
+                }
+            };
 
         // Fault-recovery state: `Some` only when the topology carries a
         // non-empty injected fault plan. `None` short-circuits every
@@ -2412,50 +2468,63 @@ impl Executor {
         // sum of stage latencies instead of a pipelined critical path.
         let mut barrier = SimTime::ZERO;
 
-        for (stage_idx, stage) in graph.stages.iter().enumerate() {
-            let inputs: Vec<BlockHandle> = match &stage.source {
-                StageSource::Table { table, projection } => {
-                    self.table_segments(table, projection, catalog, config)?
+        let mut run_stages = || -> Result<()> {
+            for (stage_idx, stage) in graph.stages.iter().enumerate() {
+                let inputs: Vec<BlockHandle> = match &stage.source {
+                    StageSource::Table { table, projection } => {
+                        self.table_segments(table, projection, catalog, config)?
+                    }
+                    StageSource::Stage(idx) => {
+                        stage_outputs.get(*idx).cloned().ok_or_else(|| {
+                            HetError::Execution(format!("stage {idx} has no outputs yet"))
+                        })?
+                    }
+                };
+
+                // A probe stage additionally cannot start before the hash
+                // tables it reads are fully built.
+                let floor = stage
+                    .depends_on
+                    .iter()
+                    .map(|&d| stage_completion.get(d).copied().unwrap_or(SimTime::ZERO))
+                    .fold(barrier, SimTime::max);
+
+                let outcome = self.run_stage(
+                    stage,
+                    stage_idx,
+                    inputs,
+                    floor,
+                    &graph.state,
+                    &mem_move,
+                    &device_clocks,
+                    config,
+                    trace,
+                    wall_start,
+                )?;
+
+                for (kind, s) in outcome.per_kind {
+                    let entry = per_kind.entry(kind).or_default();
+                    entry.blocks += s.blocks;
+                    entry.busy_ns += s.busy_ns;
+                    entry.bytes_scanned += s.bytes_scanned;
                 }
-                StageSource::Stage(idx) => stage_outputs.get(*idx).cloned().ok_or_else(|| {
-                    HetError::Execution(format!("stage {idx} has no outputs yet"))
-                })?,
-            };
-
-            // A probe stage additionally cannot start before the hash tables
-            // it reads are fully built.
-            let floor = stage
-                .depends_on
-                .iter()
-                .map(|&d| stage_completion.get(d).copied().unwrap_or(SimTime::ZERO))
-                .fold(barrier, SimTime::max);
-
-            let outcome = self.run_stage(
-                stage,
-                stage_idx,
-                inputs,
-                floor,
-                &graph.state,
-                &mem_move,
-                &device_clocks,
-                config,
-                trace,
-                wall_start,
-            )?;
-
-            for (kind, s) in outcome.per_kind {
-                let entry = per_kind.entry(kind).or_default();
-                entry.blocks += s.blocks;
-                entry.busy_ns += s.busy_ns;
-                entry.bytes_scanned += s.bytes_scanned;
+                if stage.is_result {
+                    result_rows = outcome.result_rows;
+                }
+                barrier = barrier.max(outcome.completion);
+                stage_completion.push(outcome.completion);
+                stage_outputs.push(outcome.outputs);
+                timeline.push(outcome.timeline);
             }
-            if stage.is_result {
-                result_rows = outcome.result_rows;
-            }
-            barrier = barrier.max(outcome.completion);
-            stage_completion.push(outcome.completion);
-            stage_outputs.push(outcome.outputs);
-            timeline.push(outcome.timeline);
+            Ok(())
+        };
+        if let Err(e) = run_stages() {
+            // A mid-query failure burned at least the materialization barrier
+            // — the simulated time every completed stage has paid. A failing
+            // stage's own partial completion, when a deeper path captured it,
+            // max-merges with the barrier rather than being overwritten.
+            self.record_burned(barrier);
+            return Err(e);
         }
 
         let mut sim_time = stage_completion.iter().copied().fold(SimTime::ZERO, SimTime::max);

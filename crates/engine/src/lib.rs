@@ -16,9 +16,11 @@
 //!    pinned (logically) to a CPU core or a simulated GPU; blocks really flow
 //!    and results are exact, while execution *time* is accounted on the
 //!    simulated resource clocks of `hetex-topology`;
-//! 5. [`engine::Proteus`] packages the above behind a session API, and
-//!    [`reference`] provides a naive single-threaded executor used to validate
-//!    every result in tests.
+//! 5. [`engine::Proteus`] packages the above behind a session API,
+//!    [`server::QueryServer`] serves many queries concurrently over one
+//!    engine (priority admission against shared staging arenas, weighted-fair
+//!    virtual timeline, shared calibration), and [`reference`] provides a
+//!    naive single-threaded executor used to validate every result in tests.
 //!
 //! [`EngineConfig`]: hetex_common::EngineConfig
 
@@ -27,8 +29,10 @@ pub use hetex_core::codegen;
 pub mod engine;
 pub mod executor;
 pub mod reference;
+pub mod server;
 
 pub use engine::{Proteus, QueryOutcome, QueryStats};
 pub use executor::Executor;
 pub use hetex_core::codegen::{compile, MemMoveMode, Stage, StageGraph, StageSource};
 pub use reference::reference_execute;
+pub use server::{QueryServer, QueryTicket, ServeReport, ServedQuery};

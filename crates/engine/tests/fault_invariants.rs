@@ -231,3 +231,49 @@ fn run_case(case: u64, seed: u64) {
         }
     }
 }
+
+#[test]
+fn failed_attempts_record_their_burned_time() {
+    // Both GPUs abort mid-stream (onset past the first blocks), so the GPU
+    // stage dies with no surviving sibling and forces a degraded restart
+    // after the attempt has burned real simulated time.
+    // That burned time must be captured from the failing executor — never
+    // silently accounted as zero — so `total_sim_time` exceeds the final
+    // attempt's `sim_time` by exactly the recorded burn.
+    let topology = ServerTopology::paper_server();
+    let gpus = topology.gpus();
+    let faulted = topology
+        .with_fault_plan(
+            FaultPlan::new()
+                .abort_device(gpus[0], SimTime::from_nanos(3_000))
+                .abort_device(gpus[1], SimTime::from_nanos(3_000)),
+        )
+        .expect("valid fault plan");
+    let engine = Proteus::new(Arc::clone(&faulted));
+    let nodes = faulted.cpu_memory_nodes();
+    let rows = 200_000usize;
+    let table = TableBuilder::new("fact")
+        .column("key", DataType::Int32, ColumnData::Int32((0..rows as i32).collect()))
+        .column("value", DataType::Int64, ColumnData::Int64((0..rows as i64).collect()))
+        .build(&nodes, 1024)
+        .expect("build fact");
+    engine.register_table(table);
+    let rel = hetex_core::RelNode::scan("fact", &["key", "value"])
+        .reduce(vec![AggSpec::sum(Expr::col(1))], &["sum_v"]);
+    let mut config = EngineConfig::gpu_only(2);
+    config.block_capacity = 1024;
+    let outcome = engine.execute(&rel, &config).expect("degraded restart succeeds");
+    assert_eq!(outcome.rows, vec![vec![(0..rows as i64).sum::<i64>()]]);
+    assert!(outcome.stats.degraded_restarts >= 1, "the mid-stream abort must force a restart");
+    let attempts = &outcome.stats.attempt_sim_times;
+    assert_eq!(attempts.len(), outcome.stats.degraded_restarts + 1);
+    assert!(
+        attempts[..attempts.len() - 1].iter().any(|t| *t > SimTime::ZERO),
+        "a mid-stream device loss burned simulated time, but every failed attempt \
+         recorded zero — the burn was dropped, not captured: {attempts:?}"
+    );
+    assert!(
+        outcome.stats.total_sim_time() > outcome.sim_time,
+        "total time must pay for the burned attempt"
+    );
+}

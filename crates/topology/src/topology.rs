@@ -120,6 +120,28 @@ impl ServerTopology {
         Ok(Arc::new(topology))
     }
 
+    /// A copy of this topology with fresh, zeroed, *private* memory-node and
+    /// link clocks. Plain clones share clock state (a [`ResourceClock`] clone
+    /// aliases its inner counter), so two executions simulating over the same
+    /// topology copy would corrupt each other's time accounting. Concurrent
+    /// query execution hands every query its own copy instead; a fresh clock
+    /// is indistinguishable from a [`Self::reset_clocks`] one, so a single
+    /// query behaves bit-identically on either.
+    pub fn with_private_clocks(&self) -> Arc<Self> {
+        let mut topology = self.clone();
+        topology.memory_clocks = topology
+            .memory_nodes
+            .iter()
+            .map(|m| ResourceClock::new(format!("mem:{}", m.id)))
+            .collect();
+        topology.link_clocks = topology
+            .links
+            .iter()
+            .map(|l| ResourceClock::new(format!("link:{}-{}", l.from, l.to)))
+            .collect();
+        Arc::new(topology)
+    }
+
     /// True when `device` has been excluded from placement.
     pub fn is_excluded(&self, device: DeviceId) -> bool {
         self.excluded.contains(&device)
@@ -510,6 +532,25 @@ mod tests {
             t.memory_clock(MemoryNodeId::new(0)).unwrap().now(),
             crate::clock::SimTime::ZERO
         );
+    }
+
+    #[test]
+    fn private_clocks_do_not_alias_the_original() {
+        let t = ServerTopology::paper_server();
+        let private = t.with_private_clocks();
+        // Charge the original's clock: the private copy must stay at zero...
+        t.memory_clock(MemoryNodeId::new(0)).unwrap().reserve(crate::clock::SimTime::ZERO, 100);
+        assert_eq!(
+            private.memory_clock(MemoryNodeId::new(0)).unwrap().now(),
+            crate::clock::SimTime::ZERO
+        );
+        // ...and vice versa for link clocks.
+        private.link_clock(LinkId::new(0)).unwrap().reserve(crate::clock::SimTime::ZERO, 100);
+        assert_eq!(t.link_clock(LinkId::new(0)).unwrap().now(), crate::clock::SimTime::ZERO);
+        // Everything else is shared structure: same shape, same routes.
+        assert_eq!(private.devices().len(), t.devices().len());
+        assert_eq!(private.links().len(), t.links().len());
+        t.reset_clocks();
     }
 
     #[test]
