@@ -10,12 +10,16 @@
 //! The linted corpus is every plan a bench bin compiles: the thirteen SSB
 //! queries, the two microbenchmark plans (sum, join) and the pipeline A/B
 //! join+reduce plan, each under the CPU-only, GPU-only and hybrid execution
-//! targets the figures use.
+//! targets the figures use, the serving configuration, and the `reopt`
+//! target — an enabled `ReoptConfig` whose **entire searched plan space**
+//! (every candidate placement the reoptimizer can emit) is linted, since
+//! the engine re-verifies a feedback rewrite before dispatch and an
+//! error-severity candidate would turn that rewrite into a runtime refusal.
 
 use hetex_analysis::analyze;
 use hetex_bench::micro::{MicroQuery, MicroWorkload};
 use hetex_bench::SsbWorkload;
-use hetex_common::{EngineConfig, ServeConfig};
+use hetex_common::{EngineConfig, ReoptConfig, ServeConfig};
 use hetex_core::{compile, parallelize, RelNode};
 use hetex_topology::ServerTopology;
 use std::process::exit;
@@ -58,16 +62,56 @@ fn lint(
     })
 }
 
-/// The three execution targets the figure harnesses sweep, plus the serving
+/// The three execution targets the figure harnesses sweep, the serving
 /// configuration `serve_ab` runs under (serving enabled: the lint proves a
-/// plan admitted by the `QueryServer` also validates and analyzes cleanly).
-fn targets() -> [(&'static str, EngineConfig); 4] {
+/// plan admitted by the `QueryServer` also validates and analyzes cleanly),
+/// and the `reopt` target whose searched plan space is linted candidate by
+/// candidate.
+fn targets() -> [(&'static str, EngineConfig); 5] {
     [
         ("cpu", EngineConfig::cpu_only(8)),
         ("gpu", EngineConfig::gpu_only(2)),
         ("hybrid", EngineConfig::hybrid(8, 2)),
         ("serve", EngineConfig::hybrid(6, 1).with_serve(ServeConfig::serving())),
+        ("reopt", EngineConfig::hybrid(8, 2).with_reopt(ReoptConfig::enabled())),
     ]
+}
+
+/// Lint the reoptimizer's full searched plan space for one plan: every
+/// candidate placement `candidates` can emit, applied to the submitted
+/// configuration (which `analyze` also vets via `check_reopt`, HX040/HX041).
+/// The space collapses into one table row — stages of the widest candidate,
+/// summed diagnostics, per-candidate detail for anything non-clean.
+fn lint_search_space(
+    name: &str,
+    plan: &RelNode,
+    config: &EngineConfig,
+    topology: &Arc<ServerTopology>,
+) -> Result<LintRow, String> {
+    let space = hetex_core::reopt::candidates(config, topology);
+    let mut stages = 0;
+    let mut errors = 0;
+    let mut warnings = 0;
+    let mut detail = String::new();
+    for candidate in &space {
+        let emitted = candidate.apply(config);
+        let row = lint(name, "reopt", plan, &emitted, topology)
+            .map_err(|e| format!("{e} (searched candidate {})", candidate.label()))?;
+        stages = stages.max(row.stages);
+        errors += row.errors;
+        warnings += row.warnings;
+        if row.errors + row.warnings > 0 {
+            detail.push_str(&format!("candidate {}:\n{}", candidate.label(), row.detail));
+        }
+    }
+    Ok(LintRow {
+        plan: format!("{name} ({} searched candidates)", space.len()),
+        target: "reopt",
+        stages,
+        errors,
+        warnings,
+        detail,
+    })
 }
 
 fn render_table(rows: &[LintRow]) -> String {
@@ -134,7 +178,12 @@ fn main() {
     for (name, plan, cfg) in &corpus {
         for (target, base) in targets() {
             let config = cfg(&ssb, &micro, base);
-            match lint(name, target, plan, &config, &topology) {
+            let result = if target == "reopt" {
+                lint_search_space(name, plan, &config, &topology)
+            } else {
+                lint(name, target, plan, &config, &topology)
+            };
+            match result {
                 Ok(row) => rows.push(row),
                 Err(e) => failures.push(e),
             }

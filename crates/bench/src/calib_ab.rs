@@ -45,6 +45,9 @@ pub struct CalibAbRow {
     pub straggler_ewma: f64,
     /// The probe's measured control-plane round trip, nanoseconds.
     pub control_plane_ns: u64,
+    /// Observed per-stage selectivities (`rows_out / rows_in`) of the
+    /// calibrated run, `None` for a stage that saw no input.
+    pub observed_stage_selectivities: Vec<Option<f64>>,
 }
 
 impl CalibAbRow {
@@ -80,7 +83,8 @@ impl CalibAbReport {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"calibrated_s\": {:.9}, \"nominal_s\": {:.9}, \
                  \"improvement_pct\": {:.2}, \"rows_identical\": {}, \
-                 \"straggler_ewma\": {:.2}, \"control_plane_ns\": {}}}{}\n",
+                 \"straggler_ewma\": {:.2}, \"control_plane_ns\": {}, \
+                 \"observed_stage_selectivities\": {}}}{}\n",
                 row.workload,
                 row.calibrated_s,
                 row.nominal_s,
@@ -88,6 +92,7 @@ impl CalibAbReport {
                 row.rows_identical,
                 row.straggler_ewma,
                 row.control_plane_ns,
+                crate::selectivities_json(&row.observed_stage_selectivities),
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
         }
@@ -117,9 +122,12 @@ fn calib_ab_on(
 ) -> Result<CalibAbRow> {
     let (engine, plan) = join_reduce_engine_on(topology, fact_rows)?;
     let config = base_config();
-    let calibrated =
-        engine.execute(&plan, &config.clone().with_calibration(CalibrationConfig::default()))?;
-    let nominal = engine.execute(&plan, &config.with_calibration(CalibrationConfig::disabled()))?;
+    let calibrated = engine
+        .session()
+        .execute(&plan, &config.clone().with_calibration(CalibrationConfig::default()))?;
+    let nominal =
+        engine.session().execute(&plan, &config.with_calibration(CalibrationConfig::disabled()))?;
+    let observed = crate::observed_selectivities(&calibrated.stats);
     Ok(CalibAbRow {
         workload,
         calibrated_s: calibrated.seconds(),
@@ -132,6 +140,7 @@ fn calib_ab_on(
             .as_ref()
             .map(|c| c.control_plane_ns)
             .unwrap_or(0),
+        observed_stage_selectivities: observed,
     })
 }
 
@@ -221,6 +230,15 @@ mod tests {
     }
 
     #[test]
+    fn observed_stage_selectivity_is_recorded() {
+        // The calibrated run's first stage is the dimension filter (attr < 3
+        // of 7 values); its observed selectivity must reproduce that ratio.
+        let row = unskewed_calib_ab(50_000).unwrap();
+        let first = row.observed_stage_selectivities[0].expect("the filter stage saw input");
+        assert!((first - 3.0 / 7.0).abs() < 0.01, "observed stage-0 selectivity {first} != 3/7");
+    }
+
+    #[test]
     fn report_json_shape() {
         let report = CalibAbReport {
             rows: vec![CalibAbRow {
@@ -230,12 +248,14 @@ mod tests {
                 rows_identical: true,
                 straggler_ewma: 7.93,
                 control_plane_ns: 1004,
+                observed_stage_selectivities: vec![Some(0.4286), Some(1.0)],
             }],
         };
         let json = report.to_json();
         assert!(json.contains("\"improvement_pct\": 20.00"));
         assert!(json.contains("\"straggler_ewma\": 7.93"));
         assert!(json.contains("\"control_plane_ns\": 1004"));
+        assert!(json.contains("\"observed_stage_selectivities\": [0.4286, 1.0000]"));
         assert!(report.get("w").is_some());
     }
 }

@@ -131,8 +131,8 @@ fn fault_ab_on(
     let faulted_topology = ServerTopology::paper_server().with_fault_plan(plan)?;
     let (faulted_engine, rel) = join_reduce_engine_on(faulted_topology, fact_rows)?;
     let (healthy_engine, _) = join_reduce_engine_on(ServerTopology::paper_server(), fact_rows)?;
-    let faulted = faulted_engine.execute(&rel, config)?;
-    let baseline = healthy_engine.execute(&rel, config)?;
+    let faulted = faulted_engine.session().execute(&rel, config)?;
+    let baseline = healthy_engine.session().execute(&rel, config)?;
     Ok(FaultAbRow {
         workload,
         faulted_s: faulted.seconds(),
@@ -151,8 +151,9 @@ fn fault_ab_on(
 pub fn healthy_fault_ab(fact_rows: usize) -> Result<FaultAbRow> {
     let (engine, rel) = join_reduce_engine_on(ServerTopology::paper_server(), fact_rows)?;
     let config = base_config();
-    let armed = engine.execute(&rel, &config.clone().with_fault(FaultConfig::default()))?;
-    let disabled = engine.execute(&rel, &config.with_fault(FaultConfig::disabled()))?;
+    let armed =
+        engine.session().execute(&rel, &config.clone().with_fault(FaultConfig::default()))?;
+    let disabled = engine.session().execute(&rel, &config.with_fault(FaultConfig::disabled()))?;
     Ok(FaultAbRow {
         workload: format!("join_reduce_{}k_healthy", fact_rows / 1000),
         faulted_s: armed.seconds(),

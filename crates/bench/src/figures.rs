@@ -114,6 +114,7 @@ pub fn figure6(physical_sf: f64, core_counts: &[usize]) -> Result<Figure> {
         for query in workload.queries.iter().filter(|q| q.group == group) {
             total += workload
                 .engine_cpu_data
+                .session()
                 .execute(&query.plan, &workload.config(config.clone()))?
                 .seconds();
         }

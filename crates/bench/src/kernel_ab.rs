@@ -45,6 +45,10 @@ pub struct KernelAbRow {
     /// Fraction of scanned rows the workload's filter keeps (1.0 when the
     /// plan has no filter).
     pub selectivity: f64,
+    /// Observed per-stage selectivities (`rows_out / rows_in`) of the
+    /// vectorized run — the *measured* counterpart of the constructed
+    /// `selectivity` label, `None` for a stage that saw no input.
+    pub observed_stage_selectivities: Vec<Option<f64>>,
     /// Whether both modes produced byte-identical result rows.
     pub rows_identical: bool,
 }
@@ -86,12 +90,14 @@ impl KernelAbReport {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"vectorized_s\": {:.9}, \
                  \"tuple_at_a_time_s\": {:.9}, \"improvement_pct\": {:.2}, \
-                 \"selectivity\": {:.4}, \"rows_identical\": {}}}{}\n",
+                 \"selectivity\": {:.4}, \"observed_stage_selectivities\": {}, \
+                 \"rows_identical\": {}}}{}\n",
                 row.workload,
                 row.vectorized_s,
                 row.tuple_at_a_time_s,
                 row.improvement_pct(),
                 row.selectivity,
+                crate::selectivities_json(&row.observed_stage_selectivities),
                 row.rows_identical,
                 if i + 1 < self.rows.len() { "," } else { "" }
             ));
@@ -129,13 +135,16 @@ pub fn kernel_ab_compare(
     selectivity: f64,
 ) -> Result<KernelAbRow> {
     let vectorized =
-        engine.execute(plan, &base.clone().with_kernel_mode(KernelMode::Vectorized))?;
-    let taat = engine.execute(plan, &base.clone().with_kernel_mode(KernelMode::TupleAtATime))?;
+        engine.session().execute(plan, &base.clone().with_kernel_mode(KernelMode::Vectorized))?;
+    let taat =
+        engine.session().execute(plan, &base.clone().with_kernel_mode(KernelMode::TupleAtATime))?;
+    let observed = crate::observed_selectivities(&vectorized.stats);
     Ok(KernelAbRow {
         workload: workload.to_string(),
         vectorized_s: vectorized.seconds(),
         tuple_at_a_time_s: taat.seconds(),
         selectivity,
+        observed_stage_selectivities: observed,
         rows_identical: vectorized.rows == taat.rows,
     })
 }
@@ -341,6 +350,21 @@ mod tests {
     }
 
     #[test]
+    fn observed_stage_selectivity_reproduces_the_dimension_filter() {
+        // The join-probe's first stage is the dimension filter: its observed
+        // rows_out/rows_in must reproduce the constructed 3/7 selectivity.
+        // Downstream consumer stages (hash build, reduce) legitimately
+        // observe ~0 — they absorb rows into operator state.
+        let row = join_probe_ab(50_000).unwrap();
+        let first = row.observed_stage_selectivities[0].expect("the filter stage saw input");
+        assert!(
+            (first - row.selectivity).abs() < 0.01,
+            "observed stage-0 selectivity {first} != constructed {}",
+            row.selectivity
+        );
+    }
+
+    #[test]
     fn predicate_selectivities_match_their_constants() {
         // The committed selectivity labels are exact properties of the
         // generated data, not estimates — pin them against a direct count.
@@ -359,6 +383,7 @@ mod tests {
                 vectorized_s: 0.8,
                 tuple_at_a_time_s: 1.0,
                 selectivity: 0.016,
+                observed_stage_selectivities: vec![Some(0.016), None, Some(1.0)],
                 rows_identical: true,
             }],
         };
@@ -366,6 +391,7 @@ mod tests {
         assert!(json.contains(&format!("\"chunk_tuples\": {VEC_CHUNK}")));
         assert!(json.contains("\"improvement_pct\": 20.00"));
         assert!(json.contains("\"selectivity\": 0.0160"));
+        assert!(json.contains("\"observed_stage_selectivities\": [0.0160, null, 1.0000]"));
         assert!(json.contains("\"rows_identical\": true"));
         assert!(report.get("w").is_some());
     }

@@ -32,6 +32,7 @@ pub mod figures;
 pub mod kernel_ab;
 pub mod micro;
 pub mod pipeline_ab;
+pub mod reopt_ab;
 pub mod report;
 pub mod serve_ab;
 pub mod staging_ab;
@@ -61,4 +62,21 @@ pub fn bench_output_path(dir: Option<std::path::PathBuf>, file: &str) -> std::pa
             .unwrap_or_else(|e| panic!("create bench output dir {}: {e}", dir.display()));
     }
     dir.join(file)
+}
+
+/// Observed per-stage selectivities of a finished query — one entry per
+/// recorded stage (`QueryStats::observed_selectivity`), `None` when a stage
+/// saw no input. The A/B harnesses report these next to their a-priori
+/// workload selectivity labels so the committed artifacts carry *measured*
+/// per-stage row behaviour, the same signal the plan reoptimizer feeds on.
+pub fn observed_selectivities(stats: &hetex_engine::QueryStats) -> Vec<Option<f64>> {
+    (0..stats.stage_rows.len()).map(|i| stats.observed_selectivity(i)).collect()
+}
+
+/// Render observed per-stage selectivities as a JSON array fragment, `null`
+/// for a stage that saw no input. Shared by the A/B report serializers.
+pub fn selectivities_json(sels: &[Option<f64>]) -> String {
+    let items: Vec<String> =
+        sels.iter().map(|s| s.map_or_else(|| "null".to_string(), |v| format!("{v:.4}"))).collect();
+    format!("[{}]", items.join(", "))
 }

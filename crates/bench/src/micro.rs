@@ -132,7 +132,7 @@ impl MicroWorkload {
         nominal_probe_bytes: f64,
     ) -> Result<f64> {
         let config = self.config(base, nominal_probe_bytes);
-        Ok(self.engine.execute(&self.plan(query), &config)?.seconds())
+        Ok(self.engine.session().execute(&self.plan(query), &config)?.seconds())
     }
 
     /// Exact expected result of a query on the physical data (for validation).
@@ -154,6 +154,7 @@ mod tests {
         for query in [MicroQuery::Sum, MicroQuery::Join] {
             let outcome = w
                 .engine
+                .session()
                 .execute(&w.plan(query), &w.config(EngineConfig::cpu_only(2), 1e9))
                 .unwrap();
             assert_eq!(outcome.rows[0][0], w.expected(query), "{}", query.label());

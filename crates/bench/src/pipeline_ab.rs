@@ -126,10 +126,12 @@ pub fn ab_compare(
     base: &EngineConfig,
     workload: &str,
 ) -> Result<AbRow> {
-    let pipelined =
-        engine.execute(plan, &base.clone().with_execution_mode(ExecutionMode::Pipelined))?;
-    let saat =
-        engine.execute(plan, &base.clone().with_execution_mode(ExecutionMode::StageAtATime))?;
+    let pipelined = engine
+        .session()
+        .execute(plan, &base.clone().with_execution_mode(ExecutionMode::Pipelined))?;
+    let saat = engine
+        .session()
+        .execute(plan, &base.clone().with_execution_mode(ExecutionMode::StageAtATime))?;
     Ok(AbRow {
         workload: workload.to_string(),
         pipelined_s: pipelined.seconds(),

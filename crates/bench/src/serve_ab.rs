@@ -113,7 +113,7 @@ pub fn run(streams: usize) -> Result<ServeAbReport> {
     // suite asserts.)
     let expected: Vec<Vec<Vec<i64>>> = queries
         .iter()
-        .map(|q| Ok(engine.execute(&q.plan, &config)?.rows))
+        .map(|q| Ok(engine.session().execute(&q.plan, &config)?.rows))
         .collect::<Result<Vec<_>>>()?;
 
     // Budget for every stream at once: the worker pool and device
@@ -130,7 +130,7 @@ pub fn run(streams: usize) -> Result<ServeAbReport> {
     let mut tickets = Vec::new();
     for _ in 0..streams {
         for query in &queries {
-            tickets.push(server.submit(query.plan.clone(), config.clone())?);
+            tickets.push(server.session().submit(query.plan.clone(), config.clone())?);
         }
     }
     let mut rows_identical = true;

@@ -97,8 +97,9 @@ pub fn join_reduce_staging_ab(fact_rows: usize) -> Result<StagingAbRow> {
     let base = base.with_table_weight("dim", 2_500.0);
 
     let budget = DEFAULT_STAGING_BYTES;
-    let governed = engine.execute(&plan, &base.clone().with_staging_bytes(Some(budget)))?;
-    let ungoverned = engine.execute(&plan, &base.clone().with_staging_bytes(None))?;
+    let governed =
+        engine.session().execute(&plan, &base.clone().with_staging_bytes(Some(budget)))?;
+    let ungoverned = engine.session().execute(&plan, &base.clone().with_staging_bytes(None))?;
     Ok(StagingAbRow {
         workload: format!("join_reduce_{}k_hybrid_8_2", fact_rows / 1000),
         budget_bytes: budget,
@@ -131,8 +132,8 @@ pub fn join_reduce_demand_quota_ab(fact_rows: usize) -> Result<StagingAbRow> {
     let budget = base.min_staging_bytes() * DEMAND_QUOTA_BUDGET_FLOORS;
     base.staging_bytes = Some(budget);
 
-    let demand = engine.execute(&plan, &base)?;
-    let even = engine.execute(
+    let demand = engine.session().execute(&plan, &base)?;
+    let even = engine.session().execute(
         &plan,
         &base.clone().with_cost_model(base.cost_model.with_demand_weighted_quotas(false)),
     )?;

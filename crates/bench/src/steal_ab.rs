@@ -100,9 +100,11 @@ fn steal_ab_on(
 ) -> Result<StealAbRow> {
     let (engine, plan) = join_reduce_engine_on(topology, fact_rows)?;
     let config = base_config();
-    let stealing =
-        engine.execute(&plan, &config.clone().with_steal_policy(StealPolicy::TailMostLoaded))?;
-    let bound = engine.execute(&plan, &config.with_steal_policy(StealPolicy::Disabled))?;
+    let stealing = engine
+        .session()
+        .execute(&plan, &config.clone().with_steal_policy(StealPolicy::TailMostLoaded))?;
+    let bound =
+        engine.session().execute(&plan, &config.with_steal_policy(StealPolicy::Disabled))?;
     Ok(StealAbRow {
         workload,
         steal_s: stealing.seconds(),

@@ -117,7 +117,7 @@ fn execute(
         }
         System::ProteusCpu { cores } => {
             let config = workload.config(EngineConfig::cpu_only(cores));
-            Ok(workload.engine_cpu_data.execute(&query.plan, &config)?.seconds())
+            Ok(workload.engine_cpu_data.session().execute(&query.plan, &config)?.seconds())
         }
         System::ProteusGpu { gpus } => {
             let mut config = workload.config(EngineConfig::gpu_only(gpus));
@@ -130,11 +130,11 @@ fn execute(
             } else {
                 &workload.engine_cpu_data
             };
-            Ok(engine.execute(&query.plan, &config)?.seconds())
+            Ok(engine.session().execute(&query.plan, &config)?.seconds())
         }
         System::ProteusHybrid { cores, gpus } => {
             let config = workload.config(EngineConfig::hybrid(cores, gpus));
-            Ok(workload.engine_cpu_data.execute(&query.plan, &config)?.seconds())
+            Ok(workload.engine_cpu_data.session().execute(&query.plan, &config)?.seconds())
         }
     }
 }
@@ -162,14 +162,22 @@ mod tests {
     fn proteus_results_agree_across_systems() {
         let w = tiny_workload(true);
         let q = w.query("Q2.1").unwrap().clone();
-        let cpu = w.engine_cpu_data.execute(&q.plan, &w.config(EngineConfig::cpu_only(4))).unwrap();
-        let hybrid =
-            w.engine_cpu_data.execute(&q.plan, &w.config(EngineConfig::hybrid(4, 2))).unwrap();
+        let cpu = w
+            .engine_cpu_data
+            .session()
+            .execute(&q.plan, &w.config(EngineConfig::cpu_only(4)))
+            .unwrap();
+        let hybrid = w
+            .engine_cpu_data
+            .session()
+            .execute(&q.plan, &w.config(EngineConfig::hybrid(4, 2)))
+            .unwrap();
         assert_eq!(cpu.rows, hybrid.rows);
         let gpu = w
             .engine_gpu_data
             .as_ref()
             .unwrap()
+            .session()
             .execute(&q.plan, &w.config(EngineConfig::gpu_only(2)))
             .unwrap();
         assert_eq!(cpu.rows, gpu.rows);

@@ -462,6 +462,77 @@ pub const DEFAULT_SERVE_WORKERS: usize = 4;
 /// hold admission tokens concurrently on every node.
 pub const DEFAULT_SERVE_ADMISSION_BYTES: u64 = 4 * DEFAULT_STAGING_BYTES;
 
+/// Configuration of feedback-driven plan re-optimization (`hetex-core`'s
+/// `reopt` module).
+///
+/// Default **off**: a plain [`EngineConfig::default`] never fingerprints a
+/// plan, never consults the feedback cache and never rewrites a placement, so
+/// the execute path stays bit-identical to the pre-reopt engine (asserted by
+/// the differential suite). `ReoptConfig::enabled()` turns the whole loop on:
+/// every successful run distills a `PlanFeedback` record into the engine's
+/// (or server's) feedback cache, and a repeated query's second run searches
+/// the placement/DOP plan space costed by that record's measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ReoptConfig {
+    /// Master switch of the re-optimization loop.
+    pub enabled: bool,
+    /// Search over the device-placement axis (`CpuOnly`/`GpuOnly`/`Hybrid`).
+    /// Off, candidates keep the submitted configuration's target.
+    pub search_target: bool,
+    /// Search over the degree-of-parallelism axis (CPU ladder, GPU counts).
+    /// Off, candidates keep the submitted configuration's DOPs.
+    pub search_dop: bool,
+    /// Minimum estimated relative gain (0.05 = 5%) a candidate must show
+    /// over the incumbent before the reoptimizer rewrites the plan. Guards
+    /// against churning the placement on estimation noise.
+    pub min_gain: f64,
+}
+
+impl Default for ReoptConfig {
+    fn default() -> Self {
+        Self::disabled()
+    }
+}
+
+impl ReoptConfig {
+    /// Re-optimization switched off — the default, frozen-plan behaviour.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            search_target: true,
+            search_dop: true,
+            min_gain: DEFAULT_REOPT_MIN_GAIN,
+        }
+    }
+
+    /// The full loop switched on: both search axes and the default gain bar.
+    pub fn enabled() -> Self {
+        Self { enabled: true, ..Self::disabled() }
+    }
+
+    /// Toggle the device-placement search axis.
+    pub fn with_search_target(mut self, on: bool) -> Self {
+        self.search_target = on;
+        self
+    }
+
+    /// Toggle the degree-of-parallelism search axis.
+    pub fn with_search_dop(mut self, on: bool) -> Self {
+        self.search_dop = on;
+        self
+    }
+
+    /// Set the minimum estimated relative gain required to replan.
+    pub fn with_min_gain(mut self, min_gain: f64) -> Self {
+        self.min_gain = min_gain;
+        self
+    }
+}
+
+/// Default minimum estimated relative gain (5%) the reoptimizer requires
+/// before rewriting a placement.
+pub const DEFAULT_REOPT_MIN_GAIN: f64 = 0.05;
+
 /// Initial placement of base-table data.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum DataPlacement {
@@ -534,6 +605,11 @@ pub struct EngineConfig {
     /// of the `QueryServer` session layer. Off by default — the single-query
     /// `Proteus::execute` path never consults this group.
     pub serve: ServeConfig,
+    /// Feedback-driven plan re-optimization toggles: whether repeated
+    /// queries are re-planned from their previous runs' measurements. Off by
+    /// default — a disabled group never fingerprints a plan or touches the
+    /// feedback cache.
+    pub reopt: ReoptConfig,
 }
 
 impl Default for EngineConfig {
@@ -557,6 +633,7 @@ impl Default for EngineConfig {
             kernel_mode: KernelMode::default(),
             analysis: AnalysisMode::default(),
             serve: ServeConfig::default(),
+            reopt: ReoptConfig::default(),
         }
     }
 }
@@ -668,6 +745,22 @@ impl EngineConfig {
         self
     }
 
+    /// Select the feedback-driven re-optimization toggles.
+    pub fn with_reopt(mut self, reopt: ReoptConfig) -> Self {
+        self.reopt = reopt;
+        self
+    }
+
+    /// Start building a configuration with construction-time validation.
+    /// Unlike the field-struct path (where an inconsistent target/DOP combo
+    /// only surfaces when the engine calls [`Self::validate`]),
+    /// [`EngineConfigBuilder::build`] rejects invalid combinations — a
+    /// `CpuOnly` target with a nonzero `gpu_dop`, a `GpuOnly` target with
+    /// CPU workers — at the construction site.
+    pub fn builder() -> EngineConfigBuilder {
+        EngineConfigBuilder::new()
+    }
+
     /// Estimated peak per-node staging footprint of one query under this
     /// configuration — the byte size of the admission token the serving
     /// layer holds for the query's whole run. Equal to the query's own
@@ -731,6 +824,15 @@ impl EngineConfig {
                     self.est_serve_footprint_bytes()
                 )))
             }
+            _ if self.reopt.enabled
+                && !(self.reopt.min_gain.is_finite()
+                    && (0.0..1.0).contains(&self.reopt.min_gain)) =>
+            {
+                Err(HetError::Config(format!(
+                    "reopt min_gain must be a finite fraction in [0, 1), got {}",
+                    self.reopt.min_gain
+                )))
+            }
             _ if self.staging_bytes.is_some_and(|b| b < self.min_staging_bytes()) => {
                 Err(HetError::Config(format!(
                     "staging_bytes ({}) must cover at least one maximum-size block per active \
@@ -746,6 +848,195 @@ impl EngineConfig {
             }
             _ => Ok(()),
         }
+    }
+
+    /// The configuration this one degrades to when only `cpus` CPU cores and
+    /// `gpus` GPUs survive a device loss: DOPs clamp to the survivors, a
+    /// GPU-dependent target falls back to CPU-only when every GPU is gone,
+    /// and `None` means no degraded plan exists (no survivors can host the
+    /// target). This is the clamping logic the engine's degraded-restart
+    /// ladder applies between attempts, lifted out of the execute path so the
+    /// same rules are visible (and testable) at the configuration layer.
+    pub fn degraded_for(&self, cpus: usize, gpus: usize) -> Option<EngineConfig> {
+        if cpus == 0 && gpus == 0 {
+            return None;
+        }
+        let mut cfg = self.clone();
+        cfg.gpu_dop = cfg.gpu_dop.min(gpus);
+        cfg.cpu_dop = cfg.cpu_dop.min(cpus);
+        if cfg.gpu_dop == 0
+            && matches!(cfg.target, ExecutionTarget::GpuOnly | ExecutionTarget::Hybrid)
+        {
+            // Every surviving plan must run somewhere: fall back to CPU-only.
+            cfg.target = ExecutionTarget::CpuOnly;
+            cfg.gpu_dop = 0;
+            cfg.cpu_dop = cfg.cpu_dop.max(1).min(cpus);
+        }
+        if cfg.cpu_dop == 0 && cfg.target == ExecutionTarget::CpuOnly {
+            return None;
+        }
+        Some(cfg)
+    }
+}
+
+/// Builder for [`EngineConfig`] with construction-time validation.
+///
+/// The ad-hoc constructors ([`EngineConfig::cpu_only`] and friends) remain as
+/// conveniences, but they accept any DOP combination and defer every check to
+/// [`EngineConfig::validate`] deep inside the engine. The builder rejects
+/// inconsistent combinations — a `CpuOnly` target carrying GPU workers, a
+/// `GpuOnly` target carrying CPU workers, a zero-DOP target — when
+/// [`Self::build`] is called, so misconfigurations fail at the construction
+/// site with the same structured `HetError::Config` the engine would raise.
+#[derive(Debug, Clone, Default)]
+pub struct EngineConfigBuilder {
+    config: EngineConfig,
+}
+
+impl EngineConfigBuilder {
+    /// A builder seeded with [`EngineConfig::default`].
+    pub fn new() -> Self {
+        Self { config: EngineConfig::default() }
+    }
+
+    /// Select the execution target. Selecting a single-device target also
+    /// normalizes the other class's DOP to zero (mirroring the ad-hoc
+    /// constructors), so set DOPs *after* the target.
+    pub fn target(mut self, target: ExecutionTarget) -> Self {
+        self.config.target = target;
+        match target {
+            ExecutionTarget::CpuOnly => self.config.gpu_dop = 0,
+            ExecutionTarget::GpuOnly => self.config.cpu_dop = 0,
+            ExecutionTarget::Hybrid => {}
+        }
+        self
+    }
+
+    /// Set the CPU degree of parallelism.
+    pub fn cpu_dop(mut self, dop: usize) -> Self {
+        self.config.cpu_dop = dop;
+        self
+    }
+
+    /// Set the GPU degree of parallelism.
+    pub fn gpu_dop(mut self, dop: usize) -> Self {
+        self.config.gpu_dop = dop;
+        self
+    }
+
+    /// Set the block capacity (tuples per block).
+    pub fn block_capacity(mut self, capacity: usize) -> Self {
+        self.config.block_capacity = capacity;
+        self
+    }
+
+    /// Set the base-table placement.
+    pub fn placement(mut self, placement: DataPlacement) -> Self {
+        self.config.placement = placement;
+        self
+    }
+
+    /// Set the global scale-extrapolation weight.
+    pub fn scale_weight(mut self, weight: f64) -> Self {
+        self.config.scale_weight = weight;
+        self
+    }
+
+    /// Add a per-table weight override.
+    pub fn table_weight(mut self, table: impl Into<String>, weight: f64) -> Self {
+        self.config.table_weights.push((table.into(), weight));
+        self
+    }
+
+    /// Select the executor's stage-scheduling mode.
+    pub fn execution_mode(mut self, mode: ExecutionMode) -> Self {
+        self.config.execution_mode = mode;
+        self
+    }
+
+    /// Set (or unbound, with `None`) the per-queue handle capacity.
+    pub fn queue_capacity(mut self, capacity: Option<usize>) -> Self {
+        self.config.queue_capacity = capacity;
+        self
+    }
+
+    /// Set (or disable, with `None`) the per-node staging byte budget.
+    pub fn staging_bytes(mut self, bytes: Option<u64>) -> Self {
+        self.config.staging_bytes = bytes;
+        self
+    }
+
+    /// Select the pipelined executor's work-stealing policy.
+    pub fn steal_policy(mut self, policy: StealPolicy) -> Self {
+        self.config.steal_policy = policy;
+        self
+    }
+
+    /// Select which cost-model terms are active.
+    pub fn cost_model(mut self, cost_model: CostModelConfig) -> Self {
+        self.config.cost_model = cost_model;
+        self
+    }
+
+    /// Select which calibration inputs feed the cost model.
+    pub fn calibration(mut self, calibration: CalibrationConfig) -> Self {
+        self.config.calibration = calibration;
+        self
+    }
+
+    /// Select which fault-recovery paths are active.
+    pub fn fault(mut self, fault: FaultConfig) -> Self {
+        self.config.fault = fault;
+        self
+    }
+
+    /// Select the CPU kernel execution mode.
+    pub fn kernel_mode(mut self, mode: KernelMode) -> Self {
+        self.config.kernel_mode = mode;
+        self
+    }
+
+    /// Select what the engine does with static-analysis findings.
+    pub fn analysis(mut self, mode: AnalysisMode) -> Self {
+        self.config.analysis = mode;
+        self
+    }
+
+    /// Select the multi-query serving toggles.
+    pub fn serve(mut self, serve: ServeConfig) -> Self {
+        self.config.serve = serve;
+        self
+    }
+
+    /// Select the feedback-driven re-optimization toggles.
+    pub fn reopt(mut self, reopt: ReoptConfig) -> Self {
+        self.config.reopt = reopt;
+        self
+    }
+
+    /// Validate and produce the configuration. Beyond
+    /// [`EngineConfig::validate`], the builder rejects DOPs on a device
+    /// class the target excludes — combinations the field-struct path
+    /// silently carries until the parallelizer ignores them.
+    pub fn build(self) -> crate::error::Result<EngineConfig> {
+        use crate::error::HetError;
+        match self.config.target {
+            ExecutionTarget::CpuOnly if self.config.gpu_dop > 0 => {
+                return Err(HetError::Config(format!(
+                    "CpuOnly target cannot carry gpu_dop = {}; use Hybrid or drop the GPUs",
+                    self.config.gpu_dop
+                )));
+            }
+            ExecutionTarget::GpuOnly if self.config.cpu_dop > 0 => {
+                return Err(HetError::Config(format!(
+                    "GpuOnly target cannot carry cpu_dop = {}; use Hybrid or drop the cores",
+                    self.config.cpu_dop
+                )));
+            }
+            _ => {}
+        }
+        self.config.validate()?;
+        Ok(self.config)
     }
 }
 
@@ -937,6 +1228,116 @@ mod tests {
     fn labels_match_paper_naming() {
         assert_eq!(ExecutionTarget::CpuOnly.label(), "Proteus CPUs");
         assert_eq!(ExecutionTarget::Hybrid.label(), "Proteus Hybrid");
+    }
+
+    #[test]
+    fn reopt_defaults_off_and_toggles_independently() {
+        // Default off: a plain config never engages the reoptimizer.
+        let cfg = EngineConfig::default();
+        assert_eq!(cfg.reopt, ReoptConfig::disabled());
+        assert!(!cfg.reopt.enabled);
+        cfg.validate().unwrap();
+        // Switched on: both axes searched, default gain bar.
+        let on = EngineConfig::default().with_reopt(ReoptConfig::enabled());
+        assert!(on.reopt.enabled && on.reopt.search_target && on.reopt.search_dop);
+        assert_eq!(on.reopt.min_gain, DEFAULT_REOPT_MIN_GAIN);
+        on.validate().unwrap();
+        // Axes toggle independently.
+        let tuned = ReoptConfig::enabled().with_search_target(false).with_min_gain(0.2);
+        assert!(tuned.enabled && !tuned.search_target && tuned.search_dop);
+        assert_eq!(tuned.min_gain, 0.2);
+        // Invalid gain bars are rejected — but only when enabled.
+        let bad = EngineConfig::default().with_reopt(ReoptConfig::enabled().with_min_gain(1.5));
+        assert_eq!(bad.validate().unwrap_err().category(), "config");
+        let nan =
+            EngineConfig::default().with_reopt(ReoptConfig::enabled().with_min_gain(f64::NAN));
+        assert!(nan.validate().is_err());
+        let off_bad =
+            EngineConfig::default().with_reopt(ReoptConfig::disabled().with_min_gain(9.0));
+        off_bad.validate().unwrap();
+    }
+
+    #[test]
+    fn builder_rejects_invalid_target_dop_combinations() {
+        // A consistent build passes and matches the ad-hoc constructor.
+        let built =
+            EngineConfig::builder().target(ExecutionTarget::CpuOnly).cpu_dop(8).build().unwrap();
+        assert_eq!(built, EngineConfig::cpu_only(8));
+        // Cross-class DOPs are rejected at construction, not deep in the
+        // engine: CpuOnly cannot carry GPU workers and vice versa.
+        let err = EngineConfig::builder()
+            .target(ExecutionTarget::CpuOnly)
+            .cpu_dop(8)
+            .gpu_dop(2)
+            .build()
+            .unwrap_err();
+        assert_eq!(err.category(), "config");
+        assert!(err.to_string().contains("gpu_dop"), "descriptive: {err}");
+        let err = EngineConfig::builder()
+            .target(ExecutionTarget::GpuOnly)
+            .gpu_dop(2)
+            .cpu_dop(4)
+            .build()
+            .unwrap_err();
+        assert!(err.to_string().contains("cpu_dop"), "descriptive: {err}");
+        // Zero-DOP targets fail the shared validation.
+        assert!(EngineConfig::builder()
+            .target(ExecutionTarget::GpuOnly)
+            .gpu_dop(0)
+            .build()
+            .is_err());
+        // Selecting a single-device target normalizes the other class.
+        let normalized =
+            EngineConfig::builder().target(ExecutionTarget::GpuOnly).gpu_dop(1).build().unwrap();
+        assert_eq!(normalized.cpu_dop, 0);
+        // The full knob surface is reachable through the builder.
+        let tuned = EngineConfig::builder()
+            .target(ExecutionTarget::Hybrid)
+            .cpu_dop(4)
+            .gpu_dop(1)
+            .block_capacity(512)
+            .scale_weight(10.0)
+            .table_weight("dim", 2.0)
+            .execution_mode(ExecutionMode::Pipelined)
+            .queue_capacity(Some(8))
+            .staging_bytes(None)
+            .steal_policy(StealPolicy::Disabled)
+            .cost_model(CostModelConfig::disabled())
+            .calibration(CalibrationConfig::disabled())
+            .fault(FaultConfig::disabled())
+            .kernel_mode(KernelMode::TupleAtATime)
+            .analysis(AnalysisMode::Warn)
+            .serve(ServeConfig::serving())
+            .reopt(ReoptConfig::enabled())
+            .placement(DataPlacement::CpuResident)
+            .build()
+            .unwrap();
+        assert_eq!(tuned.block_capacity, 512);
+        assert!(tuned.reopt.enabled && tuned.serve.enabled);
+        assert_eq!(tuned.weight_for("dim"), 2.0);
+    }
+
+    #[test]
+    fn degraded_for_clamps_to_survivors() {
+        let hybrid = EngineConfig::hybrid(8, 2);
+        // No survivors at all: no degraded plan.
+        assert!(hybrid.degraded_for(0, 0).is_none());
+        // GPUs gone: hybrid falls back to CPU-only on the surviving cores.
+        let cpu_fallback = hybrid.degraded_for(4, 0).unwrap();
+        assert_eq!(cpu_fallback.target, ExecutionTarget::CpuOnly);
+        assert_eq!((cpu_fallback.cpu_dop, cpu_fallback.gpu_dop), (4, 0));
+        cpu_fallback.validate().unwrap();
+        // Partial survivors clamp without changing the target.
+        let clamped = hybrid.degraded_for(24, 1).unwrap();
+        assert_eq!(clamped.target, ExecutionTarget::Hybrid);
+        assert_eq!((clamped.cpu_dop, clamped.gpu_dop), (8, 1));
+        // A CPU-only plan with no surviving cores has nowhere to run.
+        assert!(EngineConfig::cpu_only(8).degraded_for(0, 2).is_none());
+        // GPU-only with GPUs gone but cores alive falls back to the cores.
+        let gpu_fallback = EngineConfig::gpu_only(2).degraded_for(6, 0).unwrap();
+        assert_eq!(gpu_fallback.target, ExecutionTarget::CpuOnly);
+        assert_eq!((gpu_fallback.cpu_dop, gpu_fallback.gpu_dop), (1, 0));
+        gpu_fallback.validate().unwrap();
     }
 
     #[test]

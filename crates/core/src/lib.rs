@@ -28,6 +28,11 @@
 //!   block-at-a-time movement and tuple-at-a-time execution.
 //! * [`queue`] — the asynchronous block-handle queues used by routers and by
 //!   gpu2cpu.
+//! * [`reopt`] — feedback-driven plan re-optimization: a plan-fingerprint
+//!   keyed [`reopt::FeedbackCache`] of measurements distilled from executed
+//!   queries, and a small placement/DOP plan-space search costed by the
+//!   calibrated [`cost::CostModel`], so a repeated query's second run is
+//!   planned from its first run's observed behaviour.
 //! * [`serve`] — the deterministic multi-query fairness timeline
 //!   ([`serve::FairTimeline`]): admitted sessions replayed as fluid flows
 //!   over the device capacities under weighted max-min fairness, the model
@@ -41,6 +46,7 @@ pub mod pack;
 pub mod parallelizer;
 pub mod plan;
 pub mod queue;
+pub mod reopt;
 pub mod router;
 pub mod serve;
 pub mod traits;
@@ -53,6 +59,10 @@ pub use pack::{Packer, Unpacker};
 pub use parallelizer::parallelize;
 pub use plan::{DeviceTarget, HetNode, RelNode, RouterPolicy};
 pub use queue::BlockQueue;
+pub use reopt::{
+    plan_fingerprint, Candidate, CandidateCost, FeedbackCache, PlanFeedback, ReoptDecision,
+    StageObservation,
+};
 pub use router::Router;
 pub use serve::{FairTimeline, ServeSchedule, ServeSession, SessionSchedule};
 pub use traits::PlanTraits;

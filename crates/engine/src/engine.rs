@@ -9,9 +9,13 @@
 
 use crate::codegen::compile;
 use crate::executor::{DeviceKindStats, Executor};
-use hetex_common::config::{ExecutionTarget, DEFAULT_STAGING_BYTES};
+use hetex_common::config::DEFAULT_STAGING_BYTES;
 use hetex_common::{AnalysisMode, EngineConfig, HetError, MemoryNodeId, Result};
-use hetex_core::{parallelize, HetNode, RelNode, SlowdownObserver};
+use hetex_core::reopt::reoptimize;
+use hetex_core::{
+    parallelize, plan_fingerprint, CostModel, FeedbackCache, HetNode, PlanFeedback, RelNode,
+    SlowdownObserver, StageObservation,
+};
 use hetex_storage::{BlockManagerSet, Catalog, MemoryManagerSet, StoredTable};
 use hetex_topology::{CalibratedConstants, DeviceId, DeviceKind, ServerTopology, SimTime};
 use std::collections::HashMap;
@@ -69,6 +73,15 @@ pub struct QueryStats {
     /// surfaced, then the final (successful) attempt's `sim_time`. A healthy
     /// query has exactly one entry, equal to `QueryOutcome::sim_time`.
     pub attempt_sim_times: Vec<SimTime>,
+    /// Observed rows-in/rows-out per stage (the *actual* per-stage
+    /// selectivities), indexed like `stage_completion`. Counts are
+    /// best-effort under fault recovery: blocks replayed through a
+    /// quarantine drain are not re-counted.
+    pub stage_rows: Vec<(u64, u64)>,
+    /// Label of the placement the reoptimizer substituted for this run
+    /// (e.g. `"cpu_only(24)"`). `None` when re-optimization is off, no
+    /// feedback existed yet, or the search kept the submitted plan.
+    pub reopt_applied: Option<String>,
 }
 
 impl QueryStats {
@@ -90,6 +103,13 @@ impl QueryStats {
     /// signal benches and diagnostics report.
     pub fn max_observed_slowdown(&self) -> f64 {
         self.observed_slowdowns.iter().copied().fold(1.0, f64::max)
+    }
+
+    /// The *actual* selectivity of stage `stage` (`rows_out / rows_in`);
+    /// `None` when the stage saw no input or was never recorded.
+    pub fn observed_selectivity(&self, stage: usize) -> Option<f64> {
+        let &(rows_in, rows_out) = self.stage_rows.get(stage)?;
+        (rows_in > 0).then(|| rows_out as f64 / rows_in as f64)
     }
 }
 
@@ -131,6 +151,11 @@ pub struct Proteus {
     /// sockets, so the measurement stays valid for the engine's lifetime —
     /// and the shared pointer is what the probe-once test asserts on.
     probed_constants: Arc<CalibratedConstants>,
+    /// Engine-lifetime plan-feedback cache: one record per plan fingerprint,
+    /// consulted (and refreshed) only by sessions with
+    /// `EngineConfig::reopt` enabled. Sessions can inject a different cache
+    /// (the `QueryServer` shares one across its whole pool).
+    feedback: Arc<FeedbackCache>,
     block_managers: BlockManagerSet,
     memory_managers: MemoryManagerSet,
 }
@@ -151,6 +176,7 @@ impl Proteus {
             topology,
             catalog: Catalog::new(),
             probed_constants,
+            feedback: Arc::new(FeedbackCache::new()),
             block_managers: BlockManagerSet::new(&nodes, DEFAULT_STAGING_BYTES),
             memory_managers: MemoryManagerSet::new(&capacities),
         }
@@ -165,6 +191,13 @@ impl Proteus {
     /// shared (by `Arc`) with every query this engine executes.
     pub fn probed_constants(&self) -> &Arc<CalibratedConstants> {
         &self.probed_constants
+    }
+
+    /// The engine-lifetime feedback cache behind plan re-optimization, shared
+    /// by every session that does not inject its own via
+    /// [`QuerySession::reuse_feedback`](crate::session::QuerySession::reuse_feedback).
+    pub fn feedback_cache(&self) -> &Arc<FeedbackCache> {
+        &self.feedback
     }
 
     /// The table catalog.
@@ -202,7 +235,74 @@ impl Proteus {
         parallelize(plan, config)
     }
 
+    /// Open a [`QuerySession`](crate::session::QuerySession) on this engine —
+    /// the unified entry point for one-shot execution. The serving
+    /// counterpart is [`QueryServer::session`](crate::server::QueryServer::session).
+    pub fn session(&self) -> crate::session::QuerySession<'_> {
+        crate::session::QuerySession::on_engine(self)
+    }
+
     /// Execute a sequential physical plan under the given configuration.
+    #[deprecated(note = "use `Proteus::session().execute(plan, config)`")]
+    pub fn execute(&self, plan: &RelNode, config: &EngineConfig) -> Result<QueryOutcome> {
+        self.execute_with(plan, config, None, None)
+    }
+
+    /// Execute with an optional server-lifetime slowdown observer shared
+    /// across queries. `None` gives every query a fresh observer.
+    #[deprecated(note = "use `Proteus::session().observe(observer).execute(plan, config)`")]
+    pub fn execute_observed(
+        &self,
+        plan: &RelNode,
+        config: &EngineConfig,
+        observer: Option<Arc<SlowdownObserver>>,
+    ) -> Result<QueryOutcome> {
+        self.execute_with(plan, config, observer, None)
+    }
+
+    /// The session entry point: validate, optionally re-optimize from cached
+    /// feedback, execute, and record fresh feedback.
+    ///
+    /// With `config.reopt` disabled (the default) this is exactly the
+    /// pre-reopt engine: validate, then execute the submitted plan — no
+    /// fingerprinting, no cache traffic, no rewrites. With it enabled, a
+    /// prior run's [`PlanFeedback`] (from `feedback`, defaulting to the
+    /// engine-lifetime cache) drives a placement/DOP search; a winning
+    /// candidate replaces the submitted placement and the rewritten
+    /// configuration passes through every gate the submitted one would —
+    /// `validate()` here, then the static verifier ([`Self::verify`], Deny
+    /// semantics unchanged) inside the attempt.
+    pub(crate) fn execute_with(
+        &self,
+        plan: &RelNode,
+        config: &EngineConfig,
+        observer: Option<Arc<SlowdownObserver>>,
+        feedback: Option<Arc<FeedbackCache>>,
+    ) -> Result<QueryOutcome> {
+        config.validate()?;
+        if !config.reopt.enabled {
+            return self.execute_validated(plan, config, observer);
+        }
+        let cache = feedback.unwrap_or_else(|| Arc::clone(&self.feedback));
+        let fingerprint = plan_fingerprint(plan);
+        let mut effective = config.clone();
+        let mut applied = None;
+        if let Some(prior) = cache.get(fingerprint) {
+            let cost =
+                CostModel::from_config(config).with_constants(Arc::clone(&self.probed_constants));
+            if let Some(decision) = reoptimize(config, &prior, &self.topology, &cost) {
+                effective = decision.chosen.apply(config);
+                effective.validate()?;
+                applied = Some(decision.chosen.label());
+            }
+        }
+        let mut outcome = self.execute_validated(plan, &effective, observer)?;
+        outcome.stats.reopt_applied = applied;
+        cache.record(Self::distill_feedback(fingerprint, &effective, &outcome));
+        Ok(outcome)
+    }
+
+    /// Execute a validated configuration.
     ///
     /// The last rung of the fault-recovery ladder lives here: when execution
     /// fails with a structured [`HetError::DeviceLost`] (a bound stage lost
@@ -213,20 +313,12 @@ impl Proteus {
     /// re-executed from scratch. Results are exact either way; the reported
     /// simulated time is that of the final (successful) attempt, with the time
     /// each failed attempt burned recorded in `QueryStats::attempt_sim_times`.
-    pub fn execute(&self, plan: &RelNode, config: &EngineConfig) -> Result<QueryOutcome> {
-        self.execute_observed(plan, config, None)
-    }
-
-    /// [`Self::execute`] with an optional server-lifetime slowdown observer
-    /// shared across queries (the serving layer's calibration reuse). `None`
-    /// gives every query a fresh observer — the single-query behaviour.
-    pub fn execute_observed(
+    fn execute_validated(
         &self,
         plan: &RelNode,
         config: &EngineConfig,
         observer: Option<Arc<SlowdownObserver>>,
     ) -> Result<QueryOutcome> {
-        config.validate()?;
         let executor = self.query_executor(&self.topology, observer.clone());
         match self.execute_attempt(&self.topology, &executor, plan, config) {
             Err(HetError::DeviceLost { device, .. }) if config.fault.degraded_restart => {
@@ -236,6 +328,42 @@ impl Proteus {
                 self.execute_degraded(plan, config, device, vec![burned], observer)
             }
             other => other,
+        }
+    }
+
+    /// Distill one successful run's statistics into the feedback record the
+    /// reoptimizer consumes on the next submission of the same plan. `config`
+    /// is the placement that was *dispatched*; after a degraded restart the
+    /// surviving attempt ran a clamped variant, which the feedback
+    /// deliberately ignores — exclusions are transient and the record should
+    /// describe the query on the healthy topology.
+    fn distill_feedback(
+        fingerprint: u64,
+        config: &EngineConfig,
+        outcome: &QueryOutcome,
+    ) -> PlanFeedback {
+        let stats = &outcome.stats;
+        let stages = stats
+            .stage_rows
+            .iter()
+            .enumerate()
+            .map(|(i, &(rows_in, rows_out))| StageObservation {
+                rows_in,
+                rows_out,
+                completion_ns: stats.stage_completion.get(i).map_or(0, |t| t.as_nanos()),
+            })
+            .collect();
+        PlanFeedback {
+            fingerprint,
+            target: config.target,
+            cpu_dop: config.cpu_dop,
+            gpu_dop: config.gpu_dop,
+            sim_time_ns: outcome.sim_time.as_nanos() as f64,
+            observed_slowdowns: stats.observed_slowdowns.clone(),
+            stages,
+            remote_control_acquisitions: stats.remote_control_acquisitions,
+            bytes_transferred: stats.bytes_transferred,
+            runs: 1,
         }
     }
 
@@ -291,6 +419,8 @@ impl Proteus {
                 excluded_devices: Vec::new(),
                 degraded_restarts: 0,
                 attempt_sim_times: vec![result.sim_time],
+                stage_rows: result.stage_rows,
+                reopt_applied: None,
             },
         })
     }
@@ -344,26 +474,9 @@ impl Proteus {
             excluded.push(lost);
             let gpus = topology.gpus().len();
             let cpus = topology.cpu_cores().len();
-            if gpus == 0 && cpus == 0 {
+            let Some(cfg) = config.degraded_for(cpus, gpus) else {
                 break;
-            }
-            let mut cfg = config.clone();
-            cfg.gpu_dop = cfg.gpu_dop.min(gpus);
-            cfg.cpu_dop = cfg.cpu_dop.min(cpus);
-            if cfg.gpu_dop == 0
-                && matches!(cfg.target, ExecutionTarget::GpuOnly | ExecutionTarget::Hybrid)
-            {
-                // Every GPU is gone (or the config never had GPU lanes):
-                // degrade to CPU-only, with at least one core of
-                // parallelism — graceful degradation, not a validation
-                // error about a device class that no longer exists.
-                cfg.target = ExecutionTarget::CpuOnly;
-                cfg.gpu_dop = 0;
-                cfg.cpu_dop = cfg.cpu_dop.max(1).min(cpus);
-            }
-            if cfg.cpu_dop == 0 && cfg.target == ExecutionTarget::CpuOnly {
-                break;
-            }
+            };
             cfg.validate()?;
             // A fresh executor: its device clocks and simulated GPUs run
             // against the shrunken topology, placement never sees the
@@ -446,7 +559,7 @@ mod tests {
         for config in
             [EngineConfig::cpu_only(4), EngineConfig::gpu_only(2), EngineConfig::hybrid(8, 2)]
         {
-            let outcome = engine.execute(&sum_where_plan(), &config).unwrap();
+            let outcome = engine.session().execute(&sum_where_plan(), &config).unwrap();
             assert_eq!(outcome.rows, vec![vec![expected]], "target {:?}", config.target);
             assert!(outcome.sim_time > SimTime::ZERO);
             assert!(outcome.seconds() > 0.0);
@@ -459,7 +572,7 @@ mod tests {
         let engine = engine_with_table(10_000);
         let plan =
             RelNode::scan("t", &["a", "b"]).group_by(&[0], vec![AggSpec::count()], &["a", "cnt"]);
-        let outcome = engine.execute(&plan, &EngineConfig::cpu_only(2)).unwrap();
+        let outcome = engine.session().execute(&plan, &EngineConfig::cpu_only(2)).unwrap();
         assert_eq!(outcome.rows.len(), 1000);
         // Sorted by key and each key appears 10 times.
         assert!(outcome.rows.windows(2).all(|w| w[0][0] < w[1][0]));
@@ -478,14 +591,15 @@ mod tests {
     #[test]
     fn missing_table_is_a_catalog_error() {
         let engine = Proteus::on_paper_server();
-        let err = engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(1)).unwrap_err();
+        let err =
+            engine.session().execute(&sum_where_plan(), &EngineConfig::cpu_only(1)).unwrap_err();
         assert_eq!(err.category(), "catalog");
     }
 
     #[test]
     fn invalid_config_is_rejected_before_execution() {
         let engine = engine_with_table(100);
-        assert!(engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(0)).is_err());
+        assert!(engine.session().execute(&sum_where_plan(), &EngineConfig::cpu_only(0)).is_err());
     }
 
     #[test]
@@ -505,7 +619,8 @@ mod tests {
             )
             .unwrap();
         let engine = engine_on(faulted, 100_000);
-        let outcome = engine.execute(&sum_where_plan(), &EngineConfig::gpu_only(2)).unwrap();
+        let outcome =
+            engine.session().execute(&sum_where_plan(), &EngineConfig::gpu_only(2)).unwrap();
         assert_eq!(outcome.rows, vec![vec![expected_sum(100_000)]]);
         assert!(
             outcome.stats.degraded_restarts >= 1,
@@ -535,14 +650,15 @@ mod tests {
             .unwrap();
         let engine = engine_on(faulted, 10_000);
         let config = EngineConfig::gpu_only(2).with_fault(FaultConfig::disabled());
-        let err = engine.execute(&sum_where_plan(), &config).unwrap_err();
+        let err = engine.session().execute(&sum_where_plan(), &config).unwrap_err();
         assert_eq!(err.category(), "device-lost", "got: {err}");
     }
 
     #[test]
     fn throughput_helper_uses_simulated_time() {
         let engine = engine_with_table(100_000);
-        let outcome = engine.execute(&sum_where_plan(), &EngineConfig::cpu_only(8)).unwrap();
+        let outcome =
+            engine.session().execute(&sum_where_plan(), &EngineConfig::cpu_only(8)).unwrap();
         let bytes = (100_000 * (4 + 8)) as f64;
         assert!(outcome.throughput_gbps(bytes) > 0.0);
     }

@@ -202,6 +202,13 @@ pub struct ExecutionResult {
     /// after remote caches were flushed back to their home arenas. Zero on
     /// every clean run — the fault-invariant suite's leak check.
     pub staging_leaked_bytes: u64,
+    /// Observed (rows_in, rows_out) per stage: physical rows entering each
+    /// stage's pipelines across all instances and rows the stage emitted —
+    /// the *actual* per-stage selectivities, as opposed to the structural
+    /// estimates routing plans with. Best-effort under fault recovery
+    /// (re-executed blocks may be counted on both the failed and the
+    /// surviving instance).
+    pub stage_rows: Vec<(u64, u64)>,
 }
 
 /// Per-execution fault-recovery state, created only when the topology
@@ -409,6 +416,12 @@ struct StageProgress {
     finished_wall: AtomicU64,
     /// Blocks this stage's workers stole from overloaded siblings.
     blocks_stolen: AtomicU64,
+    /// Physical rows that entered this stage's pipelines (summed across
+    /// instances) — the numerator of the stage's actual selectivity.
+    rows_in: AtomicU64,
+    /// Physical rows this stage's pipelines emitted (block outputs plus
+    /// finalize flushes).
+    rows_out: AtomicU64,
 }
 
 impl StageProgress {
@@ -420,6 +433,8 @@ impl StageProgress {
             first_block_wall: AtomicU64::new(u64::MAX),
             finished_wall: AtomicU64::new(0),
             blocks_stolen: AtomicU64::new(0),
+            rows_in: AtomicU64::new(0),
+            rows_out: AtomicU64::new(0),
         }
     }
 
@@ -2296,6 +2311,14 @@ impl Executor {
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
                                 local_stats.bytes_scanned += out.work.bytes_scanned;
+                                // Actual per-stage selectivity observability:
+                                // physical rows in and out of this stage.
+                                progress[idx]
+                                    .rows_in
+                                    .fetch_add(out.counters.rows_in, Ordering::Relaxed);
+                                progress[idx]
+                                    .rows_out
+                                    .fetch_add(out.counters.rows_emitted, Ordering::Relaxed);
                                 // Lease-ordering rule: release the input
                                 // block's staging charge before acquiring
                                 // charges for its outputs. The data this
@@ -2323,6 +2346,13 @@ impl Executor {
                                 last_end = last_end.max(end);
                                 local_stats.busy_ns += busy;
                             }
+                            // Rows flushed by the finalize pass (terminal
+                            // emissions, partially filled packed outputs)
+                            // count toward the stage's emitted rows; nothing
+                            // *entered* during finalize.
+                            progress[idx]
+                                .rows_out
+                                .fetch_add(out.counters.rows_emitted, Ordering::Relaxed);
                             for mut produced in out.blocks {
                                 produced.meta_mut().ready_at_ns = last_end.as_nanos();
                                 if let Some(consumer) = graph_ref.wiring.feeds[idx] {
@@ -2436,6 +2466,10 @@ impl Executor {
                 .map(|f| f.recovered.load(Ordering::Relaxed))
                 .unwrap_or(0),
             staging_leaked_bytes,
+            stage_rows: progress
+                .iter()
+                .map(|p| (p.rows_in.load(Ordering::Relaxed), p.rows_out.load(Ordering::Relaxed)))
+                .collect(),
         })
     }
 
@@ -2462,6 +2496,7 @@ impl Executor {
         let mut timeline: Vec<StageTimeline> = Vec::with_capacity(graph.stages.len());
         let mut per_kind: HashMap<DeviceKind, DeviceKindStats> = HashMap::new();
         let mut result_rows: Vec<Vec<i64>> = Vec::new();
+        let mut stage_rows: Vec<(u64, u64)> = Vec::with_capacity(graph.stages.len());
         // The materialization barrier: a stage-at-a-time engine runs one
         // stage at a time, so stage k (and its transfers) cannot start
         // before stage k-1 finished — its simulated time honestly pays the
@@ -2515,6 +2550,7 @@ impl Executor {
                 stage_completion.push(outcome.completion);
                 stage_outputs.push(outcome.outputs);
                 timeline.push(outcome.timeline);
+                stage_rows.push((outcome.rows_in, outcome.rows_out));
             }
             Ok(())
         };
@@ -2548,6 +2584,7 @@ impl Executor {
             transient_retries: 0,
             recovered_blocks: 0,
             staging_leaked_bytes: 0,
+            stage_rows,
         })
     }
 
@@ -2598,6 +2635,8 @@ impl Executor {
         let completion: Mutex<SimTime> = Mutex::new(floor);
         let first_error: Mutex<Option<HetError>> = Mutex::new(None);
         let first_block_wall = AtomicU64::new(u64::MAX);
+        let stage_rows_in = AtomicU64::new(0);
+        let stage_rows_out = AtomicU64::new(0);
 
         std::thread::scope(|scope| {
             for (slot_idx, slot) in stage.consumers.iter().enumerate() {
@@ -2621,6 +2660,8 @@ impl Executor {
                 let completion = &completion;
                 let first_error = &first_error;
                 let first_block_wall = &first_block_wall;
+                let stage_rows_in = &stage_rows_in;
+                let stage_rows_out = &stage_rows_out;
                 let kind = slot.kind;
                 let out_node = routing.instance_nodes[slot_idx];
                 let block_capacity = config.block_capacity;
@@ -2661,6 +2702,10 @@ impl Executor {
                                 local_stats.busy_ns += busy;
                                 local_stats.blocks += 1;
                                 local_stats.bytes_scanned += out.work.bytes_scanned;
+                                stage_rows_in
+                                    .fetch_add(out.counters.rows_in, Ordering::Relaxed);
+                                stage_rows_out
+                                    .fetch_add(out.counters.rows_emitted, Ordering::Relaxed);
                                 for mut produced in out.blocks {
                                     produced.meta_mut().ready_at_ns = end.as_nanos();
                                     local_outputs.push(produced);
@@ -2685,6 +2730,8 @@ impl Executor {
                                 last_end = last_end.max(end);
                                 local_stats.busy_ns += busy;
                             }
+                            stage_rows_out
+                                .fetch_add(out.counters.rows_emitted, Ordering::Relaxed);
                             for mut produced in out.blocks {
                                 produced.meta_mut().ready_at_ns = last_end.as_nanos();
                                 local_outputs.push(produced);
@@ -2751,6 +2798,8 @@ impl Executor {
                 first_block_wall_ns: (first != u64::MAX).then_some(first),
                 finished_wall_ns: wall_start.elapsed().as_nanos() as u64,
             },
+            rows_in: stage_rows_in.load(Ordering::Relaxed),
+            rows_out: stage_rows_out.load(Ordering::Relaxed),
         })
     }
 }
@@ -2761,6 +2810,8 @@ struct StageOutcome {
     per_kind: HashMap<DeviceKind, DeviceKindStats>,
     result_rows: Vec<Vec<i64>>,
     timeline: StageTimeline,
+    rows_in: u64,
+    rows_out: u64,
 }
 
 #[cfg(test)]
@@ -2956,26 +3007,38 @@ mod tests {
 
         // One freshly compiled graph per execution: the compiled graph owns
         // the query's shared state (hash tables, accumulators), which is
-        // populated by a run.
-        let graph = compile(&het, &config, &skewed).unwrap();
-        let stealing = executor.execute(&graph, &catalog, &config).unwrap();
+        // populated by a run. The end-to-end comparison uses the median of
+        // three measurements per side — when stealing engages is wall-clock
+        // sensitive (observed-slowdown EWMAs), so a single run under CPU
+        // contention can land in a scheduler tail (the reopt/calib A/B bins
+        // gate their acceptance bars the same way).
         let disabled_cfg = config.clone().with_steal_policy(hetex_common::StealPolicy::Disabled);
-        let graph = compile(&het, &disabled_cfg, &skewed).unwrap();
-        let bound = executor.execute(&graph, &catalog, &disabled_cfg).unwrap();
-
         let (sum, cnt) = expected(200_000);
-        assert_eq!(stealing.rows, vec![vec![sum, cnt]]);
-        assert_eq!(bound.rows, stealing.rows);
-        assert!(bound.blocks_stolen.iter().all(|&s| s == 0), "disabled policy must not steal");
+        let mut stealing_times = Vec::new();
+        let mut bound_times = Vec::new();
+        for _ in 0..3 {
+            let graph = compile(&het, &config, &skewed).unwrap();
+            let stealing = executor.execute(&graph, &catalog, &config).unwrap();
+            let graph = compile(&het, &disabled_cfg, &skewed).unwrap();
+            let bound = executor.execute(&graph, &catalog, &disabled_cfg).unwrap();
+
+            assert_eq!(stealing.rows, vec![vec![sum, cnt]]);
+            assert_eq!(bound.rows, stealing.rows);
+            assert!(bound.blocks_stolen.iter().all(|&s| s == 0), "disabled policy must not steal");
+            assert!(
+                stealing.blocks_stolen.iter().sum::<u64>() > 0,
+                "idle siblings should have stolen from the straggler's backlog"
+            );
+            stealing_times.push(stealing.sim_time);
+            bound_times.push(bound.sim_time);
+        }
+        stealing_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        bound_times.sort_by(|a, b| a.partial_cmp(b).unwrap());
         assert!(
-            stealing.blocks_stolen.iter().sum::<u64>() > 0,
-            "idle siblings should have stolen from the straggler's backlog"
-        );
-        assert!(
-            stealing.sim_time <= bound.sim_time,
-            "stealing ({}) must not lose to binding ({}) on a skewed topology",
-            stealing.sim_time,
-            bound.sim_time
+            stealing_times[1] <= bound_times[1],
+            "stealing (median {}) must not lose to binding (median {}) on a skewed topology",
+            stealing_times[1],
+            bound_times[1]
         );
     }
 

@@ -30,9 +30,11 @@ pub mod engine;
 pub mod executor;
 pub mod reference;
 pub mod server;
+pub mod session;
 
 pub use engine::{Proteus, QueryOutcome, QueryStats};
 pub use executor::Executor;
 pub use hetex_core::codegen::{compile, MemMoveMode, Stage, StageGraph, StageSource};
 pub use reference::reference_execute;
 pub use server::{QueryServer, QueryTicket, ServeReport, ServedQuery};
+pub use session::QuerySession;

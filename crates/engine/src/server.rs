@@ -31,8 +31,9 @@
 //!   interleaved on the wall clock.
 
 use crate::engine::{Proteus, QueryOutcome};
+use crate::session::QuerySession;
 use hetex_common::{EngineConfig, HetError, MemoryNodeId, Priority, Result, ServeConfig};
-use hetex_core::{CostModel, RelNode, ServeSession, SlowdownObserver};
+use hetex_core::{CostModel, FeedbackCache, RelNode, ServeSession, SlowdownObserver};
 use hetex_storage::{BlockLease, BlockManagerSet, ExhaustionPolicy};
 use hetex_topology::{DeviceKind, SimTime};
 use std::collections::VecDeque;
@@ -83,6 +84,10 @@ struct Pending {
     config: EngineConfig,
     footprint: u64,
     slot: Arc<TicketSlot>,
+    /// Session-level overrides of the server-lifetime shared state; `None`
+    /// means "use the server's".
+    observer: Option<Arc<SlowdownObserver>>,
+    feedback: Option<Arc<FeedbackCache>>,
 }
 
 /// Queue state behind the server's mutex.
@@ -167,6 +172,10 @@ pub struct QueryServer {
     serve: ServeConfig,
     /// Server-lifetime straggler observer, shared by every query.
     observer: Arc<SlowdownObserver>,
+    /// Server-lifetime plan-feedback cache: measurements one served query
+    /// records re-optimize the same plan's next submission, across the whole
+    /// worker pool.
+    feedback: Arc<FeedbackCache>,
     /// Admission arenas: one per memory node, each sized at the budget.
     admission: Arc<BlockManagerSet>,
     shared: Arc<Shared>,
@@ -202,6 +211,7 @@ impl QueryServer {
             engine.topology().memory_nodes().iter().map(|m| m.id).collect();
         let admission = Arc::new(BlockManagerSet::new(&nodes, serve.effective_admission_bytes()));
         let observer = Arc::new(SlowdownObserver::new(engine.topology().devices().len()));
+        let feedback = Arc::new(FeedbackCache::new());
         let shared = Arc::new(Shared {
             queue: Mutex::new(Queue {
                 waiting: VecDeque::new(),
@@ -214,12 +224,15 @@ impl QueryServer {
             .map(|_| {
                 let engine = Arc::clone(&engine);
                 let observer = Arc::clone(&observer);
+                let feedback = Arc::clone(&feedback);
                 let admission = Arc::clone(&admission);
                 let shared = Arc::clone(&shared);
-                std::thread::spawn(move || worker_loop(&engine, &observer, &admission, &shared))
+                std::thread::spawn(move || {
+                    worker_loop(&engine, &observer, &feedback, &admission, &shared)
+                })
             })
             .collect();
-        Ok(Self { engine, serve, observer, admission, shared, workers, submitted: 0 })
+        Ok(Self { engine, serve, observer, feedback, admission, shared, workers, submitted: 0 })
     }
 
     /// The server-lifetime slowdown observer every query shares.
@@ -227,20 +240,52 @@ impl QueryServer {
         &self.observer
     }
 
-    /// Submit a query at [`Priority::Normal`].
-    pub fn submit(&mut self, plan: RelNode, config: EngineConfig) -> Result<QueryTicket> {
-        self.submit_with_priority(plan, config, Priority::Normal)
+    /// The server-lifetime plan-feedback cache every query shares.
+    pub fn feedback_cache(&self) -> &Arc<FeedbackCache> {
+        &self.feedback
     }
 
-    /// Submit a query for admission at `priority`. Returns a ticket the
-    /// caller can [`QueryTicket::wait`] on; the query runs as soon as its
-    /// staging footprint fits the per-node admission budget and a worker is
-    /// free.
+    /// The engine this server serves over.
+    pub fn engine(&self) -> &Proteus {
+        &self.engine
+    }
+
+    /// Open a [`QuerySession`] bound to this server: `.submit(..)` queues for
+    /// admission, `.execute(..)` runs inline but still shares the server's
+    /// observer and feedback cache.
+    pub fn session(&mut self) -> QuerySession<'_> {
+        QuerySession::on_server(self)
+    }
+
+    /// Submit a query at [`Priority::Normal`].
+    #[deprecated(note = "use `QueryServer::session().submit(plan, config)`")]
+    pub fn submit(&mut self, plan: RelNode, config: EngineConfig) -> Result<QueryTicket> {
+        self.submit_session(plan, config, Priority::Normal, None, None)
+    }
+
+    /// Submit a query for admission at `priority`.
+    #[deprecated(note = "use `QueryServer::session().priority(p).submit(plan, config)`")]
     pub fn submit_with_priority(
         &mut self,
         plan: RelNode,
         config: EngineConfig,
         priority: Priority,
+    ) -> Result<QueryTicket> {
+        self.submit_session(plan, config, priority, None, None)
+    }
+
+    /// Submit a query for admission at `priority`, with optional
+    /// session-level overrides of the shared observer and feedback cache.
+    /// Returns a ticket the caller can [`QueryTicket::wait`] on; the query
+    /// runs as soon as its staging footprint fits the per-node admission
+    /// budget and a worker is free.
+    pub(crate) fn submit_session(
+        &mut self,
+        plan: RelNode,
+        config: EngineConfig,
+        priority: Priority,
+        observer: Option<Arc<SlowdownObserver>>,
+        feedback: Option<Arc<FeedbackCache>>,
     ) -> Result<QueryTicket> {
         config.validate()?;
         let footprint = config.est_serve_footprint_bytes();
@@ -254,7 +299,16 @@ impl QueryServer {
         let seq = self.submitted;
         self.submitted += 1;
         let slot = Arc::new(TicketSlot { result: Mutex::new(None), done: Condvar::new() });
-        let pending = Pending { seq, priority, plan, config, footprint, slot: Arc::clone(&slot) };
+        let pending = Pending {
+            seq,
+            priority,
+            plan,
+            config,
+            footprint,
+            slot: Arc::clone(&slot),
+            observer,
+            feedback,
+        };
         {
             let mut queue = self.shared.queue.lock().expect("server queue poisoned");
             if queue.shutdown {
@@ -357,6 +411,7 @@ fn busy_by_kind(outcome: &QueryOutcome) -> Vec<u64> {
 fn worker_loop(
     engine: &Proteus,
     observer: &Arc<SlowdownObserver>,
+    feedback: &Arc<FeedbackCache>,
     admission: &BlockManagerSet,
     shared: &Shared,
 ) {
@@ -401,7 +456,10 @@ fn worker_loop(
             }
         };
 
-        let result = engine.execute_observed(&job.plan, &job.config, Some(Arc::clone(observer)));
+        let job_observer = job.observer.clone().unwrap_or_else(|| Arc::clone(observer));
+        let job_feedback = job.feedback.clone().unwrap_or_else(|| Arc::clone(feedback));
+        let result =
+            engine.execute_with(&job.plan, &job.config, Some(job_observer), Some(job_feedback));
         {
             let mut queue = shared.queue.lock().expect("server queue poisoned");
             if let Ok(outcome) = &result {

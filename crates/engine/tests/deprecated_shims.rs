@@ -1,0 +1,85 @@
+//! The thin deprecated shims stay behaviourally identical to the session
+//! API that replaced them (DESIGN.md §11): `Proteus::execute` /
+//! `execute_observed` and `QueryServer::submit` / `submit_with_priority`
+//! delegate to the same internal entry points the [`QuerySession`] builder
+//! uses, so callers that have not migrated yet keep byte-identical results
+//! and the same serving semantics. This suite is the only place the shims
+//! are still exercised — everything else in the workspace migrated.
+
+#![allow(deprecated)]
+
+use hetex_common::{ColumnData, DataType, EngineConfig, Priority, ServeConfig};
+use hetex_core::SlowdownObserver;
+use hetex_engine::{Proteus, QueryServer};
+use hetex_jit::{AggSpec, Expr};
+use hetex_storage::TableBuilder;
+use hetex_topology::ServerTopology;
+use std::sync::Arc;
+
+fn engine_with_table(rows: usize) -> Proteus {
+    let engine = Proteus::new(ServerTopology::paper_server());
+    let nodes = engine.topology().cpu_memory_nodes();
+    let table = TableBuilder::new("t")
+        .column(
+            "a",
+            DataType::Int32,
+            ColumnData::Int32((0..rows as i32).map(|i| i % 1000).collect()),
+        )
+        .column("b", DataType::Int64, ColumnData::Int64((0..rows as i64).map(|i| i * 2).collect()))
+        .build(&nodes, 8192)
+        .unwrap();
+    engine.register_table(table);
+    engine
+}
+
+fn sum_where_plan(threshold: i64) -> hetex_core::RelNode {
+    hetex_core::RelNode::scan("t", &["a", "b"])
+        .filter(Expr::col(0).gt_lit(threshold))
+        .reduce(vec![AggSpec::sum(Expr::col(1))], &["sum_b"])
+}
+
+#[test]
+fn execute_shim_matches_session_execute() {
+    let engine = engine_with_table(50_000);
+    let config = EngineConfig::hybrid(4, 2);
+    let plan = sum_where_plan(42);
+    let shim = engine.execute(&plan, &config).unwrap();
+    let session = engine.session().execute(&plan, &config).unwrap();
+    assert_eq!(shim.rows, session.rows, "the execute shim changed the rows");
+    assert_eq!(shim.stats.stages, session.stats.stages, "the execute shim changed the plan");
+}
+
+#[test]
+fn execute_observed_shim_feeds_the_given_observer() {
+    let engine = engine_with_table(50_000);
+    let config = EngineConfig::cpu_only(4);
+    let plan = sum_where_plan(42);
+    let observer = Arc::new(SlowdownObserver::new(engine.topology().devices().len()));
+    let shim = engine.execute_observed(&plan, &config, Some(Arc::clone(&observer))).unwrap();
+    let session = engine.session().observe(Arc::clone(&observer)).execute(&plan, &config).unwrap();
+    assert_eq!(shim.rows, session.rows, "the execute_observed shim changed the rows");
+    // Both calls fed the same shared observer: a healthy paper server reads
+    // exactly nominal on every observed slot.
+    assert!((shim.stats.max_observed_slowdown() - 1.0).abs() < 1e-9);
+}
+
+#[test]
+fn submit_shims_match_session_submit() {
+    let engine = Arc::new(engine_with_table(50_000));
+    let config = EngineConfig::cpu_only(4);
+    let plan = sum_where_plan(42);
+    let baseline = engine.session().execute(&plan, &config).unwrap();
+
+    let mut server = QueryServer::new(Arc::clone(&engine), ServeConfig::serving()).unwrap();
+    let plain = server.submit(plan.clone(), config.clone()).unwrap();
+    let prioritized =
+        server.submit_with_priority(plan.clone(), config.clone(), Priority::High).unwrap();
+    let session = server.session().priority(Priority::High).submit(plan, config).unwrap();
+    for (label, ticket) in
+        [("submit", plain), ("submit_with_priority", prioritized), ("session", session)]
+    {
+        let outcome = ticket.wait().unwrap();
+        assert_eq!(outcome.rows, baseline.rows, "{label} changed the rows");
+    }
+    server.shutdown().unwrap();
+}

@@ -184,7 +184,7 @@ fn run_case(case: u64, seed: u64) {
          join {join} rows {rows} plan {plan:?}",
         config.target, config.cpu_dop, config.gpu_dop, config.block_capacity
     );
-    match engine.execute(&rel, &config) {
+    match engine.session().execute(&rel, &config) {
         Ok(outcome) => {
             assert_eq!(outcome.rows, expected, "wrong rows under faults — {label}");
             assert_eq!(outcome.stats.staging_leaked_bytes, 0, "leaked staging bytes — {label}");
@@ -262,7 +262,7 @@ fn failed_attempts_record_their_burned_time() {
         .reduce(vec![AggSpec::sum(Expr::col(1))], &["sum_v"]);
     let mut config = EngineConfig::gpu_only(2);
     config.block_capacity = 1024;
-    let outcome = engine.execute(&rel, &config).expect("degraded restart succeeds");
+    let outcome = engine.session().execute(&rel, &config).expect("degraded restart succeeds");
     assert_eq!(outcome.rows, vec![vec![(0..rows as i64).sum::<i64>()]]);
     assert!(outcome.stats.degraded_restarts >= 1, "the mid-stream abort must force a restart");
     let attempts = &outcome.stats.attempt_sim_times;

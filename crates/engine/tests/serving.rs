@@ -57,7 +57,7 @@ fn micro_probe_runs_once_per_engine() {
     for config in [EngineConfig::cpu_only(4), EngineConfig::hybrid(4, 2), EngineConfig::gpu_only(2)]
     {
         for _ in 0..3 {
-            let outcome = engine.execute(&sum_where_plan(42), &config).unwrap();
+            let outcome = engine.session().execute(&sum_where_plan(42), &config).unwrap();
             let probed = outcome
                 .stats
                 .probed_constants
@@ -85,7 +85,8 @@ fn degraded_restarts_reuse_the_engine_probe() {
         .unwrap();
     let engine = engine_on(faulted, 50_000);
     let reference = Arc::clone(engine.probed_constants());
-    let outcome = engine.execute(&sum_where_plan(42), &EngineConfig::gpu_only(2)).unwrap();
+    let outcome =
+        engine.session().execute(&sum_where_plan(42), &EngineConfig::gpu_only(2)).unwrap();
     assert!(outcome.stats.degraded_restarts >= 1, "the dead GPUs must force restarts");
     let probed = outcome.stats.probed_constants.as_ref().unwrap();
     assert!(Arc::ptr_eq(probed, &reference), "a degraded-restart attempt re-probed the topology");
@@ -110,7 +111,7 @@ fn concurrent_executes_match_serial_bit_for_bit() {
     let serial: Vec<_> = configs
         .iter()
         .enumerate()
-        .map(|(i, c)| engine.execute(&sum_where_plan(i as i64 * 100), c).unwrap())
+        .map(|(i, c)| engine.session().execute(&sum_where_plan(i as i64 * 100), c).unwrap())
         .collect();
 
     let concurrent: Vec<_> = std::thread::scope(|scope| {
@@ -119,7 +120,9 @@ fn concurrent_executes_match_serial_bit_for_bit() {
             .enumerate()
             .map(|(i, c)| {
                 let engine = Arc::clone(&engine);
-                scope.spawn(move || engine.execute(&sum_where_plan(i as i64 * 100), c).unwrap())
+                scope.spawn(move || {
+                    engine.session().execute(&sum_where_plan(i as i64 * 100), c).unwrap()
+                })
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -142,13 +145,13 @@ fn concurrent_executes_with_stealing_keep_rows_exact() {
     // load order, but the rows never may.
     let engine = Arc::new(engine_with_table(100_000));
     let config = EngineConfig::hybrid(6, 2);
-    let expected = engine.execute(&sum_where_plan(42), &config).unwrap().rows;
+    let expected = engine.session().execute(&sum_where_plan(42), &config).unwrap().rows;
     let rows: Vec<_> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..4)
             .map(|_| {
                 let engine = Arc::clone(&engine);
                 let config = config.clone();
-                scope.spawn(move || engine.execute(&sum_where_plan(42), &config).unwrap())
+                scope.spawn(move || engine.session().execute(&sum_where_plan(42), &config).unwrap())
             })
             .collect();
         handles.into_iter().map(|h| h.join().unwrap()).collect()
@@ -169,15 +172,18 @@ fn query_server_serves_batches_with_exact_rows_and_bounded_admission() {
     // pairs, never beyond.
     let serve = ServeConfig::serving().with_workers(4).with_admission_bytes(Some(2 * footprint));
 
-    let expected: Vec<Vec<Vec<i64>>> =
-        (0..4).map(|i| engine.execute(&sum_where_plan(i * 100), &config).unwrap().rows).collect();
+    let expected: Vec<Vec<Vec<i64>>> = (0..4)
+        .map(|i| engine.session().execute(&sum_where_plan(i * 100), &config).unwrap().rows)
+        .collect();
 
     let mut server = QueryServer::new(Arc::clone(&engine), serve).unwrap();
     let priorities = [Priority::Low, Priority::Normal, Priority::High, Priority::Normal];
     let tickets: Vec<_> = (0..4)
         .map(|i| {
             server
-                .submit_with_priority(sum_where_plan(i as i64 * 100), config.clone(), priorities[i])
+                .session()
+                .priority(priorities[i])
+                .submit(sum_where_plan(i as i64 * 100), config.clone())
                 .unwrap()
         })
         .collect();
@@ -226,7 +232,7 @@ fn query_server_requires_serving_enabled_and_fitting_footprints() {
     let mut server = QueryServer::new(Arc::clone(&engine), serve).unwrap();
     let config = EngineConfig::cpu_only(2);
     assert!(config.est_serve_footprint_bytes() > 1024);
-    let err = server.submit(sum_where_plan(42), config).unwrap_err();
+    let err = server.session().submit(sum_where_plan(42), config).unwrap_err();
     assert_eq!(err.category(), "config");
     assert!(matches!(err, HetError::Config(_)));
     let report = server.shutdown().unwrap();
@@ -243,7 +249,7 @@ fn shared_observer_learns_across_served_queries() {
     let mut server = QueryServer::new(Arc::clone(&engine), serve).unwrap();
     let observer = Arc::clone(server.observer());
     let tickets: Vec<_> = (0..3)
-        .map(|_| server.submit(sum_where_plan(42), EngineConfig::cpu_only(4)).unwrap())
+        .map(|_| server.session().submit(sum_where_plan(42), EngineConfig::cpu_only(4)).unwrap())
         .collect();
     for ticket in tickets {
         ticket.wait().unwrap();

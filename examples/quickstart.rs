@@ -42,7 +42,7 @@ fn main() -> hetexchange::common::Result<()> {
     // 5. Execute on CPU-only, GPU-only and hybrid configurations. The result
     //    is identical; the modeled execution time differs.
     for config in [EngineConfig::cpu_only(24), EngineConfig::gpu_only(2), hybrid] {
-        let outcome = engine.execute(&plan, &config)?;
+        let outcome = engine.session().execute(&plan, &config)?;
         println!(
             "{:<14} -> SUM(b) = {:>16}   simulated time {:>8.3} ms   ({} stages, {:.1} MB moved)",
             config.target.label(),

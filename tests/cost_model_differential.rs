@@ -28,6 +28,12 @@
 //! configurations — plus a standalone property pinning the selection-vector
 //! refinement primitive (ordered-subset, monotone shrinking, in-bounds).
 //!
+//! PR 10 adds the **re-optimization axis**: `ReoptConfig::disabled()` takes
+//! exactly the pre-reopt code path, an enabled run with a cold feedback
+//! cache applies no rewrite and matches the disabled run's rows and plan
+//! shape, and a warm-cache run may substitute a searched placement but must
+//! preserve the rows byte-for-byte.
+//!
 //! Seeding: the vendored proptest derives a deterministic per-function seed
 //! from the property's name, so every run (local and CI) explores the same
 //! fixed case sequence and failures reproduce exactly. The case budget is
@@ -207,12 +213,12 @@ proptest! {
         config.staging_bytes = Some(config.min_staging_bytes() * 2);
 
         let baseline = engine
-            .execute(&plan, &config.clone().with_execution_mode(ExecutionMode::StageAtATime))
+            .session().execute(&plan, &config.clone().with_execution_mode(ExecutionMode::StageAtATime))
             .unwrap();
 
         for (label, toggles, calibration) in toggle_configs() {
             let outcome = engine
-                .execute(
+                .session().execute(
                     &plan,
                     &config.clone().with_cost_model(toggles).with_calibration(calibration),
                 )
@@ -280,7 +286,7 @@ proptest! {
         config.staging_bytes = Some(config.min_staging_bytes() * 2);
 
         let baseline = engine
-            .execute(
+            .session().execute(
                 &plan,
                 &config
                     .clone()
@@ -295,7 +301,7 @@ proptest! {
         ] {
             for mode in [KernelMode::Vectorized, KernelMode::TupleAtATime] {
                 let outcome = engine
-                    .execute(
+                    .session().execute(
                         &plan,
                         &config
                             .clone()
@@ -456,9 +462,9 @@ proptest! {
         config.block_capacity = 256;
         config.steal_policy = StealPolicy::Disabled;
 
-        let off = engine.execute(&plan, &config).unwrap();
+        let off = engine.session().execute(&plan, &config).unwrap();
         let on = engine
-            .execute(&plan, &config.clone().with_serve(ServeConfig::serving()))
+            .session().execute(&plan, &config.clone().with_serve(ServeConfig::serving()))
             .unwrap();
         // Simulated instants can vary with wall-clock worker interleaving
         // even between two identical runs on gated random-topology plans
@@ -468,5 +474,65 @@ proptest! {
         // sim-time equality where execution is fully deterministic.
         prop_assert_eq!(&on.rows, &off.rows, "serving toggle changed the rows");
         prop_assert_eq!(on.stats.stages, off.stats.stages, "serving toggle changed the plan");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(case_budget()))]
+
+    /// The re-optimization toggle (PR 10) is inert until it has feedback,
+    /// and result-preserving once it does. On one engine: the
+    /// `ReoptConfig::disabled()` run takes exactly the pre-reopt code path;
+    /// the first `ReoptConfig::enabled()` run finds a cold feedback cache,
+    /// must apply no rewrite, and must match the disabled run's rows and
+    /// compiled plan shape; the second enabled run may substitute a searched
+    /// placement but must still return byte-identical rows.
+    #[test]
+    fn prop_reopt_is_cold_inert_and_rewrites_preserve_rows(
+        sockets in 1usize..4,
+        cores_per_socket in 2usize..5,
+        gpus in 0usize..4,
+        pcie_gbps_x10 in 40u64..160,
+        fact_rows in 600usize..3_000,
+        plan_pick in 0usize..3,
+        filter_lit in 1i64..7,
+        cpu_dop_raw in 1usize..9,
+    ) {
+        use hetexchange::common::{ReoptConfig, StealPolicy};
+        let topology = random_topology(
+            sockets, cores_per_socket, gpus, pcie_gbps_x10 as f64 / 10.0, 0, 1.0,
+        ).unwrap();
+        let engine = engine_with_tables(Arc::clone(&topology), fact_rows);
+        let plan = random_plan(plan_pick, filter_lit);
+        let cpu_dop = cpu_dop_raw.min(sockets * cores_per_socket);
+        let gpu_dop = gpus.min(2);
+        let mut config = if gpu_dop == 0 {
+            EngineConfig::cpu_only(cpu_dop)
+        } else {
+            EngineConfig::hybrid(cpu_dop, gpu_dop)
+        };
+        config.block_capacity = 256;
+        config.steal_policy = StealPolicy::Disabled;
+
+        // Disabled runs record no feedback, so the enabled run that follows
+        // still sees a cold cache for this plan fingerprint.
+        let off = engine.session().execute(&plan, &config).unwrap();
+        prop_assert!(off.stats.reopt_applied.is_none());
+
+        let enabled = config.clone().with_reopt(ReoptConfig::enabled());
+        let cold = engine.session().execute(&plan, &enabled).unwrap();
+        prop_assert!(
+            cold.stats.reopt_applied.is_none(),
+            "a cold feedback cache must never rewrite: {:?}",
+            cold.stats.reopt_applied
+        );
+        prop_assert_eq!(&cold.rows, &off.rows, "cold-cache reopt changed the rows");
+        prop_assert_eq!(cold.stats.stages, off.stats.stages, "cold-cache reopt changed the plan");
+
+        // Warm cache: the search may now substitute a placement, but the
+        // result must stay byte-identical (a rewrite only re-degrees the
+        // same plan).
+        let warm = engine.session().execute(&plan, &enabled).unwrap();
+        prop_assert_eq!(&warm.rows, &off.rows, "a feedback-driven rewrite changed the rows");
     }
 }

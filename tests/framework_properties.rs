@@ -60,13 +60,13 @@ fn simulated_time_scales_with_cores_and_saturates_at_dram() {
     let engine = engine_with_fact(400_000);
     let mut config = EngineConfig::cpu_only(1);
     config.scale_weight = 10_000.0; // model a ~48 GB fact table
-    let base = engine.execute(&sum_plan(10), &config).unwrap().sim_time;
+    let base = engine.session().execute(&sum_plan(10), &config).unwrap().sim_time;
 
     let mut times = Vec::new();
     for cores in [2usize, 8, 16, 24] {
         let mut cfg = EngineConfig::cpu_only(cores);
         cfg.scale_weight = 10_000.0;
-        times.push(engine.execute(&sum_plan(10), &cfg).unwrap().sim_time);
+        times.push(engine.session().execute(&sum_plan(10), &cfg).unwrap().sim_time);
     }
     // More cores never hurt, 8 cores give a solid speed-up, and 24 cores are
     // not dramatically better than 16 (socket DRAM saturation).
@@ -82,7 +82,7 @@ fn hybrid_is_not_slower_than_either_single_device_configuration() {
     let weight = 20_000.0;
     let run = |mut cfg: EngineConfig| {
         cfg.scale_weight = weight;
-        engine.execute(&sum_plan(40), &cfg).unwrap()
+        engine.session().execute(&sum_plan(40), &cfg).unwrap()
     };
     let cpu = run(EngineConfig::cpu_only(24));
     let gpu = run(EngineConfig::gpu_only(2));
@@ -97,14 +97,14 @@ fn hybrid_is_not_slower_than_either_single_device_configuration() {
 #[test]
 fn missing_tables_and_invalid_configs_fail_cleanly() {
     let engine = Proteus::on_paper_server();
-    let err = engine.execute(&sum_plan(0), &EngineConfig::cpu_only(4)).unwrap_err();
+    let err = engine.session().execute(&sum_plan(0), &EngineConfig::cpu_only(4)).unwrap_err();
     assert_eq!(err.category(), "catalog");
 
     let engine = engine_with_fact(1_000);
-    assert!(engine.execute(&sum_plan(0), &EngineConfig::cpu_only(0)).is_err());
+    assert!(engine.session().execute(&sum_plan(0), &EngineConfig::cpu_only(0)).is_err());
     let mut bad = EngineConfig::cpu_only(2);
     bad.block_capacity = 0;
-    assert!(engine.execute(&sum_plan(0), &bad).is_err());
+    assert!(engine.session().execute(&sum_plan(0), &bad).is_err());
 }
 
 proptest! {
@@ -123,7 +123,7 @@ proptest! {
         } else {
             EngineConfig::hybrid(cpus, gpus)
         };
-        let outcome = engine.execute(&sum_plan(threshold), &config).unwrap();
+        let outcome = engine.session().execute(&sum_plan(threshold), &config).unwrap();
         prop_assert_eq!(outcome.rows, vec![vec![expected_sum, expected_cnt]]);
     }
 }

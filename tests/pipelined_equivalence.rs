@@ -16,9 +16,11 @@ fn join_reduce_rows_identical_across_modes_and_device_mixes() {
     let (engine, plan) = join_reduce_engine(200_000).unwrap();
     for base in device_mixes() {
         let pipelined = engine
+            .session()
             .execute(&plan, &base.clone().with_execution_mode(ExecutionMode::Pipelined))
             .unwrap();
         let stage_at_a_time = engine
+            .session()
             .execute(&plan, &base.clone().with_execution_mode(ExecutionMode::StageAtATime))
             .unwrap();
         assert!(!pipelined.rows.is_empty());
@@ -39,10 +41,12 @@ fn ssb_queries_rows_identical_across_modes_and_device_mixes() {
             let config = workload.config(base.clone());
             let pipelined = workload
                 .engine_cpu_data
+                .session()
                 .execute(&query.plan, &config.clone().with_execution_mode(ExecutionMode::Pipelined))
                 .unwrap();
             let stage_at_a_time = workload
                 .engine_cpu_data
+                .session()
                 .execute(
                     &query.plan,
                     &config.clone().with_execution_mode(ExecutionMode::StageAtATime),

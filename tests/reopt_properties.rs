@@ -1,0 +1,206 @@
+//! Properties of the feedback-driven plan reoptimizer (DESIGN.md §11).
+//!
+//! The engine re-verifies every reoptimized plan before dispatch (Deny
+//! semantics unchanged), so a searched placement that failed static
+//! analysis would turn a feedback rewrite into a runtime refusal. These
+//! properties pin that this cannot happen: across random topologies, base
+//! configurations and plan shapes, every candidate the search can emit —
+//! and in particular the placement `reoptimize` actually chooses under
+//! randomized synthetic feedback — validates, parallelizes, compiles, and
+//! passes `hetex_analysis::analyze` with **zero error-severity
+//! diagnostics**.
+//!
+//! Seeding matches the differential suite: the vendored proptest derives a
+//! deterministic per-function seed from the property's name, and the case
+//! budget is `HETEX_DIFF_CASES` scenarios (default 48).
+
+use hetexchange::analysis::analyze;
+use hetexchange::common::config::ExecutionTarget;
+use hetexchange::common::{EngineConfig, HetError, ReoptConfig};
+use hetexchange::core_ops::reopt::{candidates, reoptimize};
+use hetexchange::core_ops::{compile, parallelize, CostModel, PlanFeedback, RelNode};
+use hetexchange::jit::{AggSpec, Expr};
+use hetexchange::topology::{ServerTopology, TopologyBuilder};
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Generated-case budget: `HETEX_DIFF_CASES` scenarios (default 48), the
+/// same knob the differential suite uses.
+fn case_budget() -> u32 {
+    std::env::var("HETEX_DIFF_CASES").ok().and_then(|v| v.parse().ok()).unwrap_or(48)
+}
+
+fn random_topology(
+    sockets: usize,
+    cores_per_socket: usize,
+    gpus: usize,
+    pcie_gbps: f64,
+) -> Result<Arc<ServerTopology>, HetError> {
+    let mut builder = TopologyBuilder::new();
+    for _ in 0..sockets {
+        builder.add_socket(cores_per_socket);
+    }
+    for gpu in 0..gpus {
+        builder.add_gpu(gpu % sockets);
+    }
+    builder.pcie_bandwidth_gbps(pcie_gbps);
+    Ok(Arc::new(builder.build()?))
+}
+
+/// A random valid base placement for `gpus` available GPUs.
+fn random_base(target_pick: usize, cpu_dop: usize, gpus: usize) -> EngineConfig {
+    match (target_pick % 3, gpus) {
+        (_, 0) | (0, _) => EngineConfig::cpu_only(cpu_dop),
+        (1, _) => EngineConfig::gpu_only(gpus.min(2)),
+        _ => EngineConfig::hybrid(cpu_dop, gpus.min(2)),
+    }
+}
+
+/// The differential suite's three plan shapes: filtered scan+reduce, hash
+/// join+reduce, join+group-by.
+fn random_plan(plan_pick: usize, filter_lit: i64) -> RelNode {
+    match plan_pick % 3 {
+        0 => RelNode::scan("fact", &["key", "value"])
+            .filter(Expr::col(0).lt_lit(filter_lit * 100))
+            .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"]),
+        1 => {
+            let dim = RelNode::scan("dim", &["k", "attr"]).filter(Expr::col(1).lt_lit(filter_lit));
+            RelNode::scan("fact", &["key", "value"])
+                .hash_join(dim, 0, 0, &[1])
+                .reduce(vec![AggSpec::sum(Expr::col(1)), AggSpec::count()], &["sum_v", "cnt"])
+        }
+        _ => {
+            let dim = RelNode::scan("dim", &["k", "attr"]);
+            RelNode::scan("fact", &["key", "value"]).hash_join(dim, 0, 0, &[1]).group_by(
+                &[2],
+                vec![AggSpec::sum(Expr::col(1)), AggSpec::count()],
+                &["s", "c"],
+            )
+        }
+    }
+}
+
+/// Parallelize + compile + statically verify one emitted configuration;
+/// returns an error message when any step fails or analysis reports an
+/// error-severity diagnostic.
+fn verify_emitted(
+    plan: &RelNode,
+    config: &EngineConfig,
+    topology: &Arc<ServerTopology>,
+    label: &str,
+) -> Result<(), String> {
+    config.validate().map_err(|e| format!("{label}: emitted config failed validate: {e}"))?;
+    let het =
+        parallelize(plan, config).map_err(|e| format!("{label}: failed to parallelize: {e}"))?;
+    let graph =
+        compile(&het, config, topology).map_err(|e| format!("{label}: failed to compile: {e}"))?;
+    let report = analyze(&graph, config, topology);
+    if let Some(diag) = report.errors().next() {
+        return Err(format!("{label}: error-severity diagnostic {diag}"));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(case_budget()))]
+
+    /// Every candidate in the reoptimizer's search space — every plan it
+    /// *can* emit — passes the static verifier with zero error-severity
+    /// diagnostics when applied to the submitted configuration.
+    #[test]
+    fn prop_every_search_candidate_passes_the_static_verifier(
+        sockets in 1usize..4,
+        cores_per_socket in 2usize..5,
+        gpus in 0usize..4,
+        pcie_gbps_x10 in 40u64..160,
+        target_pick in 0usize..3,
+        cpu_dop_raw in 1usize..9,
+        plan_pick in 0usize..3,
+        filter_lit in 1i64..7,
+    ) {
+        let topology = random_topology(
+            sockets, cores_per_socket, gpus, pcie_gbps_x10 as f64 / 10.0,
+        ).unwrap();
+        let cpu_dop = cpu_dop_raw.min(sockets * cores_per_socket);
+        let mut base = random_base(target_pick, cpu_dop, gpus)
+            .with_reopt(ReoptConfig::enabled());
+        base.block_capacity = 256;
+        prop_assert!(base.validate().is_ok());
+        let plan = random_plan(plan_pick, filter_lit);
+
+        let space = candidates(&base, &topology);
+        prop_assert!(!space.is_empty(), "the search space always contains the incumbent");
+        for candidate in &space {
+            let emitted = candidate.apply(&base);
+            if let Err(msg) = verify_emitted(&plan, &emitted, &topology, &candidate.label()) {
+                prop_assert!(false, "{msg}");
+            }
+        }
+    }
+
+    /// The placement `reoptimize` chooses under randomized feedback — the
+    /// plan that would actually be dispatched — verifies clean too, and is
+    /// always drawn from the declared search space.
+    #[test]
+    fn prop_reoptimized_plan_passes_the_static_verifier(
+        sockets in 1usize..4,
+        cores_per_socket in 2usize..5,
+        gpus in 0usize..4,
+        pcie_gbps_x10 in 40u64..160,
+        target_pick in 0usize..3,
+        cpu_dop_raw in 1usize..9,
+        plan_pick in 0usize..3,
+        filter_lit in 1i64..7,
+        sim_ms in 1u64..20_000,
+        slow_pick in 0usize..64,
+        slowdown_x10 in 10u64..160,
+        acquisitions in 0u64..10_000,
+        mib_transferred in 0u64..4_096,
+    ) {
+        let topology = random_topology(
+            sockets, cores_per_socket, gpus, pcie_gbps_x10 as f64 / 10.0,
+        ).unwrap();
+        let cpu_dop = cpu_dop_raw.min(sockets * cores_per_socket);
+        let mut base = random_base(target_pick, cpu_dop, gpus)
+            .with_reopt(ReoptConfig::enabled());
+        base.block_capacity = 256;
+        prop_assert!(base.validate().is_ok());
+        let plan = random_plan(plan_pick, filter_lit);
+
+        let devices = topology.devices().len();
+        let feedback = PlanFeedback {
+            fingerprint: 0,
+            target: base.target,
+            cpu_dop: base.cpu_dop,
+            gpu_dop: base.gpu_dop,
+            sim_time_ns: sim_ms as f64 * 1e6,
+            observed_slowdowns: (0..devices)
+                .map(|i| if i == slow_pick % devices { slowdown_x10 as f64 / 10.0 } else { 1.0 })
+                .collect(),
+            stages: Vec::new(),
+            remote_control_acquisitions: acquisitions,
+            bytes_transferred: mib_transferred as f64 * 1024.0 * 1024.0,
+            runs: 1,
+        };
+        let cost = CostModel::from_config(&base);
+        if let Some(decision) = reoptimize(&base, &feedback, &topology, &cost) {
+            let space = candidates(&base, &topology);
+            prop_assert!(
+                space.contains(&decision.chosen),
+                "chosen placement {} is outside the declared search space",
+                decision.chosen.label()
+            );
+            let emitted = decision.chosen.apply(&base);
+            if let Err(msg) = verify_emitted(&plan, &emitted, &topology, &decision.chosen.label()) {
+                prop_assert!(false, "{msg}");
+            }
+        }
+        // GPU-only placements exist in the space only when the topology has
+        // GPUs; with none, reoptimize must still never emit one.
+        if gpus == 0 {
+            for candidate in candidates(&base, &topology) {
+                prop_assert!(candidate.target == ExecutionTarget::CpuOnly);
+            }
+        }
+    }
+}

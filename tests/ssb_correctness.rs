@@ -30,6 +30,7 @@ fn all_ssb_queries_match_reference_on_cpu_gpu_and_hybrid() {
             .unwrap_or_else(|e| panic!("reference failed for {}: {e}", query.name));
         for config in &configs {
             let outcome = engine
+                .session()
                 .execute(&query.plan, config)
                 .unwrap_or_else(|e| panic!("{} failed on {:?}: {e}", query.name, config.target));
             assert_eq!(
@@ -56,6 +57,7 @@ fn gpu_resident_placement_produces_identical_results() {
         let query = hetexchange::ssb::query_by_name(&gpu_dataset, name).unwrap();
         let expected = reference_execute(&query.plan, &reference_catalog).unwrap();
         let outcome = engine
+            .session()
             .execute(&query.plan, &EngineConfig::gpu_only(2))
             .unwrap_or_else(|e| panic!("{name} failed on GPU-resident data: {e}"));
         assert_eq!(outcome.rows, expected, "{name} differs with GPU-resident data");
@@ -121,8 +123,8 @@ fn sequential_and_parallel_executions_agree_without_hetexchange() {
     sequential.scale_weight = 10_000.0;
     let mut parallel = EngineConfig::hybrid(8, 2);
     parallel.scale_weight = 10_000.0;
-    let seq = engine.execute(&query.plan, &sequential).unwrap();
-    let par = engine.execute(&query.plan, &parallel).unwrap();
+    let seq = engine.session().execute(&query.plan, &sequential).unwrap();
+    let par = engine.session().execute(&query.plan, &parallel).unwrap();
     assert_eq!(seq.rows, par.rows);
     assert!(
         par.sim_time < seq.sim_time,

@@ -73,7 +73,7 @@ fn tiny_budget_completes_slowly_instead_of_deadlocking() {
     let tiny = config.min_staging_bytes();
     assert!(tiny < DEFAULT_STAGING_BYTES / 100, "budget must be genuinely tiny: {tiny}");
     config.staging_bytes = Some(tiny);
-    let outcome = engine.execute(&join_plan(), &config).unwrap();
+    let outcome = engine.session().execute(&join_plan(), &config).unwrap();
     let (sum, cnt) = expected(fact_rows, dim_rows);
     assert_eq!(outcome.rows, vec![vec![sum, cnt]]);
     for (node, peak) in &outcome.stats.staging_peaks {
@@ -109,7 +109,7 @@ proptest! {
         config.block_capacity = [256, 1024, 4096][capacity_sel];
         let budget = config.min_staging_bytes() * budget_mult;
         config.staging_bytes = Some(budget);
-        let outcome = engine.execute(&join_plan(), &config).unwrap();
+        let outcome = engine.session().execute(&join_plan(), &config).unwrap();
 
         let (sum, cnt) = expected(fact_rows, dim_rows);
         prop_assert_eq!(outcome.rows.clone(), vec![vec![sum, cnt]]);

@@ -166,8 +166,9 @@ fn healthy_server_with_congestion_pricing_steals_nothing_and_keeps_sim_time() {
         // off, and it is orthogonal to the steal path under test.
         config.staging_bytes = None;
         assert!(config.cost_model.link_congestion_term, "congestion pricing must be on");
-        let stealing = engine.execute(&scan_plan(), &config).unwrap();
+        let stealing = engine.session().execute(&scan_plan(), &config).unwrap();
         let bound = engine
+            .session()
             .execute(&scan_plan(), &config.clone().with_steal_policy(StealPolicy::Disabled))
             .unwrap();
         assert_eq!(stealing.rows, bound.rows, "{label}: rows must match");
@@ -195,14 +196,16 @@ fn healthy_server_join_takes_zero_steals_with_and_without_congestion_pricing() {
     let mut config = EngineConfig::hybrid(6, 2);
     config.block_capacity = 512;
     config.scale_weight = 10_000.0;
-    let with_congestion = engine.execute(&join_plan(), &config).unwrap();
+    let with_congestion = engine.session().execute(&join_plan(), &config).unwrap();
     let without = engine
+        .session()
         .execute(
             &join_plan(),
             &config.clone().with_cost_model(config.cost_model.with_link_congestion_term(false)),
         )
         .unwrap();
     let baseline = engine
+        .session()
         .execute(&join_plan(), &config.with_execution_mode(ExecutionMode::StageAtATime))
         .unwrap();
     assert_eq!(with_congestion.stats.total_blocks_stolen(), 0);
@@ -233,9 +236,9 @@ proptest! {
         let budget = config.min_staging_bytes() * 3;
         config.staging_bytes = Some(budget);
 
-        let stealing = engine.execute(&join_plan(), &config).unwrap();
+        let stealing = engine.session().execute(&join_plan(), &config).unwrap();
         let saat = engine
-            .execute(
+            .session().execute(
                 &join_plan(),
                 &config.clone().with_execution_mode(ExecutionMode::StageAtATime),
             )
